@@ -1,0 +1,171 @@
+//! Microbenchmarks of the substrate and the AdapTraj modules: tensor
+//! kernels, LSTM steps, scene encoding, extractor/aggregator forwards, and
+//! the LBEBM Langevin sampler — the per-design-choice cost breakdown
+//! behind the Table VIII differences.
+
+use adaptraj_core::{Aggregator, InvariantExtractor, SpecificExtractor};
+use adaptraj_data::domain::DomainId;
+use adaptraj_data::trajectory::{Point, TrajWindow, T_OBS, T_TOTAL};
+use adaptraj_models::{Backbone, BackboneConfig, GenMode, Lbebm, PecNet};
+use adaptraj_tensor::nn::LstmCell;
+use adaptraj_tensor::{GroupId, ParamStore, Rng, Tape, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn window_with_neighbors(n: usize) -> TrajWindow {
+    let focal: Vec<Point> = (0..T_TOTAL).map(|t| [0.3 * t as f32, 0.0]).collect();
+    let nb: Vec<Vec<Point>> = (0..n)
+        .map(|k| (0..T_OBS).map(|t| [0.3 * t as f32, k as f32]).collect())
+        .collect();
+    TrajWindow::from_world(&focal, &nb, DomainId::EthUcy)
+}
+
+fn bench_tensor(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(0);
+    let a = Tensor::randn(32, 64, 0.0, 1.0, &mut rng);
+    let b = Tensor::randn(64, 128, 0.0, 1.0, &mut rng);
+    c.bench_function("tensor/matmul_32x64x128", |bch| {
+        bch.iter(|| black_box(a.matmul(black_box(&b))))
+    });
+    c.bench_function("tensor/softmax_rows_32x128", |bch| {
+        let x = Tensor::randn(32, 128, 0.0, 1.0, &mut rng);
+        bch.iter(|| black_box(x.softmax_rows()))
+    });
+}
+
+fn bench_lstm(c: &mut Criterion) {
+    let mut store = ParamStore::new();
+    let mut rng = Rng::seed_from(1);
+    let cell = LstmCell::new(&mut store, &mut rng, "c", 16, 32, GroupId::DEFAULT);
+    c.bench_function("nn/lstm_step_batch16", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let x = tape.constant(Tensor::zeros(16, 16));
+            let s = cell.zero_state(&mut tape, 16);
+            black_box(cell.step(&store, &mut tape, x, s));
+        })
+    });
+}
+
+fn bench_backbones(c: &mut Criterion) {
+    let w = window_with_neighbors(8);
+    let mut group = c.benchmark_group("backbone");
+    group.sample_size(30);
+
+    let mut store = ParamStore::new();
+    let mut rng = Rng::seed_from(2);
+    let pecnet = PecNet::new(&mut store, &mut rng, BackboneConfig::default());
+    group.bench_function("pecnet_encode_8nbrs", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            black_box(pecnet.encode(&store, &mut tape, &w));
+        })
+    });
+    group.bench_function("pecnet_full_sample", |b| {
+        let mut r = Rng::seed_from(3);
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let enc = pecnet.encode(&store, &mut tape, &w);
+            black_box(pecnet.generate(&store, &mut tape, &w, &enc, None, &mut r, GenMode::Sample));
+        })
+    });
+
+    let mut store2 = ParamStore::new();
+    let mut rng2 = Rng::seed_from(4);
+    let lbebm = Lbebm::new(&mut store2, &mut rng2, BackboneConfig::default());
+    group.bench_function("lbebm_full_sample_langevin", |b| {
+        let mut r = Rng::seed_from(5);
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let enc = lbebm.encode(&store2, &mut tape, &w);
+            black_box(lbebm.generate(&store2, &mut tape, &w, &enc, None, &mut r, GenMode::Sample));
+        })
+    });
+    group.finish();
+}
+
+fn bench_adaptraj_modules(c: &mut Criterion) {
+    let mut store = ParamStore::new();
+    let mut rng = Rng::seed_from(6);
+    let (h, p, f, ff) = (32, 32, 16, 16);
+    let inv = InvariantExtractor::new(&mut store, &mut rng, h, p, f, ff);
+    let spec = SpecificExtractor::new(
+        &mut store,
+        &mut rng,
+        &[DomainId::EthUcy, DomainId::LCas, DomainId::Syi],
+        h,
+        p,
+        f,
+        ff,
+    );
+    let agg = Aggregator::new(&mut store, &mut rng, f);
+    let hv = Tensor::randn(1, h, 0.0, 1.0, &mut rng);
+    let pv = Tensor::randn(1, p, 0.0, 1.0, &mut rng);
+
+    c.bench_function("adaptraj/invariant_forward", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let hvar = tape.constant(hv.clone());
+            let pvar = tape.constant(pv.clone());
+            let i = inv.individual(&store, &mut tape, hvar);
+            let n = inv.neighbor(&store, &mut tape, pvar);
+            black_box(inv.fuse(&store, &mut tape, i, n));
+        })
+    });
+    c.bench_function("adaptraj/aggregated_specific_forward_3experts", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let hvar = tape.constant(hv.clone());
+            let pvar = tape.constant(pv.clone());
+            let si = spec.individual_sum(&store, &mut tape, hvar);
+            let sn = spec.neighbor_sum(&store, &mut tape, pvar);
+            let ai = agg.individual(&store, &mut tape, si);
+            let an = agg.neighbor(&store, &mut tape, sn);
+            black_box(spec.fuse(&store, &mut tape, ai, an));
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tensor,
+    bench_lstm,
+    bench_backbones,
+    bench_adaptraj_modules
+);
+
+/// Design-choice ablations from DESIGN.md: LSTM vs Transformer mobility
+/// encoder and attention vs mean-pool interaction, measured on a scene
+/// encode (the dominating inference cost).
+fn bench_design_ablations(c: &mut Criterion) {
+    use adaptraj_models::config::EncoderKind;
+    use adaptraj_models::{InteractionKind, SceneEncoder};
+
+    let w = window_with_neighbors(8);
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(30);
+    for (label, encoder, interaction) in [
+        ("lstm_attention", EncoderKind::Lstm, InteractionKind::Attention),
+        ("lstm_meanpool", EncoderKind::Lstm, InteractionKind::MeanPool),
+        (
+            "transformer_attention",
+            EncoderKind::Transformer,
+            InteractionKind::Attention,
+        ),
+    ] {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(7);
+        let cfg = BackboneConfig::default().with_encoder(encoder);
+        let enc = SceneEncoder::new(&mut store, &mut rng, "a", &cfg, interaction);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                black_box(enc.encode(&store, &mut tape, &w));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ablations, bench_design_ablations);
+criterion_main!(benches, ablations);

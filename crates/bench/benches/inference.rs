@@ -1,0 +1,50 @@
+//! Criterion version of Table VIII: single-trajectory inference latency
+//! for every backbone × learning-method cell. Models are trained for a
+//! token number of epochs — latency is a property of the architecture.
+
+use adaptraj_data::dataset::{synthesize_domain, SynthesisConfig};
+use adaptraj_data::domain::DomainId;
+use adaptraj_eval::{build_predictor, BackboneKind, CellSpec, MethodKind, RunnerConfig};
+use adaptraj_models::TrainerConfig;
+use adaptraj_tensor::Rng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let ds = synthesize_domain(DomainId::EthUcy, &SynthesisConfig::smoke());
+    let target = synthesize_domain(DomainId::Sdd, &SynthesisConfig::smoke());
+    let window = target.test.first().expect("test window").clone();
+
+    let cfg = RunnerConfig {
+        trainer: TrainerConfig {
+            epochs: 1,
+            max_train_windows: 30,
+            ..TrainerConfig::default()
+        },
+        ..RunnerConfig::default()
+    };
+
+    let mut group = c.benchmark_group("inference");
+    group.sample_size(20);
+    for backbone in BackboneKind::ALL {
+        for method in MethodKind::COMPARED {
+            let spec = CellSpec {
+                backbone,
+                method,
+                sources: vec![DomainId::EthUcy],
+                target: DomainId::Sdd,
+            };
+            let mut predictor = build_predictor(&spec, &cfg);
+            predictor.fit(&ds.train[..ds.train.len().min(30)]);
+            let mut rng = Rng::seed_from(0);
+            group.bench_function(
+                format!("{}-{}", backbone.name(), method.name()),
+                |b| b.iter(|| black_box(predictor.predict(black_box(&window), &mut rng))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

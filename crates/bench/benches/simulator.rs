@@ -1,0 +1,38 @@
+//! Simulator throughput: world-step cost per domain (scene density is the
+//! driver) and full scene synthesis.
+
+use adaptraj_data::domain::DomainId;
+use adaptraj_sim::build_world;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_world_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_step");
+    for domain in DomainId::ALL {
+        let scenario = domain.scenario();
+        let params = domain.force_params();
+        group.bench_function(domain.name(), |b| {
+            let mut world = build_world(&scenario, &params, 0.1, 42);
+            b.iter(|| {
+                world.step();
+                black_box(world.active_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scene_build(c: &mut Criterion) {
+    let scenario = DomainId::EthUcy.scenario();
+    let params = DomainId::EthUcy.force_params();
+    c.bench_function("sim/build_world_ethucy", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(build_world(&scenario, &params, 0.1, seed))
+        })
+    });
+}
+
+criterion_group!(benches, bench_world_step, bench_scene_build);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Calibration utility: trains a handful of representative cells at the
+//! smoke scale and prints their errors and timings. Used during
+//! development to sanity-check hyperparameter changes before a full
+//! table run; kept as a fast end-to-end probe of the experiment stack.
+//!
+//! ```sh
+//! cargo run --release -p adaptraj-bench --example tuning_probe
+//! ```
+
+use adaptraj_bench::{build_datasets, Scale};
+use adaptraj_data::domain::DomainId;
+use adaptraj_eval::{leave_one_out, run_cell, BackboneKind, CellSpec, MethodKind};
+
+fn main() {
+    let datasets = build_datasets(Scale::Smoke);
+    let cfg = Scale::Smoke.runner();
+    for (backbone, method) in [
+        (BackboneKind::PecNet, MethodKind::Vanilla),
+        (BackboneKind::PecNet, MethodKind::AdapTraj),
+        (BackboneKind::Lbebm, MethodKind::Vanilla),
+        (BackboneKind::Lbebm, MethodKind::AdapTraj),
+    ] {
+        let spec = CellSpec {
+            backbone,
+            method,
+            sources: leave_one_out(DomainId::Sdd),
+            target: DomainId::Sdd,
+        };
+        let res = run_cell(&spec, &datasets, &cfg);
+        println!(
+            "{:40} ADE/FDE {}  train {:.1}s  infer {:.5}s/traj",
+            spec.label(),
+            res.eval,
+            res.train_time_s,
+            res.infer_time_s
+        );
+    }
+}

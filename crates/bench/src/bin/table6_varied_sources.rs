@@ -1,0 +1,46 @@
+//! Reproduces **Table VI**: PECNet vs PECNet-AdapTraj under varied source
+//! sets, always evaluated on SDD — from the i.i.d. setting (train on SDD)
+//! through one and two shifted source domains.
+
+use adaptraj_bench::{banner, build_datasets, Scale};
+use adaptraj_data::domain::DomainId;
+use adaptraj_eval::{run_cell, BackboneKind, CellSpec, MethodKind, TextTable};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Table VI: varied source domains (target SDD)", scale);
+    let datasets = build_datasets(scale);
+    let cfg = scale.runner();
+
+    let source_sets: [Vec<DomainId>; 3] = [
+        vec![DomainId::Sdd], // i.i.d. setting
+        vec![DomainId::EthUcy],
+        vec![DomainId::EthUcy, DomainId::LCas],
+    ];
+
+    let mut table = TextTable::new(&["Method", "Source Domains", "ADE", "FDE"]);
+    for method in [MethodKind::Vanilla, MethodKind::AdapTraj] {
+        for sources in &source_sets {
+            let label: Vec<&str> = sources.iter().map(|d| d.name()).collect();
+            let spec = CellSpec {
+                backbone: BackboneKind::PecNet,
+                method,
+                sources: sources.clone(),
+                target: DomainId::Sdd,
+            };
+            eprintln!("[run] {}", spec.label());
+            let res = run_cell(&spec, &datasets, &cfg);
+            table.push_row(vec![
+                format!("PECNet{}", if method == MethodKind::AdapTraj { "-AdapTraj" } else { "" }),
+                label.join(", "),
+                format!("{:.3}", res.eval.ade),
+                format!("{:.3}", res.eval.fde),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!(
+        "Expected shape (paper Tab. VI): AdapTraj ~matches vanilla in the\n\
+         i.i.d. setting and pulls ahead as distribution shift grows."
+    );
+}

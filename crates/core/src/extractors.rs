@@ -1,0 +1,346 @@
+//! The three AdapTraj feature modules (Fig. 2):
+//! domain-invariant extractor (Sec. III-B), domain-specific extractor
+//! (Sec. III-C), and domain-specific aggregator (Sec. III-D).
+
+use crate::config::{AGGREGATOR_GROUP, INVARIANT_GROUP, SPECIFIC_GROUP};
+use adaptraj_data::domain::DomainId;
+use adaptraj_tensor::nn::{Activation, Mlp};
+use adaptraj_tensor::{ParamStore, Rng, Tape, Var};
+
+/// The four disentangled features for one window, on a tape.
+#[derive(Debug, Clone, Copy)]
+pub struct Features {
+    /// H_i^i — invariant individual feature (Eq. 9).
+    pub inv_ind: Var,
+    /// H_ℰ^i — invariant neighbor feature (Eq. 10).
+    pub inv_nei: Var,
+    /// H_i^s — specific individual feature (Eq. 17 / Eq. 21).
+    pub spec_ind: Var,
+    /// H_ℰ^s — specific neighbor feature (Eq. 18 / Eq. 22).
+    pub spec_nei: Var,
+}
+
+/// Shared-weight domain-invariant extractor: V_ind, V_nei, V_fuse
+/// (Eqs. 9–11). Weight sharing across source domains is structural —
+/// there is exactly one copy of each module.
+#[derive(Debug, Clone)]
+pub struct InvariantExtractor {
+    v_ind: Mlp,
+    v_nei: Mlp,
+    v_fuse: Mlp,
+}
+
+impl InvariantExtractor {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut Rng,
+        hidden_dim: usize,
+        inter_dim: usize,
+        feat_dim: usize,
+        fused_dim: usize,
+    ) -> Self {
+        Self {
+            // tanh keeps the features bounded even when an unseen domain
+            // drives the backbone encodings outside the source range —
+            // unbounded ReLU features were observed to extrapolate badly
+            // on the fastest target domain (SYI).
+            v_ind: Mlp::new(
+                store,
+                rng,
+                "inv.ind",
+                &[hidden_dim, feat_dim],
+                Activation::Tanh,
+                INVARIANT_GROUP,
+            )
+            .with_output_activation(),
+            v_nei: Mlp::new(
+                store,
+                rng,
+                "inv.nei",
+                &[inter_dim, feat_dim],
+                Activation::Tanh,
+                INVARIANT_GROUP,
+            )
+            .with_output_activation(),
+            v_fuse: Mlp::new(
+                store,
+                rng,
+                "inv.fuse",
+                &[2 * feat_dim, fused_dim],
+                Activation::Tanh,
+                INVARIANT_GROUP,
+            )
+            .with_output_activation(),
+        }
+    }
+
+    /// Eq. 9: H_i^i from the focal agent's mobility state.
+    pub fn individual(&self, store: &ParamStore, tape: &mut Tape, h_focal: Var) -> Var {
+        self.v_ind.forward(store, tape, h_focal)
+    }
+
+    /// Eq. 10: H_ℰ^i from the interaction tensor.
+    pub fn neighbor(&self, store: &ParamStore, tape: &mut Tape, p_i: Var) -> Var {
+        self.v_nei.forward(store, tape, p_i)
+    }
+
+    /// Eq. 11: fused invariant variable H^i.
+    pub fn fuse(&self, store: &ParamStore, tape: &mut Tape, inv_ind: Var, inv_nei: Var) -> Var {
+        let joint = tape.concat_cols(&[inv_ind, inv_nei]);
+        self.v_fuse.forward(store, tape, joint)
+    }
+}
+
+/// Per-domain mixture-of-experts specific extractor: {M_ind^k},
+/// {M_nei^k}, M_fuse (Eqs. 17–19). Expert `k` is trained only on windows
+/// from source domain `k`.
+#[derive(Debug, Clone)]
+pub struct SpecificExtractor {
+    domains: Vec<DomainId>,
+    m_ind: Vec<Mlp>,
+    m_nei: Vec<Mlp>,
+    m_fuse: Mlp,
+}
+
+impl SpecificExtractor {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut Rng,
+        domains: &[DomainId],
+        hidden_dim: usize,
+        inter_dim: usize,
+        feat_dim: usize,
+        fused_dim: usize,
+    ) -> Self {
+        assert!(!domains.is_empty(), "need at least one source domain");
+        let m_ind = domains
+            .iter()
+            .map(|d| {
+                Mlp::new(
+                    store,
+                    rng,
+                    &format!("spec.ind.{}", d.name()),
+                    &[hidden_dim, feat_dim],
+                    Activation::Tanh,
+                    SPECIFIC_GROUP,
+                )
+                .with_output_activation()
+            })
+            .collect();
+        let m_nei = domains
+            .iter()
+            .map(|d| {
+                Mlp::new(
+                    store,
+                    rng,
+                    &format!("spec.nei.{}", d.name()),
+                    &[inter_dim, feat_dim],
+                    Activation::Tanh,
+                    SPECIFIC_GROUP,
+                )
+                .with_output_activation()
+            })
+            .collect();
+        let m_fuse = Mlp::new(
+            store,
+            rng,
+            "spec.fuse",
+            &[2 * feat_dim, fused_dim],
+            Activation::Tanh,
+            SPECIFIC_GROUP,
+        )
+        .with_output_activation();
+        Self {
+            domains: domains.to_vec(),
+            m_ind,
+            m_nei,
+            m_fuse,
+        }
+    }
+
+    pub fn num_experts(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Index of a source domain's expert, if it is one of the sources.
+    pub fn expert_of(&self, domain: DomainId) -> Option<usize> {
+        self.domains.iter().position(|&d| d == domain)
+    }
+
+    /// Eq. 17: H_i^s from expert `k`.
+    pub fn individual(&self, store: &ParamStore, tape: &mut Tape, k: usize, h_focal: Var) -> Var {
+        self.m_ind[k].forward(store, tape, h_focal)
+    }
+
+    /// Eq. 18: H_ℰ^s from expert `k`.
+    pub fn neighbor(&self, store: &ParamStore, tape: &mut Tape, k: usize, p_i: Var) -> Var {
+        self.m_nei[k].forward(store, tape, p_i)
+    }
+
+    /// Σ_k M_ind^k(·) — the aggregator's teacher signal (inside Eq. 21).
+    pub fn individual_sum(&self, store: &ParamStore, tape: &mut Tape, h_focal: Var) -> Var {
+        let mut acc = self.individual(store, tape, 0, h_focal);
+        for k in 1..self.num_experts() {
+            let e = self.individual(store, tape, k, h_focal);
+            acc = tape.add(acc, e);
+        }
+        acc
+    }
+
+    /// Σ_k M_nei^k(·) (inside Eq. 22).
+    pub fn neighbor_sum(&self, store: &ParamStore, tape: &mut Tape, p_i: Var) -> Var {
+        let mut acc = self.neighbor(store, tape, 0, p_i);
+        for k in 1..self.num_experts() {
+            let e = self.neighbor(store, tape, k, p_i);
+            acc = tape.add(acc, e);
+        }
+        acc
+    }
+
+    /// Eq. 19: fused specific variable H^s.
+    pub fn fuse(&self, store: &ParamStore, tape: &mut Tape, spec_ind: Var, spec_nei: Var) -> Var {
+        let joint = tape.concat_cols(&[spec_ind, spec_nei]);
+        self.m_fuse.forward(store, tape, joint)
+    }
+}
+
+/// Domain-specific aggregator: A_ind, A_nei (Eqs. 21–22). Trained (steps
+/// 2–3 of Alg. 1) to turn the summed expert knowledge into effective
+/// specific features when the domain label is masked — which is always the
+/// case at inference on an unseen domain.
+#[derive(Debug, Clone)]
+pub struct Aggregator {
+    a_ind: Mlp,
+    a_nei: Mlp,
+}
+
+impl Aggregator {
+    pub fn new(store: &mut ParamStore, rng: &mut Rng, feat_dim: usize) -> Self {
+        Self {
+            a_ind: Mlp::new(
+                store,
+                rng,
+                "agg.ind",
+                &[feat_dim, feat_dim, feat_dim],
+                Activation::Tanh,
+                AGGREGATOR_GROUP,
+            )
+            .with_output_activation(),
+            a_nei: Mlp::new(
+                store,
+                rng,
+                "agg.nei",
+                &[feat_dim, feat_dim, feat_dim],
+                Activation::Tanh,
+                AGGREGATOR_GROUP,
+            )
+            .with_output_activation(),
+        }
+    }
+
+    /// Eq. 21.
+    pub fn individual(&self, store: &ParamStore, tape: &mut Tape, expert_sum: Var) -> Var {
+        self.a_ind.forward(store, tape, expert_sum)
+    }
+
+    /// Eq. 22.
+    pub fn neighbor(&self, store: &ParamStore, tape: &mut Tape, expert_sum: Var) -> Var {
+        self.a_nei.forward(store, tape, expert_sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptraj_tensor::Tensor;
+
+    const H: usize = 12;
+    const P: usize = 10;
+    const F: usize = 6;
+    const FF: usize = 5;
+
+    fn setup() -> (ParamStore, InvariantExtractor, SpecificExtractor, Aggregator) {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(0);
+        let inv = InvariantExtractor::new(&mut store, &mut rng, H, P, F, FF);
+        let spec = SpecificExtractor::new(
+            &mut store,
+            &mut rng,
+            &[DomainId::EthUcy, DomainId::LCas, DomainId::Syi],
+            H,
+            P,
+            F,
+            FF,
+        );
+        let agg = Aggregator::new(&mut store, &mut rng, F);
+        (store, inv, spec, agg)
+    }
+
+    #[test]
+    fn shapes_through_all_modules() {
+        let (store, inv, spec, agg) = setup();
+        let mut rng = Rng::seed_from(1);
+        let mut tape = Tape::new();
+        let h = tape.constant(Tensor::randn(1, H, 0.0, 1.0, &mut rng));
+        let p = tape.constant(Tensor::randn(1, P, 0.0, 1.0, &mut rng));
+
+        let ii = inv.individual(&store, &mut tape, h);
+        let in_ = inv.neighbor(&store, &mut tape, p);
+        let h_inv = inv.fuse(&store, &mut tape, ii, in_);
+        assert_eq!(tape.value(ii).shape(), (1, F));
+        assert_eq!(tape.value(h_inv).shape(), (1, FF));
+
+        let si = spec.individual(&store, &mut tape, 1, h);
+        let sn = spec.neighbor(&store, &mut tape, 1, p);
+        let h_spec = spec.fuse(&store, &mut tape, si, sn);
+        assert_eq!(tape.value(h_spec).shape(), (1, FF));
+
+        let sum_i = spec.individual_sum(&store, &mut tape, h);
+        let ai = agg.individual(&store, &mut tape, sum_i);
+        assert_eq!(tape.value(ai).shape(), (1, F));
+    }
+
+    #[test]
+    fn experts_are_distinct_functions() {
+        let (store, _, spec, _) = setup();
+        let mut rng = Rng::seed_from(2);
+        let mut tape = Tape::new();
+        let h = tape.constant(Tensor::randn(1, H, 0.0, 1.0, &mut rng));
+        let e0 = spec.individual(&store, &mut tape, 0, h);
+        let e1 = spec.individual(&store, &mut tape, 1, h);
+        assert_ne!(tape.value(e0).data(), tape.value(e1).data());
+    }
+
+    #[test]
+    fn expert_lookup_by_domain() {
+        let (_, _, spec, _) = setup();
+        assert_eq!(spec.num_experts(), 3);
+        assert_eq!(spec.expert_of(DomainId::LCas), Some(1));
+        assert_eq!(spec.expert_of(DomainId::Sdd), None);
+    }
+
+    #[test]
+    fn expert_sum_equals_manual_sum() {
+        let (store, _, spec, _) = setup();
+        let mut rng = Rng::seed_from(3);
+        let mut tape = Tape::new();
+        let h = tape.constant(Tensor::randn(1, H, 0.0, 1.0, &mut rng));
+        let sum = spec.individual_sum(&store, &mut tape, h);
+        let e0 = spec.individual(&store, &mut tape, 0, h);
+        let e1 = spec.individual(&store, &mut tape, 1, h);
+        let e2 = spec.individual(&store, &mut tape, 2, h);
+        let manual_a = tape.add(e0, e1);
+        let manual = tape.add(manual_a, e2);
+        let diff = tape.sub(sum, manual);
+        assert!(tape.value(diff).max_abs() < 1e-5);
+    }
+
+    #[test]
+    fn groups_are_assigned_correctly() {
+        let (store, _, _, _) = setup();
+        use crate::config::{AGGREGATOR_GROUP, INVARIANT_GROUP, SPECIFIC_GROUP};
+        assert!(!store.ids_in_group(INVARIANT_GROUP).is_empty());
+        assert!(!store.ids_in_group(SPECIFIC_GROUP).is_empty());
+        assert!(!store.ids_in_group(AGGREGATOR_GROUP).is_empty());
+    }
+}

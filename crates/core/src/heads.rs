@@ -1,0 +1,141 @@
+//! Auxiliary heads: the reconstruction decoder `D_recon` (Eq. 13) and the
+//! domain classifier `D_class` (Eq. 16).
+
+use crate::config::AUX_GROUP;
+use adaptraj_tensor::nn::{Activation, Mlp};
+use adaptraj_tensor::{ParamStore, Rng, Tape, Var};
+use adaptraj_data::trajectory::T_OBS;
+
+/// Reconstructs the focal agent's observed track from its invariant and
+/// specific individual features. Training it forces `[H_i^i | H_i^s]`
+/// jointly to retain the information content of the input (Eq. 12–13).
+#[derive(Debug, Clone)]
+pub struct ReconDecoder {
+    mlp: Mlp,
+}
+
+impl ReconDecoder {
+    pub fn new(store: &mut ParamStore, rng: &mut Rng, feat_dim: usize) -> Self {
+        Self {
+            mlp: Mlp::new(
+                store,
+                rng,
+                "aux.recon",
+                &[2 * feat_dim, 2 * feat_dim, T_OBS * 2],
+                Activation::Relu,
+                AUX_GROUP,
+            ),
+        }
+    }
+
+    /// `X̂_i = D_recon(H_i^i, H_i^s)` — a `[1, T_OBS·2]` flattened track.
+    pub fn forward(&self, store: &ParamStore, tape: &mut Tape, inv_ind: Var, spec_ind: Var) -> Var {
+        let joint = tape.concat_cols(&[inv_ind, spec_ind]);
+        self.mlp.forward(store, tape, joint)
+    }
+}
+
+/// Predicts the source-domain label from all four features (Eq. 16),
+/// yielding the domain similarity loss `L_similar` (Eq. 15).
+#[derive(Debug, Clone)]
+pub struct DomainClassifier {
+    mlp: Mlp,
+    num_domains: usize,
+}
+
+impl DomainClassifier {
+    pub fn new(store: &mut ParamStore, rng: &mut Rng, feat_dim: usize, num_domains: usize) -> Self {
+        Self {
+            mlp: Mlp::new(
+                store,
+                rng,
+                "aux.class",
+                &[4 * feat_dim, 2 * feat_dim, num_domains],
+                Activation::Relu,
+                AUX_GROUP,
+            ),
+            num_domains,
+        }
+    }
+
+    pub fn num_domains(&self) -> usize {
+        self.num_domains
+    }
+
+    /// Domain logits `[1, K]` from `(H_i^i, H_ℰ^i, H_i^s, H_ℰ^s)`.
+    pub fn forward(
+        &self,
+        store: &ParamStore,
+        tape: &mut Tape,
+        inv_ind: Var,
+        inv_nei: Var,
+        spec_ind: Var,
+        spec_nei: Var,
+    ) -> Var {
+        let joint = tape.concat_cols(&[inv_ind, inv_nei, spec_ind, spec_nei]);
+        self.mlp.forward(store, tape, joint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptraj_tensor::Tensor;
+
+    #[test]
+    fn recon_output_shape() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(0);
+        let dec = ReconDecoder::new(&mut store, &mut rng, 8);
+        let mut tape = Tape::new();
+        let a = tape.constant(Tensor::randn(1, 8, 0.0, 1.0, &mut rng));
+        let b = tape.constant(Tensor::randn(1, 8, 0.0, 1.0, &mut rng));
+        let out = dec.forward(&store, &mut tape, a, b);
+        assert_eq!(tape.value(out).shape(), (1, T_OBS * 2));
+    }
+
+    #[test]
+    fn classifier_logits_shape() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(1);
+        let clf = DomainClassifier::new(&mut store, &mut rng, 8, 3);
+        assert_eq!(clf.num_domains(), 3);
+        let mut tape = Tape::new();
+        let vs: Vec<_> = (0..4)
+            .map(|_| tape.constant(Tensor::randn(1, 8, 0.0, 1.0, &mut rng)))
+            .collect();
+        let logits = clf.forward(&store, &mut tape, vs[0], vs[1], vs[2], vs[3]);
+        assert_eq!(tape.value(logits).shape(), (1, 3));
+    }
+
+    #[test]
+    fn classifier_is_learnable() {
+        use adaptraj_tensor::optim::Adam;
+        use adaptraj_tensor::GradBuffer;
+        // Two linearly separable "feature" clusters must be classified
+        // correctly after a few steps.
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(2);
+        let clf = DomainClassifier::new(&mut store, &mut rng, 4, 2);
+        let mut opt = Adam::new(0.05);
+        for _ in 0..100 {
+            let mut tape = Tape::new();
+            let mut buf = GradBuffer::new();
+            for (label, sign) in [(0usize, 1.0f32), (1, -1.0)] {
+                let f = tape.constant(Tensor::full(1, 4, sign));
+                let z = tape.constant(Tensor::zeros(1, 4));
+                let logits = clf.forward(&store, &mut tape, f, z, f, z);
+                let loss = tape.softmax_cross_entropy(logits, &[label]);
+                let grads = tape.backward(loss);
+                buf.absorb(&tape, &grads);
+            }
+            opt.step(&mut store, &buf);
+        }
+        let mut tape = Tape::new();
+        let f = tape.constant(Tensor::full(1, 4, 1.0));
+        let z = tape.constant(Tensor::zeros(1, 4));
+        let logits = clf.forward(&store, &mut tape, f, z, f, z);
+        let v = tape.value(logits);
+        assert!(v.at(0, 0) > v.at(0, 1), "class 0 should win: {v:?}");
+    }
+}

@@ -1,0 +1,235 @@
+//! The AdapTraj loss terms (Eqs. 12–20, 24).
+
+use crate::config::AdapTrajConfig;
+use crate::extractors::Features;
+use crate::heads::{DomainClassifier, ReconDecoder};
+use adaptraj_data::trajectory::TrajWindow;
+use adaptraj_models::backbone::obs_flat_tensor;
+use adaptraj_tensor::{ParamStore, Tape, Var};
+
+/// `L_recon` (Eqs. 12–14): scale-invariant MSE between the observed focal
+/// track and its reconstruction from `[H_i^i | H_i^s]`.
+pub fn recon_loss(
+    store: &ParamStore,
+    tape: &mut Tape,
+    recon: &ReconDecoder,
+    feats: &Features,
+    w: &TrajWindow,
+) -> Var {
+    let x_hat = recon.forward(store, tape, feats.inv_ind, feats.spec_ind);
+    let target = obs_flat_tensor(w);
+    tape.simse_to(x_hat, &target)
+}
+
+/// Strength of the gradient reversal applied to the invariant features in
+/// the adversarial similarity loss.
+const GRL_LAMBDA: f32 = 1.0;
+
+/// `L_similar` (Eqs. 15–16): the domain **adversarial** similarity loss.
+///
+/// Following the Domain Separation Networks design the paper builds on,
+/// the classifier is trained to predict the source domain from all four
+/// features, while a gradient-reversal layer on the *invariant* features
+/// trains V_ind/V_nei (and the backbone beneath them) to make that
+/// prediction impossible — this is what makes the invariant features
+/// actually invariant across domains. The *specific* features receive the
+/// ordinary gradient and therefore learn to be domain-discriminative.
+pub fn similarity_loss(
+    store: &ParamStore,
+    tape: &mut Tape,
+    classifier: &DomainClassifier,
+    feats: &Features,
+    domain_idx: usize,
+) -> Var {
+    let inv_ind = tape.grad_reverse(feats.inv_ind, GRL_LAMBDA);
+    let inv_nei = tape.grad_reverse(feats.inv_nei, GRL_LAMBDA);
+    let logits = classifier.forward(
+        store,
+        tape,
+        inv_ind,
+        inv_nei,
+        feats.spec_ind,
+        feats.spec_nei,
+    );
+    tape.softmax_cross_entropy(logits, &[domain_idx])
+}
+
+/// `L_diff` (Eq. 20): soft subspace orthogonality between invariant and
+/// specific features, for both the focal agent and the neighbors.
+///
+/// The paper states the constraint as `‖H^{iᵀ} H^s‖_F²` over feature
+/// matrices; for the per-window `[1, d]` feature rows used here that Gram
+/// reduces to the squared inner product `(H^i · H^s)²` — zero exactly when
+/// the two features are orthogonal (the outer-product Frobenius norm
+/// would instead penalize feature magnitude).
+pub fn difference_loss(tape: &mut Tape, feats: &Features) -> Var {
+    let dot_sq = |tape: &mut Tape, a: Var, b: Var| {
+        let bt = tape.transpose(b);
+        let dot = tape.matmul(a, bt);
+        tape.mul(dot, dot)
+    };
+    let ind = dot_sq(tape, feats.inv_ind, feats.spec_ind);
+    let nei = dot_sq(tape, feats.inv_nei, feats.spec_nei);
+    tape.add(ind, nei)
+}
+
+/// `L_ours = α·L_recon + β·L_diff + γ·L_similar` (Eq. 24), with terms
+/// dropped according to the ablation switches ("w/o invariant" and
+/// "w/o specific" both lose the orthogonality constraint since it needs
+/// both feature families).
+#[allow(clippy::too_many_arguments)]
+pub fn ours_loss(
+    store: &ParamStore,
+    tape: &mut Tape,
+    cfg: &AdapTrajConfig,
+    recon: &ReconDecoder,
+    classifier: &DomainClassifier,
+    feats: &Features,
+    w: &TrajWindow,
+    domain_idx: usize,
+) -> Var {
+    let l_recon = recon_loss(store, tape, recon, feats, w);
+    let mut total = tape.scale(l_recon, cfg.alpha);
+    if cfg.ablation.use_invariant && cfg.ablation.use_specific {
+        let l_diff = difference_loss(tape, feats);
+        let weighted = tape.scale(l_diff, cfg.beta);
+        total = tape.add(total, weighted);
+    }
+    let l_sim = similarity_loss(store, tape, classifier, feats, domain_idx);
+    let weighted = tape.scale(l_sim, cfg.gamma);
+    tape.add(total, weighted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptraj_data::domain::DomainId;
+    use adaptraj_data::trajectory::{Point, T_TOTAL};
+    use adaptraj_tensor::{Rng, Tensor};
+
+    const F: usize = 8;
+
+    fn toy_window() -> TrajWindow {
+        let focal: Vec<Point> = (0..T_TOTAL).map(|t| [0.2 * t as f32, 0.0]).collect();
+        TrajWindow::from_world(&focal, &[], DomainId::EthUcy)
+    }
+
+    fn toy_features(tape: &mut Tape, rng: &mut Rng) -> Features {
+        Features {
+            inv_ind: tape.input(Tensor::randn(1, F, 0.0, 1.0, rng)),
+            inv_nei: tape.input(Tensor::randn(1, F, 0.0, 1.0, rng)),
+            spec_ind: tape.input(Tensor::randn(1, F, 0.0, 1.0, rng)),
+            spec_nei: tape.input(Tensor::randn(1, F, 0.0, 1.0, rng)),
+        }
+    }
+
+    #[test]
+    fn difference_loss_zero_for_orthogonal_features() {
+        let mut tape = Tape::new();
+        let mut e1 = vec![0.0; F];
+        e1[0] = 1.0;
+        let mut e2 = vec![0.0; F];
+        e2[1] = 1.0;
+        let feats = Features {
+            inv_ind: tape.input(Tensor::row(&e1)),
+            spec_ind: tape.input(Tensor::row(&e2)),
+            inv_nei: tape.input(Tensor::row(&e1)),
+            spec_nei: tape.input(Tensor::row(&e2)),
+        };
+        let l = difference_loss(&mut tape, &feats);
+        assert!(tape.value(l).item() < 1e-9);
+    }
+
+    #[test]
+    fn difference_loss_positive_for_parallel_features() {
+        let mut tape = Tape::new();
+        let v = Tensor::row(&[1.0; F]);
+        let feats = Features {
+            inv_ind: tape.input(v.clone()),
+            spec_ind: tape.input(v.clone()),
+            inv_nei: tape.input(v.clone()),
+            spec_nei: tape.input(v),
+        };
+        let l = difference_loss(&mut tape, &feats);
+        assert!(tape.value(l).item() > 1.0);
+    }
+
+    #[test]
+    fn minimizing_difference_loss_decorrelates() {
+        // Gradient descent on L_diff should drive the cosine similarity of
+        // inv/spec features toward zero — the disentanglement invariant.
+        let mut rng = Rng::seed_from(0);
+        let mut inv = Tensor::randn(1, F, 0.5, 0.5, &mut rng);
+        let mut spec = Tensor::randn(1, F, 0.5, 0.5, &mut rng);
+        for _ in 0..400 {
+            let mut tape = Tape::new();
+            let feats = Features {
+                inv_ind: tape.input(inv.clone()),
+                spec_ind: tape.input(spec.clone()),
+                inv_nei: tape.constant(Tensor::zeros(1, F)),
+                spec_nei: tape.constant(Tensor::zeros(1, F)),
+            };
+            let l = difference_loss(&mut tape, &feats);
+            let grads = tape.backward(l);
+            inv.axpy(-0.01, grads.expect(feats.inv_ind));
+            spec.axpy(-0.01, grads.expect(feats.spec_ind));
+        }
+        let dot: f32 = inv.data().iter().zip(spec.data()).map(|(a, b)| a * b).sum();
+        assert!(dot.abs() < 0.05, "features still correlated: dot={dot}");
+    }
+
+    #[test]
+    fn ours_loss_combines_terms_and_respects_ablation() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(1);
+        let recon = ReconDecoder::new(&mut store, &mut rng, F);
+        let clf = DomainClassifier::new(&mut store, &mut rng, F, 3);
+        let w = toy_window();
+
+        let full_cfg = AdapTrajConfig::smoke();
+        let mut no_spec = AdapTrajConfig::smoke();
+        no_spec.ablation.use_specific = false;
+
+        let mut t1 = Tape::new();
+        let f1 = toy_features(&mut t1, &mut rng);
+        let l_full = ours_loss(&store, &mut t1, &full_cfg, &recon, &clf, &f1, &w, 0);
+        assert!(t1.value(l_full).item().is_finite());
+
+        // Without the specific family, the orthogonality term is dropped;
+        // the loss composition differs.
+        let mut t2 = Tape::new();
+        let f2 = toy_features(&mut t2, &mut rng);
+        let l_ablate = ours_loss(&store, &mut t2, &no_spec, &recon, &clf, &f2, &w, 0);
+        assert!(t2.value(l_ablate).item().is_finite());
+    }
+
+    #[test]
+    fn recon_loss_trainable_to_near_zero() {
+        use adaptraj_tensor::optim::Adam;
+        use adaptraj_tensor::GradBuffer;
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(2);
+        let recon = ReconDecoder::new(&mut store, &mut rng, F);
+        let w = toy_window();
+        let fixed_inv = Tensor::randn(1, F, 0.0, 1.0, &mut rng);
+        let fixed_spec = Tensor::randn(1, F, 0.0, 1.0, &mut rng);
+        let mut opt = Adam::new(0.01);
+        let mut last = f32::MAX;
+        for _ in 0..300 {
+            let mut tape = Tape::new();
+            let feats = Features {
+                inv_ind: tape.constant(fixed_inv.clone()),
+                spec_ind: tape.constant(fixed_spec.clone()),
+                inv_nei: tape.constant(Tensor::zeros(1, F)),
+                spec_nei: tape.constant(Tensor::zeros(1, F)),
+            };
+            let l = recon_loss(&store, &mut tape, &recon, &feats, &w);
+            let grads = tape.backward(l);
+            let mut buf = GradBuffer::new();
+            buf.absorb(&tape, &grads);
+            opt.step(&mut store, &buf);
+            last = tape.value(l).item();
+        }
+        assert!(last < 0.01, "reconstruction stuck at {last}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Data augmentation for trajectory windows.
+//!
+//! Random rotation about the normalization origin is the standard
+//! augmentation in trajectory forecasting (headings are arbitrary in
+//! world space); mirroring flips the lateral axis. Both preserve the
+//! protocol invariants: the last observed point stays at the origin and
+//! every displacement magnitude is unchanged, so ADE/FDE against the
+//! equally-transformed ground truth are invariant.
+
+use crate::trajectory::{Point, TrajWindow};
+use adaptraj_tensor::rng::Rng;
+
+fn rotate_point(p: Point, cos: f32, sin: f32) -> Point {
+    [p[0] * cos - p[1] * sin, p[0] * sin + p[1] * cos]
+}
+
+/// Rotates an entire window (focal + neighbors, observed + future) by
+/// `angle` radians about the origin.
+pub fn rotate_window(w: &TrajWindow, angle: f32) -> TrajWindow {
+    let (sin, cos) = angle.sin_cos();
+    let rot_track = |t: &[Point]| -> Vec<Point> {
+        t.iter().map(|&p| rotate_point(p, cos, sin)).collect()
+    };
+    TrajWindow {
+        obs: rot_track(&w.obs),
+        fut: rot_track(&w.fut),
+        neighbors: w.neighbors.iter().map(|n| rot_track(n)).collect(),
+        domain: w.domain,
+        origin: w.origin,
+    }
+}
+
+/// Mirrors a window across the x-axis (y ↦ −y).
+pub fn mirror_window(w: &TrajWindow) -> TrajWindow {
+    let flip = |t: &[Point]| -> Vec<Point> { t.iter().map(|&p| [p[0], -p[1]]).collect() };
+    TrajWindow {
+        obs: flip(&w.obs),
+        fut: flip(&w.fut),
+        neighbors: w.neighbors.iter().map(|n| flip(n)).collect(),
+        domain: w.domain,
+        origin: w.origin,
+    }
+}
+
+/// Applies a random rotation (uniform in `[0, 2π)`) and, with probability
+/// ½, a mirror — the standard train-time augmentation.
+pub fn random_augment(w: &TrajWindow, rng: &mut Rng) -> TrajWindow {
+    let angle = rng.uniform(0.0, std::f32::consts::TAU);
+    let rotated = rotate_window(w, angle);
+    if rng.chance(0.5) {
+        mirror_window(&rotated)
+    } else {
+        rotated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::DomainId;
+    use crate::trajectory::{T_OBS, T_TOTAL};
+
+    fn sample_window() -> TrajWindow {
+        let focal: Vec<Point> = (0..T_TOTAL)
+            .map(|t| [0.3 * t as f32, 0.1 * t as f32])
+            .collect();
+        let nb: Vec<Point> = (0..T_OBS).map(|t| [0.3 * t as f32, 1.0]).collect();
+        TrajWindow::from_world(&focal, &[nb], DomainId::EthUcy)
+    }
+
+    fn norms(t: &[Point]) -> Vec<f32> {
+        t.iter().map(|p| (p[0] * p[0] + p[1] * p[1]).sqrt()).collect()
+    }
+
+    #[test]
+    fn rotation_preserves_origin_and_norms() {
+        let w = sample_window();
+        let r = rotate_window(&w, 1.234);
+        assert_eq!(r.obs[T_OBS - 1], [0.0, 0.0], "origin must stay fixed");
+        for (a, b) in norms(&w.obs).iter().zip(norms(&r.obs)) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        for (a, b) in norms(&w.fut).iter().zip(norms(&r.fut)) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn full_turn_is_identity() {
+        let w = sample_window();
+        let r = rotate_window(&w, std::f32::consts::TAU);
+        for (a, b) in w.fut.iter().zip(&r.fut) {
+            assert!((a[0] - b[0]).abs() < 1e-4 && (a[1] - b[1]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn mirror_is_involution() {
+        let w = sample_window();
+        let mm = mirror_window(&mirror_window(&w));
+        assert_eq!(w.obs, mm.obs);
+        assert_eq!(w.neighbors, mm.neighbors);
+    }
+
+    #[test]
+    fn neighbors_rotate_rigidly_with_focal() {
+        // Relative geometry (focal↔neighbor distances) is preserved.
+        let w = sample_window();
+        let r = rotate_window(&w, 0.7);
+        for t in 0..T_OBS {
+            let d0 = {
+                let (a, b) = (w.obs[t], w.neighbors[0][t]);
+                ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt()
+            };
+            let d1 = {
+                let (a, b) = (r.obs[t], r.neighbors[0][t]);
+                ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt()
+            };
+            assert!((d0 - d1).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn random_augment_is_seed_deterministic() {
+        let w = sample_window();
+        let mut r1 = Rng::seed_from(5);
+        let mut r2 = Rng::seed_from(5);
+        let a = random_augment(&w, &mut r1);
+        let b = random_augment(&w, &mut r2);
+        assert_eq!(a.obs, b.obs);
+        assert_eq!(a.fut, b.fut);
+    }
+}

@@ -1,0 +1,59 @@
+//! Mini-batch iteration over window indices.
+
+use adaptraj_tensor::rng::Rng;
+
+/// Shuffled mini-batches of indices `0..n`. The final batch may be short.
+pub fn shuffled_batches(n: usize, batch_size: usize, rng: &mut Rng) -> Vec<Vec<usize>> {
+    assert!(batch_size > 0, "batch_size must be positive");
+    let order = rng.permutation(n);
+    order
+        .chunks(batch_size)
+        .map(|c| c.to_vec())
+        .collect()
+}
+
+/// Sequential mini-batches (for deterministic evaluation).
+pub fn sequential_batches(n: usize, batch_size: usize) -> Vec<Vec<usize>> {
+    assert!(batch_size > 0, "batch_size must be positive");
+    (0..n)
+        .collect::<Vec<usize>>()
+        .chunks(batch_size)
+        .map(|c| c.to_vec())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_cover_all_indices_exactly_once() {
+        let mut rng = Rng::seed_from(0);
+        let batches = shuffled_batches(10, 3, &mut rng);
+        assert_eq!(batches.len(), 4);
+        assert_eq!(batches.last().unwrap().len(), 1);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_is_ordered() {
+        let batches = sequential_batches(7, 4);
+        assert_eq!(batches, vec![vec![0, 1, 2, 3], vec![4, 5, 6]]);
+    }
+
+    #[test]
+    fn shuffling_changes_order() {
+        let mut rng = Rng::seed_from(1);
+        let flat: Vec<usize> = shuffled_batches(50, 50, &mut rng).remove(0);
+        assert_ne!(flat, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_gives_no_batches() {
+        let mut rng = Rng::seed_from(2);
+        assert!(shuffled_batches(0, 4, &mut rng).is_empty());
+        assert!(sequential_batches(0, 4).is_empty());
+    }
+}

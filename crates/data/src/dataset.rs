@@ -1,0 +1,180 @@
+//! Dataset synthesis and chronological splitting.
+//!
+//! A domain dataset is produced by sampling many scenes from the domain's
+//! calibrated [`ScenarioConfig`](adaptraj_sim::ScenarioConfig), simulating
+//! each, extracting prediction windows, and splitting 6:2:2 *by scene
+//! order* (scenes play the role of recording sessions, so the split is
+//! chronological and leak-free, matching the paper's protocol).
+
+use crate::domain::DomainId;
+use crate::preprocess::{extract_windows, ExtractionConfig};
+use crate::trajectory::TrajWindow;
+use adaptraj_sim::build_world;
+
+/// How much data to synthesize per domain.
+#[derive(Debug, Clone)]
+pub struct SynthesisConfig {
+    /// Number of independent scenes to simulate.
+    pub scenes: usize,
+    /// Simulator steps per scene (at the simulator's fine dt of 0.1 s).
+    pub steps_per_scene: usize,
+    /// Base seed; domain index and scene index are mixed in.
+    pub seed: u64,
+    /// Window extraction parameters.
+    pub extraction: ExtractionConfig,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        Self {
+            scenes: 24,
+            steps_per_scene: 480,
+            seed: 7,
+            extraction: ExtractionConfig::default(),
+        }
+    }
+}
+
+impl SynthesisConfig {
+    /// A smaller configuration for fast tests.
+    pub fn smoke() -> Self {
+        Self {
+            scenes: 6,
+            steps_per_scene: 320,
+            ..Default::default()
+        }
+    }
+}
+
+/// Train/validation/test windows for one domain.
+#[derive(Debug, Clone)]
+pub struct DomainDataset {
+    pub domain: DomainId,
+    pub train: Vec<TrajWindow>,
+    pub val: Vec<TrajWindow>,
+    pub test: Vec<TrajWindow>,
+}
+
+impl DomainDataset {
+    pub fn total(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    /// Every window, in chronological (scene) order.
+    pub fn all_windows(&self) -> impl Iterator<Item = &TrajWindow> {
+        self.train.iter().chain(&self.val).chain(&self.test)
+    }
+}
+
+/// Simulation time step used for synthesis (s); windows are resampled to
+/// the paper's 0.4 s grid on extraction.
+pub const SIM_DT: f32 = 0.1;
+
+/// Synthesizes one domain's dataset.
+pub fn synthesize_domain(domain: DomainId, cfg: &SynthesisConfig) -> DomainDataset {
+    let scenario = domain.scenario();
+    let params = domain.force_params();
+    // Windows per scene, kept scene-ordered for the chronological split.
+    let mut per_scene: Vec<Vec<TrajWindow>> = Vec::with_capacity(cfg.scenes);
+    for scene in 0..cfg.scenes {
+        let seed = cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((domain.index() as u64) << 32)
+            .wrapping_add(scene as u64);
+        let mut world = build_world(&scenario, &params, SIM_DT, seed);
+        let rec = world.run_record(cfg.steps_per_scene);
+        let mut windows = extract_windows(&rec, domain, &cfg.extraction);
+        per_scene.push(windows.drain(..).map(|tw| tw.window).collect());
+    }
+
+    // 6:2:2 chronological split over scenes.
+    let n = per_scene.len();
+    let train_end = n * 6 / 10;
+    let val_end = n * 8 / 10;
+    let mut out = DomainDataset {
+        domain,
+        train: Vec::new(),
+        val: Vec::new(),
+        test: Vec::new(),
+    };
+    for (i, scene_windows) in per_scene.into_iter().enumerate() {
+        let bucket = if i < train_end {
+            &mut out.train
+        } else if i < val_end {
+            &mut out.val
+        } else {
+            &mut out.test
+        };
+        bucket.extend(scene_windows);
+    }
+    out
+}
+
+/// Synthesizes all four domains.
+pub fn synthesize_all(cfg: &SynthesisConfig) -> Vec<DomainDataset> {
+    DomainId::ALL
+        .iter()
+        .map(|&d| synthesize_domain(d, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ratios_are_respected() {
+        let cfg = SynthesisConfig {
+            scenes: 10,
+            ..SynthesisConfig::smoke()
+        };
+        let ds = synthesize_domain(DomainId::EthUcy, &cfg);
+        assert!(ds.total() > 0);
+        // Scene-level 6:2:2 ⇒ window counts roughly proportional.
+        assert!(ds.train.len() > ds.val.len());
+        assert!(ds.train.len() > ds.test.len());
+        assert!(!ds.val.is_empty());
+        assert!(!ds.test.is_empty());
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let cfg = SynthesisConfig::smoke();
+        let a = synthesize_domain(DomainId::LCas, &cfg);
+        let b = synthesize_domain(DomainId::LCas, &cfg);
+        assert_eq!(a.total(), b.total());
+        for (wa, wb) in a.train.iter().zip(&b.train) {
+            assert_eq!(wa.obs, wb.obs);
+            assert_eq!(wa.fut, wb.fut);
+        }
+    }
+
+    #[test]
+    fn domains_differ_in_content() {
+        let cfg = SynthesisConfig::smoke();
+        let slow = synthesize_domain(DomainId::LCas, &cfg);
+        let fast = synthesize_domain(DomainId::Syi, &cfg);
+        let mean_speed = |ds: &DomainDataset| {
+            let mut total = 0.0;
+            let mut n = 0;
+            for w in ds.all_windows() {
+                for v in w.obs_velocities() {
+                    total += (v[0] * v[0] + v[1] * v[1]).sqrt();
+                    n += 1;
+                }
+            }
+            total / n.max(1) as f32
+        };
+        assert!(
+            mean_speed(&fast) > 2.0 * mean_speed(&slow),
+            "SYI should be much faster than L-CAS"
+        );
+    }
+
+    #[test]
+    fn windows_are_tagged_with_domain() {
+        let ds = synthesize_domain(DomainId::Sdd, &SynthesisConfig::smoke());
+        assert!(ds.all_windows().all(|w| w.domain == DomainId::Sdd));
+    }
+}

@@ -1,0 +1,145 @@
+//! Statistical comparison of predictors: paired bootstrap confidence
+//! intervals for error differences.
+//!
+//! The reproduction's budgets make single-run comparisons noisy (see
+//! EXPERIMENTS.md); this module provides the tool to make claims
+//! properly: evaluate two methods on the *same* windows, then bootstrap
+//! the per-window error differences to get a confidence interval on the
+//! mean difference. If the interval excludes zero, the ordering is
+//! resolved at that confidence level.
+
+use adaptraj_tensor::rng::Rng;
+
+/// Result of a paired bootstrap comparison `A − B` (negative mean favors
+/// method A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairedBootstrap {
+    /// Mean of the paired differences.
+    pub mean_diff: f32,
+    /// Lower bound of the central confidence interval.
+    pub ci_low: f32,
+    /// Upper bound of the central confidence interval.
+    pub ci_high: f32,
+    /// Confidence level the interval was computed at (e.g. 0.95).
+    pub confidence: f32,
+}
+
+impl PairedBootstrap {
+    /// True if the interval excludes zero — the ordering is resolved.
+    pub fn significant(&self) -> bool {
+        self.ci_low > 0.0 || self.ci_high < 0.0
+    }
+}
+
+/// Paired bootstrap over per-window errors of two methods evaluated on
+/// identical windows. `resamples` of 1000+ are typical. Panics if the
+/// slices are empty or of different lengths.
+pub fn paired_bootstrap(
+    errors_a: &[f32],
+    errors_b: &[f32],
+    resamples: usize,
+    confidence: f32,
+    seed: u64,
+) -> PairedBootstrap {
+    assert_eq!(
+        errors_a.len(),
+        errors_b.len(),
+        "paired test needs matched windows"
+    );
+    assert!(!errors_a.is_empty(), "paired test on empty data");
+    assert!(
+        (0.0..1.0).contains(&(1.0 - confidence)),
+        "confidence must be in (0, 1)"
+    );
+    let n = errors_a.len();
+    let diffs: Vec<f32> = errors_a
+        .iter()
+        .zip(errors_b)
+        .map(|(&a, &b)| a - b)
+        .collect();
+    let mean_diff = diffs.iter().sum::<f32>() / n as f32;
+
+    let mut rng = Rng::seed_from(seed);
+    let mut means: Vec<f32> = (0..resamples.max(1))
+        .map(|_| {
+            let mut s = 0.0f32;
+            for _ in 0..n {
+                s += diffs[rng.below(n)];
+            }
+            s / n as f32
+        })
+        .collect();
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((means.len() as f32) * alpha).floor() as usize;
+    let hi_idx = (((means.len() as f32) * (1.0 - alpha)).ceil() as usize)
+        .min(means.len())
+        .saturating_sub(1);
+    PairedBootstrap {
+        mean_diff,
+        ci_low: means[lo_idx],
+        ci_high: means[hi_idx],
+        confidence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_difference_is_significant() {
+        // Method A consistently 0.5 better than B with small jitter.
+        let mut rng = Rng::seed_from(0);
+        let b: Vec<f32> = (0..200).map(|_| rng.uniform(1.0, 2.0)).collect();
+        let a: Vec<f32> = b.iter().map(|&x| x - 0.5 + rng.normal(0.0, 0.05)).collect();
+        let r = paired_bootstrap(&a, &b, 1000, 0.95, 7);
+        assert!(r.mean_diff < -0.4);
+        assert!(r.significant(), "{r:?}");
+        assert!(r.ci_high < 0.0);
+    }
+
+    #[test]
+    fn pure_noise_is_not_significant() {
+        let mut rng = Rng::seed_from(1);
+        let a: Vec<f32> = (0..200).map(|_| rng.normal(1.0, 0.3)).collect();
+        let b: Vec<f32> = (0..200).map(|_| rng.normal(1.0, 0.3)).collect();
+        let r = paired_bootstrap(&a, &b, 1000, 0.95, 7);
+        assert!(!r.significant(), "{r:?}");
+        assert!(r.ci_low < 0.0 && r.ci_high > 0.0);
+    }
+
+    #[test]
+    fn interval_contains_mean() {
+        let a = [1.0f32, 1.1, 0.9, 1.2, 1.05];
+        let b = [1.2f32, 1.3, 1.0, 1.4, 1.1];
+        let r = paired_bootstrap(&a, &b, 500, 0.9, 3);
+        assert!(r.ci_low <= r.mean_diff && r.mean_diff <= r.ci_high);
+        assert_eq!(r.confidence, 0.9);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let b = [1.5f32, 2.5, 2.5, 4.5];
+        let r1 = paired_bootstrap(&a, &b, 200, 0.95, 42);
+        let r2 = paired_bootstrap(&a, &b, 200, 0.95, 42);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn wider_confidence_widens_interval() {
+        let mut rng = Rng::seed_from(2);
+        let a: Vec<f32> = (0..100).map(|_| rng.normal(1.0, 0.2)).collect();
+        let b: Vec<f32> = (0..100).map(|_| rng.normal(1.05, 0.2)).collect();
+        let narrow = paired_bootstrap(&a, &b, 2000, 0.8, 5);
+        let wide = paired_bootstrap(&a, &b, 2000, 0.99, 5);
+        assert!(wide.ci_high - wide.ci_low >= narrow.ci_high - narrow.ci_low);
+    }
+
+    #[test]
+    #[should_panic(expected = "matched windows")]
+    fn mismatched_lengths_panic() {
+        paired_bootstrap(&[1.0], &[1.0, 2.0], 10, 0.95, 0);
+    }
+}

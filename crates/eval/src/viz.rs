@@ -1,0 +1,175 @@
+//! SVG rendering of prediction windows — observed history, ground-truth
+//! future, sampled predictions, and neighbors — for qualitative
+//! inspection of model behavior (the kind of figure trajectory-prediction
+//! papers show alongside their tables).
+
+use adaptraj_data::trajectory::{Point, TrajWindow};
+
+/// Styling and layout options.
+#[derive(Debug, Clone)]
+pub struct VizOptions {
+    /// Output width/height in pixels.
+    pub size: f32,
+    /// Padding around the data extent, as a fraction of the extent.
+    pub margin: f32,
+}
+
+impl Default for VizOptions {
+    fn default() -> Self {
+        Self {
+            size: 480.0,
+            margin: 0.15,
+        }
+    }
+}
+
+fn extent(points: impl Iterator<Item = Point>) -> (Point, Point) {
+    let mut lo = [f32::INFINITY, f32::INFINITY];
+    let mut hi = [f32::NEG_INFINITY, f32::NEG_INFINITY];
+    for p in points {
+        for d in 0..2 {
+            lo[d] = lo[d].min(p[d]);
+            hi[d] = hi[d].max(p[d]);
+        }
+    }
+    (lo, hi)
+}
+
+fn polyline(points: &[Point], to_px: &impl Fn(Point) -> (f32, f32), style: &str) -> String {
+    let coords: Vec<String> = points
+        .iter()
+        .map(|&p| {
+            let (x, y) = to_px(p);
+            format!("{x:.1},{y:.1}")
+        })
+        .collect();
+    format!(
+        "<polyline points=\"{}\" fill=\"none\" {style}/>\n",
+        coords.join(" ")
+    )
+}
+
+/// Renders a window with any number of sampled predictions to an SVG
+/// document. Colors: observed focal track black, ground-truth future
+/// green, predictions orange, neighbors light blue.
+pub fn render_window(w: &TrajWindow, predictions: &[Vec<Point>], opts: &VizOptions) -> String {
+    let all_points = w
+        .obs
+        .iter()
+        .chain(&w.fut)
+        .copied()
+        .chain(w.neighbors.iter().flatten().copied())
+        .chain(predictions.iter().flatten().copied());
+    let (lo, hi) = extent(all_points);
+    let span = (hi[0] - lo[0]).max(hi[1] - lo[1]).max(1e-3);
+    let pad = span * opts.margin;
+    let scale = opts.size / (span + 2.0 * pad);
+    let to_px = |p: Point| -> (f32, f32) {
+        (
+            (p[0] - lo[0] + pad) * scale,
+            // SVG y grows downward; world y grows upward.
+            opts.size - (p[1] - lo[1] + pad) * scale,
+        )
+    };
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{0}\" height=\"{0}\" \
+         viewBox=\"0 0 {0} {0}\">\n",
+        opts.size
+    ));
+    svg.push_str(&format!(
+        "<rect width=\"{0}\" height=\"{0}\" fill=\"white\"/>\n",
+        opts.size
+    ));
+    for nb in &w.neighbors {
+        svg.push_str(&polyline(
+            nb,
+            &to_px,
+            "stroke=\"#8ecae6\" stroke-width=\"1.5\"",
+        ));
+    }
+    for pred in predictions {
+        svg.push_str(&polyline(
+            pred,
+            &to_px,
+            "stroke=\"#fb8500\" stroke-width=\"1.5\" stroke-dasharray=\"4 2\"",
+        ));
+    }
+    svg.push_str(&polyline(
+        &w.obs,
+        &to_px,
+        "stroke=\"#222222\" stroke-width=\"2\"",
+    ));
+    svg.push_str(&polyline(
+        &w.fut,
+        &to_px,
+        "stroke=\"#2a9d34\" stroke-width=\"2\"",
+    ));
+    // Origin marker (the focal agent's last observed position).
+    let (ox, oy) = to_px([0.0, 0.0]);
+    svg.push_str(&format!(
+        "<circle cx=\"{ox:.1}\" cy=\"{oy:.1}\" r=\"3\" fill=\"#222222\"/>\n"
+    ));
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptraj_data::domain::DomainId;
+    use adaptraj_data::trajectory::{T_OBS, T_PRED, T_TOTAL};
+
+    fn sample_window() -> TrajWindow {
+        let focal: Vec<Point> = (0..T_TOTAL).map(|t| [0.4 * t as f32, 0.1 * t as f32]).collect();
+        let nb: Vec<Point> = (0..T_OBS).map(|t| [0.4 * t as f32, 2.0]).collect();
+        TrajWindow::from_world(&focal, &[nb], DomainId::EthUcy)
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let w = sample_window();
+        let pred: Vec<Point> = (1..=T_PRED).map(|t| [0.4 * t as f32, 0.0]).collect();
+        let svg = render_window(&w, &[pred], &VizOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One neighbor + one prediction + obs + fut = 4 polylines.
+        assert_eq!(svg.matches("<polyline").count(), 4);
+        assert!(svg.contains("stroke-dasharray"), "prediction style missing");
+        // No NaN coordinates escaped into the document.
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn no_predictions_is_fine() {
+        let w = sample_window();
+        let svg = render_window(&w, &[], &VizOptions::default());
+        assert_eq!(svg.matches("<polyline").count(), 3);
+    }
+
+    #[test]
+    fn coordinates_stay_in_canvas() {
+        let w = sample_window();
+        let opts = VizOptions::default();
+        let svg = render_window(&w, &[], &opts);
+        for token in svg.split(['"', ' ', ',']) {
+            if let Ok(v) = token.parse::<f32>() {
+                assert!(
+                    (-1.0..=opts.size + 1.0).contains(&v),
+                    "coordinate {v} outside canvas"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_single_point_window_does_not_panic() {
+        // A stationary focal agent (all points identical) exercises the
+        // zero-span guard.
+        let focal = vec![[1.0, 1.0]; T_TOTAL];
+        let w = TrajWindow::from_world(&focal, &[], DomainId::LCas);
+        let svg = render_window(&w, &[], &VizOptions::default());
+        assert!(svg.contains("<circle"));
+    }
+}

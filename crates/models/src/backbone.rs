@@ -1,0 +1,498 @@
+//! The shared seq2seq backbone skeleton (Fig. 1 of the paper).
+//!
+//! Three stages:
+//! 1. **Individual mobility layer** — MLP location embedding (Eq. 1) fed to
+//!    an LSTM or Transformer encoder (Eq. 2; the paper names both) over
+//!    every agent in the window.
+//! 2. **Neighbor interaction layer** — an aggregation `φ` over all agents'
+//!    final hidden states producing the interaction tensor `P_i` (Eq. 3);
+//!    both the attention (PECNet-style non-local) and mean-pooling
+//!    (Social-LSTM-style) variants are provided.
+//! 3. **Future trajectory generator** — decoder state initialized from
+//!    `γ(P_i, h_i)` and a latent `z` (Eqs. 4–5), then an autoregressive
+//!    LSTM rollout emitting per-step displacements (Eqs. 6–7).
+//!
+//! The concrete backbones (PECNet, LBEBM) compose these parts and differ
+//! in how `z` is produced and which auxiliary losses they add.
+
+use crate::config::{BackboneConfig, EncoderKind};
+use adaptraj_data::trajectory::{Point, TrajWindow, T_OBS, T_PRED};
+use adaptraj_tensor::nn::{
+    Activation, Linear, Lstm, LstmCell, LstmState, Mlp, TransformerEncoder,
+};
+use adaptraj_tensor::{GroupId, ParamStore, Rng, Tape, Tensor, Var};
+
+/// Parameter group for all backbone weights (the AdapTraj schedule
+/// addresses modules by group).
+pub const BACKBONE_GROUP: GroupId = GroupId(0);
+
+/// Output of the encoding stages, on a tape.
+#[derive(Debug, Clone, Copy)]
+pub struct EncodedScene {
+    /// Focal agent's individual-mobility state `h_ei` — `[1, hidden]`.
+    pub h_focal: Var,
+    /// Interaction tensor `P_i` — `[1, inter]`.
+    pub p_i: Var,
+}
+
+/// Which `φ` aggregates the neighbors (Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InteractionKind {
+    /// Scaled dot-product attention with the focal agent as the query
+    /// (non-local social layer, as in PECNet).
+    Attention,
+    /// Mean pooling of projected hidden states (Social-LSTM style).
+    MeanPool,
+}
+
+/// The sequence model behind the individual-mobility encoder (Eq. 2).
+#[derive(Debug, Clone)]
+enum MobilityEncoder {
+    Lstm(Lstm),
+    Transformer(TransformerEncoder),
+}
+
+/// Stages 1–2: embedding, encoder, and interaction layer.
+#[derive(Debug, Clone)]
+pub struct SceneEncoder {
+    embed: Linear,
+    encoder: MobilityEncoder,
+    kind: InteractionKind,
+    w_q: Linear,
+    w_k: Linear,
+    w_v: Linear,
+    hidden_dim: usize,
+    inter_dim: usize,
+}
+
+impl SceneEncoder {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut Rng,
+        name: &str,
+        cfg: &BackboneConfig,
+        kind: InteractionKind,
+    ) -> Self {
+        Self {
+            embed: Linear::new(
+                store,
+                rng,
+                &format!("{name}.embed"),
+                2,
+                cfg.embed_dim,
+                BACKBONE_GROUP,
+            ),
+            encoder: match cfg.encoder {
+                EncoderKind::Lstm => MobilityEncoder::Lstm(Lstm::new(
+                    store,
+                    rng,
+                    &format!("{name}.enc"),
+                    cfg.embed_dim,
+                    cfg.hidden_dim,
+                    BACKBONE_GROUP,
+                )),
+                EncoderKind::Transformer => MobilityEncoder::Transformer(TransformerEncoder::new(
+                    store,
+                    rng,
+                    &format!("{name}.enc"),
+                    cfg.embed_dim,
+                    cfg.hidden_dim,
+                    1,
+                    BACKBONE_GROUP,
+                )),
+            },
+            w_q: Linear::new(
+                store,
+                rng,
+                &format!("{name}.wq"),
+                cfg.hidden_dim,
+                cfg.inter_dim,
+                BACKBONE_GROUP,
+            ),
+            w_k: Linear::new(
+                store,
+                rng,
+                &format!("{name}.wk"),
+                cfg.hidden_dim,
+                cfg.inter_dim,
+                BACKBONE_GROUP,
+            ),
+            w_v: Linear::new(
+                store,
+                rng,
+                &format!("{name}.wv"),
+                cfg.hidden_dim,
+                cfg.inter_dim,
+                BACKBONE_GROUP,
+            ),
+            kind,
+            hidden_dim: cfg.hidden_dim,
+            inter_dim: cfg.inter_dim,
+        }
+    }
+
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    pub fn inter_dim(&self) -> usize {
+        self.inter_dim
+    }
+
+    /// Stacks all agents' positions at observation step `t` into an
+    /// `[N, 2]` tensor (row 0 = focal).
+    fn step_positions(w: &TrajWindow, t: usize) -> Tensor {
+        let n = w.agents();
+        let mut data = Vec::with_capacity(n * 2);
+        data.extend_from_slice(&w.obs[t]);
+        for nb in &w.neighbors {
+            data.extend_from_slice(&nb[t]);
+        }
+        Tensor::from_vec(n, 2, data)
+    }
+
+    /// Stacks one agent's observed track as a `[T_OBS, 2]` tensor.
+    fn agent_track(w: &TrajWindow, agent: usize) -> Tensor {
+        let track = if agent == 0 { &w.obs } else { &w.neighbors[agent - 1] };
+        let mut data = Vec::with_capacity(T_OBS * 2);
+        for p in track {
+            data.extend_from_slice(p);
+        }
+        Tensor::from_vec(T_OBS, 2, data)
+    }
+
+    /// Encodes a window: every agent through Eq. 1–2, then `φ` (Eq. 3).
+    pub fn encode(&self, store: &ParamStore, tape: &mut Tape, w: &TrajWindow) -> EncodedScene {
+        let h_all = match &self.encoder {
+            // Eq. 1–2 over all agents jointly (agents are batch rows).
+            MobilityEncoder::Lstm(lstm) => {
+                let mut steps = Vec::with_capacity(T_OBS);
+                for t in 0..T_OBS {
+                    let pos = tape.constant(Self::step_positions(w, t));
+                    let e = self.embed.forward(store, tape, pos);
+                    steps.push(tape.relu(e));
+                }
+                let (_, final_state) = lstm.forward(store, tape, &steps);
+                final_state.h // [N, hidden]
+            }
+            // Per-agent sequences through the attention encoder.
+            MobilityEncoder::Transformer(trf) => {
+                let rows: Vec<Var> = (0..w.agents())
+                    .map(|a| {
+                        let seq = tape.constant(Self::agent_track(w, a));
+                        let e = self.embed.forward(store, tape, seq);
+                        let e = tape.relu(e);
+                        trf.encode_sequence(store, tape, e)
+                    })
+                    .collect();
+                tape.concat_rows(&rows) // [N, hidden]
+            }
+        };
+        let h_focal = tape.gather_rows(h_all, &[0]);
+
+        // Eq. 3.
+        let p_i = match self.kind {
+            InteractionKind::Attention => {
+                let q = self.w_q.forward(store, tape, h_focal); // [1, d]
+                let k = self.w_k.forward(store, tape, h_all); // [N, d]
+                let v = self.w_v.forward(store, tape, h_all); // [N, d]
+                let kt = tape.transpose(k); // [d, N]
+                let scores = tape.matmul(q, kt); // [1, N]
+                let scaled = tape.scale(scores, 1.0 / (self.inter_dim as f32).sqrt());
+                let attn = tape.softmax_rows(scaled);
+                tape.matmul(attn, v) // [1, d]
+            }
+            InteractionKind::MeanPool => {
+                let v = self.w_v.forward(store, tape, h_all);
+                let act = tape.relu(v);
+                tape.mean_rows(act)
+            }
+        };
+        EncodedScene { h_focal, p_i }
+    }
+}
+
+/// Stage 3: the autoregressive future-trajectory generator.
+#[derive(Debug, Clone)]
+pub struct RolloutDecoder {
+    init: Mlp,
+    embed: Linear,
+    cell: LstmCell,
+    head: Linear,
+    ctx_dim: usize,
+}
+
+impl RolloutDecoder {
+    /// `ctx_dim` is the width of the conditioning vector the backbone
+    /// assembles (`[h | P | cond | extra]`).
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut Rng,
+        name: &str,
+        cfg: &BackboneConfig,
+        ctx_dim: usize,
+    ) -> Self {
+        Self {
+            init: Mlp::new(
+                store,
+                rng,
+                &format!("{name}.init"),
+                &[ctx_dim, cfg.dec_hidden],
+                Activation::Tanh,
+                BACKBONE_GROUP,
+            )
+            .with_output_activation(),
+            embed: Linear::new(
+                store,
+                rng,
+                &format!("{name}.demb"),
+                2,
+                cfg.embed_dim,
+                BACKBONE_GROUP,
+            ),
+            cell: LstmCell::new(
+                store,
+                rng,
+                &format!("{name}.dec"),
+                cfg.embed_dim + ctx_dim,
+                cfg.dec_hidden,
+                BACKBONE_GROUP,
+            ),
+            head: Linear::new(
+                store,
+                rng,
+                &format!("{name}.head"),
+                cfg.dec_hidden,
+                2,
+                BACKBONE_GROUP,
+            ),
+            ctx_dim,
+        }
+    }
+
+    pub fn ctx_dim(&self) -> usize {
+        self.ctx_dim
+    }
+
+    /// Rolls out [`T_PRED`] steps starting at the origin (the focal agent's
+    /// last observed position in the normalized frame). Returns predicted
+    /// positions `[T_PRED, 2]`.
+    pub fn rollout(&self, store: &ParamStore, tape: &mut Tape, ctx: Var) -> Var {
+        debug_assert_eq!(tape.value(ctx).shape(), (1, self.ctx_dim));
+        // Eqs. 4–5: initialize the decoder state from the context.
+        let h0 = self.init.forward(store, tape, ctx);
+        let c0 = tape.constant(Tensor::zeros(1, tape.value(h0).cols()));
+        let mut state = LstmState { h: h0, c: c0 };
+
+        // Eqs. 6–7: autoregressive rollout emitting displacements.
+        let mut pos = tape.constant(Tensor::zeros(1, 2));
+        let mut outputs = Vec::with_capacity(T_PRED);
+        for _ in 0..T_PRED {
+            let e = self.embed.forward(store, tape, pos);
+            let e = tape.relu(e);
+            let x = tape.concat_cols(&[e, ctx]);
+            state = self.cell.step(store, tape, x, state);
+            let delta = self.head.forward(store, tape, state.h);
+            pos = tape.add(pos, delta);
+            outputs.push(pos);
+        }
+        tape.concat_rows(&outputs)
+    }
+}
+
+/// `L_base` (Eq. 8): summed squared error between predicted and true
+/// future positions, averaged over the horizon so losses are comparable
+/// across windows.
+pub fn base_loss(tape: &mut Tape, pred: Var, w: &TrajWindow) -> Var {
+    let target = future_tensor(w);
+    let sse = tape.sse_to(pred, &target);
+    tape.scale(sse, 1.0 / T_PRED as f32)
+}
+
+/// Ground-truth future as a `[T_PRED, 2]` tensor.
+pub fn future_tensor(w: &TrajWindow) -> Tensor {
+    let mut data = Vec::with_capacity(T_PRED * 2);
+    for p in &w.fut {
+        data.extend_from_slice(p);
+    }
+    Tensor::from_vec(T_PRED, 2, data)
+}
+
+/// Flattened observed focal track `[1, T_OBS·2]` (used by CVAE encoders).
+pub fn obs_flat_tensor(w: &TrajWindow) -> Tensor {
+    let mut data = Vec::with_capacity(T_OBS * 2);
+    for p in &w.obs {
+        data.extend_from_slice(p);
+    }
+    Tensor::from_vec(1, T_OBS * 2, data)
+}
+
+/// Flattened future focal track `[1, T_PRED·2]`.
+pub fn fut_flat_tensor(w: &TrajWindow) -> Tensor {
+    let mut data = Vec::with_capacity(T_PRED * 2);
+    for p in &w.fut {
+        data.extend_from_slice(p);
+    }
+    Tensor::from_vec(1, T_PRED * 2, data)
+}
+
+/// Converts a `[T_PRED, 2]` prediction tensor into points.
+pub fn tensor_to_points(t: &Tensor) -> Vec<Point> {
+    assert_eq!(t.cols(), 2);
+    (0..t.rows()).map(|r| [t.at(r, 0), t.at(r, 1)]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptraj_data::domain::DomainId;
+    use adaptraj_data::trajectory::T_TOTAL;
+
+    fn toy_window(neighbors: usize) -> TrajWindow {
+        let focal: Vec<Point> = (0..T_TOTAL).map(|t| [0.3 * t as f32, 0.0]).collect();
+        let nb: Vec<Vec<Point>> = (0..neighbors)
+            .map(|k| {
+                (0..T_OBS)
+                    .map(|t| [0.3 * t as f32, 1.0 + k as f32])
+                    .collect()
+            })
+            .collect();
+        TrajWindow::from_world(&focal, &nb, DomainId::EthUcy)
+    }
+
+    fn setup(kind: InteractionKind) -> (ParamStore, SceneEncoder, BackboneConfig) {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(0);
+        let cfg = BackboneConfig::default();
+        let enc = SceneEncoder::new(&mut store, &mut rng, "b", &cfg, kind);
+        (store, enc, cfg)
+    }
+
+    #[test]
+    fn encode_shapes() {
+        for kind in [InteractionKind::Attention, InteractionKind::MeanPool] {
+            let (store, enc, cfg) = setup(kind);
+            let w = toy_window(3);
+            let mut tape = Tape::new();
+            let scene = enc.encode(&store, &mut tape, &w);
+            assert_eq!(tape.value(scene.h_focal).shape(), (1, cfg.hidden_dim));
+            assert_eq!(tape.value(scene.p_i).shape(), (1, cfg.inter_dim));
+        }
+    }
+
+    #[test]
+    fn encode_works_with_zero_neighbors() {
+        let (store, enc, _) = setup(InteractionKind::Attention);
+        let w = toy_window(0);
+        let mut tape = Tape::new();
+        let scene = enc.encode(&store, &mut tape, &w);
+        assert!(tape.value(scene.p_i).all_finite());
+    }
+
+    #[test]
+    fn neighbors_change_interaction_tensor() {
+        let (store, enc, _) = setup(InteractionKind::Attention);
+        let mut t1 = Tape::new();
+        let s1 = enc.encode(&store, &mut t1, &toy_window(0));
+        let mut t2 = Tape::new();
+        let s2 = enc.encode(&store, &mut t2, &toy_window(3));
+        assert_ne!(
+            t1.value(s1.p_i).data(),
+            t2.value(s2.p_i).data(),
+            "interaction tensor must be neighbor-sensitive"
+        );
+        // The focal agent's own encoding is unaffected by neighbors.
+        assert_eq!(t1.value(s1.h_focal).data(), t2.value(s2.h_focal).data());
+    }
+
+    #[test]
+    fn rollout_shape_and_continuity() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(1);
+        let cfg = BackboneConfig::default();
+        let dec = RolloutDecoder::new(&mut store, &mut rng, "d", &cfg, 10);
+        let mut tape = Tape::new();
+        let ctx = tape.constant(Tensor::randn(1, 10, 0.0, 1.0, &mut rng));
+        let pred = dec.rollout(&store, &mut tape, ctx);
+        assert_eq!(tape.value(pred).shape(), (T_PRED, 2));
+        // Rollout is cumulative: consecutive rows differ by one decoder
+        // step, so the first position is a single displacement from origin.
+        assert!(tape.value(pred).all_finite());
+    }
+
+    #[test]
+    fn base_loss_zero_on_perfect_prediction() {
+        let w = toy_window(0);
+        let mut tape = Tape::new();
+        let pred = tape.input(future_tensor(&w));
+        let loss = base_loss(&mut tape, pred, &w);
+        assert!(tape.value(loss).item() < 1e-9);
+    }
+
+    #[test]
+    fn flat_tensors_shapes() {
+        let w = toy_window(1);
+        assert_eq!(obs_flat_tensor(&w).shape(), (1, T_OBS * 2));
+        assert_eq!(fut_flat_tensor(&w).shape(), (1, T_PRED * 2));
+        assert_eq!(future_tensor(&w).shape(), (T_PRED, 2));
+        let pts = tensor_to_points(&future_tensor(&w));
+        assert_eq!(pts.len(), T_PRED);
+        assert_eq!(pts[0], w.fut[0]);
+    }
+
+    #[test]
+    fn transformer_encoder_variant_works() {
+        use crate::config::EncoderKind;
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(11);
+        let cfg = BackboneConfig::default().with_encoder(EncoderKind::Transformer);
+        let enc = SceneEncoder::new(&mut store, &mut rng, "t", &cfg, InteractionKind::Attention);
+        let w = toy_window(2);
+        let mut tape = Tape::new();
+        let scene = enc.encode(&store, &mut tape, &w);
+        assert_eq!(tape.value(scene.h_focal).shape(), (1, cfg.hidden_dim));
+        assert_eq!(tape.value(scene.p_i).shape(), (1, cfg.inter_dim));
+        assert!(tape.value(scene.h_focal).all_finite());
+        // Gradients reach the transformer parameters.
+        let sq = tape.mul(scene.h_focal, scene.h_focal);
+        let loss = tape.sum_all(sq);
+        let grads = tape.backward(loss);
+        assert!(!tape.param_grads(&grads).is_empty());
+    }
+
+    #[test]
+    fn lstm_and_transformer_encoders_differ() {
+        use crate::config::EncoderKind;
+        let w = toy_window(1);
+        let encode_with = |kind: EncoderKind| {
+            let mut store = ParamStore::new();
+            let mut rng = Rng::seed_from(3);
+            let cfg = BackboneConfig::default().with_encoder(kind);
+            let enc = SceneEncoder::new(&mut store, &mut rng, "e", &cfg, InteractionKind::MeanPool);
+            let mut tape = Tape::new();
+            let scene = enc.encode(&store, &mut tape, &w);
+            tape.value(scene.h_focal).clone()
+        };
+        assert_ne!(
+            encode_with(EncoderKind::Lstm).data(),
+            encode_with(EncoderKind::Transformer).data()
+        );
+    }
+
+    #[test]
+    fn rollout_gradients_reach_decoder_params() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(2);
+        let cfg = BackboneConfig::default();
+        let dec = RolloutDecoder::new(&mut store, &mut rng, "d", &cfg, 8);
+        let w = toy_window(0);
+        let mut tape = Tape::new();
+        let ctx = tape.constant(Tensor::randn(1, 8, 0.0, 1.0, &mut rng));
+        let pred = dec.rollout(&store, &mut tape, ctx);
+        let loss = base_loss(&mut tape, pred, &w);
+        let grads = tape.backward(loss);
+        let pgrads = tape.param_grads(&grads);
+        assert!(!pgrads.is_empty(), "decoder params got no gradients");
+        assert!(pgrads.iter().all(|(_, g)| g.all_finite()));
+    }
+}

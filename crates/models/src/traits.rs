@@ -1,0 +1,90 @@
+//! The backbone abstraction that learning methods (vanilla, Counter,
+//! CausalMotion, AdapTraj) plug into.
+
+use crate::backbone::{base_loss, EncodedScene};
+use crate::config::BackboneConfig;
+use adaptraj_data::trajectory::TrajWindow;
+use adaptraj_tensor::{ParamStore, Rng, Tape, Var};
+
+/// Whether a generation pass is a training pass (posterior latents,
+/// teacher signals available) or an inference sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenMode {
+    Train,
+    Sample,
+}
+
+/// Result of one generation pass.
+#[derive(Debug, Clone, Copy)]
+pub struct Generation {
+    /// Predicted future positions `[T_PRED, 2]` in the normalized frame.
+    pub pred: Var,
+    /// Backbone-specific auxiliary loss (CVAE KL + endpoint loss for
+    /// PECNet; energy contrast for LBEBM). `None` in sample mode.
+    pub aux_loss: Option<Var>,
+}
+
+/// A multi-agent trajectory-prediction backbone (Sec. II-C).
+///
+/// The split into `encode` and `generate` is what makes AdapTraj
+/// plug-and-play: the framework taps `h_ei` and `P_i` from
+/// [`EncodedScene`], derives its four feature types, and passes the fused
+/// `[H^i | H^s]` back as `extra` conditioning for generation.
+pub trait Backbone {
+    fn name(&self) -> &'static str;
+
+    fn config(&self) -> &BackboneConfig;
+
+    /// Stages 1–2: individual mobility + neighbor interaction.
+    fn encode(&self, store: &ParamStore, tape: &mut Tape, w: &TrajWindow) -> EncodedScene;
+
+    /// Stage 3: future-trajectory generation conditioned on the encoded
+    /// scene and an optional `extra` vector of width
+    /// [`BackboneConfig::extra_dim`] (must be `Some` iff `extra_dim > 0`).
+    #[allow(clippy::too_many_arguments)]
+    fn generate(
+        &self,
+        store: &ParamStore,
+        tape: &mut Tape,
+        w: &TrajWindow,
+        enc: &EncodedScene,
+        extra: Option<Var>,
+        rng: &mut Rng,
+        mode: GenMode,
+    ) -> Generation;
+}
+
+/// One full training forward pass: encode, generate in train mode, and
+/// combine `L_base` (Eq. 8) with the backbone's auxiliary loss. Returns
+/// `(prediction, loss)`.
+pub fn train_forward<B: Backbone + ?Sized>(
+    backbone: &B,
+    store: &ParamStore,
+    tape: &mut Tape,
+    w: &TrajWindow,
+    extra: Option<Var>,
+    rng: &mut Rng,
+) -> (Var, Var) {
+    let enc = backbone.encode(store, tape, w);
+    let gen = backbone.generate(store, tape, w, &enc, extra, rng, GenMode::Train);
+    let mut loss = base_loss(tape, gen.pred, w);
+    if let Some(aux) = gen.aux_loss {
+        loss = tape.add(loss, aux);
+    }
+    (gen.pred, loss)
+}
+
+/// One inference pass returning the predicted future positions.
+pub fn sample_forward<B: Backbone + ?Sized>(
+    backbone: &B,
+    store: &ParamStore,
+    tape: &mut Tape,
+    w: &TrajWindow,
+    extra: Option<Var>,
+    rng: &mut Rng,
+) -> Var {
+    let enc = backbone.encode(store, tape, w);
+    backbone
+        .generate(store, tape, w, &enc, extra, rng, GenMode::Sample)
+        .pred
+}

@@ -1,0 +1,121 @@
+//! Simulated pedestrian agents.
+
+use crate::vec2::Vec2;
+
+/// Identifier of an agent within a [`crate::world::World`]. Stable for the
+/// lifetime of a simulation (agents are never removed, only deactivated).
+pub type AgentId = usize;
+
+/// Behavioral role, used by the scenario generators to produce the
+/// interaction motifs the paper's datasets exhibit (leader–follower,
+/// group formations, stationary crowds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Role {
+    /// Ordinary pedestrian heading to its goal.
+    #[default]
+    Walker,
+    /// Walks to its goal; others may follow it.
+    Leader,
+    /// Follows the agent identified by the payload instead of a fixed goal.
+    Follower(AgentId),
+    /// Stands still (stationary crowd groups, as in the SYI dataset).
+    Stationary,
+}
+
+/// One pedestrian.
+#[derive(Debug, Clone)]
+pub struct Agent {
+    pub pos: Vec2,
+    pub vel: Vec2,
+    /// Where the agent wants to go (ignored for `Follower`/`Stationary`).
+    pub goal: Vec2,
+    /// Preferred walking speed (m/s).
+    pub desired_speed: f32,
+    /// Hard maximum speed (m/s); the social-force update clamps to this.
+    pub max_speed: f32,
+    /// Body radius (m) used by the repulsion force.
+    pub radius: f32,
+    /// Group membership for cohesion forces; agents sharing a group id walk
+    /// together.
+    pub group: Option<usize>,
+    pub role: Role,
+    /// Step at which the agent entered the scene.
+    pub spawn_step: usize,
+    /// Steps to wait (after spawning) before entering the scene. While
+    /// waiting the agent is inactive and invisible to others; staggered
+    /// entries produce the density fluctuations real recordings show.
+    pub entry_delay: usize,
+    /// Set false once the agent has reached its goal and left the scene.
+    pub active: bool,
+}
+
+impl Agent {
+    /// A standard walker with sensible defaults.
+    pub fn walker(pos: Vec2, goal: Vec2, desired_speed: f32) -> Self {
+        Self {
+            pos,
+            vel: Vec2::ZERO,
+            goal,
+            desired_speed,
+            max_speed: desired_speed * 1.8 + 0.2,
+            radius: 0.3,
+            group: None,
+            role: Role::Walker,
+            spawn_step: 0,
+            entry_delay: 0,
+            active: true,
+        }
+    }
+
+    /// A stationary agent (e.g. part of a standing crowd group).
+    pub fn stationary(pos: Vec2) -> Self {
+        Self {
+            pos,
+            vel: Vec2::ZERO,
+            goal: pos,
+            desired_speed: 0.0,
+            max_speed: 0.3,
+            radius: 0.3,
+            group: None,
+            role: Role::Stationary,
+            spawn_step: 0,
+            entry_delay: 0,
+            active: true,
+        }
+    }
+
+    /// True once the agent is within `tol` of its goal.
+    pub fn reached_goal(&self, tol: f32) -> bool {
+        matches!(self.role, Role::Walker | Role::Leader) && self.pos.distance(self.goal) < tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walker_defaults() {
+        let a = Agent::walker(Vec2::new(0.0, 0.0), Vec2::new(10.0, 0.0), 1.2);
+        assert!(a.active);
+        assert_eq!(a.role, Role::Walker);
+        assert!(a.max_speed > a.desired_speed);
+        assert!(!a.reached_goal(0.5));
+    }
+
+    #[test]
+    fn stationary_has_zero_desire() {
+        let a = Agent::stationary(Vec2::new(1.0, 1.0));
+        assert_eq!(a.desired_speed, 0.0);
+        // Stationary agents never "reach" a goal — they never leave.
+        assert!(!a.reached_goal(10.0));
+    }
+
+    #[test]
+    fn goal_reaching_tolerance() {
+        let mut a = Agent::walker(Vec2::ZERO, Vec2::new(0.2, 0.0), 1.0);
+        assert!(a.reached_goal(0.5));
+        a.role = Role::Follower(3);
+        assert!(!a.reached_goal(0.5), "followers have no own goal");
+    }
+}

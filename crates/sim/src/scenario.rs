@@ -1,0 +1,333 @@
+//! Scene construction: spawners producing the interaction motifs that the
+//! paper's datasets exhibit (bidirectional flows, crossing streams,
+//! leader–follower chains, walking groups, stationary crowds).
+//!
+//! A [`ScenarioConfig`] is a *distribution over scenes*; `adaptraj-data`
+//! holds one calibrated config per paper domain and samples many scenes
+//! from it to synthesize a dataset.
+
+use crate::agent::{Agent, Role};
+use crate::forces::{ForceParams, Wall};
+use crate::vec2::Vec2;
+use crate::world::World;
+use adaptraj_tensor::rng::Rng;
+
+/// Dominant travel axis for a scene, controlling the velocity anisotropy
+/// seen in Table I of the paper (e.g. SYI's strong vertical flow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowAxis {
+    /// Most agents travel along x.
+    Horizontal,
+    /// Most agents travel along y.
+    Vertical,
+    /// Directions drawn uniformly.
+    Mixed,
+}
+
+/// Parameters of a scene distribution.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Scene half-extent (m): agents spawn within `[-extent, extent]²`.
+    pub extent: f32,
+    /// Independent walkers.
+    pub num_walkers: usize,
+    /// Walking groups (cohesive clusters heading to a shared goal).
+    pub num_groups: usize,
+    pub group_size: usize,
+    /// Leader–follower chains.
+    pub num_chains: usize,
+    pub chain_len: usize,
+    /// Stationary crowd clusters (as in SYI).
+    pub num_stationary_groups: usize,
+    pub stationary_group_size: usize,
+    /// Desired-speed distribution (m/s).
+    pub speed_mean: f32,
+    pub speed_std: f32,
+    pub flow_axis: FlowAxis,
+    /// Probability that a walker follows the dominant axis (vs the cross
+    /// axis). Ignored for `Mixed`.
+    pub flow_bias: f32,
+    /// If set, adds two walls forming a corridor of this half-width along
+    /// the dominant axis (indoor scenes like L-CAS).
+    pub corridor_half_width: Option<f32>,
+    /// Maximum entry delay (in simulator steps) applied uniformly at
+    /// random to independent walkers; 0 = everyone starts at once.
+    /// Staggered entries widen the per-window crowd-density spread.
+    pub entry_stagger: usize,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self {
+            extent: 10.0,
+            num_walkers: 6,
+            num_groups: 1,
+            group_size: 3,
+            num_chains: 0,
+            chain_len: 3,
+            num_stationary_groups: 0,
+            stationary_group_size: 4,
+            speed_mean: 1.2,
+            speed_std: 0.2,
+            flow_axis: FlowAxis::Horizontal,
+            flow_bias: 0.8,
+            corridor_half_width: None,
+            entry_stagger: 0,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// Expected number of agents a sampled scene contains.
+    pub fn expected_agents(&self) -> usize {
+        self.num_walkers
+            + self.num_groups * self.group_size
+            + self.num_chains * self.chain_len
+            + self.num_stationary_groups * self.stationary_group_size
+    }
+}
+
+/// Draws a (start, goal) pair aligned with the configured flow.
+fn sample_route(cfg: &ScenarioConfig, rng: &mut Rng) -> (Vec2, Vec2) {
+    let e = cfg.extent;
+    let along_main = match cfg.flow_axis {
+        FlowAxis::Mixed => rng.chance(0.5),
+        _ => rng.chance(cfg.flow_bias),
+    };
+    let main_is_x = match cfg.flow_axis {
+        FlowAxis::Horizontal => along_main,
+        FlowAxis::Vertical => !along_main,
+        FlowAxis::Mixed => rng.chance(0.5),
+    };
+    // Travel from one side to the other along the chosen axis, with the
+    // start position spread over the whole travel span so co-presence
+    // windows vary.
+    let dir = if rng.chance(0.5) { 1.0 } else { -1.0 };
+    let travel_start = rng.uniform(-e, e * 0.2) * dir;
+    let lateral = rng.uniform(-e * 0.8, e * 0.8);
+    let lateral_goal = lateral + rng.uniform(-e * 0.2, e * 0.2);
+    if main_is_x {
+        (
+            Vec2::new(travel_start, lateral),
+            Vec2::new(e * dir, lateral_goal),
+        )
+    } else {
+        (
+            Vec2::new(lateral, travel_start),
+            Vec2::new(lateral_goal, e * dir),
+        )
+    }
+}
+
+fn sample_speed(cfg: &ScenarioConfig, rng: &mut Rng) -> f32 {
+    rng.normal(cfg.speed_mean, cfg.speed_std).max(0.1)
+}
+
+/// Builds one randomized scene from the distribution.
+pub fn build_world(cfg: &ScenarioConfig, params: &ForceParams, dt: f32, seed: u64) -> World {
+    let mut world = World::new(params.clone(), dt, seed);
+    let mut rng = Rng::seed_from(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+
+    if let Some(hw) = cfg.corridor_half_width {
+        let e = cfg.extent * 1.5;
+        let (a1, b1, a2, b2) = match cfg.flow_axis {
+            FlowAxis::Vertical => (
+                Vec2::new(-hw, -e),
+                Vec2::new(-hw, e),
+                Vec2::new(hw, -e),
+                Vec2::new(hw, e),
+            ),
+            _ => (
+                Vec2::new(-e, -hw),
+                Vec2::new(e, -hw),
+                Vec2::new(-e, hw),
+                Vec2::new(e, hw),
+            ),
+        };
+        world.add_wall(Wall::new(a1, b1));
+        world.add_wall(Wall::new(a2, b2));
+    }
+
+    // Independent walkers.
+    for _ in 0..cfg.num_walkers {
+        let (start, goal) = sample_route(cfg, &mut rng);
+        let speed = sample_speed(cfg, &mut rng);
+        let mut a = Agent::walker(start, goal, speed);
+        if cfg.entry_stagger > 0 {
+            a.entry_delay = rng.below(cfg.entry_stagger + 1);
+        }
+        world.spawn(a);
+    }
+
+    // Cohesive walking groups: shared route, jittered offsets.
+    for g in 0..cfg.num_groups {
+        let (start, goal) = sample_route(cfg, &mut rng);
+        let speed = sample_speed(cfg, &mut rng);
+        for _ in 0..cfg.group_size {
+            let jitter = Vec2::new(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+            let mut a = Agent::walker(start + jitter, goal + jitter, speed);
+            a.group = Some(g);
+            world.spawn(a);
+        }
+    }
+
+    // Leader–follower chains.
+    for _ in 0..cfg.num_chains {
+        let (start, goal) = sample_route(cfg, &mut rng);
+        let speed = sample_speed(cfg, &mut rng);
+        let mut leader = Agent::walker(start, goal, speed);
+        leader.role = Role::Leader;
+        let mut prev = world.spawn(leader);
+        let back = (goal - start).normalized() * -1.2;
+        for k in 1..cfg.chain_len {
+            let offset = back * k as f32 + Vec2::new(rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3));
+            let mut f = Agent::walker(start + offset, goal, speed * 1.05);
+            f.role = Role::Follower(prev);
+            prev = world.spawn(f);
+        }
+    }
+
+    // Stationary crowd clusters.
+    for _ in 0..cfg.num_stationary_groups {
+        let center = Vec2::new(
+            rng.uniform(-cfg.extent * 0.6, cfg.extent * 0.6),
+            rng.uniform(-cfg.extent * 0.6, cfg.extent * 0.6),
+        );
+        for _ in 0..cfg.stationary_group_size {
+            let off = Vec2::new(rng.uniform(-1.2, 1.2), rng.uniform(-1.2, 1.2));
+            world.spawn(Agent::stationary(center + off));
+        }
+    }
+
+    world
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_agents_adds_up() {
+        let cfg = ScenarioConfig {
+            num_walkers: 4,
+            num_groups: 2,
+            group_size: 3,
+            num_chains: 1,
+            chain_len: 4,
+            num_stationary_groups: 1,
+            stationary_group_size: 5,
+            ..Default::default()
+        };
+        assert_eq!(cfg.expected_agents(), 4 + 6 + 4 + 5);
+        let w = build_world(&cfg, &ForceParams::default(), 0.1, 0);
+        assert_eq!(w.agents.len(), cfg.expected_agents());
+    }
+
+    #[test]
+    fn scene_is_seed_deterministic() {
+        let cfg = ScenarioConfig::default();
+        let p = ForceParams::default();
+        let w1 = build_world(&cfg, &p, 0.1, 9);
+        let w2 = build_world(&cfg, &p, 0.1, 9);
+        for (a, b) in w1.agents.iter().zip(&w2.agents) {
+            assert_eq!(a.pos, b.pos);
+            assert_eq!(a.goal, b.goal);
+        }
+    }
+
+    #[test]
+    fn horizontal_flow_dominates_x_velocity() {
+        let cfg = ScenarioConfig {
+            flow_axis: FlowAxis::Horizontal,
+            flow_bias: 1.0,
+            num_groups: 0,
+            num_walkers: 12,
+            ..Default::default()
+        };
+        let p = ForceParams { noise_std: 0.0, ..Default::default() };
+        let mut w = build_world(&cfg, &p, 0.1, 3);
+        for _ in 0..30 {
+            w.step();
+        }
+        let (mut vx, mut vy) = (0.0f32, 0.0f32);
+        for a in w.agents.iter().filter(|a| a.active) {
+            vx += a.vel.x.abs();
+            vy += a.vel.y.abs();
+        }
+        assert!(vx > vy * 2.0, "flow not horizontal: |vx|={vx} |vy|={vy}");
+    }
+
+    #[test]
+    fn vertical_flow_dominates_y_velocity() {
+        let cfg = ScenarioConfig {
+            flow_axis: FlowAxis::Vertical,
+            flow_bias: 1.0,
+            num_groups: 0,
+            num_walkers: 12,
+            ..Default::default()
+        };
+        let p = ForceParams { noise_std: 0.0, ..Default::default() };
+        let mut w = build_world(&cfg, &p, 0.1, 4);
+        for _ in 0..30 {
+            w.step();
+        }
+        let (mut vx, mut vy) = (0.0f32, 0.0f32);
+        for a in w.agents.iter().filter(|a| a.active) {
+            vx += a.vel.x.abs();
+            vy += a.vel.y.abs();
+        }
+        assert!(vy > vx * 2.0, "flow not vertical: |vx|={vx} |vy|={vy}");
+    }
+
+    #[test]
+    fn stationary_groups_remain_in_scene() {
+        let cfg = ScenarioConfig {
+            num_walkers: 0,
+            num_groups: 0,
+            num_stationary_groups: 2,
+            stationary_group_size: 4,
+            ..Default::default()
+        };
+        let mut w = build_world(&cfg, &ForceParams::default(), 0.1, 5);
+        for _ in 0..100 {
+            w.step();
+        }
+        assert_eq!(w.active_count(), 8);
+    }
+
+    #[test]
+    fn entry_stagger_delays_some_walkers() {
+        let cfg = ScenarioConfig {
+            num_walkers: 20,
+            num_groups: 0,
+            entry_stagger: 50,
+            ..Default::default()
+        };
+        let mut w = build_world(&cfg, &ForceParams::default(), 0.1, 11);
+        let inactive = w.agents.iter().filter(|a| !a.active).count();
+        assert!(inactive > 0, "some walkers should start delayed");
+        // Delays vary rather than being a single constant.
+        let mut delays: Vec<usize> = w.agents.iter().map(|a| a.entry_delay).collect();
+        delays.sort_unstable();
+        delays.dedup();
+        assert!(delays.len() > 3, "delays should be spread out: {delays:?}");
+        // Everyone has entered once the stagger window has passed.
+        for _ in 0..=50 {
+            w.step();
+        }
+        assert!(
+            w.agents.iter().all(|a| a.active || a.entry_delay == 0),
+            "all delayed agents should have entered"
+        );
+    }
+
+    #[test]
+    fn corridor_walls_present() {
+        let cfg = ScenarioConfig {
+            corridor_half_width: Some(3.0),
+            ..Default::default()
+        };
+        let w = build_world(&cfg, &ForceParams::default(), 0.1, 6);
+        assert_eq!(w.walls.len(), 2);
+    }
+}

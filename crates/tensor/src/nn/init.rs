@@ -1,0 +1,29 @@
+//! Weight-initialization scales.
+
+/// Xavier/Glorot standard deviation: `sqrt(2 / (fan_in + fan_out))`.
+/// Suited to tanh/sigmoid layers (LSTM gates, fusion heads).
+pub fn xavier_std(fan_in: usize, fan_out: usize) -> f32 {
+    (2.0 / (fan_in + fan_out) as f32).sqrt()
+}
+
+/// Kaiming/He standard deviation: `sqrt(2 / fan_in)`. Suited to ReLU MLPs.
+pub fn kaiming_std(fan_in: usize) -> f32 {
+    (2.0 / fan_in as f32).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_shrink_with_width() {
+        assert!(xavier_std(256, 256) < xavier_std(16, 16));
+        assert!(kaiming_std(256) < kaiming_std(16));
+    }
+
+    #[test]
+    fn known_values() {
+        assert!((xavier_std(8, 8) - 0.35355338).abs() < 1e-6);
+        assert!((kaiming_std(8) - 0.5).abs() < 1e-6);
+    }
+}

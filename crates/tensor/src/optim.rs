@@ -1,0 +1,367 @@
+//! Gradient-descent optimizers with per-group learning-rate control.
+//!
+//! The AdapTraj training procedure (Alg. 1) requires three scheduling
+//! capabilities beyond a plain optimizer: a per-module learning-rate
+//! multiplier (`f_low` / `f_high`), outright freezing of module groups
+//! (the domain-specific extractor during aggregator training), and
+//! changing the multipliers between training steps. Both optimizers here
+//! expose those via [`GroupId`]-keyed schedules.
+
+use crate::param::{GradBuffer, GroupId, ParamStore};
+use crate::tensor::Tensor;
+use std::collections::{HashMap, HashSet};
+
+/// Shared learning-rate schedule: base rate, per-group multipliers, frozen
+/// groups.
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    base_lr: f32,
+    multipliers: HashMap<u32, f32>,
+    frozen: HashSet<u32>,
+}
+
+impl Schedule {
+    pub fn new(base_lr: f32) -> Self {
+        Self {
+            base_lr,
+            multipliers: HashMap::new(),
+            frozen: HashSet::new(),
+        }
+    }
+
+    pub fn base_lr(&self) -> f32 {
+        self.base_lr
+    }
+
+    pub fn set_base_lr(&mut self, lr: f32) {
+        self.base_lr = lr;
+    }
+
+    /// Sets the learning-rate multiplier for a group (default 1.0).
+    pub fn set_group_multiplier(&mut self, group: GroupId, mult: f32) {
+        self.multipliers.insert(group.0, mult);
+    }
+
+    /// Restores the default multiplier (1.0) for every group.
+    pub fn clear_multipliers(&mut self) {
+        self.multipliers.clear();
+    }
+
+    pub fn freeze(&mut self, group: GroupId) {
+        self.frozen.insert(group.0);
+    }
+
+    pub fn unfreeze(&mut self, group: GroupId) {
+        self.frozen.remove(&group.0);
+    }
+
+    pub fn unfreeze_all(&mut self) {
+        self.frozen.clear();
+    }
+
+    pub fn is_frozen(&self, group: GroupId) -> bool {
+        self.frozen.contains(&group.0)
+    }
+
+    /// Effective learning rate for a group; `None` when frozen.
+    pub fn effective_lr(&self, group: GroupId) -> Option<f32> {
+        if self.is_frozen(group) {
+            return None;
+        }
+        let mult = self.multipliers.get(&group.0).copied().unwrap_or(1.0);
+        Some(self.base_lr * mult)
+    }
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    pub schedule: Schedule,
+    momentum: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Self {
+            schedule: Schedule::new(lr),
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Applies one update from the accumulated gradients.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &GradBuffer) {
+        if self.velocity.len() < store.len() {
+            self.velocity.resize(store.len(), None);
+        }
+        for (id, g) in grads.iter() {
+            let Some(lr) = self.schedule.effective_lr(store.group(id)) else {
+                continue;
+            };
+            let update = if self.momentum > 0.0 {
+                let v = self.velocity[id.index()]
+                    .get_or_insert_with(|| Tensor::zeros(g.rows(), g.cols()));
+                *v = v.scale(self.momentum);
+                v.axpy(1.0, g);
+                v.clone()
+            } else {
+                g.clone()
+            };
+            store.value_mut(id).axpy(-lr, &update);
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction, per-group learning rates, and
+/// optional decoupled weight decay.
+#[derive(Debug)]
+pub struct Adam {
+    pub schedule: Schedule,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: i32,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    pub fn new(lr: f32) -> Self {
+        Self::with_config(lr, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    pub fn with_config(lr: f32, beta1: f32, beta2: f32, eps: f32, weight_decay: f32) -> Self {
+        Self {
+            schedule: Schedule::new(lr),
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Number of steps applied so far.
+    pub fn steps(&self) -> i32 {
+        self.t
+    }
+
+    /// Applies one Adam update from the accumulated gradients.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &GradBuffer) {
+        if self.m.len() < store.len() {
+            self.m.resize(store.len(), None);
+            self.v.resize(store.len(), None);
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+
+        for (id, g) in grads.iter() {
+            let Some(lr) = self.schedule.effective_lr(store.group(id)) else {
+                continue;
+            };
+            let idx = id.index();
+            let m = self.m[idx].get_or_insert_with(|| Tensor::zeros(g.rows(), g.cols()));
+            let v = self.v[idx].get_or_insert_with(|| Tensor::zeros(g.rows(), g.cols()));
+
+            *m = m.scale(self.beta1);
+            m.axpy(1.0 - self.beta1, g);
+            *v = v.zip_map(g, |vv, gg| self.beta2 * vv + (1.0 - self.beta2) * gg * gg);
+
+            let eps = self.eps;
+            let update = m.zip_map(v, |mm, vv| {
+                let m_hat = mm / bc1;
+                let v_hat = vv / bc2;
+                m_hat / (v_hat.sqrt() + eps)
+            });
+            let param = store.value_mut(id);
+            if self.weight_decay > 0.0 {
+                let decay = param.scale(self.weight_decay);
+                param.axpy(-lr, &decay);
+            }
+            param.axpy(-lr, &update);
+        }
+    }
+}
+
+/// Convenience: run one backward/step cycle for a scalar loss var. Returns
+/// the loss value. Useful in tests and small examples.
+pub fn step_once(
+    tape: &crate::tape::Tape,
+    loss: crate::tape::Var,
+    store: &mut ParamStore,
+    opt: &mut Adam,
+) -> f32 {
+    let grads = tape.backward(loss);
+    let mut buf = GradBuffer::new();
+    buf.absorb(tape, &grads);
+    opt.step(store, &buf);
+    tape.value(loss).item()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::{GroupId, ParamId, ParamStore};
+    use crate::tape::Tape;
+
+    fn quadratic_store() -> (ParamStore, ParamId) {
+        let mut store = ParamStore::new();
+        let id = store.register("x", Tensor::row(&[4.0, -3.0]), GroupId::DEFAULT);
+        (store, id)
+    }
+
+    /// Loss = sum(x^2); both optimizers should drive x toward 0.
+    fn loss_grad(store: &ParamStore, id: ParamId) -> (Tape, crate::tape::Var) {
+        let mut tape = Tape::new();
+        let x = tape.param(store, id);
+        let sq = tape.mul(x, x);
+        let l = tape.sum_all(sq);
+        (tape, l)
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let (mut store, id) = quadratic_store();
+        let mut opt = Sgd::new(0.1, 0.0);
+        for _ in 0..100 {
+            let (tape, loss) = loss_grad(&store, id);
+            let grads = tape.backward(loss);
+            let mut buf = GradBuffer::new();
+            buf.absorb(&tape, &grads);
+            opt.step(&mut store, &buf);
+        }
+        assert!(store.value(id).max_abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_still_converges() {
+        let (mut store, id) = quadratic_store();
+        let mut opt = Sgd::new(0.05, 0.9);
+        for _ in 0..200 {
+            let (tape, loss) = loss_grad(&store, id);
+            let grads = tape.backward(loss);
+            let mut buf = GradBuffer::new();
+            buf.absorb(&tape, &grads);
+            opt.step(&mut store, &buf);
+        }
+        assert!(store.value(id).max_abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let (mut store, id) = quadratic_store();
+        let mut opt = Adam::new(0.1);
+        for _ in 0..300 {
+            let (tape, loss) = loss_grad(&store, id);
+            let grads = tape.backward(loss);
+            let mut buf = GradBuffer::new();
+            buf.absorb(&tape, &grads);
+            opt.step(&mut store, &buf);
+        }
+        assert!(store.value(id).max_abs() < 1e-2, "{:?}", store.value(id));
+    }
+
+    #[test]
+    fn adam_first_step_matches_hand_computation() {
+        // With a constant gradient g, the first Adam step is -lr * g/|g|
+        // (bias corrections cancel, eps negligible).
+        let mut store = ParamStore::new();
+        let id = store.register("x", Tensor::row(&[1.0]), GroupId::DEFAULT);
+        let mut opt = Adam::new(0.1);
+        let mut buf = GradBuffer::new();
+        let mut tape = Tape::new();
+        let x = tape.param(&store, id);
+        let l = tape.scale(x, 5.0); // dl/dx = 5
+        let l = tape.sum_all(l);
+        let grads = tape.backward(l);
+        buf.absorb(&tape, &grads);
+        opt.step(&mut store, &buf);
+        assert!((store.value(id).data()[0] - (1.0 - 0.1)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn frozen_group_is_untouched() {
+        let mut store = ParamStore::new();
+        let free = store.register("free", Tensor::row(&[1.0]), GroupId(0));
+        let ice = store.register("ice", Tensor::row(&[1.0]), GroupId(1));
+        let mut opt = Adam::new(0.1);
+        opt.schedule.freeze(GroupId(1));
+
+        let mut tape = Tape::new();
+        let a = tape.param(&store, free);
+        let b = tape.param(&store, ice);
+        let s = tape.add(a, b);
+        let sq = tape.mul(s, s);
+        let loss = tape.sum_all(sq);
+        let grads = tape.backward(loss);
+        let mut buf = GradBuffer::new();
+        buf.absorb(&tape, &grads);
+        opt.step(&mut store, &buf);
+
+        assert_eq!(store.value(ice).data(), &[1.0], "frozen param moved");
+        assert_ne!(store.value(free).data(), &[1.0], "free param did not move");
+    }
+
+    #[test]
+    fn group_multiplier_scales_update() {
+        let mut store = ParamStore::new();
+        let slow = store.register("slow", Tensor::row(&[1.0]), GroupId(0));
+        let fast = store.register("fast", Tensor::row(&[1.0]), GroupId(1));
+        let mut opt = Sgd::new(0.1, 0.0);
+        opt.schedule.set_group_multiplier(GroupId(0), 0.1);
+        opt.schedule.set_group_multiplier(GroupId(1), 10.0);
+
+        let mut tape = Tape::new();
+        let a = tape.param(&store, slow);
+        let b = tape.param(&store, fast);
+        let s = tape.add(a, b);
+        let loss = tape.sum_all(s); // grad 1 for both
+        let grads = tape.backward(loss);
+        let mut buf = GradBuffer::new();
+        buf.absorb(&tape, &grads);
+        opt.step(&mut store, &buf);
+
+        let d_slow = 1.0 - store.value(slow).data()[0];
+        let d_fast = 1.0 - store.value(fast).data()[0];
+        assert!((d_slow - 0.01).abs() < 1e-6);
+        assert!((d_fast - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn schedule_effective_lr() {
+        let mut s = Schedule::new(0.5);
+        assert_eq!(s.effective_lr(GroupId(3)), Some(0.5));
+        s.set_group_multiplier(GroupId(3), 0.2);
+        assert!((s.effective_lr(GroupId(3)).unwrap() - 0.1).abs() < 1e-7);
+        s.freeze(GroupId(3));
+        assert_eq!(s.effective_lr(GroupId(3)), None);
+        s.unfreeze(GroupId(3));
+        assert!(s.effective_lr(GroupId(3)).is_some());
+        s.clear_multipliers();
+        assert_eq!(s.effective_lr(GroupId(3)), Some(0.5));
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::row(&[10.0]), GroupId::DEFAULT);
+        let mut opt = Adam::with_config(0.1, 0.9, 0.999, 1e-8, 0.1);
+        // Zero gradient from a loss that ignores w entirely is not absorbed;
+        // instead use a tiny gradient so the param is visited.
+        let mut tape = Tape::new();
+        let x = tape.param(&store, id);
+        let l = tape.scale(x, 1e-9);
+        let l = tape.sum_all(l);
+        let grads = tape.backward(l);
+        let mut buf = GradBuffer::new();
+        buf.absorb(&tape, &grads);
+        let before = store.value(id).data()[0];
+        opt.step(&mut store, &buf);
+        assert!(store.value(id).data()[0] < before);
+    }
+}

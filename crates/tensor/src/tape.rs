@@ -1,0 +1,845 @@
+//! Reverse-mode automatic differentiation.
+//!
+//! Eager tape design: each operation computes its value immediately and
+//! records enough information to run the chain rule backwards. A fresh
+//! [`Tape`] is built per training step (per mini-batch forward pass), which
+//! keeps lifetimes trivial and makes memory use proportional to one step.
+//!
+//! Gradients flow to every node marked as requiring gradients — model
+//! parameters, but also plain inputs when requested, which is how the LBEBM
+//! backbone obtains `∂E/∂z` for its Langevin sampler.
+
+use crate::param::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Handle to a node on a [`Tape`]. Cheap to copy; only valid for the tape
+/// that created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+impl Var {
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Recorded operation. Parents are stored as `Var`s created earlier on the
+/// same tape, so reverse iteration is a valid topological order.
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf,
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Neg(Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    MatMul(Var, Var),
+    Transpose(Var),
+    AddRowBroadcast(Var, Var),
+    Relu(Var),
+    LeakyRelu(Var, f32),
+    Tanh(Var),
+    Sigmoid(Var),
+    Exp(Var),
+    SoftmaxRows(Var),
+    ConcatCols(Vec<Var>),
+    ConcatRows(Vec<Var>),
+    SliceCols(Var, usize, usize),
+    GatherRows(Var, Vec<usize>),
+    BroadcastRows(Var),
+    MeanRows(Var),
+    SumRows(Var),
+    MeanAll(Var),
+    SumAll(Var),
+    HadamardConst(Var, Tensor),
+    SoftmaxCrossEntropy(Var, Vec<usize>),
+    GradReverse(Var, f32),
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Tensor,
+    op: Op,
+    needs_grad: bool,
+}
+
+/// Gradients produced by [`Tape::backward`], indexed by node.
+#[derive(Debug)]
+pub struct Grads {
+    by_node: Vec<Option<Tensor>>,
+}
+
+impl Grads {
+    /// Gradient of the loss w.r.t. `var`, if it participates in the graph
+    /// and requires gradients.
+    pub fn get(&self, var: Var) -> Option<&Tensor> {
+        self.by_node.get(var.0).and_then(|g| g.as_ref())
+    }
+
+    /// Like [`Grads::get`] but panics with a useful message when absent.
+    pub fn expect(&self, var: Var) -> &Tensor {
+        self.get(var)
+            .unwrap_or_else(|| panic!("no gradient recorded for node {}", var.0))
+    }
+}
+
+/// The autodiff tape. See the module docs for the design.
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    /// `(parameter, node)` pairs for parameters used in this forward pass.
+    param_uses: Vec<(ParamId, Var)>,
+}
+
+impl Tape {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Value of a node.
+    pub fn value(&self, var: Var) -> &Tensor {
+        &self.nodes[var.0].value
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, needs_grad: bool) -> Var {
+        debug_assert!(value.all_finite(), "non-finite value from {op:?}");
+        self.nodes.push(Node {
+            value,
+            op,
+            needs_grad,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn needs(&self, v: Var) -> bool {
+        self.nodes[v.0].needs_grad
+    }
+
+    fn any_needs(&self, vs: &[Var]) -> bool {
+        vs.iter().any(|&v| self.needs(v))
+    }
+
+    /// A constant leaf: gradients do not flow into it.
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, false)
+    }
+
+    /// An input leaf that accumulates gradients (e.g. a Langevin latent).
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, true)
+    }
+
+    /// Brings a stored parameter onto the tape; its gradient can later be
+    /// routed back to the store via [`Tape::param_grads`].
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        let var = self.push(store.value(id).clone(), Op::Leaf, true);
+        self.param_uses.push((id, var));
+        var
+    }
+
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        let ng = self.any_needs(&[a, b]);
+        self.push(v, Op::Add(a, b), ng)
+    }
+
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        let ng = self.any_needs(&[a, b]);
+        self.push(v, Op::Sub(a, b), ng)
+    }
+
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        let ng = self.any_needs(&[a, b]);
+        self.push(v, Op::Mul(a, b), ng)
+    }
+
+    pub fn neg(&mut self, a: Var) -> Var {
+        let v = self.value(a).scale(-1.0);
+        let ng = self.needs(a);
+        self.push(v, Op::Neg(a), ng)
+    }
+
+    pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
+        let v = self.value(a).scale(alpha);
+        let ng = self.needs(a);
+        self.push(v, Op::Scale(a, alpha), ng)
+    }
+
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).map(|x| x + c);
+        let ng = self.needs(a);
+        self.push(v, Op::AddScalar(a), ng)
+    }
+
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        let ng = self.any_needs(&[a, b]);
+        self.push(v, Op::MatMul(a, b), ng)
+    }
+
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.value(a).transpose();
+        let ng = self.needs(a);
+        self.push(v, Op::Transpose(a), ng)
+    }
+
+    /// `[n,m] + [1,m]` broadcast (bias addition).
+    pub fn add_row_broadcast(&mut self, a: Var, bias: Var) -> Var {
+        let v = self.value(a).add_row_broadcast(self.value(bias));
+        let ng = self.any_needs(&[a, bias]);
+        self.push(v, Op::AddRowBroadcast(a, bias), ng)
+    }
+
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        let ng = self.needs(a);
+        self.push(v, Op::Relu(a), ng)
+    }
+
+    pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
+        let v = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
+        let ng = self.needs(a);
+        self.push(v, Op::LeakyRelu(a, slope), ng)
+    }
+
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        let ng = self.needs(a);
+        self.push(v, Op::Tanh(a), ng)
+    }
+
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let ng = self.needs(a);
+        self.push(v, Op::Sigmoid(a), ng)
+    }
+
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::exp);
+        let ng = self.needs(a);
+        self.push(v, Op::Exp(a), ng)
+    }
+
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let v = self.value(a).softmax_rows();
+        let ng = self.needs(a);
+        self.push(v, Op::SoftmaxRows(a), ng)
+    }
+
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        let vals: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = Tensor::concat_cols(&vals);
+        let ng = self.any_needs(parts);
+        self.push(v, Op::ConcatCols(parts.to_vec()), ng)
+    }
+
+    pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        let vals: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = Tensor::concat_rows(&vals);
+        let ng = self.any_needs(parts);
+        self.push(v, Op::ConcatRows(parts.to_vec()), ng)
+    }
+
+    pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let v = self.value(a).slice_cols(start, end);
+        let ng = self.needs(a);
+        self.push(v, Op::SliceCols(a, start, end), ng)
+    }
+
+    pub fn gather_rows(&mut self, a: Var, indices: &[usize]) -> Var {
+        let v = self.value(a).gather_rows(indices);
+        let ng = self.needs(a);
+        self.push(v, Op::GatherRows(a, indices.to_vec()), ng)
+    }
+
+    /// Repeats a `1 x m` row `n` times.
+    pub fn broadcast_rows(&mut self, a: Var, n: usize) -> Var {
+        let v = self.value(a).broadcast_rows(n);
+        let ng = self.needs(a);
+        self.push(v, Op::BroadcastRows(a), ng)
+    }
+
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let v = self.value(a).mean_rows();
+        let ng = self.needs(a);
+        self.push(v, Op::MeanRows(a), ng)
+    }
+
+    pub fn sum_rows(&mut self, a: Var) -> Var {
+        let v = self.value(a).sum_rows();
+        let ng = self.needs(a);
+        self.push(v, Op::SumRows(a), ng)
+    }
+
+    /// Mean over all elements, as a `1 x 1` scalar.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).mean());
+        let ng = self.needs(a);
+        self.push(v, Op::MeanAll(a), ng)
+    }
+
+    /// Sum over all elements, as a `1 x 1` scalar.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).sum());
+        let ng = self.needs(a);
+        self.push(v, Op::SumAll(a), ng)
+    }
+
+    /// Gradient-reversal layer (Ganin & Lempitsky): identity in the
+    /// forward pass, `-lambda ·` in the backward pass. The building block
+    /// of domain-adversarial training — a classifier downstream of this op
+    /// learns to predict the domain while everything upstream learns to
+    /// prevent it.
+    pub fn grad_reverse(&mut self, a: Var, lambda: f32) -> Var {
+        let v = self.value(a).clone();
+        let ng = self.needs(a);
+        self.push(v, Op::GradReverse(a, lambda), ng)
+    }
+
+    /// Elementwise product with a constant mask (dropout, padding masks).
+    pub fn hadamard_const(&mut self, a: Var, mask: Tensor) -> Var {
+        let v = self.value(a).mul(&mask);
+        let ng = self.needs(a);
+        self.push(v, Op::HadamardConst(a, mask), ng)
+    }
+
+    /// Fused softmax + cross-entropy over class-index targets, averaged over
+    /// rows. Numerically stable; returns a `1 x 1` loss.
+    pub fn softmax_cross_entropy(&mut self, logits: Var, targets: &[usize]) -> Var {
+        let lv = self.value(logits);
+        assert_eq!(
+            lv.rows(),
+            targets.len(),
+            "one target class per logits row"
+        );
+        let probs = lv.softmax_rows();
+        let n = targets.len().max(1) as f32;
+        let mut loss = 0.0;
+        for (r, &t) in targets.iter().enumerate() {
+            assert!(t < lv.cols(), "target class {t} out of range");
+            loss -= probs.at(r, t).max(1e-12).ln();
+        }
+        let ng = self.needs(logits);
+        self.push(
+            Tensor::scalar(loss / n),
+            Op::SoftmaxCrossEntropy(logits, targets.to_vec()),
+            ng,
+        )
+    }
+
+    // ---- composite helpers -------------------------------------------------
+
+    /// Mean squared error against a constant target: `mean((a - t)^2)`.
+    pub fn mse_to(&mut self, a: Var, target: &Tensor) -> Var {
+        let t = self.constant(target.clone());
+        let d = self.sub(a, t);
+        let sq = self.mul(d, d);
+        self.mean_all(sq)
+    }
+
+    /// Sum of squared errors against a constant target (the paper's
+    /// `L_base`, Eq. 8, uses summed squared L2).
+    pub fn sse_to(&mut self, a: Var, target: &Tensor) -> Var {
+        let t = self.constant(target.clone());
+        let d = self.sub(a, t);
+        let sq = self.mul(d, d);
+        self.sum_all(sq)
+    }
+
+    /// Scale-invariant MSE (Eq. 14): `1/m · ‖d‖² − 1/m² · (Σd)²` per row
+    /// block, computed over the whole tensor with `m = element count`.
+    pub fn simse_to(&mut self, a: Var, target: &Tensor) -> Var {
+        let m = target.len() as f32;
+        let t = self.constant(target.clone());
+        let d = self.sub(a, t);
+        let sq = self.mul(d, d);
+        let l2 = self.sum_all(sq);
+        let term1 = self.scale(l2, 1.0 / m);
+        let s = self.sum_all(d);
+        let s2 = self.mul(s, s);
+        let term2 = self.scale(s2, 1.0 / (m * m));
+        self.sub(term1, term2)
+    }
+
+    /// Soft subspace orthogonality (Eq. 20): `‖Aᵀ B‖_F²`.
+    pub fn frob_sq_of_gram(&mut self, a: Var, b: Var) -> Var {
+        let at = self.transpose(a);
+        let g = self.matmul(at, b);
+        let sq = self.mul(g, g);
+        self.sum_all(sq)
+    }
+
+    /// Affine map `x·W + b` with broadcast bias.
+    pub fn affine(&mut self, x: Var, w: Var, b: Var) -> Var {
+        let xw = self.matmul(x, w);
+        self.add_row_broadcast(xw, b)
+    }
+
+    // ---- backward ----------------------------------------------------------
+
+    /// Runs the chain rule from a scalar root. Panics if the root is not
+    /// `1 x 1`.
+    pub fn backward(&self, root: Var) -> Grads {
+        assert_eq!(
+            self.value(root).shape(),
+            (1, 1),
+            "backward root must be scalar"
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[root.0] = Some(Tensor::scalar(1.0));
+
+        for idx in (0..=root.0).rev() {
+            if !self.nodes[idx].needs_grad {
+                continue;
+            }
+            let Some(g) = grads[idx].take() else { continue };
+            self.accumulate_parents(idx, &g, &mut grads);
+            grads[idx] = Some(g);
+        }
+        Grads { by_node: grads }
+    }
+
+    fn add_grad(&self, grads: &mut [Option<Tensor>], v: Var, delta: Tensor) {
+        if !self.nodes[v.0].needs_grad {
+            return;
+        }
+        match &mut grads[v.0] {
+            Some(g) => g.axpy(1.0, &delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    fn accumulate_parents(&self, idx: usize, g: &Tensor, grads: &mut [Option<Tensor>]) {
+        match &self.nodes[idx].op {
+            Op::Leaf => {}
+            Op::Add(a, b) => {
+                self.add_grad(grads, *a, g.clone());
+                self.add_grad(grads, *b, g.clone());
+            }
+            Op::Sub(a, b) => {
+                self.add_grad(grads, *a, g.clone());
+                self.add_grad(grads, *b, g.scale(-1.0));
+            }
+            Op::Mul(a, b) => {
+                self.add_grad(grads, *a, g.mul(self.value(*b)));
+                self.add_grad(grads, *b, g.mul(self.value(*a)));
+            }
+            Op::Neg(a) => self.add_grad(grads, *a, g.scale(-1.0)),
+            Op::Scale(a, alpha) => self.add_grad(grads, *a, g.scale(*alpha)),
+            Op::AddScalar(a) => self.add_grad(grads, *a, g.clone()),
+            Op::MatMul(a, b) => {
+                let da = g.matmul(&self.value(*b).transpose());
+                let db = self.value(*a).transpose().matmul(g);
+                self.add_grad(grads, *a, da);
+                self.add_grad(grads, *b, db);
+            }
+            Op::Transpose(a) => self.add_grad(grads, *a, g.transpose()),
+            Op::AddRowBroadcast(a, bias) => {
+                self.add_grad(grads, *a, g.clone());
+                self.add_grad(grads, *bias, g.sum_rows());
+            }
+            Op::Relu(a) => {
+                let mask = self.value(*a).map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                self.add_grad(grads, *a, g.mul(&mask));
+            }
+            Op::LeakyRelu(a, slope) => {
+                let s = *slope;
+                let mask = self.value(*a).map(|x| if x > 0.0 { 1.0 } else { s });
+                self.add_grad(grads, *a, g.mul(&mask));
+            }
+            Op::Tanh(a) => {
+                let y = &self.nodes[idx].value;
+                let dy = y.map(|t| 1.0 - t * t);
+                self.add_grad(grads, *a, g.mul(&dy));
+            }
+            Op::Sigmoid(a) => {
+                let y = &self.nodes[idx].value;
+                let dy = y.map(|s| s * (1.0 - s));
+                self.add_grad(grads, *a, g.mul(&dy));
+            }
+            Op::Exp(a) => {
+                let y = &self.nodes[idx].value;
+                self.add_grad(grads, *a, g.mul(y));
+            }
+            Op::SoftmaxRows(a) => {
+                // dx = y ⊙ (g − rowdot(g, y))
+                let y = &self.nodes[idx].value;
+                let mut dx = Tensor::zeros(y.rows(), y.cols());
+                for r in 0..y.rows() {
+                    let yr = y.row_slice(r);
+                    let gr = g.row_slice(r);
+                    let dot: f32 = yr.iter().zip(gr).map(|(&a, &b)| a * b).sum();
+                    for c in 0..y.cols() {
+                        dx.set(r, c, yr[c] * (gr[c] - dot));
+                    }
+                }
+                self.add_grad(grads, *a, dx);
+            }
+            Op::ConcatCols(parts) => {
+                let mut start = 0;
+                for &p in parts {
+                    let w = self.value(p).cols();
+                    self.add_grad(grads, p, g.slice_cols(start, start + w));
+                    start += w;
+                }
+            }
+            Op::ConcatRows(parts) => {
+                let mut start = 0;
+                for &p in parts {
+                    let h = self.value(p).rows();
+                    let rows: Vec<usize> = (start..start + h).collect();
+                    self.add_grad(grads, p, g.gather_rows(&rows));
+                    start += h;
+                }
+            }
+            Op::SliceCols(a, start, end) => {
+                let av = self.value(*a);
+                let mut dx = Tensor::zeros(av.rows(), av.cols());
+                for r in 0..av.rows() {
+                    dx.row_slice_mut(r)[*start..*end].copy_from_slice(g.row_slice(r));
+                }
+                self.add_grad(grads, *a, dx);
+            }
+            Op::GatherRows(a, indices) => {
+                let av = self.value(*a);
+                let mut dx = Tensor::zeros(av.rows(), av.cols());
+                for (out_r, &src_r) in indices.iter().enumerate() {
+                    let gr = g.row_slice(out_r);
+                    for (d, &gv) in dx.row_slice_mut(src_r).iter_mut().zip(gr) {
+                        *d += gv;
+                    }
+                }
+                self.add_grad(grads, *a, dx);
+            }
+            Op::BroadcastRows(a) => self.add_grad(grads, *a, g.sum_rows()),
+            Op::MeanRows(a) => {
+                let n = self.value(*a).rows();
+                self.add_grad(grads, *a, g.scale(1.0 / n as f32).broadcast_rows(n));
+            }
+            Op::SumRows(a) => {
+                let n = self.value(*a).rows();
+                self.add_grad(grads, *a, g.broadcast_rows(n));
+            }
+            Op::MeanAll(a) => {
+                let av = self.value(*a);
+                let val = g.item() / av.len() as f32;
+                self.add_grad(grads, *a, Tensor::full(av.rows(), av.cols(), val));
+            }
+            Op::SumAll(a) => {
+                let av = self.value(*a);
+                self.add_grad(grads, *a, Tensor::full(av.rows(), av.cols(), g.item()));
+            }
+            Op::HadamardConst(a, mask) => self.add_grad(grads, *a, g.mul(mask)),
+            Op::GradReverse(a, lambda) => {
+                self.add_grad(grads, *a, g.scale(-lambda));
+            }
+            Op::SoftmaxCrossEntropy(logits, targets) => {
+                let lv = self.value(*logits);
+                let mut dx = lv.softmax_rows();
+                let scale = g.item() / targets.len().max(1) as f32;
+                for (r, &t) in targets.iter().enumerate() {
+                    let v = dx.at(r, t);
+                    dx.set(r, t, v - 1.0);
+                }
+                self.add_grad(grads, *logits, dx.scale(scale));
+            }
+        }
+    }
+
+    /// Gradients of this pass's parameters, summed over repeated uses,
+    /// as `(id, grad)` pairs. Parameters that did not influence the loss are
+    /// omitted.
+    pub fn param_grads(&self, grads: &Grads) -> Vec<(ParamId, Tensor)> {
+        let mut out: Vec<(ParamId, Tensor)> = Vec::with_capacity(self.param_uses.len());
+        for &(id, var) in &self.param_uses {
+            if let Some(g) = grads.get(var) {
+                if let Some((_, acc)) = out.iter_mut().find(|(i, _)| *i == id) {
+                    acc.axpy(1.0, g);
+                } else {
+                    out.push((id, g.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    /// Central finite-difference check of `d loss / d input` for a scalar
+    /// loss built by `f` from a single input tensor.
+    fn check_grad(input: Tensor, f: impl Fn(&mut Tape, Var) -> Var, tol: f32) {
+        let mut tape = Tape::new();
+        let x = tape.input(input.clone());
+        let loss = f(&mut tape, x);
+        let grads = tape.backward(loss);
+        let analytic = grads.expect(x).clone();
+
+        let eps = 1e-2f32;
+        for i in 0..input.len() {
+            let mut plus = input.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = input.clone();
+            minus.data_mut()[i] -= eps;
+
+            let mut tp = Tape::new();
+            let xp = tp.input(plus);
+            let lp = f(&mut tp, xp);
+            let mut tm = Tape::new();
+            let xm = tm.input(minus);
+            let lm = f(&mut tm, xm);
+
+            let numeric = (tp.value(lp).item() - tm.value(lm).item()) / (2.0 * eps);
+            let a = analytic.data()[i];
+            assert!(
+                (a - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                "grad mismatch at {i}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    fn rand_t(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut rng = Rng::seed_from(seed);
+        Tensor::randn(rows, cols, 0.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn grad_of_simple_product() {
+        // loss = sum(x * x) -> d/dx = 2x
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::row(&[1.0, -2.0, 3.0]));
+        let sq = tape.mul(x, x);
+        let loss = tape.sum_all(sq);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.expect(x).data(), &[2.0, -4.0, 6.0]);
+    }
+
+    #[test]
+    fn grad_matmul_chain_fd() {
+        let w = rand_t(3, 2, 1);
+        check_grad(rand_t(2, 3, 2), move |t, x| {
+            let wv = t.constant(w.clone());
+            let y = t.matmul(x, wv);
+            let sq = t.mul(y, y);
+            t.mean_all(sq)
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_activations_fd() {
+        check_grad(rand_t(2, 4, 3), |t, x| {
+            let a = t.tanh(x);
+            let b = t.sigmoid(a);
+            let c = t.relu(b);
+            let d = t.leaky_relu(c, 0.1);
+            t.sum_all(d)
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_exp_fd() {
+        check_grad(rand_t(2, 3, 17), |t, x| {
+            let e = t.exp(x);
+            t.mean_all(e)
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_softmax_fd() {
+        let target = rand_t(2, 4, 5);
+        check_grad(rand_t(2, 4, 4), move |t, x| {
+            let s = t.softmax_rows(x);
+            t.mse_to(s, &target)
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_concat_slice_fd() {
+        check_grad(rand_t(2, 4, 6), |t, x| {
+            let left = t.slice_cols(x, 0, 2);
+            let right = t.slice_cols(x, 2, 4);
+            let swapped = t.concat_cols(&[right, left]);
+            let prod = t.mul(swapped, swapped);
+            t.sum_all(prod)
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_concat_rows_gather_fd() {
+        check_grad(rand_t(3, 2, 7), |t, x| {
+            let top = t.gather_rows(x, &[0, 1]);
+            let again = t.gather_rows(x, &[2, 0]);
+            let stacked = t.concat_rows(&[top, again]);
+            let sq = t.mul(stacked, stacked);
+            t.mean_all(sq)
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_broadcast_and_reduce_fd() {
+        check_grad(rand_t(1, 3, 8), |t, x| {
+            let wide = t.broadcast_rows(x, 4);
+            let m = t.mean_rows(wide);
+            let s = t.sum_rows(m);
+            let sq = t.mul(s, s);
+            t.sum_all(sq)
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_bias_broadcast_fd() {
+        let x = rand_t(3, 2, 9);
+        check_grad(rand_t(1, 2, 10), move |t, b| {
+            let xv = t.constant(x.clone());
+            let y = t.add_row_broadcast(xv, b);
+            let sq = t.mul(y, y);
+            t.sum_all(sq)
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_cross_entropy_fd() {
+        check_grad(rand_t(3, 4, 11), |t, x| {
+            t.softmax_cross_entropy(x, &[1, 3, 0])
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_simse_fd() {
+        let target = rand_t(2, 4, 13);
+        check_grad(rand_t(2, 4, 12), move |t, x| t.simse_to(x, &target), 2e-2);
+    }
+
+    #[test]
+    fn grad_frob_orthogonality_fd() {
+        let b = rand_t(3, 2, 15);
+        check_grad(rand_t(3, 2, 14), move |t, x| {
+            let bv = t.constant(b.clone());
+            t.frob_sq_of_gram(x, bv)
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_transpose_fd() {
+        check_grad(rand_t(2, 3, 16), |t, x| {
+            let xt = t.transpose(x);
+            let prod = t.matmul(x, xt);
+            t.sum_all(prod)
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_hadamard_const_masks_flow() {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::row(&[1.0, 2.0, 3.0]));
+        let masked = tape.hadamard_const(x, Tensor::row(&[1.0, 0.0, 2.0]));
+        let loss = tape.sum_all(masked);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.expect(x).data(), &[1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn constants_receive_no_grad() {
+        let mut tape = Tape::new();
+        let c = tape.constant(Tensor::row(&[1.0, 2.0]));
+        let x = tape.input(Tensor::row(&[3.0, 4.0]));
+        let y = tape.mul(c, x);
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss);
+        assert!(grads.get(c).is_none());
+        assert_eq!(grads.expect(x).data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn diamond_graph_accumulates() {
+        // loss = sum(x + x) -> d/dx = 2
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::row(&[5.0]));
+        let y = tape.add(x, x);
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.expect(x).data(), &[2.0]);
+    }
+
+    #[test]
+    fn cross_entropy_matches_uniform_logits() {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::zeros(2, 4));
+        let loss = tape.softmax_cross_entropy(x, &[0, 2]);
+        assert!((tape.value(loss).item() - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn simse_is_shift_insensitive_direction() {
+        // A constant-offset error has lower SIMSE than an equal-magnitude
+        // sign-alternating error (the "same direction" credit of Eq. 14).
+        let target = Tensor::row(&[0.0, 0.0, 0.0, 0.0]);
+        let mut t1 = Tape::new();
+        let same = t1.input(Tensor::row(&[0.5, 0.5, 0.5, 0.5]));
+        let l_same = t1.simse_to(same, &target);
+        let mut t2 = Tape::new();
+        let alt = t2.input(Tensor::row(&[0.5, -0.5, 0.5, -0.5]));
+        let l_alt = t2.simse_to(alt, &target);
+        assert!(t1.value(l_same).item() < t2.value(l_alt).item());
+    }
+
+    #[test]
+    fn grad_reverse_forward_is_identity() {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::row(&[1.5, -2.5]));
+        let r = tape.grad_reverse(x, 0.7);
+        assert_eq!(tape.value(r).data(), &[1.5, -2.5]);
+        let s = tape.sum_all(r);
+        let grads = tape.backward(s);
+        assert_eq!(grads.expect(x).data(), &[-0.7, -0.7]);
+    }
+
+    #[test]
+    fn unused_branches_get_no_gradient() {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::row(&[1.0]));
+        let y = tape.input(Tensor::row(&[2.0]));
+        let _dead = tape.mul(x, y); // never reaches the loss
+        let live = tape.scale(x, 2.0);
+        let loss = tape.sum_all(live);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.expect(x).data(), &[2.0]);
+        assert!(grads.get(y).is_none(), "dead branch leaked gradient");
+    }
+
+    #[test]
+    fn second_backward_pass_is_independent() {
+        // Two backward calls on the same tape must not accumulate into
+        // each other.
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::row(&[3.0]));
+        let sq = tape.mul(x, x);
+        let loss = tape.sum_all(sq);
+        let g1 = tape.backward(loss);
+        let g2 = tape.backward(loss);
+        assert_eq!(g1.expect(x).data(), g2.expect(x).data());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be scalar")]
+    fn backward_rejects_non_scalar_root() {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::row(&[1.0, 2.0]));
+        tape.backward(x);
+    }
+}

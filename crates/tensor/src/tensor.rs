@@ -1,0 +1,592 @@
+//! Dense, row-major `f32` matrices.
+//!
+//! The whole reproduction operates on rank-2 tensors `[rows, cols]`; sequences
+//! and batches are handled by the layers above (e.g. an LSTM steps over a
+//! `Vec<Tensor>`). Keeping the substrate to rank 2 keeps every kernel simple,
+//! cache-friendly, and easy to verify, which matters more here than
+//! generality: all of the paper's modules (MLP extractors, LSTM encoders,
+//! attention pooling, energy heads) are expressible as matrix programs.
+
+use crate::rng::Rng;
+use std::fmt;
+
+/// A dense row-major matrix of `f32` values.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor[{}x{}]", self.rows, self.cols)?;
+        if self.len() <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor from raw row-major data. Panics if the element count
+    /// does not match `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match shape {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 1.0)
+    }
+
+    /// Constant-filled tensor.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// I.i.d. normal entries.
+    pub fn randn(rows: usize, cols: usize, mean: f32, std: f32, rng: &mut Rng) -> Self {
+        Self {
+            rows,
+            cols,
+            data: rng.normal_vec(rows * cols, mean, std),
+        }
+    }
+
+    /// A `1 x n` row vector.
+    pub fn row(values: &[f32]) -> Self {
+        Self::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// A `n x 1` column vector.
+    pub fn col(values: &[f32]) -> Self {
+        Self::from_vec(values.len(), 1, values.to_vec())
+    }
+
+    /// A scalar wrapped as a `1 x 1` tensor.
+    pub fn scalar(value: f32) -> Self {
+        Self::from_vec(1, 1, vec![value])
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element access with bounds checks in debug builds.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row_slice(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    #[inline]
+    pub fn row_slice_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The single value of a `1 x 1` tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "item() on non-scalar {self:?}");
+        self.data[0]
+    }
+
+    fn assert_same_shape(&self, other: &Tensor, op: &str) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "{op}: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+    }
+
+    /// Elementwise addition.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.assert_same_shape(other, "add");
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.assert_same_shape(other, "sub");
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.assert_same_shape(other, "mul");
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Elementwise zip-map against another same-shape tensor.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        self.assert_same_shape(other, "zip_map");
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// In-place scaled accumulate: `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        self.assert_same_shape(other, "axpy");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, alpha: f32) -> Tensor {
+        self.map(|x| alpha * x)
+    }
+
+    /// Matrix product `self[n,k] * other[k,m] -> [n,m]`.
+    ///
+    /// Classic ikj loop order so the inner loop streams both the output row
+    /// and the `other` row sequentially.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: inner dims {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; n * m];
+        for i in 0..n {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * m..(i + 1) * m];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * m..(p + 1) * m];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(n, m, out)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.len()];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        Tensor::from_vec(self.cols, self.rows, out)
+    }
+
+    /// Adds a `1 x cols` row vector to every row.
+    pub fn add_row_broadcast(&self, row: &Tensor) -> Tensor {
+        assert_eq!(row.rows, 1, "broadcast source must be a row vector");
+        assert_eq!(row.cols, self.cols, "broadcast width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (o, &b) in out.row_slice_mut(r).iter_mut().zip(&row.data) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements. Zero for empty tensors.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Column-wise mean: `[n, m] -> [1, m]`.
+    pub fn mean_rows(&self) -> Tensor {
+        assert!(self.rows > 0, "mean_rows on empty tensor");
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (o, &x) in out.iter_mut().zip(self.row_slice(r)) {
+                *o += x;
+            }
+        }
+        let inv = 1.0 / self.rows as f32;
+        for o in &mut out {
+            *o *= inv;
+        }
+        Tensor::from_vec(1, self.cols, out)
+    }
+
+    /// Column-wise sum: `[n, m] -> [1, m]`.
+    pub fn sum_rows(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (o, &x) in out.iter_mut().zip(self.row_slice(r)) {
+                *o += x;
+            }
+        }
+        Tensor::from_vec(1, self.cols, out)
+    }
+
+    /// Squared Frobenius norm.
+    pub fn frob_sq(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Horizontal concatenation of column blocks with equal row counts.
+    pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_cols of nothing");
+        let rows = parts[0].rows;
+        assert!(
+            parts.iter().all(|p| p.rows == rows),
+            "concat_cols: row mismatch"
+        );
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for p in parts {
+                out.extend_from_slice(p.row_slice(r));
+            }
+        }
+        Tensor::from_vec(rows, cols, out)
+    }
+
+    /// Vertical concatenation of row blocks with equal column counts.
+    pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_rows of nothing");
+        let cols = parts[0].cols;
+        assert!(
+            parts.iter().all(|p| p.cols == cols),
+            "concat_rows: col mismatch"
+        );
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut out = Vec::with_capacity(rows * cols);
+        for p in parts {
+            out.extend_from_slice(&p.data);
+        }
+        Tensor::from_vec(rows, cols, out)
+    }
+
+    /// Column slice `[.., start..end)`.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Tensor {
+        assert!(start <= end && end <= self.cols, "slice_cols out of range");
+        let w = end - start;
+        let mut out = Vec::with_capacity(self.rows * w);
+        for r in 0..self.rows {
+            out.extend_from_slice(&self.row_slice(r)[start..end]);
+        }
+        Tensor::from_vec(self.rows, w, out)
+    }
+
+    /// Row gather: `out[i] = self[indices[i]]`.
+    pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+        let mut out = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            assert!(i < self.rows, "gather_rows index {i} >= {}", self.rows);
+            out.extend_from_slice(self.row_slice(i));
+        }
+        Tensor::from_vec(indices.len(), self.cols, out)
+    }
+
+    /// Repeats a `1 x m` row `n` times.
+    pub fn broadcast_rows(&self, n: usize) -> Tensor {
+        assert_eq!(self.rows, 1, "broadcast_rows needs a row vector");
+        let mut out = Vec::with_capacity(n * self.cols);
+        for _ in 0..n {
+            out.extend_from_slice(&self.data);
+        }
+        Tensor::from_vec(n, self.cols, out)
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_slice_mut(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                sum += *x;
+            }
+            let inv = 1.0 / sum;
+            for x in row.iter_mut() {
+                *x *= inv;
+            }
+        }
+        out
+    }
+
+    /// Largest absolute entry (0 for empty tensors).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// True if every entry is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: usize, cols: usize, v: &[f32]) -> Tensor {
+        Tensor::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn constructors_and_shape() {
+        let z = Tensor::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert_eq!(z.sum(), 0.0);
+        assert_eq!(Tensor::ones(2, 2).sum(), 4.0);
+        assert_eq!(Tensor::scalar(5.0).item(), 5.0);
+        assert_eq!(Tensor::row(&[1.0, 2.0]).shape(), (1, 2));
+        assert_eq!(Tensor::col(&[1.0, 2.0]).shape(), (2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_rejects_bad_length() {
+        Tensor::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = t(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(a.add(&b).data(), &[6.0, 8.0, 10.0, 12.0]);
+        assert_eq!(b.sub(&a).data(), &[4.0, 4.0, 4.0, 4.0]);
+        assert_eq!(a.mul(&b).data(), &[5.0, 12.0, 21.0, 32.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = t(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let at = a.transpose();
+        assert_eq!(at.shape(), (3, 2));
+        assert_eq!(at.at(0, 1), 4.0);
+        assert_eq!(at.transpose(), a);
+    }
+
+    #[test]
+    fn broadcast_bias() {
+        let a = t(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::row(&[10.0, 20.0]);
+        assert_eq!(a.add_row_broadcast(&b).data(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.mean_rows().data(), &[2.0, 3.0]);
+        assert_eq!(a.sum_rows().data(), &[4.0, 6.0]);
+        assert_eq!(a.frob_sq(), 30.0);
+        assert_eq!(a.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn concat_and_slice() {
+        let a = t(2, 1, &[1.0, 2.0]);
+        let b = t(2, 2, &[3.0, 4.0, 5.0, 6.0]);
+        let c = Tensor::concat_cols(&[&a, &b]);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.data(), &[1.0, 3.0, 4.0, 2.0, 5.0, 6.0]);
+        assert_eq!(c.slice_cols(0, 1), a);
+        assert_eq!(c.slice_cols(1, 3), b);
+
+        let d = Tensor::concat_rows(&[&a, &a]);
+        assert_eq!(d.shape(), (4, 1));
+        assert_eq!(d.data(), &[1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn gather_and_broadcast_rows() {
+        let a = t(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.data(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        let r = Tensor::row(&[7.0, 8.0]).broadcast_rows(3);
+        assert_eq!(r.shape(), (3, 2));
+        assert_eq!(r.row_slice(2), &[7.0, 8.0]);
+    }
+
+    #[test]
+    fn softmax_rows_normalizes() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0]);
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row_slice(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Large-value row must not overflow to NaN.
+        assert!(s.all_finite());
+        assert!((s.at(1, 0) - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = t(1, 3, &[1.0, 1.0, 1.0]);
+        let b = t(1, 3, &[1.0, 2.0, 3.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn one_by_one_matmul_is_scalar_product() {
+        let a = Tensor::scalar(3.0);
+        let b = Tensor::scalar(-2.0);
+        assert_eq!(a.matmul(&b).item(), -6.0);
+    }
+
+    #[test]
+    fn empty_slice_cols_is_zero_width() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let s = a.slice_cols(1, 1);
+        assert_eq!(s.shape(), (2, 0));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn gather_rows_empty_index_list() {
+        let a = t(3, 2, &[1.0; 6]);
+        let g = a.gather_rows(&[]);
+        assert_eq!(g.shape(), (0, 2));
+    }
+
+    #[test]
+    fn concat_single_part_is_identity() {
+        let a = t(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(Tensor::concat_cols(&[&a]), a);
+        assert_eq!(Tensor::concat_rows(&[&a]), a);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero_and_max_abs_zero() {
+        let e = Tensor::zeros(0, 3);
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.max_abs(), 0.0);
+        assert!(e.all_finite());
+    }
+
+    #[test]
+    fn matmul_with_zero_rows() {
+        let a = Tensor::zeros(0, 3);
+        let b = Tensor::zeros(3, 4);
+        assert_eq!(a.matmul(&b).shape(), (0, 4));
+    }
+
+    #[test]
+    fn randn_is_seed_deterministic() {
+        let mut r1 = Rng::seed_from(4);
+        let mut r2 = Rng::seed_from(4);
+        assert_eq!(
+            Tensor::randn(3, 3, 0.0, 1.0, &mut r1),
+            Tensor::randn(3, 3, 0.0, 1.0, &mut r2)
+        );
+    }
+}

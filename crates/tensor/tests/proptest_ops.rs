@@ -1,0 +1,150 @@
+//! Property-based tests of the tensor kernels and autodiff engine.
+
+use adaptraj_tensor::{Rng, Tape, Tensor};
+use proptest::prelude::*;
+
+/// Strategy: a tensor with the given shape and bounded entries.
+fn tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_commutes(a in tensor(3, 4), b in tensor(3, 4)) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in tensor(2, 3), b in tensor(3, 2), c in tensor(3, 2)) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(a in tensor(4, 5)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in tensor(2, 3), b in tensor(3, 4)) {
+        // (AB)^T = B^T A^T
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in tensor(3, 6)) {
+        let s = a.softmax_rows();
+        for r in 0..3 {
+            let row = s.row_slice(r);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn concat_slice_round_trip(a in tensor(3, 2), b in tensor(3, 5)) {
+        let c = Tensor::concat_cols(&[&a, &b]);
+        prop_assert_eq!(c.slice_cols(0, 2), a);
+        prop_assert_eq!(c.slice_cols(2, 7), b);
+    }
+
+    #[test]
+    fn mean_rows_matches_manual(a in tensor(4, 3)) {
+        let m = a.mean_rows();
+        for c in 0..3 {
+            let manual: f32 = (0..4).map(|r| a.at(r, c)).sum::<f32>() / 4.0;
+            prop_assert!((m.at(0, c) - manual).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn simse_bounded_by_mse(pred in tensor(2, 6), target in tensor(2, 6)) {
+        // SIMSE = MSE - (mean error)^2 <= MSE, and >= 0.
+        let mut tape = Tape::new();
+        let p = tape.input(pred.clone());
+        let simse = tape.simse_to(p, &target);
+        let simse_v = tape.value(simse).item();
+        let mse = pred.sub(&target).frob_sq() / 12.0;
+        prop_assert!(simse_v <= mse + 1e-4, "simse {simse_v} > mse {mse}");
+        prop_assert!(simse_v >= -1e-4, "simse negative: {simse_v}");
+    }
+
+    /// The central autodiff property: for a random composite graph, the
+    /// analytic input gradient matches central finite differences.
+    #[test]
+    fn composite_graph_gradcheck(x in tensor(2, 3), seed in 0u64..1000) {
+        let mut rng = Rng::seed_from(seed);
+        let w = Tensor::randn(3, 3, 0.0, 1.0, &mut rng);
+        let build = |tape: &mut Tape, xv: adaptraj_tensor::Var| {
+            let wv = tape.constant(w.clone());
+            let h = tape.matmul(xv, wv);
+            let h = tape.tanh(h);
+            let s = tape.sigmoid(h);
+            let m = tape.mul(h, s);
+            tape.mean_all(m)
+        };
+        let mut tape = Tape::new();
+        let xv = tape.input(x.clone());
+        let loss = build(&mut tape, xv);
+        let grads = tape.backward(loss);
+        let g = grads.expect(xv).clone();
+
+        let eps = 1e-2f32;
+        for i in 0..x.len() {
+            let mut plus = x.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = x.clone();
+            minus.data_mut()[i] -= eps;
+            let mut tp = Tape::new();
+            let vp = tp.input(plus);
+            let lp = build(&mut tp, vp);
+            let mut tm = Tape::new();
+            let vm = tm.input(minus);
+            let lm = build(&mut tm, vm);
+            let numeric = (tp.value(lp).item() - tm.value(lm).item()) / (2.0 * eps);
+            prop_assert!(
+                (g.data()[i] - numeric).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "grad mismatch at {}: {} vs {}", i, g.data()[i], numeric
+            );
+        }
+    }
+
+    #[test]
+    fn grad_reverse_negates_gradient(x in tensor(1, 4), lambda in 0.1f32..2.0) {
+        let mut t1 = Tape::new();
+        let a = t1.input(x.clone());
+        let s = t1.sum_all(a);
+        let g_plain = t1.backward(s).expect(a).clone();
+
+        let mut t2 = Tape::new();
+        let b = t2.input(x.clone());
+        let r = t2.grad_reverse(b, lambda);
+        // Forward must be the identity.
+        prop_assert_eq!(t2.value(r).data(), x.data());
+        let s2 = t2.sum_all(r);
+        let g_rev = t2.backward(s2).expect(b).clone();
+        for (p, n) in g_plain.data().iter().zip(g_rev.data()) {
+            prop_assert!((n + lambda * p).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gather_rows_preserves_content(a in tensor(5, 3), idx in proptest::collection::vec(0usize..5, 1..8)) {
+        let g = a.gather_rows(&idx);
+        prop_assert_eq!(g.rows(), idx.len());
+        for (out_r, &src) in idx.iter().enumerate() {
+            prop_assert_eq!(g.row_slice(out_r), a.row_slice(src));
+        }
+    }
+}

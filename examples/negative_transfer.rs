@@ -1,0 +1,55 @@
+//! Demonstrates the paper's core motivation (Tab. III vs Fig. 3): pooling
+//! more source domains *hurts* a single-source method (negative transfer)
+//! but *helps* AdapTraj.
+//!
+//! ```sh
+//! cargo run --release --example negative_transfer
+//! ```
+
+use adaptraj::data::dataset::{synthesize_all, SynthesisConfig};
+use adaptraj::data::domain::DomainId;
+use adaptraj::eval::{run_cell, BackboneKind, CellSpec, MethodKind, RunnerConfig, TextTable};
+use adaptraj::models::TrainerConfig;
+
+fn main() {
+    let datasets = synthesize_all(&SynthesisConfig::default());
+    let cfg = RunnerConfig {
+        trainer: TrainerConfig {
+            epochs: 10,
+            max_train_windows: 200,
+            ..TrainerConfig::default()
+        },
+        samples_k: 3,
+        eval_cap: 150,
+        ..RunnerConfig::default()
+    };
+
+    let source_sets: [Vec<DomainId>; 3] = [
+        vec![DomainId::EthUcy],
+        vec![DomainId::EthUcy, DomainId::LCas],
+        vec![DomainId::EthUcy, DomainId::LCas, DomainId::Syi],
+    ];
+
+    let mut table = TextTable::new(&["#Sources", "CausalMotion (ADE/FDE)", "AdapTraj (ADE/FDE)"]);
+    for sources in &source_sets {
+        let mut row = vec![sources.len().to_string()];
+        for method in [MethodKind::CausalMotion, MethodKind::AdapTraj] {
+            let spec = CellSpec {
+                backbone: BackboneKind::PecNet,
+                method,
+                sources: sources.clone(),
+                target: DomainId::Sdd,
+            };
+            eprintln!("[run] {}", spec.label());
+            let res = run_cell(&spec, &datasets, &cfg);
+            row.push(res.eval.to_string());
+        }
+        table.push_row(row);
+    }
+    println!("Unseen target: SDD\n");
+    println!("{table}");
+    println!(
+        "Reading: down the CausalMotion column errors grow (negative transfer);\n\
+         AdapTraj absorbs the added domains instead of averaging over them."
+    );
+}

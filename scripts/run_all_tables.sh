@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure at the given scale (default smoke)
+# into results/. Usage: scripts/run_all_tables.sh [smoke|paper]
+set -euo pipefail
+scale="${1:-smoke}"
+cd "$(dirname "$0")/.."
+mkdir -p results
+bins=(table1_stats table4_main table7_ablation table3_negative_transfer \
+      fig3_source_count table6_varied_sources table2_decline table8_inference \
+      table5_single_source fig4_sensitivity)
+cargo build --release -p adaptraj-bench --bins
+for bin in "${bins[@]}"; do
+    echo "=== $bin ($scale) ==="
+    "target/release/$bin" --scale "$scale" | tee "results/${bin}_${scale}.txt"
+done
+echo "All outputs in results/"

@@ -1,0 +1,166 @@
+//! The `adaptraj` command-line tool: synthesize datasets, inspect domain
+//! statistics, train/evaluate experiment cells, and render predictions.
+//!
+//! ```sh
+//! cargo run --release --bin adaptraj -- help
+//! cargo run --release --bin adaptraj -- run --backbone pecnet --method adaptraj \
+//!     --sources eth_ucy,l_cas,syi --target sdd
+//! ```
+
+use adaptraj::cli::{parse, Command, USAGE};
+use adaptraj::data::dataset::{synthesize_all, synthesize_domain, SynthesisConfig};
+use adaptraj::data::domain::DomainId;
+use adaptraj::data::io::write_csv;
+use adaptraj::data::stats::table_one;
+use adaptraj::eval::viz::{render_window, VizOptions};
+use adaptraj::eval::{run_cell, CellSpec, RunnerConfig, TextTable};
+use adaptraj::models::{BackboneConfig, PecNet, Predictor, TrainerConfig, Vanilla};
+use adaptraj::tensor::serialize::save_params_to_file;
+use adaptraj::tensor::Rng;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(cmd) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+        }
+        Command::Synthesize { domain, scenes, out } => {
+            let cfg = SynthesisConfig {
+                scenes,
+                ..SynthesisConfig::default()
+            };
+            let ds = synthesize_domain(domain, &cfg);
+            println!(
+                "{}: train {} / val {} / test {} windows",
+                domain.name(),
+                ds.train.len(),
+                ds.val.len(),
+                ds.test.len()
+            );
+            if let Some(path) = out {
+                let mut f = std::fs::File::create(&path)?;
+                write_csv(&ds.train, &mut f)?;
+                println!("training split exported to {path}");
+            }
+        }
+        Command::Stats { scenes } => {
+            let cfg = SynthesisConfig {
+                scenes,
+                ..SynthesisConfig::default()
+            };
+            let mut table = TextTable::new(&["Dataset", "#seq", "num", "v(x)", "v(y)", "a(x)", "a(y)"]);
+            for d in DomainId::ALL {
+                let ds = synthesize_domain(d, &cfg);
+                let windows: Vec<_> = ds.all_windows().cloned().collect();
+                let s = table_one(&windows);
+                table.push_row(vec![
+                    d.name().into(),
+                    s.sequences.to_string(),
+                    s.num.to_string(),
+                    s.vx.to_string(),
+                    s.vy.to_string(),
+                    s.ax.to_string(),
+                    s.ay.to_string(),
+                ]);
+            }
+            println!("{table}");
+        }
+        Command::Run {
+            backbone,
+            method,
+            sources,
+            target,
+            epochs,
+            ckpt,
+        } => {
+            let datasets = synthesize_all(&SynthesisConfig::default());
+            let spec = CellSpec {
+                backbone,
+                method,
+                sources,
+                target,
+            };
+            let cfg = RunnerConfig {
+                trainer: TrainerConfig {
+                    epochs,
+                    ..TrainerConfig::default()
+                },
+                eval_cap: 0, // full test split
+                ..RunnerConfig::default()
+            };
+            println!("training {} ...", spec.label());
+            if let Some(path) = ckpt {
+                // Train once here so the fitted parameters can be saved.
+                let train = adaptraj::eval::runner::pooled_train(&spec, &datasets);
+                let test = adaptraj::eval::runner::target_test(&spec, &datasets, 0);
+                let mut predictor = adaptraj::eval::build_predictor(&spec, &cfg);
+                let t0 = std::time::Instant::now();
+                predictor.fit(&train);
+                let train_time = t0.elapsed().as_secs_f64();
+                let (eval, infer) =
+                    adaptraj::eval::evaluate(predictor.as_ref(), &test, 3, cfg.eval_seed);
+                println!(
+                    "ADE/FDE {eval}   train {train_time:.1}s   inference {:.2} ms/trajectory",
+                    infer * 1e3
+                );
+                save_params_to_file(predictor.store(), &path)?;
+                println!("checkpoint saved to {path}");
+            } else {
+                let res = run_cell(&spec, &datasets, &cfg);
+                println!(
+                    "ADE/FDE {}   train {:.1}s   inference {:.2} ms/trajectory",
+                    res.eval,
+                    res.train_time_s,
+                    res.infer_time_s * 1e3
+                );
+            }
+        }
+        Command::Visualize { target, out, count } => {
+            let ds = synthesize_domain(target, &SynthesisConfig::default());
+            let mut model = Vanilla::new(
+                TrainerConfig {
+                    epochs: 10,
+                    max_train_windows: 200,
+                    ..TrainerConfig::default()
+                },
+                |s, r| PecNet::new(s, r, BackboneConfig::default()),
+            );
+            println!("training a quick {} on {} ...", model.name(), target.name());
+            model.fit(&ds.train);
+            std::fs::create_dir_all(&out)?;
+            let mut rng = Rng::seed_from(7);
+            for (i, w) in ds
+                .test
+                .iter()
+                .filter(|w| !w.neighbors.is_empty())
+                .take(count)
+                .enumerate()
+            {
+                let samples = model.predict_k(w, 3, &mut rng);
+                let svg = render_window(w, &samples, &VizOptions::default());
+                let path = format!("{out}/window_{i}.svg");
+                std::fs::write(&path, svg)?;
+                println!("rendered {path}");
+            }
+        }
+    }
+    Ok(())
+}

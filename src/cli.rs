@@ -1,0 +1,313 @@
+//! Argument parsing for the `adaptraj` command-line tool.
+//!
+//! Hand-rolled (no external parser dependency): subcommand + `--key value`
+//! flags. See [`Command`] for the surface.
+
+use adaptraj_data::domain::DomainId;
+use adaptraj_eval::{BackboneKind, MethodKind};
+use std::collections::HashMap;
+
+/// Parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `synthesize --domain <d> [--scenes N] [--out FILE]` — generate a
+    /// domain dataset and export its training split as CSV.
+    Synthesize {
+        domain: DomainId,
+        scenes: usize,
+        out: Option<String>,
+    },
+    /// `stats [--scenes N]` — print Table I-style statistics for all
+    /// domains.
+    Stats { scenes: usize },
+    /// `run --backbone <b> --method <m> --sources a,b,c --target <d>
+    ///  [--epochs N] [--ckpt FILE]` — train one experiment cell and
+    /// report ADE/FDE (optionally saving a checkpoint).
+    Run {
+        backbone: BackboneKind,
+        method: MethodKind,
+        sources: Vec<DomainId>,
+        target: DomainId,
+        epochs: usize,
+        ckpt: Option<String>,
+    },
+    /// `visualize --target <d> [--out DIR] [--count N]` — train a quick
+    /// model and render SVG predictions.
+    Visualize {
+        target: DomainId,
+        out: String,
+        count: usize,
+    },
+    /// `help`
+    Help,
+}
+
+/// Parse error with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+/// Parses a domain tag (`eth_ucy | l_cas | syi | sdd`, case-insensitive).
+pub fn parse_domain(tag: &str) -> Result<DomainId, ParseError> {
+    match tag.to_ascii_lowercase().as_str() {
+        "eth_ucy" | "ethucy" | "eth&ucy" => Ok(DomainId::EthUcy),
+        "l_cas" | "lcas" | "l-cas" => Ok(DomainId::LCas),
+        "syi" => Ok(DomainId::Syi),
+        "sdd" => Ok(DomainId::Sdd),
+        other => Err(err(format!(
+            "unknown domain '{other}' (expected eth_ucy | l_cas | syi | sdd)"
+        ))),
+    }
+}
+
+fn parse_backbone(tag: &str) -> Result<BackboneKind, ParseError> {
+    match tag.to_ascii_lowercase().as_str() {
+        "pecnet" => Ok(BackboneKind::PecNet),
+        "lbebm" => Ok(BackboneKind::Lbebm),
+        other => Err(err(format!(
+            "unknown backbone '{other}' (expected pecnet | lbebm)"
+        ))),
+    }
+}
+
+fn parse_method(tag: &str) -> Result<MethodKind, ParseError> {
+    match tag.to_ascii_lowercase().as_str() {
+        "vanilla" => Ok(MethodKind::Vanilla),
+        "counter" => Ok(MethodKind::Counter),
+        "causalmotion" | "causal_motion" => Ok(MethodKind::CausalMotion),
+        "adaptraj" => Ok(MethodKind::AdapTraj),
+        other => Err(err(format!(
+            "unknown method '{other}' (expected vanilla | counter | causalmotion | adaptraj)"
+        ))),
+    }
+}
+
+/// Splits `--key value` pairs; rejects unknown or duplicated keys.
+fn parse_flags<'a>(
+    args: &'a [String],
+    allowed: &[&str],
+) -> Result<HashMap<&'a str, &'a str>, ParseError> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| err(format!("expected --flag, got '{}'", args[i])))?;
+        if !allowed.contains(&key) {
+            return Err(err(format!(
+                "unknown flag --{key} (allowed: {})",
+                allowed
+                    .iter()
+                    .map(|a| format!("--{a}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )));
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| err(format!("--{key} needs a value")))?;
+        if flags.insert(key, value.as_str()).is_some() {
+            return Err(err(format!("--{key} given twice")));
+        }
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn parse_usize(flags: &HashMap<&str, &str>, key: &str, default: usize) -> Result<usize, ParseError> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| err(format!("--{key} expects an integer, got '{v}'"))),
+    }
+}
+
+/// Parses the full argument list (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "synthesize" => {
+            let flags = parse_flags(rest, &["domain", "scenes", "out"])?;
+            let domain = parse_domain(flags.get("domain").ok_or_else(|| err("--domain required"))?)?;
+            Ok(Command::Synthesize {
+                domain,
+                scenes: parse_usize(&flags, "scenes", 24)?,
+                out: flags.get("out").map(|s| s.to_string()),
+            })
+        }
+        "stats" => {
+            let flags = parse_flags(rest, &["scenes"])?;
+            Ok(Command::Stats {
+                scenes: parse_usize(&flags, "scenes", 12)?,
+            })
+        }
+        "run" => {
+            let flags = parse_flags(
+                rest,
+                &["backbone", "method", "sources", "target", "epochs", "ckpt"],
+            )?;
+            let backbone =
+                parse_backbone(flags.get("backbone").ok_or_else(|| err("--backbone required"))?)?;
+            let method = parse_method(flags.get("method").ok_or_else(|| err("--method required"))?)?;
+            let sources = flags
+                .get("sources")
+                .ok_or_else(|| err("--sources required (comma-separated)"))?
+                .split(',')
+                .map(parse_domain)
+                .collect::<Result<Vec<_>, _>>()?;
+            if sources.is_empty() {
+                return Err(err("--sources must name at least one domain"));
+            }
+            let target = parse_domain(flags.get("target").ok_or_else(|| err("--target required"))?)?;
+            Ok(Command::Run {
+                backbone,
+                method,
+                sources,
+                target,
+                epochs: parse_usize(&flags, "epochs", 20)?,
+                ckpt: flags.get("ckpt").map(|s| s.to_string()),
+            })
+        }
+        "visualize" => {
+            let flags = parse_flags(rest, &["target", "out", "count"])?;
+            let target = parse_domain(flags.get("target").ok_or_else(|| err("--target required"))?)?;
+            Ok(Command::Visualize {
+                target,
+                out: flags.get("out").unwrap_or(&"viz_out").to_string(),
+                count: parse_usize(&flags, "count", 4)?,
+            })
+        }
+        other => Err(err(format!(
+            "unknown command '{other}' (try: adaptraj help)"
+        ))),
+    }
+}
+
+/// The `help` text.
+pub const USAGE: &str = "\
+adaptraj — multi-source domain generalization for trajectory prediction
+
+USAGE:
+  adaptraj synthesize --domain <d> [--scenes N] [--out FILE.csv]
+  adaptraj stats [--scenes N]
+  adaptraj run --backbone <pecnet|lbebm> --method <vanilla|counter|causalmotion|adaptraj>
+               --sources d1,d2,... --target <d> [--epochs N] [--ckpt FILE.atps]
+  adaptraj visualize --target <d> [--out DIR] [--count N]
+  adaptraj help
+
+DOMAINS: eth_ucy | l_cas | syi | sdd
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&args("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&args("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn synthesize_parses_with_defaults() {
+        let cmd = parse(&args("synthesize --domain sdd")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Synthesize {
+                domain: DomainId::Sdd,
+                scenes: 24,
+                out: None
+            }
+        );
+    }
+
+    #[test]
+    fn run_parses_full_invocation() {
+        let cmd = parse(&args(
+            "run --backbone lbebm --method adaptraj --sources eth_ucy,l_cas,syi \
+             --target sdd --epochs 30 --ckpt model.atps",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                backbone: BackboneKind::Lbebm,
+                method: MethodKind::AdapTraj,
+                sources: vec![DomainId::EthUcy, DomainId::LCas, DomainId::Syi],
+                target: DomainId::Sdd,
+                epochs: 30,
+                ckpt: Some("model.atps".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn domain_aliases() {
+        assert_eq!(parse_domain("L-CAS").unwrap(), DomainId::LCas);
+        assert_eq!(parse_domain("ETHUCY").unwrap(), DomainId::EthUcy);
+        assert!(parse_domain("mars").is_err());
+    }
+
+    #[test]
+    fn missing_required_flag_is_reported() {
+        let e = parse(&args("run --backbone pecnet")).unwrap_err();
+        assert!(e.0.contains("--method required"), "{e}");
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let e = parse(&args("stats --bogus 3")).unwrap_err();
+        assert!(e.0.contains("unknown flag"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_flag_is_rejected() {
+        let e = parse(&args("stats --scenes 3 --scenes 4")).unwrap_err();
+        assert!(e.0.contains("twice"), "{e}");
+    }
+
+    #[test]
+    fn bad_integer_is_reported() {
+        let e = parse(&args("stats --scenes many")).unwrap_err();
+        assert!(e.0.contains("integer"), "{e}");
+    }
+
+    #[test]
+    fn unknown_command_is_reported() {
+        let e = parse(&args("launch")).unwrap_err();
+        assert!(e.0.contains("unknown command"), "{e}");
+    }
+
+    #[test]
+    fn visualize_defaults() {
+        let cmd = parse(&args("visualize --target syi")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Visualize {
+                target: DomainId::Syi,
+                out: "viz_out".into(),
+                count: 4
+            }
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! # adaptraj
+//!
+//! Facade crate for the AdapTraj (ICDE 2024) reproduction. Re-exports every
+//! workspace crate under one roof so examples and downstream users can write
+//! `use adaptraj::core::AdapTraj;` etc. See the individual crates for the
+//! full documentation:
+//!
+//! * [`tensor`] — autodiff + NN substrate
+//! * [`sim`] — social-force crowd simulator
+//! * [`data`] — domains, dataset synthesis, preprocessing
+//! * [`models`] — backbones (PECNet, LBEBM) and baselines (Counter, CausalMotion)
+//! * [`core`] — the AdapTraj framework itself
+//! * [`eval`] — metrics and experiment orchestration
+
+pub mod cli;
+
+pub use adaptraj_core as core;
+pub use adaptraj_data as data;
+pub use adaptraj_eval as eval;
+pub use adaptraj_models as models;
+pub use adaptraj_sim as sim;
+pub use adaptraj_tensor as tensor;
