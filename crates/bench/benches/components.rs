@@ -145,8 +145,16 @@ fn bench_design_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation");
     group.sample_size(30);
     for (label, encoder, interaction) in [
-        ("lstm_attention", EncoderKind::Lstm, InteractionKind::Attention),
-        ("lstm_meanpool", EncoderKind::Lstm, InteractionKind::MeanPool),
+        (
+            "lstm_attention",
+            EncoderKind::Lstm,
+            InteractionKind::Attention,
+        ),
+        (
+            "lstm_meanpool",
+            EncoderKind::Lstm,
+            InteractionKind::MeanPool,
+        ),
         (
             "transformer_attention",
             EncoderKind::Transformer,

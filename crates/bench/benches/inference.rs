@@ -37,10 +37,9 @@ fn bench_inference(c: &mut Criterion) {
             let mut predictor = build_predictor(&spec, &cfg);
             predictor.fit(&ds.train[..ds.train.len().min(30)]);
             let mut rng = Rng::seed_from(0);
-            group.bench_function(
-                format!("{}-{}", backbone.name(), method.name()),
-                |b| b.iter(|| black_box(predictor.predict(black_box(&window), &mut rng))),
-            );
+            group.bench_function(format!("{}-{}", backbone.name(), method.name()), |b| {
+                b.iter(|| black_box(predictor.predict(black_box(&window), &mut rng)))
+            });
         }
     }
     group.finish();

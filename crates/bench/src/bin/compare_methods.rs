@@ -36,7 +36,10 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(2);
     banner(
-        &format!("Paired comparison: vanilla vs AdapTraj (target {})", target.name()),
+        &format!(
+            "Paired comparison: vanilla vs AdapTraj (target {})",
+            target.name()
+        ),
         scale,
     );
     let datasets = build_datasets(scale);
@@ -44,7 +47,10 @@ fn main() {
     let sources = leave_one_out(target);
 
     let mut table = TextTable::new(&[
-        "Backbone", "mean ADE diff (AdapTraj − vanilla)", "95% CI", "resolved?",
+        "Backbone",
+        "mean ADE diff (AdapTraj − vanilla)",
+        "95% CI",
+        "resolved?",
     ]);
     for backbone in BackboneKind::ALL {
         // Per-window errors pooled across training seeds; both methods see
@@ -87,7 +93,12 @@ fn main() {
             backbone.name().to_string(),
             format!("{:+.4}", r.mean_diff),
             format!("[{:+.4}, {:+.4}]", r.ci_low, r.ci_high),
-            if r.significant() { "yes" } else { "no (within noise)" }.to_string(),
+            if r.significant() {
+                "yes"
+            } else {
+                "no (within noise)"
+            }
+            .to_string(),
         ]);
     }
     println!("{table}");

@@ -9,7 +9,10 @@ use adaptraj_eval::{run_cell, BackboneKind, CellSpec, MethodKind, TextTable};
 
 fn main() {
     let scale = Scale::from_args();
-    banner("Fig. 3: AdapTraj vs number of source domains (target SDD)", scale);
+    banner(
+        "Fig. 3: AdapTraj vs number of source domains (target SDD)",
+        scale,
+    );
     let datasets = build_datasets(scale);
     let cfg = scale.runner();
 

@@ -27,7 +27,10 @@ fn run_with(
 
 fn main() {
     let scale = Scale::from_args();
-    banner("Fig. 4: hyperparameter sensitivity (PECNet-AdapTraj, target SDD)", scale);
+    banner(
+        "Fig. 4: hyperparameter sensitivity (PECNet-AdapTraj, target SDD)",
+        scale,
+    );
     let datasets = build_datasets(scale);
     let base = scale.runner();
     let e_total = base.trainer.epochs;

@@ -21,7 +21,11 @@ fn main() {
     let sources = leave_one_out(DomainId::Sdd);
 
     let mut table = TextTable::new(&[
-        "Backbone", "Method", "ADE/FDE", "Collision rate", "Miss rate @2m",
+        "Backbone",
+        "Method",
+        "ADE/FDE",
+        "Collision rate",
+        "Miss rate @2m",
     ]);
     for backbone in BackboneKind::ALL {
         for method in MethodKind::COMPARED {

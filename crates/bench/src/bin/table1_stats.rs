@@ -11,10 +11,42 @@ use adaptraj_eval::TextTable;
 
 /// Paper values (Tab. I) for the side-by-side comparison.
 const PAPER: [(&str, &str, &str, &str, &str, &str, &str); 4] = [
-    ("ETH&UCY", "3856", "9.09/10.01", "0.279/0.170", "0.090/0.070", "0.027/0.027", "0.027/0.024"),
-    ("L-CAS", "2499", "7.88/3.23", "0.104/0.078", "0.041/0.024", "0.044/0.028", "0.044/0.025"),
-    ("SYI", "5152", "35.17/20.81", "0.306/0.063", "1.087/0.185", "0.082/0.018", "0.339/0.062"),
-    ("SDD", "35634", "17.82/15.12", "0.295/0.204", "0.187/0.156", "0.057/0.042", "0.064/0.053"),
+    (
+        "ETH&UCY",
+        "3856",
+        "9.09/10.01",
+        "0.279/0.170",
+        "0.090/0.070",
+        "0.027/0.027",
+        "0.027/0.024",
+    ),
+    (
+        "L-CAS",
+        "2499",
+        "7.88/3.23",
+        "0.104/0.078",
+        "0.041/0.024",
+        "0.044/0.028",
+        "0.044/0.025",
+    ),
+    (
+        "SYI",
+        "5152",
+        "35.17/20.81",
+        "0.306/0.063",
+        "1.087/0.185",
+        "0.082/0.018",
+        "0.339/0.062",
+    ),
+    (
+        "SDD",
+        "35634",
+        "17.82/15.12",
+        "0.295/0.204",
+        "0.187/0.156",
+        "0.057/0.042",
+        "0.064/0.053",
+    ),
 ];
 
 fn main() {
@@ -23,7 +55,12 @@ fn main() {
     let datasets = build_datasets(scale);
 
     let mut table = TextTable::new(&[
-        "Dataset", "# sequences", "Avg/Std num", "Avg/Std v(x)", "Avg/Std v(y)", "Avg/Std a(x)",
+        "Dataset",
+        "# sequences",
+        "Avg/Std num",
+        "Avg/Std v(x)",
+        "Avg/Std v(y)",
+        "Avg/Std a(x)",
         "Avg/Std a(y)",
     ]);
     for ds in &datasets {
@@ -43,12 +80,22 @@ fn main() {
 
     println!("Paper values (recorded datasets, for shape comparison):");
     let mut paper = TextTable::new(&[
-        "Dataset", "# sequences", "Avg/Std num", "Avg/Std v(x)", "Avg/Std v(y)", "Avg/Std a(x)",
+        "Dataset",
+        "# sequences",
+        "Avg/Std num",
+        "Avg/Std v(x)",
+        "Avg/Std v(y)",
+        "Avg/Std a(x)",
         "Avg/Std a(y)",
     ]);
     for row in PAPER {
         paper.push_row(vec![
-            row.0.into(), row.1.into(), row.2.into(), row.3.into(), row.4.into(), row.5.into(),
+            row.0.into(),
+            row.1.into(),
+            row.2.into(),
+            row.3.into(),
+            row.4.into(),
+            row.5.into(),
             row.6.into(),
         ]);
     }

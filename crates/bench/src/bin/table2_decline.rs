@@ -9,7 +9,10 @@ use adaptraj_eval::{run_cell, BackboneKind, CellSpec, MethodKind, TextTable};
 
 fn main() {
     let scale = Scale::from_args();
-    banner("Table II: cross-domain performance decline (target SDD)", scale);
+    banner(
+        "Table II: cross-domain performance decline (target SDD)",
+        scale,
+    );
     let datasets = build_datasets(scale);
     let cfg = scale.runner();
 
@@ -19,10 +22,20 @@ fn main() {
         ("LBEBM", BackboneKind::Lbebm, MethodKind::Vanilla),
         ("PECNet", BackboneKind::PecNet, MethodKind::Vanilla),
         ("Counter", BackboneKind::PecNet, MethodKind::Counter),
-        ("CausalMotion", BackboneKind::PecNet, MethodKind::CausalMotion),
+        (
+            "CausalMotion",
+            BackboneKind::PecNet,
+            MethodKind::CausalMotion,
+        ),
     ];
 
-    let mut table = TextTable::new(&["Source Domain", "LBEBM", "PECNet", "Counter", "CausalMotion"]);
+    let mut table = TextTable::new(&[
+        "Source Domain",
+        "LBEBM",
+        "PECNet",
+        "Counter",
+        "CausalMotion",
+    ]);
     for source in [DomainId::Sdd, DomainId::EthUcy] {
         let mut row = vec![source.name().to_string()];
         for (name, backbone, method) in columns {

@@ -23,7 +23,10 @@ fn seeds_from_args() -> Vec<u64> {
 
 fn main() {
     let scale = Scale::from_args();
-    banner("Table IV: multi-source domain generalization (leave-one-out)", scale);
+    banner(
+        "Table IV: multi-source domain generalization (leave-one-out)",
+        scale,
+    );
     let seeds = seeds_from_args();
     if seeds.len() > 1 {
         println!("(averaging over {} training seeds per cell)\n", seeds.len());
@@ -34,7 +37,12 @@ fn main() {
     let mut table = TextTable::new(&[
         "Backbone", "Method", "SDD", "ETH&UCY", "L-CAS", "SYI", "Average",
     ]);
-    let targets = [DomainId::Sdd, DomainId::EthUcy, DomainId::LCas, DomainId::Syi];
+    let targets = [
+        DomainId::Sdd,
+        DomainId::EthUcy,
+        DomainId::LCas,
+        DomainId::Syi,
+    ];
 
     for backbone in BackboneKind::ALL {
         for method in MethodKind::COMPARED {

@@ -8,14 +8,15 @@ use adaptraj_eval::{run_cell, BackboneKind, CellSpec, MethodKind, TextTable};
 
 fn main() {
     let scale = Scale::from_args();
-    banner("Table V: single-source domain generalization (target SDD)", scale);
+    banner(
+        "Table V: single-source domain generalization (target SDD)",
+        scale,
+    );
     let datasets = build_datasets(scale);
     let cfg = scale.runner();
 
     let sources = [DomainId::EthUcy, DomainId::LCas, DomainId::Syi];
-    let mut table = TextTable::new(&[
-        "Backbone", "Method", "ETH&UCY", "L-CAS", "SYI", "Average",
-    ]);
+    let mut table = TextTable::new(&["Backbone", "Method", "ETH&UCY", "L-CAS", "SYI", "Average"]);
 
     for backbone in BackboneKind::ALL {
         for method in MethodKind::COMPARED {

@@ -31,7 +31,14 @@ fn main() {
             eprintln!("[run] {}", spec.label());
             let res = run_cell(&spec, &datasets, &cfg);
             table.push_row(vec![
-                format!("PECNet{}", if method == MethodKind::AdapTraj { "-AdapTraj" } else { "" }),
+                format!(
+                    "PECNet{}",
+                    if method == MethodKind::AdapTraj {
+                        "-AdapTraj"
+                    } else {
+                        ""
+                    }
+                ),
                 label.join(", "),
                 format!("{:.3}", res.eval.ade),
                 format!("{:.3}", res.eval.fde),

@@ -8,7 +8,10 @@ use adaptraj_eval::{run_cell, BackboneKind, CellSpec, MethodKind, TextTable};
 
 fn main() {
     let scale = Scale::from_args();
-    banner("Table VII: ablation (sources ETH&UCY+L-CAS+SYI, target SDD)", scale);
+    banner(
+        "Table VII: ablation (sources ETH&UCY+L-CAS+SYI, target SDD)",
+        scale,
+    );
     let datasets = build_datasets(scale);
     let cfg = scale.runner();
     let sources = vec![DomainId::EthUcy, DomainId::LCas, DomainId::Syi];

@@ -22,7 +22,11 @@ fn main() {
             ..TrainerConfig::default()
         },
         samples_k: 1,
-        eval_cap: if scale == adaptraj_bench::Scale::Paper { 200 } else { 60 },
+        eval_cap: if scale == adaptraj_bench::Scale::Paper {
+            200
+        } else {
+            60
+        },
         ..scale.runner()
     };
     let sources = vec![DomainId::EthUcy, DomainId::LCas, DomainId::Syi];

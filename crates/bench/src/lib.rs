@@ -111,7 +111,10 @@ impl Scale {
 /// Synthesizes all four domain datasets at the given scale, with progress
 /// output.
 pub fn build_datasets(scale: Scale) -> Vec<DomainDataset> {
-    eprintln!("[setup] synthesizing 4 domains at {} scale ...", scale.name());
+    eprintln!(
+        "[setup] synthesizing 4 domains at {} scale ...",
+        scale.name()
+    );
     let t0 = std::time::Instant::now();
     let datasets = synthesize_all(&scale.synthesis());
     for ds in &datasets {

@@ -259,7 +259,12 @@ mod tests {
     const F: usize = 6;
     const FF: usize = 5;
 
-    fn setup() -> (ParamStore, InvariantExtractor, SpecificExtractor, Aggregator) {
+    fn setup() -> (
+        ParamStore,
+        InvariantExtractor,
+        SpecificExtractor,
+        Aggregator,
+    ) {
         let mut store = ParamStore::new();
         let mut rng = Rng::seed_from(0);
         let inv = InvariantExtractor::new(&mut store, &mut rng, H, P, F, FF);

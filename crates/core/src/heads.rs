@@ -2,9 +2,9 @@
 //! domain classifier `D_class` (Eq. 16).
 
 use crate::config::AUX_GROUP;
+use adaptraj_data::trajectory::T_OBS;
 use adaptraj_tensor::nn::{Activation, Mlp};
 use adaptraj_tensor::{ParamStore, Rng, Tape, Var};
-use adaptraj_data::trajectory::T_OBS;
 
 /// Reconstructs the focal agent's observed track from its invariant and
 /// specific individual features. Training it forces `[H_i^i | H_i^s]`

@@ -73,6 +73,18 @@ pub fn difference_loss(tape: &mut Tape, feats: &Features) -> Var {
     tape.add(ind, nei)
 }
 
+/// `L_ours` decomposed into its terms: the weighted total plus the raw
+/// (unweighted) component nodes, so telemetry can report each term's
+/// magnitude without re-running the forward pass. `diff` is `None` when an
+/// ablation drops the orthogonality constraint.
+#[derive(Debug, Clone, Copy)]
+pub struct OursLossParts {
+    pub total: Var,
+    pub recon: Var,
+    pub diff: Option<Var>,
+    pub similar: Var,
+}
+
 /// `L_ours = α·L_recon + β·L_diff + γ·L_similar` (Eq. 24), with terms
 /// dropped according to the ablation switches ("w/o invariant" and
 /// "w/o specific" both lose the orthogonality constraint since it needs
@@ -88,16 +100,39 @@ pub fn ours_loss(
     w: &TrajWindow,
     domain_idx: usize,
 ) -> Var {
+    ours_loss_parts(store, tape, cfg, recon, classifier, feats, w, domain_idx).total
+}
+
+/// [`ours_loss`] returning the individual terms alongside the total.
+#[allow(clippy::too_many_arguments)]
+pub fn ours_loss_parts(
+    store: &ParamStore,
+    tape: &mut Tape,
+    cfg: &AdapTrajConfig,
+    recon: &ReconDecoder,
+    classifier: &DomainClassifier,
+    feats: &Features,
+    w: &TrajWindow,
+    domain_idx: usize,
+) -> OursLossParts {
     let l_recon = recon_loss(store, tape, recon, feats, w);
     let mut total = tape.scale(l_recon, cfg.alpha);
-    if cfg.ablation.use_invariant && cfg.ablation.use_specific {
+    let l_diff = if cfg.ablation.use_invariant && cfg.ablation.use_specific {
         let l_diff = difference_loss(tape, feats);
         let weighted = tape.scale(l_diff, cfg.beta);
         total = tape.add(total, weighted);
-    }
+        Some(l_diff)
+    } else {
+        None
+    };
     let l_sim = similarity_loss(store, tape, classifier, feats, domain_idx);
     let weighted = tape.scale(l_sim, cfg.gamma);
-    tape.add(total, weighted)
+    OursLossParts {
+        total: tape.add(total, weighted),
+        recon: l_recon,
+        diff: l_diff,
+        similar: l_sim,
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +236,30 @@ mod tests {
         let f2 = toy_features(&mut t2, &mut rng);
         let l_ablate = ours_loss(&store, &mut t2, &no_spec, &recon, &clf, &f2, &w, 0);
         assert!(t2.value(l_ablate).item().is_finite());
+    }
+
+    #[test]
+    fn ours_loss_parts_recompose_to_the_total() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(7);
+        let recon = ReconDecoder::new(&mut store, &mut rng, F);
+        let clf = DomainClassifier::new(&mut store, &mut rng, F, 3);
+        let w = toy_window();
+        let cfg = AdapTrajConfig::smoke();
+        let mut tape = Tape::new();
+        let feats = toy_features(&mut tape, &mut rng);
+        let parts = ours_loss_parts(&store, &mut tape, &cfg, &recon, &clf, &feats, &w, 1);
+        let total = tape.value(parts.total).item();
+        let recomposed = cfg.alpha * tape.value(parts.recon).item()
+            + cfg.beta
+                * tape
+                    .value(parts.diff.expect("full config keeps L_diff"))
+                    .item()
+            + cfg.gamma * tape.value(parts.similar).item();
+        assert!(
+            (total - recomposed).abs() < 1e-4 * (1.0 + total.abs()),
+            "total {total} vs recomposed {recomposed}"
+        );
     }
 
     #[test]

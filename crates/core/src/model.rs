@@ -4,15 +4,70 @@
 use crate::config::{AdapTrajConfig, AGGREGATOR_GROUP, SPECIFIC_GROUP};
 use crate::extractors::{Aggregator, Features, InvariantExtractor, SpecificExtractor};
 use crate::heads::{DomainClassifier, ReconDecoder};
-use crate::losses::ours_loss;
+use crate::losses::ours_loss_parts;
 use adaptraj_data::batch::shuffled_batches;
 use adaptraj_data::domain::DomainId;
 use adaptraj_data::trajectory::{Point, TrajWindow};
 use adaptraj_models::backbone::{base_loss, tensor_to_points, EncodedScene};
-use adaptraj_models::predictor::{cap_per_domain, Predictor, TrainReport};
+use adaptraj_models::predictor::{cap_per_domain, group_norms, Predictor, TrainReport};
 use adaptraj_models::traits::{Backbone, GenMode};
+use adaptraj_obs::{obs_info, obs_warn, EpochRecord, LossComponents, PhaseTiming, Span};
 use adaptraj_tensor::optim::Adam;
 use adaptraj_tensor::{GradBuffer, ParamStore, Rng, Tape, Tensor, Var};
+use std::time::Instant;
+
+/// Raw (unweighted) loss-term values read off one window's tape; `NaN`
+/// marks a term this pass did not compute (e.g. `distill` on unmasked
+/// windows). Used only for telemetry — the gradient flows through the
+/// weighted total.
+#[derive(Debug, Clone, Copy)]
+struct WindowLossValues {
+    backbone: f32,
+    recon: f32,
+    diff: f32,
+    similar: f32,
+    distill: f32,
+}
+
+/// Accumulates per-window loss terms into per-epoch means, skipping the
+/// NaN placeholders so a term's mean covers only passes that computed it.
+#[derive(Debug, Default)]
+struct ComponentMeans {
+    sums: [f64; 5],
+    counts: [u64; 5],
+}
+
+impl ComponentMeans {
+    fn add(&mut self, v: &WindowLossValues) {
+        for (i, x) in [v.backbone, v.recon, v.diff, v.similar, v.distill]
+            .into_iter()
+            .enumerate()
+        {
+            if x.is_finite() {
+                self.sums[i] += x as f64;
+                self.counts[i] += 1;
+            }
+        }
+    }
+
+    fn mean(&self, i: usize) -> f64 {
+        if self.counts[i] == 0 {
+            f64::NAN
+        } else {
+            self.sums[i] / self.counts[i] as f64
+        }
+    }
+
+    fn components(&self) -> LossComponents {
+        LossComponents {
+            backbone: self.mean(0),
+            recon: self.mean(1),
+            diff: self.mean(2),
+            similar: self.mean(3),
+            distill: self.mean(4),
+        }
+    }
+}
 
 /// A backbone wrapped with the AdapTraj framework: domain-invariant
 /// extractor, per-domain specific extractors, and the domain-specific
@@ -105,12 +160,7 @@ impl<B: Backbone> AdapTraj<B> {
     /// (Eqs. 17–18); `expert = None` is the masked path through the
     /// aggregator over the summed expert outputs (Eqs. 21–22) — the only
     /// path available for unseen domains at inference.
-    pub fn features(
-        &self,
-        tape: &mut Tape,
-        enc: &EncodedScene,
-        expert: Option<usize>,
-    ) -> Features {
+    pub fn features(&self, tape: &mut Tape, enc: &EncodedScene, expert: Option<usize>) -> Features {
         let inv_ind = self.invariant.individual(&self.store, tape, enc.h_focal);
         let inv_nei = self.invariant.neighbor(&self.store, tape, enc.p_i);
         let (spec_ind, spec_nei) = match expert {
@@ -162,7 +212,14 @@ impl<B: Backbone> AdapTraj<B> {
     /// Fig. 2 labels `M` as the teacher of `A`). Without this term the
     /// aggregator only receives indirect task-loss signal and needs far
     /// more epochs to stop degrading the decoder's conditioning.
-    fn window_loss(&self, tape: &mut Tape, w: &TrajWindow, masked: bool, delta: f32, rng: &mut Rng) -> Var {
+    fn window_loss(
+        &self,
+        tape: &mut Tape,
+        w: &TrajWindow,
+        masked: bool,
+        delta: f32,
+        rng: &mut Rng,
+    ) -> (Var, WindowLossValues) {
         let domain_idx = self
             .specific
             .expert_of(w.domain)
@@ -175,7 +232,9 @@ impl<B: Backbone> AdapTraj<B> {
             let t_ind = self
                 .specific
                 .individual(&self.store, tape, domain_idx, enc.h_focal);
-            let t_nei = self.specific.neighbor(&self.store, tape, domain_idx, enc.p_i);
+            let t_nei = self
+                .specific
+                .neighbor(&self.store, tape, domain_idx, enc.p_i);
             let t_ind_val = tape.value(t_ind).clone();
             let t_nei_val = tape.value(t_nei).clone();
             let d_ind = tape.mse_to(feats.spec_ind, &t_ind_val);
@@ -185,20 +244,15 @@ impl<B: Backbone> AdapTraj<B> {
             None
         };
         let extra = self.extra_features(tape, &feats);
-        let gen = self.backbone.generate(
-            &self.store,
-            tape,
-            w,
-            &enc,
-            Some(extra),
-            rng,
-            GenMode::Train,
-        );
+        let gen =
+            self.backbone
+                .generate(&self.store, tape, w, &enc, Some(extra), rng, GenMode::Train);
         let mut loss = base_loss(tape, gen.pred, w);
         if let Some(aux) = gen.aux_loss {
             loss = tape.add(loss, aux);
         }
-        let l_ours = ours_loss(
+        let backbone_val = tape.value(loss).item();
+        let parts = ours_loss_parts(
             &self.store,
             tape,
             &self.cfg,
@@ -208,13 +262,20 @@ impl<B: Backbone> AdapTraj<B> {
             w,
             domain_idx,
         );
-        let weighted = tape.scale(l_ours, delta);
+        let weighted = tape.scale(parts.total, delta);
         loss = tape.add(loss, weighted);
         if let Some(d) = distill {
             let weighted = tape.scale(d, self.cfg.distill_weight);
             loss = tape.add(loss, weighted);
         }
-        loss
+        let values = WindowLossValues {
+            backbone: backbone_val,
+            recon: tape.value(parts.recon).item(),
+            diff: parts.diff.map_or(f32::NAN, |d| tape.value(d).item()),
+            similar: tape.value(parts.similar).item(),
+            distill: distill.map_or(f32::NAN, |d| tape.value(d).item()),
+        };
+        (loss, values)
     }
 
     /// Applies the per-step optimizer schedule of Alg. 1.
@@ -327,7 +388,17 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
         if windows.is_empty() {
             return report;
         }
+        obs_info!(
+            "core.fit",
+            "AdapTraj training: {} windows, {} epochs (steps at e_start={}, e_end={})",
+            windows.len(),
+            self.cfg.e_total(),
+            self.cfg.e_start,
+            self.cfg.e_end
+        );
 
+        // Wall-clock per schedule step, keyed `step - 1`.
+        let mut step_seconds = [0.0f64; 3];
         for epoch in 0..self.cfg.e_total() {
             let step = self.cfg.step_of_epoch(epoch);
             Self::configure_schedule(&mut opt, &self.cfg, step);
@@ -337,27 +408,69 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
                 self.cfg.delta_prime
             };
             let masking = step >= 2;
+            let phase = ["step1", "step2", "step3"][step - 1];
 
-            let mut epoch_loss = 0.0;
+            let mut span = Span::enter("core.fit", "epoch")
+                .with("epoch", epoch)
+                .with("step", step);
+            let epoch_start = Instant::now();
+            let mut rec = EpochRecord::new(epoch, phase);
+            let mut means = ComponentMeans::default();
+            let mut epoch_loss = 0.0f64;
             let mut seen = 0usize;
+            let mut grad_norm_sum = 0.0f64;
+            let mut batches = 0usize;
             for batch in shuffled_batches(windows.len(), self.cfg.trainer.batch_size, &mut rng) {
                 let mut buf = GradBuffer::new();
                 let inv = 1.0 / batch.len() as f32;
                 for &i in &batch {
                     let masked = masking && rng.chance(self.cfg.sigma);
                     let mut tape = Tape::new();
-                    let loss = self.window_loss(&mut tape, windows[i], masked, delta, &mut rng);
+                    let (loss, values) =
+                        self.window_loss(&mut tape, windows[i], masked, delta, &mut rng);
+                    let val = tape.value(loss).item();
+                    if !val.is_finite() {
+                        rec.non_finite_batches += 1;
+                        obs_warn!(
+                            "core.fit",
+                            "non-finite loss at epoch {epoch}, window {i}; skipping"
+                        );
+                        continue;
+                    }
                     let grads = tape.backward(loss);
                     buf.absorb_scaled(&tape, &grads, inv);
-                    epoch_loss += tape.value(loss).item();
+                    epoch_loss += val as f64;
+                    means.add(&values);
                     seen += 1;
                 }
-                if self.cfg.trainer.grad_clip > 0.0 {
-                    buf.clip_global_norm(self.cfg.trainer.grad_clip);
-                }
+                let norm = if self.cfg.trainer.grad_clip > 0.0 {
+                    buf.clip_global_norm(self.cfg.trainer.grad_clip)
+                } else {
+                    buf.global_norm()
+                };
+                grad_norm_sum += norm as f64;
+                batches += 1;
+                rec.group_norms = group_norms(&self.store, &buf);
                 opt.step(&mut self.store, &buf);
             }
-            report.epoch_losses.push(epoch_loss / seen.max(1) as f32);
+            let mean_loss = (epoch_loss / seen.max(1) as f64) as f32;
+            rec.loss = mean_loss as f64;
+            rec.components = means.components();
+            rec.grad_norm = grad_norm_sum / batches.max(1) as f64;
+            rec.duration_s = epoch_start.elapsed().as_secs_f64();
+            step_seconds[step - 1] += rec.duration_s;
+            span.record("loss", rec.loss);
+            span.record("grad_norm", rec.grad_norm);
+            report.epoch_losses.push(mean_loss);
+            report.epochs.push(rec);
+        }
+        for (i, &secs) in step_seconds.iter().enumerate() {
+            if secs > 0.0 {
+                report.phases.push(PhaseTiming::new(
+                    ["train.step1", "train.step2", "train.step3"][i],
+                    secs,
+                ));
+            }
         }
         report
     }
@@ -393,9 +506,9 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adaptraj_data::trajectory::{T_OBS, T_PRED, T_TOTAL};
     use adaptraj_models::config::{BackboneConfig, TrainerConfig};
     use adaptraj_models::pecnet::PecNet;
-    use adaptraj_data::trajectory::{T_OBS, T_PRED, T_TOTAL};
 
     const SOURCES: [DomainId; 2] = [DomainId::EthUcy, DomainId::LCas];
 
@@ -458,6 +571,61 @@ mod tests {
             "{:?}",
             report.epoch_losses
         );
+    }
+
+    #[test]
+    fn fit_telemetry_labels_steps_and_decomposes_losses() {
+        let cfg = AdapTrajConfig {
+            e_start: 2,
+            e_end: 4,
+            trainer: TrainerConfig {
+                epochs: 6,
+                batch_size: 8,
+                ..TrainerConfig::smoke()
+            },
+            ..AdapTrajConfig::smoke()
+        };
+        let mut model = make_model(cfg);
+        let report = model.fit(&train_set());
+        assert_eq!(report.epochs.len(), 6);
+        let phases: Vec<&str> = report.epochs.iter().map(|e| e.phase.as_str()).collect();
+        assert_eq!(
+            phases,
+            ["step1", "step1", "step2", "step2", "step3", "step3"]
+        );
+        for e in &report.epochs {
+            assert!(e.loss.is_finite());
+            assert!(e.grad_norm.is_finite());
+            assert_eq!(e.non_finite_batches, 0);
+            // Every epoch computes the decomposed ours-loss terms.
+            for v in [
+                e.components.backbone,
+                e.components.recon,
+                e.components.diff,
+                e.components.similar,
+            ] {
+                assert!(
+                    v.is_finite(),
+                    "epoch {} components: {:?}",
+                    e.epoch,
+                    e.components
+                );
+            }
+            // Per-group norms cover the five framework groups.
+            let labels: Vec<&str> = e.group_norms.iter().map(|g| g.label.as_str()).collect();
+            assert_eq!(
+                labels,
+                ["backbone", "invariant", "specific", "aggregator", "aux"]
+            );
+            assert!(e.group_norms.iter().all(|g| g.param_norm > 0.0));
+        }
+        // Distillation only runs on masked (step >= 2) passes.
+        assert!(report.epochs[0].components.distill.is_nan());
+        assert!(report.epochs[5].components.distill.is_finite());
+        // Per-step wall-clock covers all three schedule steps.
+        let timed: Vec<&str> = report.phases.iter().map(|p| p.phase.as_str()).collect();
+        assert_eq!(timed, ["train.step1", "train.step2", "train.step3"]);
+        assert!(report.phases.iter().all(|p| p.duration_s > 0.0));
     }
 
     #[test]

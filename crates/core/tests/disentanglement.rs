@@ -115,7 +115,8 @@ fn gradient_reversal_makes_similarity_loss_adversarial() {
     let clf = DomainClassifier::new(&mut store, &mut rng, f, 2);
 
     let mk = |rng: &mut Rng| Tensor::randn(1, f, 0.0, 1.0, rng);
-    let (inv_i0, inv_n0, spec_i0, spec_n0) = (mk(&mut rng), mk(&mut rng), mk(&mut rng), mk(&mut rng));
+    let (inv_i0, inv_n0, spec_i0, spec_n0) =
+        (mk(&mut rng), mk(&mut rng), mk(&mut rng), mk(&mut rng));
 
     let eval_loss = |inv_i: &Tensor, spec_i: &Tensor| -> (f32, Tensor, Tensor) {
         let mut tape = Tape::new();
@@ -141,7 +142,10 @@ fn gradient_reversal_makes_similarity_loss_adversarial() {
     let mut spec_stepped = spec_i0.clone();
     spec_stepped.axpy(-lr, &g_spec);
     let (l_spec, _, _) = eval_loss(&inv_i0, &spec_stepped);
-    assert!(l_spec < l0, "specific descent should reduce loss: {l0} -> {l_spec}");
+    assert!(
+        l_spec < l0,
+        "specific descent should reduce loss: {l0} -> {l_spec}"
+    );
 
     // Descend the reported gradient on the invariant features → loss RISES
     // (the gradient was reversed: the optimizer unknowingly does ascent).

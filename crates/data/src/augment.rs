@@ -18,9 +18,8 @@ fn rotate_point(p: Point, cos: f32, sin: f32) -> Point {
 /// `angle` radians about the origin.
 pub fn rotate_window(w: &TrajWindow, angle: f32) -> TrajWindow {
     let (sin, cos) = angle.sin_cos();
-    let rot_track = |t: &[Point]| -> Vec<Point> {
-        t.iter().map(|&p| rotate_point(p, cos, sin)).collect()
-    };
+    let rot_track =
+        |t: &[Point]| -> Vec<Point> { t.iter().map(|&p| rotate_point(p, cos, sin)).collect() };
     TrajWindow {
         obs: rot_track(&w.obs),
         fut: rot_track(&w.fut),
@@ -69,7 +68,9 @@ mod tests {
     }
 
     fn norms(t: &[Point]) -> Vec<f32> {
-        t.iter().map(|p| (p[0] * p[0] + p[1] * p[1]).sqrt()).collect()
+        t.iter()
+            .map(|p| (p[0] * p[0] + p[1] * p[1]).sqrt())
+            .collect()
     }
 
     #[test]

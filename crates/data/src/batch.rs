@@ -6,10 +6,7 @@ use adaptraj_tensor::rng::Rng;
 pub fn shuffled_batches(n: usize, batch_size: usize, rng: &mut Rng) -> Vec<Vec<usize>> {
     assert!(batch_size > 0, "batch_size must be positive");
     let order = rng.permutation(n);
-    order
-        .chunks(batch_size)
-        .map(|c| c.to_vec())
-        .collect()
+    order.chunks(batch_size).map(|c| c.to_vec()).collect()
 }
 
 /// Sequential mini-batches (for deterministic evaluation).

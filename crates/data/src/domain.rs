@@ -25,7 +25,12 @@ pub enum DomainId {
 
 impl DomainId {
     /// All domains in the paper's column order.
-    pub const ALL: [DomainId; 4] = [DomainId::EthUcy, DomainId::LCas, DomainId::Syi, DomainId::Sdd];
+    pub const ALL: [DomainId; 4] = [
+        DomainId::EthUcy,
+        DomainId::LCas,
+        DomainId::Syi,
+        DomainId::Sdd,
+    ];
 
     /// Display name matching the paper's tables.
     pub fn name(self) -> &'static str {
@@ -183,9 +188,18 @@ mod tests {
     #[test]
     fn calibration_orderings_match_table_one() {
         // SYI has the fastest flow, L-CAS the slowest.
-        let speeds: Vec<f32> = DomainId::ALL.iter().map(|d| d.scenario().speed_mean).collect();
-        assert!(speeds[2] > speeds[0] && speeds[2] > speeds[3], "SYI fastest");
-        assert!(speeds[1] < speeds[0] && speeds[1] < speeds[3], "L-CAS slowest");
+        let speeds: Vec<f32> = DomainId::ALL
+            .iter()
+            .map(|d| d.scenario().speed_mean)
+            .collect();
+        assert!(
+            speeds[2] > speeds[0] && speeds[2] > speeds[3],
+            "SYI fastest"
+        );
+        assert!(
+            speeds[1] < speeds[0] && speeds[1] < speeds[3],
+            "L-CAS slowest"
+        );
         // SYI is the densest scene, L-CAS the sparsest.
         let density: Vec<usize> = DomainId::ALL
             .iter()
@@ -197,8 +211,17 @@ mod tests {
         assert_eq!(DomainId::Syi.scenario().flow_axis, FlowAxis::Vertical);
         assert_eq!(DomainId::EthUcy.scenario().flow_axis, FlowAxis::Horizontal);
         // SDD has the widest speed spread (mixed cyclists/pedestrians).
-        let stds: Vec<f32> = DomainId::ALL.iter().map(|d| d.scenario().speed_std).collect();
-        assert!(stds[3] >= *stds.iter().take(3).fold(&0.0f32, |m, s| if s > m { s } else { m }));
+        let stds: Vec<f32> = DomainId::ALL
+            .iter()
+            .map(|d| d.scenario().speed_std)
+            .collect();
+        assert!(
+            stds[3]
+                >= *stds
+                    .iter()
+                    .take(3)
+                    .fold(&0.0f32, |m, s| if s > m { s } else { m })
+        );
     }
 
     #[test]

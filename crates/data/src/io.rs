@@ -94,8 +94,7 @@ impl WindowBuilder {
             .domain
             .ok_or_else(|| CsvError::Parse(line, "window without rows".into()))?;
         let focal: Option<Vec<Point>> = self.focal.into_iter().collect();
-        let focal =
-            focal.ok_or_else(|| CsvError::Parse(line, "focal track has gaps".into()))?;
+        let focal = focal.ok_or_else(|| CsvError::Parse(line, "focal track has gaps".into()))?;
         if focal.len() != T_TOTAL {
             return Err(CsvError::Parse(
                 line,
@@ -138,7 +137,10 @@ pub fn read_csv(reader: &mut impl BufRead) -> Result<Vec<TrajWindow>, CsvError> 
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 6 {
-            return Err(CsvError::Parse(lineno, format!("{} fields, expected 6", fields.len())));
+            return Err(CsvError::Parse(
+                lineno,
+                format!("{} fields, expected 6", fields.len()),
+            ));
         }
         let wid: usize = fields[0]
             .parse()

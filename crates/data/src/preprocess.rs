@@ -22,7 +22,10 @@ pub struct ExtractionConfig {
 
 impl Default for ExtractionConfig {
     fn default() -> Self {
-        Self { hop: 4, min_agents: 1 }
+        Self {
+            hop: 4,
+            min_agents: 1,
+        }
     }
 }
 
@@ -68,7 +71,9 @@ pub fn extract_windows(
     }
 
     let present_span = |agent: usize, start: usize, len: usize| -> bool {
-        grid[start..start + len].iter().all(|row| row[agent].is_some())
+        grid[start..start + len]
+            .iter()
+            .all(|row| row[agent].is_some())
     };
 
     let mut start = 0;
@@ -110,15 +115,14 @@ mod tests {
     use adaptraj_sim::{Agent, ForceParams, Vec2, World};
 
     fn long_world(n_agents: usize) -> Recording {
-        let p = ForceParams { noise_std: 0.0, ..Default::default() };
+        let p = ForceParams {
+            noise_std: 0.0,
+            ..Default::default()
+        };
         let mut w = World::new(p, 0.1, 1);
         for i in 0..n_agents {
             let y = i as f32 * 2.0;
-            w.spawn(Agent::walker(
-                Vec2::new(-20.0, y),
-                Vec2::new(60.0, y),
-                1.0,
-            ));
+            w.spawn(Agent::walker(Vec2::new(-20.0, y), Vec2::new(60.0, y), 1.0));
         }
         w.run_record(400) // 40 s ⇒ 100 resampled frames
     }
@@ -141,12 +145,18 @@ mod tests {
         let dense = extract_windows(
             &rec,
             DomainId::EthUcy,
-            &ExtractionConfig { hop: 1, min_agents: 1 },
+            &ExtractionConfig {
+                hop: 1,
+                min_agents: 1,
+            },
         );
         let sparse = extract_windows(
             &rec,
             DomainId::EthUcy,
-            &ExtractionConfig { hop: 8, min_agents: 1 },
+            &ExtractionConfig {
+                hop: 8,
+                min_agents: 1,
+            },
         );
         assert!(dense.len() > sparse.len() * 4);
     }
@@ -166,14 +176,23 @@ mod tests {
         let filtered = extract_windows(
             &rec,
             DomainId::EthUcy,
-            &ExtractionConfig { hop: 4, min_agents: 2 },
+            &ExtractionConfig {
+                hop: 4,
+                min_agents: 2,
+            },
         );
-        assert!(filtered.is_empty(), "single-agent scene has no multi-agent windows");
+        assert!(
+            filtered.is_empty(),
+            "single-agent scene has no multi-agent windows"
+        );
     }
 
     #[test]
     fn short_recordings_yield_nothing() {
-        let p = ForceParams { noise_std: 0.0, ..Default::default() };
+        let p = ForceParams {
+            noise_std: 0.0,
+            ..Default::default()
+        };
         let mut w = World::new(p, 0.1, 2);
         w.spawn(Agent::walker(Vec2::ZERO, Vec2::new(50.0, 0.0), 1.0));
         let rec = w.run_record(20); // only ~6 resampled frames

@@ -20,7 +20,10 @@ impl MeanStd {
     pub fn of(samples: impl Iterator<Item = f32>) -> MeanStd {
         let xs: Vec<f32> = samples.collect();
         if xs.is_empty() {
-            return MeanStd { mean: 0.0, std: 0.0 };
+            return MeanStd {
+                mean: 0.0,
+                std: 0.0,
+            };
         }
         let n = xs.len() as f32;
         let mean = xs.iter().sum::<f32>() / n;
@@ -101,7 +104,9 @@ mod tests {
 
     #[test]
     fn constant_velocity_track_has_zero_acceleration() {
-        let focal: Vec<[f32; 2]> = (0..T_TOTAL).map(|t| [0.3 * t as f32, 0.1 * t as f32]).collect();
+        let focal: Vec<[f32; 2]> = (0..T_TOTAL)
+            .map(|t| [0.3 * t as f32, 0.1 * t as f32])
+            .collect();
         let w = TrajWindow::from_world(&focal, &[], DomainId::EthUcy);
         let s = table_one(std::slice::from_ref(&w));
         assert_eq!(s.sequences, 1);

@@ -44,11 +44,7 @@ impl TrajWindow {
     /// coordinate relative to the focal agent's last observed position.
     ///
     /// Panics if track lengths do not match the protocol horizons.
-    pub fn from_world(
-        focal: &[Point],
-        neighbors: &[Vec<Point>],
-        domain: DomainId,
-    ) -> Self {
+    pub fn from_world(focal: &[Point], neighbors: &[Vec<Point>], domain: DomainId) -> Self {
         assert_eq!(focal.len(), T_TOTAL, "focal track must be {T_TOTAL} steps");
         for n in neighbors {
             assert_eq!(n.len(), T_OBS, "neighbor tracks must be {T_OBS} steps");

@@ -18,11 +18,11 @@ pub mod tables;
 pub mod viz;
 
 pub use metrics::{ade, best_of_k, fde, EvalAccumulator, EvalResult};
-pub use social::{collides, misses, SocialAccumulator, SocialReport};
 pub use runner::{
     build_predictor, evaluate, leave_one_out, run_cell, run_cell_avg, BackboneKind, CellResult,
     CellSpec, MethodKind, RunnerConfig,
 };
+pub use social::{collides, misses, SocialAccumulator, SocialReport};
 pub use stats::{paired_bootstrap, PairedBootstrap};
 pub use tables::TextTable;
 pub use viz::{render_window, VizOptions};

@@ -26,7 +26,10 @@ pub fn ade(pred: &[Point], gt: &[Point]) -> f32 {
 /// FDE: Euclidean distance at the final prediction step.
 pub fn fde(pred: &[Point], gt: &[Point]) -> f32 {
     assert_eq!(pred.len(), gt.len(), "FDE needs equal-length tracks");
-    let (&p, &g) = (pred.last().expect("non-empty"), gt.last().expect("non-empty"));
+    let (&p, &g) = (
+        pred.last().expect("non-empty"),
+        gt.last().expect("non-empty"),
+    );
     dist(p, g)
 }
 

@@ -6,9 +6,11 @@ use adaptraj_core::{AdapTraj, AdapTrajConfig};
 use adaptraj_data::dataset::DomainDataset;
 use adaptraj_data::domain::DomainId;
 use adaptraj_data::trajectory::TrajWindow;
+use adaptraj_models::predictor::TrainReport;
 use adaptraj_models::{
     BackboneConfig, CausalMotion, Counter, Lbebm, PecNet, Predictor, TrainerConfig, Vanilla,
 };
+use adaptraj_obs::{Level, Span};
 use adaptraj_tensor::Rng;
 use std::time::Instant;
 
@@ -96,6 +98,9 @@ pub struct CellResult {
     pub infer_time_s: f64,
     pub train_time_s: f64,
     pub final_train_loss: Option<f32>,
+    /// Full per-epoch training telemetry (feeds the run manifest). For
+    /// [`run_cell_avg`] this is the report of the last seed's run.
+    pub report: TrainReport,
 }
 
 /// Scale knobs for a whole experiment run.
@@ -169,21 +174,21 @@ pub fn build_predictor(spec: &CellSpec, cfg: &RunnerConfig) -> Box<dyn Predictor
     let bcfg = cfg.backbone.clone();
     let tcfg = cfg.trainer.clone();
     match (spec.backbone, spec.method) {
-        (BackboneKind::PecNet, MethodKind::Vanilla) => Box::new(Vanilla::new(tcfg, move |s, r| {
-            PecNet::new(s, r, bcfg)
-        })),
-        (BackboneKind::PecNet, MethodKind::Counter) => Box::new(Counter::new(tcfg, move |s, r| {
-            PecNet::new(s, r, bcfg)
-        })),
+        (BackboneKind::PecNet, MethodKind::Vanilla) => {
+            Box::new(Vanilla::new(tcfg, move |s, r| PecNet::new(s, r, bcfg)))
+        }
+        (BackboneKind::PecNet, MethodKind::Counter) => {
+            Box::new(Counter::new(tcfg, move |s, r| PecNet::new(s, r, bcfg)))
+        }
         (BackboneKind::PecNet, MethodKind::CausalMotion) => {
             Box::new(CausalMotion::new(tcfg, move |s, r| PecNet::new(s, r, bcfg)))
         }
-        (BackboneKind::Lbebm, MethodKind::Vanilla) => Box::new(Vanilla::new(tcfg, move |s, r| {
-            Lbebm::new(s, r, bcfg)
-        })),
-        (BackboneKind::Lbebm, MethodKind::Counter) => Box::new(Counter::new(tcfg, move |s, r| {
-            Lbebm::new(s, r, bcfg)
-        })),
+        (BackboneKind::Lbebm, MethodKind::Vanilla) => {
+            Box::new(Vanilla::new(tcfg, move |s, r| Lbebm::new(s, r, bcfg)))
+        }
+        (BackboneKind::Lbebm, MethodKind::Counter) => {
+            Box::new(Counter::new(tcfg, move |s, r| Lbebm::new(s, r, bcfg)))
+        }
         (BackboneKind::Lbebm, MethodKind::CausalMotion) => {
             Box::new(CausalMotion::new(tcfg, move |s, r| Lbebm::new(s, r, bcfg)))
         }
@@ -197,16 +202,16 @@ pub fn build_predictor(spec: &CellSpec, cfg: &RunnerConfig) -> Box<dyn Predictor
                 _ => unreachable!("non-AdapTraj methods handled above"),
             }
             match backbone {
-                BackboneKind::PecNet => Box::new(AdapTraj::new(
-                    acfg,
-                    &spec.sources,
-                    move |s, r, extra| PecNet::new(s, r, bcfg.with_extra(extra)),
-                )),
-                BackboneKind::Lbebm => Box::new(AdapTraj::new(
-                    acfg,
-                    &spec.sources,
-                    move |s, r, extra| Lbebm::new(s, r, bcfg.with_extra(extra)),
-                )),
+                BackboneKind::PecNet => {
+                    Box::new(AdapTraj::new(acfg, &spec.sources, move |s, r, extra| {
+                        PecNet::new(s, r, bcfg.with_extra(extra))
+                    }))
+                }
+                BackboneKind::Lbebm => {
+                    Box::new(AdapTraj::new(acfg, &spec.sources, move |s, r, extra| {
+                        Lbebm::new(s, r, bcfg.with_extra(extra))
+                    }))
+                }
             }
         }
     }
@@ -274,19 +279,26 @@ pub fn evaluate(
 
 /// Trains and evaluates one cell end to end.
 pub fn run_cell(spec: &CellSpec, datasets: &[DomainDataset], cfg: &RunnerConfig) -> CellResult {
+    let mut span = Span::enter_at("eval.cell", "cell", Level::Info).with("label", spec.label());
     let train = pooled_train(spec, datasets);
     let test = target_test(spec, datasets, cfg.eval_cap);
+    span.record("train_windows", train.len());
+    span.record("test_windows", test.len());
     let mut predictor = build_predictor(spec, cfg);
     let t0 = Instant::now();
     let report = predictor.fit(&train);
     let train_time_s = t0.elapsed().as_secs_f64();
     let (eval, infer_time_s) = evaluate(predictor.as_ref(), &test, cfg.samples_k, cfg.eval_seed);
+    span.record("ade", eval.ade);
+    span.record("fde", eval.fde);
+    span.record("train_s", train_time_s);
     CellResult {
         spec: spec.clone(),
         eval,
         infer_time_s,
         train_time_s,
         final_train_loss: report.final_loss(),
+        report,
     }
 }
 
@@ -307,6 +319,7 @@ pub fn run_cell_avg(
     let mut infer = 0.0f64;
     let mut train = 0.0f64;
     let mut last_loss = None;
+    let mut last_report = TrainReport::default();
     for (i, &seed) in seeds.iter().enumerate() {
         let mut run_cfg = cfg.clone();
         run_cfg.trainer.seed = seed;
@@ -317,6 +330,7 @@ pub fn run_cell_avg(
         infer += r.infer_time_s;
         train += r.train_time_s;
         last_loss = r.final_train_loss.or(last_loss);
+        last_report = r.report;
     }
     let n = seeds.len() as f32;
     CellResult {
@@ -328,13 +342,18 @@ pub fn run_cell_avg(
         infer_time_s: infer / seeds.len() as f64,
         train_time_s: train / seeds.len() as f64,
         final_train_loss: last_loss,
+        report: last_report,
     }
 }
 
 /// All domains except `target`, in the paper's canonical order — the
 /// standard leave-one-out source set.
 pub fn leave_one_out(target: DomainId) -> Vec<DomainId> {
-    DomainId::ALL.iter().copied().filter(|&d| d != target).collect()
+    DomainId::ALL
+        .iter()
+        .copied()
+        .filter(|&d| d != target)
+        .collect()
 }
 
 #[cfg(test)]

@@ -28,10 +28,7 @@ fn dist(a: Point, b: Point) -> f32 {
 fn extrapolate_neighbor(obs: &[Point]) -> Vec<Point> {
     debug_assert_eq!(obs.len(), T_OBS);
     let last = obs[T_OBS - 1];
-    let vel = [
-        last[0] - obs[T_OBS - 2][0],
-        last[1] - obs[T_OBS - 2][1],
-    ];
+    let vel = [last[0] - obs[T_OBS - 2][0], last[1] - obs[T_OBS - 2][1]];
     (1..=T_PRED)
         .map(|t| [last[0] + vel[0] * t as f32, last[1] + vel[1] * t as f32])
         .collect()
@@ -52,7 +49,10 @@ pub fn collides(pred: &[Point], w: &TrajWindow) -> bool {
 /// True if the prediction's final point misses the ground truth by more
 /// than [`MISS_THRESHOLD`].
 pub fn misses(pred: &[Point], gt: &[Point]) -> bool {
-    dist(*pred.last().expect("non-empty"), *gt.last().expect("non-empty")) > MISS_THRESHOLD
+    dist(
+        *pred.last().expect("non-empty"),
+        *gt.last().expect("non-empty"),
+    ) > MISS_THRESHOLD
 }
 
 /// Aggregate social metrics over a test set.

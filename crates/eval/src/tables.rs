@@ -81,7 +81,11 @@ mod tests {
     #[test]
     fn renders_aligned_columns() {
         let mut t = TextTable::new(&["Method", "ADE", "FDE"]);
-        t.push_row(vec!["PECNet-vanilla".into(), "0.948".into(), "1.785".into()]);
+        t.push_row(vec![
+            "PECNet-vanilla".into(),
+            "0.948".into(),
+            "1.785".into(),
+        ]);
         t.push_row(vec!["x".into(), "1".into(), "2".into()]);
         let s = t.render();
         let lines: Vec<&str> = s.lines().collect();

@@ -122,7 +122,9 @@ mod tests {
     use adaptraj_data::trajectory::{T_OBS, T_PRED, T_TOTAL};
 
     fn sample_window() -> TrajWindow {
-        let focal: Vec<Point> = (0..T_TOTAL).map(|t| [0.4 * t as f32, 0.1 * t as f32]).collect();
+        let focal: Vec<Point> = (0..T_TOTAL)
+            .map(|t| [0.4 * t as f32, 0.1 * t as f32])
+            .collect();
         let nb: Vec<Point> = (0..T_OBS).map(|t| [0.4 * t as f32, 2.0]).collect();
         TrajWindow::from_world(&focal, &[nb], DomainId::EthUcy)
     }

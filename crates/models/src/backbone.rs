@@ -17,9 +17,7 @@
 
 use crate::config::{BackboneConfig, EncoderKind};
 use adaptraj_data::trajectory::{Point, TrajWindow, T_OBS, T_PRED};
-use adaptraj_tensor::nn::{
-    Activation, Linear, Lstm, LstmCell, LstmState, Mlp, TransformerEncoder,
-};
+use adaptraj_tensor::nn::{Activation, Linear, Lstm, LstmCell, LstmState, Mlp, TransformerEncoder};
 use adaptraj_tensor::{GroupId, ParamStore, Rng, Tape, Tensor, Var};
 
 /// Parameter group for all backbone weights (the AdapTraj schedule
@@ -153,7 +151,11 @@ impl SceneEncoder {
 
     /// Stacks one agent's observed track as a `[T_OBS, 2]` tensor.
     fn agent_track(w: &TrajWindow, agent: usize) -> Tensor {
-        let track = if agent == 0 { &w.obs } else { &w.neighbors[agent - 1] };
+        let track = if agent == 0 {
+            &w.obs
+        } else {
+            &w.neighbors[agent - 1]
+        };
         let mut data = Vec::with_capacity(T_OBS * 2);
         for p in track {
             data.extend_from_slice(p);

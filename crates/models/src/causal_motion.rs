@@ -82,8 +82,14 @@ impl<B: Backbone> Predictor for CausalMotion<B> {
                     let half = usize::from(pos >= mid);
                     let n_half = if half == 0 { mid } else { batch.len() - mid };
                     let mut tape = Tape::new();
-                    let (_, loss) =
-                        train_forward(&self.backbone, &self.store, &mut tape, windows[i], None, &mut rng);
+                    let (_, loss) = train_forward(
+                        &self.backbone,
+                        &self.store,
+                        &mut tape,
+                        windows[i],
+                        None,
+                        &mut rng,
+                    );
                     let grads = tape.backward(loss);
                     bufs[half].absorb_scaled(&tape, &grads, 1.0 / n_half.max(1) as f32);
                     risks[half] += tape.value(loss).item() / n_half.max(1) as f32;
@@ -150,8 +156,7 @@ mod tests {
             epochs: 4,
             ..TrainerConfig::smoke()
         };
-        let mut model =
-            CausalMotion::new(cfg, |s, r| PecNet::new(s, r, BackboneConfig::default()));
+        let mut model = CausalMotion::new(cfg, |s, r| PecNet::new(s, r, BackboneConfig::default()));
         assert_eq!(model.name(), "PECNet-CausalMotion");
         let train = windows(16);
         let report = model.fit(&train);
@@ -168,8 +173,7 @@ mod tests {
             epochs: 10,
             ..TrainerConfig::smoke()
         };
-        let mut model =
-            CausalMotion::new(cfg, |s, r| PecNet::new(s, r, BackboneConfig::default()));
+        let mut model = CausalMotion::new(cfg, |s, r| PecNet::new(s, r, BackboneConfig::default()));
         let train = windows(24);
         let report = model.fit(&train);
         assert!(

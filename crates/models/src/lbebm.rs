@@ -59,7 +59,11 @@ impl Lbebm {
             store,
             rng,
             "lbebm.energy",
-            &[cfg.z_dim + cfg.hidden_dim + cfg.inter_dim, cfg.hidden_dim, 1],
+            &[
+                cfg.z_dim + cfg.hidden_dim + cfg.inter_dim,
+                cfg.hidden_dim,
+                1,
+            ],
             Activation::Relu,
             BACKBONE_GROUP,
         );
@@ -77,13 +81,7 @@ impl Lbebm {
 
     /// Energy of a latent given frozen context values, on a private tape;
     /// returns the gradient w.r.t. `z` (for Langevin) and the energy value.
-    fn energy_grad(
-        &self,
-        store: &ParamStore,
-        z: &Tensor,
-        h: &Tensor,
-        p: &Tensor,
-    ) -> (Tensor, f32) {
+    fn energy_grad(&self, store: &ParamStore, z: &Tensor, h: &Tensor, p: &Tensor) -> (Tensor, f32) {
         let mut tape = Tape::new();
         let zv = tape.input(z.clone());
         let hv = tape.constant(h.clone());
@@ -97,13 +95,7 @@ impl Lbebm {
 
     /// Short-run Langevin MCMC from a standard-normal initialization:
     /// `z ← z − s/2 · ∂E/∂z + √s · ε`.
-    fn langevin_sample(
-        &self,
-        store: &ParamStore,
-        h: &Tensor,
-        p: &Tensor,
-        rng: &mut Rng,
-    ) -> Tensor {
+    fn langevin_sample(&self, store: &ParamStore, h: &Tensor, p: &Tensor, rng: &mut Rng) -> Tensor {
         let mut z = Tensor::randn(1, self.cfg.z_dim, 0.0, 1.0, rng);
         let s = LANGEVIN_STEP_SIZE;
         for _ in 0..LANGEVIN_STEPS {
@@ -321,9 +313,25 @@ mod tests {
         let mut tape = Tape::new();
         let enc = model.encode(&store, &mut tape, &w);
         let e1 = tape.constant(Tensor::zeros(1, 5));
-        let g1 = model.generate(&store, &mut tape, &w, &enc, Some(e1), &mut rng, GenMode::Sample);
+        let g1 = model.generate(
+            &store,
+            &mut tape,
+            &w,
+            &enc,
+            Some(e1),
+            &mut rng,
+            GenMode::Sample,
+        );
         let e2 = tape.constant(Tensor::full(1, 5, 3.0));
-        let g2 = model.generate(&store, &mut tape, &w, &enc, Some(e2), &mut rng, GenMode::Sample);
+        let g2 = model.generate(
+            &store,
+            &mut tape,
+            &w,
+            &enc,
+            Some(e2),
+            &mut rng,
+            GenMode::Sample,
+        );
         assert_ne!(tape.value(g1.pred).data(), tape.value(g2.pred).data());
     }
 }

@@ -4,19 +4,78 @@ use crate::config::TrainerConfig;
 use adaptraj_data::batch::shuffled_batches;
 use adaptraj_data::domain::DomainId;
 use adaptraj_data::trajectory::{Point, TrajWindow};
+use adaptraj_obs::{obs_info, obs_warn, EpochRecord, GroupNorm, PhaseTiming, Span};
 use adaptraj_tensor::optim::Adam;
-use adaptraj_tensor::{GradBuffer, ParamStore, Rng, Tape, Var};
+use adaptraj_tensor::{GradBuffer, GroupId, ParamStore, Rng, Tape, Var};
+use std::time::Instant;
 
-/// Per-epoch mean training losses.
+/// Per-epoch training telemetry: the legacy mean-loss curve plus the full
+/// per-epoch records and per-phase wall-clock consumed by the run
+/// manifest (`--manifest`).
 #[derive(Debug, Clone, Default)]
 pub struct TrainReport {
     pub epoch_losses: Vec<f32>,
+    pub epochs: Vec<EpochRecord>,
+    pub phases: Vec<PhaseTiming>,
 }
 
 impl TrainReport {
     pub fn final_loss(&self) -> Option<f32> {
         self.epoch_losses.last().copied()
     }
+
+    /// Total windows skipped due to non-finite losses.
+    pub fn non_finite_total(&self) -> u64 {
+        self.epochs.iter().map(|e| e.non_finite_batches).sum()
+    }
+}
+
+/// Workspace-wide optimizer-group labels. Group numbering is a cross-crate
+/// convention: 0 is the backbone/default group ([`crate::BACKBONE_GROUP`]);
+/// 1–4 are the AdapTraj framework groups defined in `adaptraj-core`.
+pub fn group_label(g: GroupId) -> &'static str {
+    match g.0 {
+        0 => "backbone",
+        1 => "invariant",
+        2 => "specific",
+        3 => "aggregator",
+        4 => "aux",
+        _ => "other",
+    }
+}
+
+/// Per-optimizer-group gradient and parameter L2 norms for one batch's
+/// gradient buffer. Groups with no registered parameters are absent;
+/// groups whose parameters received no gradient report `grad_norm = 0`.
+pub fn group_norms(store: &ParamStore, buf: &GradBuffer) -> Vec<GroupNorm> {
+    // (group, grad_sq, param_sq), ordered by first appearance then sorted.
+    let mut acc: Vec<(u32, f64, f64)> = Vec::new();
+    let slot = |acc: &mut Vec<(u32, f64, f64)>, g: u32| -> usize {
+        match acc.iter().position(|(gg, _, _)| *gg == g) {
+            Some(i) => i,
+            None => {
+                acc.push((g, 0.0, 0.0));
+                acc.len() - 1
+            }
+        }
+    };
+    for id in store.ids() {
+        let i = slot(&mut acc, store.group(id).0);
+        acc[i].2 += store.value(id).frob_sq() as f64;
+    }
+    for (id, grad) in buf.iter() {
+        let i = slot(&mut acc, store.group(id).0);
+        acc[i].1 += grad.frob_sq() as f64;
+    }
+    acc.sort_by_key(|(g, _, _)| *g);
+    acc.into_iter()
+        .map(|(g, grad_sq, param_sq)| GroupNorm {
+            group: g,
+            label: group_label(GroupId(g)).to_string(),
+            grad_norm: grad_sq.sqrt(),
+            param_norm: param_sq.sqrt(),
+        })
+        .collect()
 }
 
 /// A trained (or trainable) trajectory predictor: a backbone wrapped in a
@@ -81,6 +140,35 @@ pub fn fit_loop<F>(
     cfg: &TrainerConfig,
     windows: &[&TrajWindow],
     rng: &mut Rng,
+    per_window: F,
+) -> TrainReport
+where
+    F: FnMut(&ParamStore, &mut Tape, &TrajWindow, &mut Rng) -> Var,
+{
+    fit_loop_phase(store, opt, cfg, windows, rng, "train", 0, per_window)
+}
+
+/// [`fit_loop`] with explicit telemetry labeling: `phase` names this run
+/// of the loop in epoch records and phase timings ("train" for
+/// single-phase methods; "step1"/"step2"/"step3" under the AdapTraj
+/// schedule) and `epoch_offset` keeps epoch numbering global when a
+/// schedule invokes the loop repeatedly.
+///
+/// Telemetry per epoch: an `epoch` span (debug level), mean loss over
+/// *finite* windows, the batch-averaged pre-clip global gradient norm,
+/// per-group gradient/parameter norms from the final batch, and a count
+/// of windows skipped because their loss came back non-finite (the guard
+/// keeps a single NaN forward pass from corrupting the whole parameter
+/// store).
+#[allow(clippy::too_many_arguments)]
+pub fn fit_loop_phase<F>(
+    store: &mut ParamStore,
+    opt: &mut Adam,
+    cfg: &TrainerConfig,
+    windows: &[&TrajWindow],
+    rng: &mut Rng,
+    phase: &str,
+    epoch_offset: usize,
     mut per_window: F,
 ) -> TrainReport
 where
@@ -90,30 +178,57 @@ where
     if windows.is_empty() {
         return report;
     }
+    let phase_start = Instant::now();
     let mut best_loss = f32::INFINITY;
     let mut stale_epochs = 0usize;
-    for _epoch in 0..cfg.epochs {
-        let mut epoch_loss = 0.0;
+    for epoch in 0..cfg.epochs {
+        let global_epoch = epoch + epoch_offset;
+        let mut span = Span::enter("models.fit", "epoch").with("epoch", global_epoch);
+        let epoch_start = Instant::now();
+        let mut rec = EpochRecord::new(global_epoch, phase);
+        let mut epoch_loss = 0.0f64;
         let mut seen = 0usize;
+        let mut grad_norm_sum = 0.0f64;
+        let mut batches = 0usize;
         for batch in shuffled_batches(windows.len(), cfg.batch_size, rng) {
             let mut buf = GradBuffer::new();
             let inv = 1.0 / batch.len() as f32;
             for &i in &batch {
                 let mut tape = Tape::new();
                 let loss = per_window(store, &mut tape, windows[i], rng);
+                let val = tape.value(loss).item();
+                if !val.is_finite() {
+                    rec.non_finite_batches += 1;
+                    obs_warn!(
+                        "models.fit",
+                        "non-finite loss at epoch {global_epoch}, window {i}; skipping"
+                    );
+                    continue;
+                }
                 let grads = tape.backward(loss);
                 buf.absorb_scaled(&tape, &grads, inv);
-                epoch_loss += tape.value(loss).item();
+                epoch_loss += val as f64;
                 seen += 1;
             }
-            if cfg.grad_clip > 0.0 {
-                buf.clip_global_norm(cfg.grad_clip);
-            }
+            let norm = if cfg.grad_clip > 0.0 {
+                buf.clip_global_norm(cfg.grad_clip)
+            } else {
+                buf.global_norm()
+            };
+            grad_norm_sum += norm as f64;
+            batches += 1;
+            rec.group_norms = group_norms(store, &buf);
             opt.step(store, &buf);
         }
-        let mean_loss = epoch_loss / seen.max(1) as f32;
+        let mean_loss = (epoch_loss / seen.max(1) as f64) as f32;
+        rec.loss = mean_loss as f64;
+        rec.grad_norm = grad_norm_sum / batches.max(1) as f64;
+        rec.duration_s = epoch_start.elapsed().as_secs_f64();
+        span.record("loss", rec.loss);
+        span.record("grad_norm", rec.grad_norm);
         report.epoch_losses.push(mean_loss);
         // Optional plateau-based early stopping.
+        let mut stop = false;
         if cfg.patience > 0 {
             if mean_loss < best_loss - 1e-6 {
                 best_loss = mean_loss;
@@ -121,11 +236,24 @@ where
             } else {
                 stale_epochs += 1;
                 if stale_epochs >= cfg.patience {
-                    break;
+                    rec.early_stop = true;
+                    stop = true;
+                    obs_info!(
+                        "models.fit",
+                        "early stop at epoch {global_epoch}: no improvement for {} epochs",
+                        cfg.patience
+                    );
                 }
             }
         }
+        report.epochs.push(rec);
+        if stop {
+            break;
+        }
     }
+    report
+        .phases
+        .push(PhaseTiming::new(phase, phase_start.elapsed().as_secs_f64()));
     report
 }
 
@@ -189,11 +317,18 @@ mod tests {
         let train: Vec<TrajWindow> = (0..4).map(|_| window_for(DomainId::LCas, 0.1)).collect();
         let windows: Vec<&TrajWindow> = train.iter().collect();
         let mut rng = Rng::seed_from(0);
-        let report = fit_loop(&mut store, &mut opt, &cfg, &windows, &mut rng, |s, tape, _w, _r| {
-            let pv = tape.param(s, p);
-            let sq = tape.mul(pv, pv);
-            tape.sum_all(sq)
-        });
+        let report = fit_loop(
+            &mut store,
+            &mut opt,
+            &cfg,
+            &windows,
+            &mut rng,
+            |s, tape, _w, _r| {
+                let pv = tape.param(s, p);
+                let sq = tape.mul(pv, pv);
+                tape.sum_all(sq)
+            },
+        );
         assert_eq!(report.epoch_losses.len(), 30);
         assert!(report.final_loss().unwrap() < report.epoch_losses[0] * 0.05);
     }
@@ -214,13 +349,107 @@ mod tests {
         let train: Vec<TrajWindow> = (0..4).map(|_| window_for(DomainId::LCas, 0.1)).collect();
         let windows: Vec<&TrajWindow> = train.iter().collect();
         let mut rng = Rng::seed_from(0);
-        let report = fit_loop(&mut store, &mut opt, &cfg, &windows, &mut rng, |s, tape, _w, _r| {
-            let pv = tape.param(s, p);
-            let sq = tape.mul(pv, pv);
-            tape.sum_all(sq)
-        });
+        let report = fit_loop(
+            &mut store,
+            &mut opt,
+            &cfg,
+            &windows,
+            &mut rng,
+            |s, tape, _w, _r| {
+                let pv = tape.param(s, p);
+                let sq = tape.mul(pv, pv);
+                tape.sum_all(sq)
+            },
+        );
         // 1 epoch to set the best + 3 stale epochs = 4 total.
         assert_eq!(report.epoch_losses.len(), 4, "{:?}", report.epoch_losses);
+        // The telemetry mirror agrees and flags the stopping epoch.
+        assert_eq!(report.epochs.len(), 4);
+        assert!(report.epochs.last().unwrap().early_stop);
+        assert!(report.epochs[..3].iter().all(|e| !e.early_stop));
+    }
+
+    #[test]
+    fn fit_loop_records_epoch_telemetry() {
+        use adaptraj_tensor::{GroupId, Tensor};
+        let mut store = ParamStore::new();
+        let p = store.register("p", Tensor::row(&[2.0]), GroupId::DEFAULT);
+        let mut opt = Adam::new(0.05);
+        let cfg = TrainerConfig {
+            epochs: 3,
+            batch_size: 2,
+            ..TrainerConfig::smoke()
+        };
+        let train: Vec<TrajWindow> = (0..4).map(|_| window_for(DomainId::LCas, 0.1)).collect();
+        let windows: Vec<&TrajWindow> = train.iter().collect();
+        let mut rng = Rng::seed_from(0);
+        let report = fit_loop(
+            &mut store,
+            &mut opt,
+            &cfg,
+            &windows,
+            &mut rng,
+            |s, tape, _w, _r| {
+                let pv = tape.param(s, p);
+                let sq = tape.mul(pv, pv);
+                tape.sum_all(sq)
+            },
+        );
+        assert_eq!(report.epochs.len(), 3);
+        for (i, e) in report.epochs.iter().enumerate() {
+            assert_eq!(e.epoch, i);
+            assert_eq!(e.phase, "train");
+            assert!(e.loss.is_finite());
+            assert!(e.grad_norm.is_finite() && e.grad_norm > 0.0);
+            assert!(e.duration_s >= 0.0);
+            assert_eq!(e.non_finite_batches, 0);
+            let g = e
+                .group_norms
+                .iter()
+                .find(|g| g.group == 0)
+                .expect("default group norms recorded");
+            assert_eq!(g.label, "backbone");
+            assert!(g.grad_norm > 0.0 && g.param_norm > 0.0);
+        }
+        // The legacy curve and the telemetry agree.
+        for (l, e) in report.epoch_losses.iter().zip(&report.epochs) {
+            assert!((f64::from(*l) - e.loss).abs() < 1e-9);
+        }
+        assert_eq!(report.phases.len(), 1);
+        assert_eq!(report.phases[0].phase, "train");
+    }
+
+    // Debug builds reject non-finite tensors at op-creation time
+    // (`debug_assert` in `Tape::push`), so the runtime guard in `fit_loop`
+    // is release-path behavior and can only be exercised there.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn non_finite_losses_are_guarded_not_applied() {
+        use adaptraj_tensor::{GroupId, Tensor};
+        let mut store = ParamStore::new();
+        let p = store.register("p", Tensor::row(&[1.0]), GroupId::DEFAULT);
+        let before = store.value(p).clone();
+        let mut opt = Adam::new(0.1);
+        let cfg = TrainerConfig {
+            epochs: 1,
+            batch_size: 4,
+            ..TrainerConfig::smoke()
+        };
+        let train: Vec<TrajWindow> = (0..4).map(|_| window_for(DomainId::LCas, 0.1)).collect();
+        let windows: Vec<&TrajWindow> = train.iter().collect();
+        let mut rng = Rng::seed_from(0);
+        // Every window produces a NaN loss; the guard must skip them all,
+        // leaving the parameter untouched and the skips counted.
+        let report = fit_loop(
+            &mut store,
+            &mut opt,
+            &cfg,
+            &windows,
+            &mut rng,
+            |_, tape, _w, _r| tape.constant(Tensor::scalar(f32::NAN)),
+        );
+        assert_eq!(report.epochs[0].non_finite_batches, 4);
+        assert_eq!(store.value(p), &before, "NaN gradients leaked into params");
     }
 
     #[test]
@@ -229,9 +458,14 @@ mod tests {
         let mut opt = Adam::new(0.05);
         let cfg = TrainerConfig::smoke();
         let mut rng = Rng::seed_from(0);
-        let report = fit_loop(&mut store, &mut opt, &cfg, &[], &mut rng, |_, tape, _, _| {
-            tape.constant(adaptraj_tensor::Tensor::scalar(0.0))
-        });
+        let report = fit_loop(
+            &mut store,
+            &mut opt,
+            &cfg,
+            &[],
+            &mut rng,
+            |_, tape, _, _| tape.constant(adaptraj_tensor::Tensor::scalar(0.0)),
+        );
         assert!(report.epoch_losses.is_empty());
     }
 }

@@ -160,9 +160,25 @@ mod tests {
         let mut tape = Tape::new();
         let enc = model.encode(&store, &mut tape, &w);
         let e1 = tape.constant(Tensor::zeros(1, 6));
-        let g1 = model.generate(&store, &mut tape, &w, &enc, Some(e1), &mut rng, GenMode::Sample);
+        let g1 = model.generate(
+            &store,
+            &mut tape,
+            &w,
+            &enc,
+            Some(e1),
+            &mut rng,
+            GenMode::Sample,
+        );
         let e2 = tape.constant(Tensor::full(1, 6, 2.0));
-        let g2 = model.generate(&store, &mut tape, &w, &enc, Some(e2), &mut rng, GenMode::Sample);
+        let g2 = model.generate(
+            &store,
+            &mut tape,
+            &w,
+            &enc,
+            Some(e2),
+            &mut rng,
+            GenMode::Sample,
+        );
         assert_ne!(tape.value(g1.pred).data(), tape.value(g2.pred).data());
     }
 }

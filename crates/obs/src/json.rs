@@ -1,0 +1,219 @@
+//! Minimal JSON serialization.
+//!
+//! The workspace builds with no registry access, so there is no serde;
+//! this module provides the small subset the observability layer needs:
+//! string escaping and push-style object/array builders that produce
+//! compact single-line JSON (one line per JSONL record).
+
+/// Escapes `s` into `buf` as the *contents* of a JSON string (no quotes).
+pub fn escape_into(buf: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+}
+
+/// Formats a float as a JSON value. Non-finite values have no JSON
+/// representation and become `null` (consumers treat that as "guard
+/// tripped" — see the non-finite-loss accounting in the run manifest).
+pub fn push_f64(buf: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{}` on f64 round-trips and never produces exponents for the
+        // magnitudes we log; integral values print without ".0", which is
+        // still valid JSON.
+        buf.push_str(&format!("{v}"));
+    } else {
+        buf.push_str("null");
+    }
+}
+
+/// Push-style JSON object builder producing a compact single line.
+#[derive(Debug)]
+pub struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Obj {
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        escape_into(&mut self.buf, k);
+        self.buf.push_str("\":");
+    }
+
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push('"');
+        escape_into(&mut self.buf, v);
+        self.buf.push('"');
+        self
+    }
+
+    pub fn f64(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        push_f64(&mut self.buf, v);
+        self
+    }
+
+    pub fn u64(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    pub fn i64(mut self, k: &str, v: i64) -> Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Inserts pre-serialized JSON (a nested object or array) verbatim.
+    pub fn raw(mut self, k: &str, json: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(json);
+        self
+    }
+
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for Obj {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Push-style JSON array builder.
+#[derive(Debug)]
+pub struct Arr {
+    buf: String,
+    first: bool,
+}
+
+impl Arr {
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("["),
+            first: true,
+        }
+    }
+
+    fn sep(&mut self) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+    }
+
+    pub fn push_raw(mut self, json: &str) -> Self {
+        self.sep();
+        self.buf.push_str(json);
+        self
+    }
+
+    pub fn push_str(mut self, v: &str) -> Self {
+        self.sep();
+        self.buf.push('"');
+        escape_into(&mut self.buf, v);
+        self.buf.push('"');
+        self
+    }
+
+    pub fn push_f64(mut self, v: f64) -> Self {
+        self.sep();
+        push_f64(&mut self.buf, v);
+        self
+    }
+
+    pub fn finish(mut self) -> String {
+        self.buf.push(']');
+        self.buf
+    }
+}
+
+impl Default for Arr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_chars() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn object_builder_produces_compact_json() {
+        let j = Obj::new()
+            .str("name", "x")
+            .u64("count", 3)
+            .f64("v", 1.5)
+            .bool("ok", true)
+            .raw("nested", "[1,2]")
+            .finish();
+        assert_eq!(
+            j,
+            r#"{"name":"x","count":3,"v":1.5,"ok":true,"nested":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let j = Obj::new()
+            .f64("bad", f64::NAN)
+            .f64("inf", f64::INFINITY)
+            .finish();
+        assert_eq!(j, r#"{"bad":null,"inf":null}"#);
+    }
+
+    #[test]
+    fn array_builder() {
+        let a = Arr::new()
+            .push_str("a")
+            .push_f64(2.0)
+            .push_raw("{}")
+            .finish();
+        assert_eq!(a, r#"["a",2,{}]"#);
+    }
+
+    #[test]
+    fn empty_object_and_array() {
+        assert_eq!(Obj::new().finish(), "{}");
+        assert_eq!(Arr::new().finish(), "[]");
+    }
+}

@@ -1,0 +1,34 @@
+//! Observability for the AdapTraj workspace: tracing spans, metrics, and
+//! training-run telemetry — all dependency-free (std only).
+//!
+//! Three layers, from hot path outward:
+//!
+//! - [`trace`]: leveled events and scoped-timer [`Span`]s dispatched to
+//!   pluggable [`Sink`]s (a stderr pretty-printer and a JSONL file
+//!   writer ship in-crate). Filtering is a single atomic load, so
+//!   disabled levels cost nothing on the hot path.
+//! - [`metrics`]: a process-global registry of counters, gauges, and
+//!   log-bucketed streaming histograms (p50/p90/p99) behind cheap
+//!   cloneable handles.
+//! - [`telemetry`]: the [`RunTelemetry`] recorder capturing per-epoch
+//!   decomposed losses, per-group gradient/parameter norms, non-finite
+//!   guards, and per-phase wall-clock, serialized as a run-manifest
+//!   JSON document.
+//!
+//! The crate sits below every other workspace crate (even
+//! `adaptraj-tensor` instruments its tape with it) and therefore
+//! depends on nothing.
+
+pub mod json;
+pub mod metrics;
+pub mod telemetry;
+pub mod trace;
+
+pub use metrics::{global, CounterHandle, GaugeHandle, HistSnapshot, HistogramHandle, Registry};
+pub use telemetry::{
+    EpochRecord, EvalSummary, GroupNorm, LossComponents, PhaseTiming, RunTelemetry, MANIFEST_SCHEMA,
+};
+pub use trace::{
+    add_sink, clear_sinks, emit, enabled, flush_sinks, max_level, set_max_level, CaptureSink,
+    Event, FieldValue, JsonlSink, Level, Sink, Span, StderrSink,
+};

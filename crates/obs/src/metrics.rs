@@ -1,0 +1,347 @@
+//! Metrics: counters, gauges, and streaming quantile histograms behind
+//! cheap cloneable handles.
+//!
+//! Registration takes a registry lock once per metric name; the returned
+//! handles are `Arc`s over atomics (counters/gauges) or a small mutex
+//! (histograms), so hot paths — `Tape::backward`, the simulator step loop,
+//! per-batch training timers — pay a few nanoseconds per update and never
+//! contend on the registry itself.
+//!
+//! Histograms are log-bucketed (DDSketch-style): bucket `i` covers
+//! `(γ^(i-1), γ^i]` with γ = 1.02, giving ≈1% relative error on every
+//! quantile — more than enough to tell a 2 ms backward pass from a 3 ms
+//! one while using O(log range) memory and O(1) updates.
+
+use crate::json::Obj;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Monotonically increasing event count.
+#[derive(Clone, Debug, Default)]
+pub struct CounterHandle(Arc<AtomicU64>);
+
+impl CounterHandle {
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins float value (bit-cast into an atomic u64).
+#[derive(Clone, Debug, Default)]
+pub struct GaugeHandle(Arc<AtomicU64>);
+
+impl GaugeHandle {
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Relative-accuracy growth factor for histogram buckets (≈1% error).
+const GAMMA: f64 = 1.02;
+
+#[derive(Debug, Default)]
+struct HistState {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// Values ≤ 0 (durations and norms are non-negative; exact zeros are
+    /// common for e.g. frozen-group gradient norms).
+    zero_count: u64,
+    /// Dropped, counted separately so a NaN can never poison quantiles.
+    non_finite: u64,
+    /// `index -> count` where index = ceil(ln(v) / ln(GAMMA)).
+    buckets: BTreeMap<i32, u64>,
+}
+
+/// Point-in-time summary of a histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSnapshot {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+    pub non_finite: u64,
+}
+
+/// Streaming quantile histogram. Cloning the handle shares the state.
+#[derive(Clone, Debug, Default)]
+pub struct HistogramHandle(Arc<Mutex<HistState>>);
+
+impl HistogramHandle {
+    pub fn record(&self, v: f64) {
+        let mut st = self.0.lock().expect("histogram poisoned");
+        if !v.is_finite() {
+            st.non_finite += 1;
+            return;
+        }
+        if st.count == 0 {
+            st.min = v;
+            st.max = v;
+        } else {
+            st.min = st.min.min(v);
+            st.max = st.max.max(v);
+        }
+        st.count += 1;
+        st.sum += v;
+        if v <= 0.0 {
+            st.zero_count += 1;
+        } else {
+            let idx = (v.ln() / GAMMA.ln()).ceil() as i32;
+            *st.buckets.entry(idx).or_insert(0) += 1;
+        }
+    }
+
+    /// Estimated quantile `q ∈ [0, 1]`; `NaN` when empty. Accuracy is the
+    /// bucket width: ≈1% relative error (exact for the min/max ends).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let st = self.0.lock().expect("histogram poisoned");
+        Self::quantile_locked(&st, q)
+    }
+
+    fn quantile_locked(st: &HistState, q: f64) -> f64 {
+        if st.count == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank on the bucketed CDF.
+        let rank = ((q * st.count as f64).ceil() as u64).clamp(1, st.count);
+        if rank <= st.zero_count {
+            // All non-positive recordings collapse to their minimum.
+            return st.min.min(0.0);
+        }
+        let mut seen = st.zero_count;
+        for (&idx, &c) in &st.buckets {
+            seen += c;
+            if seen >= rank {
+                // Geometric midpoint of (γ^(idx-1), γ^idx].
+                let est = GAMMA.powf(idx as f64 - 0.5);
+                return est.clamp(st.min.max(0.0), st.max);
+            }
+        }
+        st.max
+    }
+
+    pub fn snapshot(&self) -> HistSnapshot {
+        let st = self.0.lock().expect("histogram poisoned");
+        HistSnapshot {
+            count: st.count,
+            sum: st.sum,
+            min: if st.count == 0 { f64::NAN } else { st.min },
+            max: if st.count == 0 { f64::NAN } else { st.max },
+            p50: Self::quantile_locked(&st, 0.50),
+            p90: Self::quantile_locked(&st, 0.90),
+            p99: Self::quantile_locked(&st, 0.99),
+            non_finite: st.non_finite,
+        }
+    }
+
+    /// Serializes one JSONL metrics record.
+    pub fn to_jsonl(&self, name: &str) -> String {
+        let s = self.snapshot();
+        let mean = if s.count > 0 {
+            s.sum / s.count as f64
+        } else {
+            f64::NAN
+        };
+        Obj::new()
+            .str("type", "histogram")
+            .str("name", name)
+            .u64("count", s.count)
+            .f64("sum", s.sum)
+            .f64("mean", mean)
+            .f64("min", s.min)
+            .f64("max", s.max)
+            .f64("p50", s.p50)
+            .f64("p90", s.p90)
+            .f64("p99", s.p99)
+            .u64("non_finite", s.non_finite)
+            .finish()
+    }
+}
+
+/// Name-keyed registry of all three metric kinds.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<HashMap<String, CounterHandle>>,
+    gauges: Mutex<HashMap<String, GaugeHandle>>,
+    histograms: Mutex<HashMap<String, HistogramHandle>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Gets or creates the counter `name`.
+    pub fn counter(&self, name: &str) -> CounterHandle {
+        let mut map = self.counters.lock().expect("registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Gets or creates the gauge `name`.
+    pub fn gauge(&self, name: &str) -> GaugeHandle {
+        let mut map = self.gauges.lock().expect("registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Gets or creates the histogram `name`.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let mut map = self.histograms.lock().expect("registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// One JSONL line per registered metric, name-sorted within each kind
+    /// (counters, then gauges, then histograms) for stable output.
+    pub fn dump_jsonl(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let counters = self.counters.lock().expect("registry poisoned");
+        let mut names: Vec<_> = counters.keys().cloned().collect();
+        names.sort();
+        for n in names {
+            out.push(
+                Obj::new()
+                    .str("type", "counter")
+                    .str("name", &n)
+                    .u64("value", counters[&n].get())
+                    .finish(),
+            );
+        }
+        drop(counters);
+        let gauges = self.gauges.lock().expect("registry poisoned");
+        let mut names: Vec<_> = gauges.keys().cloned().collect();
+        names.sort();
+        for n in names {
+            out.push(
+                Obj::new()
+                    .str("type", "gauge")
+                    .str("name", &n)
+                    .f64("value", gauges[&n].get())
+                    .finish(),
+            );
+        }
+        drop(gauges);
+        let hists = self.histograms.lock().expect("registry poisoned");
+        let mut names: Vec<_> = hists.keys().cloned().collect();
+        names.sort();
+        for n in names {
+            out.push(hists[&n].to_jsonl(&n));
+        }
+        out
+    }
+
+    /// Drops every registered metric. Existing handles keep working but are
+    /// no longer reachable from the registry (used by tests).
+    pub fn reset(&self) {
+        self.counters.lock().expect("registry poisoned").clear();
+        self.gauges.lock().expect("registry poisoned").clear();
+        self.histograms.lock().expect("registry poisoned").clear();
+    }
+}
+
+/// The process-wide registry all instrumentation records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_shares() {
+        let reg = Registry::new();
+        let a = reg.counter("c");
+        let b = reg.counter("c");
+        a.add(3);
+        b.incr();
+        assert_eq!(reg.counter("c").get(), 4);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let reg = Registry::new();
+        reg.gauge("g").set(1.5);
+        reg.gauge("g").set(-2.25);
+        assert_eq!(reg.gauge("g").get(), -2.25);
+    }
+
+    #[test]
+    fn histogram_exact_extremes() {
+        let h = HistogramHandle::default();
+        for v in [5.0, 1.0, 3.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.sum - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_within_relative_error() {
+        let h = HistogramHandle::default();
+        // 1..=1000 — true pth percentile is ~10*p.
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        for (q, truth) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0)] {
+            let est = h.quantile(q);
+            let rel = (est - truth).abs() / truth;
+            assert!(rel < 0.02, "q={q}: est {est} vs {truth} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn histogram_handles_zeros_and_non_finite() {
+        let h = HistogramHandle::default();
+        h.record(0.0);
+        h.record(0.0);
+        h.record(f64::NAN);
+        h.record(2.0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.non_finite, 1);
+        assert_eq!(h.quantile(0.1), 0.0);
+        assert!(h.quantile(1.0) <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_nan() {
+        let h = HistogramHandle::default();
+        assert!(h.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn dump_is_sorted_and_typed() {
+        let reg = Registry::new();
+        reg.counter("b.count").incr();
+        reg.counter("a.count").add(2);
+        reg.gauge("g.v").set(1.0);
+        reg.histogram("h.ms").record(3.0);
+        let lines = reg.dump_jsonl();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains(r#""name":"a.count""#));
+        assert!(lines[1].contains(r#""name":"b.count""#));
+        assert!(lines[2].starts_with(r#"{"type":"gauge""#));
+        assert!(lines[3].starts_with(r#"{"type":"histogram""#));
+    }
+}

@@ -1,0 +1,518 @@
+//! Level-filtered tracing with pluggable sinks and scoped span timers.
+//!
+//! Design constraints (see DESIGN.md "Observability"):
+//!
+//! * **Zero dependencies** — the whole facility is `std` only.
+//! * **Cheap when disabled** — the level check is a single relaxed atomic
+//!   load; no allocation happens for filtered-out events.
+//! * **Pluggable sinks** — a global registry of [`Sink`]s receives every
+//!   enabled [`Event`]. The workspace ships a stderr pretty-printer
+//!   ([`StderrSink`]) and a JSONL file writer ([`JsonlSink`]); tests
+//!   install capture sinks.
+//! * **Spans are measurements** — a [`Span`] emits a completion event with
+//!   its wall-clock duration *and* records the duration into a global
+//!   histogram metric named `span.<name>_ms`, so p50/p90/p99 of every hot
+//!   path fall out of the metrics dump for free.
+
+use crate::json::Obj;
+use crate::metrics;
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Verbosity levels, most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+    Trace = 4,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses `error | warn | info | debug | trace` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            3 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+}
+
+/// A typed field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<f32> for FieldValue {
+    fn from(v: f32) -> Self {
+        FieldValue::F64(v as f64)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+/// One trace record, delivered to every installed sink.
+#[derive(Debug, Clone)]
+pub struct Event {
+    pub level: Level,
+    /// Subsystem tag, e.g. `"core.fit"` or `"eval.cell"`.
+    pub target: &'static str,
+    pub message: String,
+    pub fields: Vec<(&'static str, FieldValue)>,
+    /// Span duration, present on span-completion events.
+    pub elapsed_ms: Option<f64>,
+    /// Milliseconds since the Unix epoch at emission.
+    pub ts_ms: u64,
+}
+
+impl Event {
+    /// Serializes the event as one compact JSON line (the [`JsonlSink`]
+    /// record schema; see the golden test in `tests/obs.rs`).
+    pub fn to_json(&self) -> String {
+        let mut fields = Obj::new();
+        for (k, v) in &self.fields {
+            fields = match v {
+                FieldValue::U64(x) => fields.u64(k, *x),
+                FieldValue::I64(x) => fields.i64(k, *x),
+                FieldValue::F64(x) => fields.f64(k, *x),
+                FieldValue::Str(x) => fields.str(k, x),
+                FieldValue::Bool(x) => fields.bool(k, *x),
+            };
+        }
+        let mut obj = Obj::new()
+            .str("type", "event")
+            .u64("ts_ms", self.ts_ms)
+            .str("level", self.level.as_str())
+            .str("target", self.target)
+            .str("msg", &self.message)
+            .raw("fields", &fields.finish());
+        if let Some(e) = self.elapsed_ms {
+            obj = obj.f64("elapsed_ms", e);
+        }
+        obj.finish()
+    }
+}
+
+/// Receives enabled events. Implementations must be thread-safe.
+pub trait Sink: Send + Sync {
+    fn record(&self, event: &Event);
+    fn flush(&self) {}
+}
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+static SINKS: RwLock<Vec<Arc<dyn Sink>>> = RwLock::new(Vec::new());
+
+/// Sets the global maximum level; events above it are dropped before any
+/// allocation.
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+pub fn max_level() -> Level {
+    Level::from_u8(MAX_LEVEL.load(Ordering::Relaxed))
+}
+
+/// Whether an event at `level` would currently be delivered.
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Installs a sink; every subsequent enabled event is delivered to it.
+pub fn add_sink(sink: Arc<dyn Sink>) {
+    SINKS.write().expect("sink registry poisoned").push(sink);
+}
+
+/// Removes all sinks (used by tests and at process teardown).
+pub fn clear_sinks() {
+    SINKS.write().expect("sink registry poisoned").clear();
+}
+
+/// Flushes every installed sink (call before process exit so buffered
+/// JSONL writers hit disk).
+pub fn flush_sinks() {
+    for s in SINKS.read().expect("sink registry poisoned").iter() {
+        s.flush();
+    }
+}
+
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Delivers an event to all sinks if its level is enabled.
+pub fn dispatch(event: Event) {
+    if !enabled(event.level) {
+        return;
+    }
+    for s in SINKS.read().expect("sink registry poisoned").iter() {
+        s.record(&event);
+    }
+}
+
+/// Emits a message-plus-fields event at `level`.
+pub fn emit(
+    level: Level,
+    target: &'static str,
+    message: impl Into<String>,
+    fields: Vec<(&'static str, FieldValue)>,
+) {
+    if !enabled(level) {
+        return;
+    }
+    dispatch(Event {
+        level,
+        target,
+        message: message.into(),
+        fields,
+        elapsed_ms: None,
+        ts_ms: now_ms(),
+    });
+}
+
+/// Scoped wall-clock timer. On drop it emits a completion event (at the
+/// span's level) and records the duration into the `span.<name>_ms`
+/// histogram of the global metrics registry.
+#[derive(Debug)]
+pub struct Span {
+    target: &'static str,
+    name: &'static str,
+    level: Level,
+    start: Instant,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Span {
+    /// Enters a span at `Level::Debug`.
+    pub fn enter(target: &'static str, name: &'static str) -> Span {
+        Span::enter_at(target, name, Level::Debug)
+    }
+
+    pub fn enter_at(target: &'static str, name: &'static str, level: Level) -> Span {
+        Span {
+            target,
+            name,
+            level,
+            start: Instant::now(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attaches a field (builder style).
+    pub fn with(mut self, key: &'static str, value: impl Into<FieldValue>) -> Span {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// Attaches a field after entry (e.g. a result computed inside the
+    /// span).
+    pub fn record(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        self.fields.push((key, value.into()));
+    }
+
+    /// Elapsed time so far.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed = self.elapsed_ms();
+        metrics::global()
+            .histogram(&format!("span.{}_ms", self.name))
+            .record(elapsed);
+        if enabled(self.level) {
+            dispatch(Event {
+                level: self.level,
+                target: self.target,
+                message: self.name.to_string(),
+                fields: std::mem::take(&mut self.fields),
+                elapsed_ms: Some(elapsed),
+                ts_ms: now_ms(),
+            });
+        }
+    }
+}
+
+/// Pretty-printer sink for interactive runs:
+/// `12:03:04.512 INFO  eval.cell finished ade=0.41 (1234.5ms)`.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn record(&self, e: &Event) {
+        let secs_of_day = (e.ts_ms / 1000) % 86_400;
+        let (h, m, s, ms) = (
+            secs_of_day / 3600,
+            (secs_of_day / 60) % 60,
+            secs_of_day % 60,
+            e.ts_ms % 1000,
+        );
+        let mut line = format!(
+            "{h:02}:{m:02}:{s:02}.{ms:03} {:5} {} {}",
+            e.level.as_str().to_ascii_uppercase(),
+            e.target,
+            e.message
+        );
+        for (k, v) in &e.fields {
+            let rendered = match v {
+                FieldValue::U64(x) => x.to_string(),
+                FieldValue::I64(x) => x.to_string(),
+                FieldValue::F64(x) => format!("{x:.4}"),
+                FieldValue::Str(x) => x.clone(),
+                FieldValue::Bool(x) => x.to_string(),
+            };
+            line.push_str(&format!(" {k}={rendered}"));
+        }
+        if let Some(el) = e.elapsed_ms {
+            line.push_str(&format!(" ({el:.1}ms)"));
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// JSONL file sink: one [`Event::to_json`] line per record. Also accepts
+/// raw pre-serialized lines so the final metrics dump can share the file.
+pub struct JsonlSink {
+    writer: Mutex<std::io::BufWriter<std::fs::File>>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JsonlSink")
+    }
+}
+
+impl JsonlSink {
+    pub fn create(path: &str) -> std::io::Result<JsonlSink> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(std::io::BufWriter::new(file)),
+        })
+    }
+
+    /// Appends one pre-serialized JSON line (no trailing newline needed).
+    pub fn write_raw_line(&self, json: &str) {
+        let mut w = self.writer.lock().expect("jsonl writer poisoned");
+        let _ = writeln!(w, "{json}");
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, e: &Event) {
+        self.write_raw_line(&e.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl writer poisoned").flush();
+    }
+}
+
+/// In-memory capture sink for tests.
+#[derive(Debug, Default)]
+pub struct CaptureSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl CaptureSink {
+    pub fn new() -> Arc<CaptureSink> {
+        Arc::new(CaptureSink::default())
+    }
+
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("capture poisoned").clone()
+    }
+}
+
+impl Sink for CaptureSink {
+    fn record(&self, e: &Event) {
+        self.events
+            .lock()
+            .expect("capture poisoned")
+            .push(e.clone());
+    }
+}
+
+/// Emits at `Level::Error`. Usage: `obs_error!("target", "msg {}", x)`.
+#[macro_export]
+macro_rules! obs_error {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::trace::emit($crate::trace::Level::Error, $target, format!($($arg)*), vec![])
+    };
+}
+
+/// Emits at `Level::Warn`.
+#[macro_export]
+macro_rules! obs_warn {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::trace::emit($crate::trace::Level::Warn, $target, format!($($arg)*), vec![])
+    };
+}
+
+/// Emits at `Level::Info`.
+#[macro_export]
+macro_rules! obs_info {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::trace::emit($crate::trace::Level::Info, $target, format!($($arg)*), vec![])
+    };
+}
+
+/// Emits at `Level::Debug`.
+#[macro_export]
+macro_rules! obs_debug {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::trace::emit($crate::trace::Level::Debug, $target, format!($($arg)*), vec![])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The sink registry and level filter are process-global, so tests that
+    // install sinks serialize on this lock to avoid cross-talk.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn level_parse_round_trips() {
+        for l in [
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+            Level::Trace,
+        ] {
+            assert_eq!(Level::parse(l.as_str()), Some(l));
+        }
+        assert_eq!(Level::parse("verbose"), None);
+    }
+
+    #[test]
+    fn level_filter_drops_events() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let cap = CaptureSink::new();
+        clear_sinks();
+        add_sink(cap.clone());
+        set_max_level(Level::Warn);
+        emit(Level::Info, "t", "dropped", vec![]);
+        emit(Level::Warn, "t", "kept", vec![]);
+        clear_sinks();
+        set_max_level(Level::Info);
+        let evs = cap.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].message, "kept");
+    }
+
+    #[test]
+    fn span_emits_completion_with_elapsed() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let cap = CaptureSink::new();
+        clear_sinks();
+        add_sink(cap.clone());
+        set_max_level(Level::Debug);
+        {
+            let mut sp = Span::enter("test", "unit_span").with("k", 1u64);
+            sp.record("r", 2.0f64);
+        }
+        clear_sinks();
+        set_max_level(Level::Info);
+        let evs = cap.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].message, "unit_span");
+        assert!(evs[0].elapsed_ms.is_some());
+        assert_eq!(evs[0].fields.len(), 2);
+        // The span duration also landed in the metrics registry.
+        let snap = crate::metrics::global()
+            .histogram("span.unit_span_ms")
+            .snapshot();
+        assert!(snap.count >= 1);
+    }
+
+    #[test]
+    fn event_json_has_stable_schema() {
+        let e = Event {
+            level: Level::Info,
+            target: "train.epoch",
+            message: "epoch done".into(),
+            fields: vec![
+                ("epoch", FieldValue::U64(3)),
+                ("loss", FieldValue::F64(0.5)),
+            ],
+            elapsed_ms: Some(12.5),
+            ts_ms: 1700000000000,
+        };
+        assert_eq!(
+            e.to_json(),
+            r#"{"type":"event","ts_ms":1700000000000,"level":"info","target":"train.epoch","msg":"epoch done","fields":{"epoch":3,"loss":0.5},"elapsed_ms":12.5}"#
+        );
+    }
+}

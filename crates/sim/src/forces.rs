@@ -186,7 +186,10 @@ mod tests {
         let f_near = agent_repulsion(&a, &near, &p);
         let f_far = agent_repulsion(&a, &far, &p);
         assert!(f_near.x < 0.0, "pushed away from neighbor on the right");
-        assert!(f_near.norm() > f_far.norm(), "repulsion decays with distance");
+        assert!(
+            f_near.norm() > f_far.norm(),
+            "repulsion decays with distance"
+        );
     }
 
     #[test]

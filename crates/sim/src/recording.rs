@@ -99,7 +99,10 @@ mod tests {
     use crate::forces::ForceParams;
 
     fn recorded_world() -> Recording {
-        let p = ForceParams { noise_std: 0.0, ..Default::default() };
+        let p = ForceParams {
+            noise_std: 0.0,
+            ..Default::default()
+        };
         let mut w = World::new(p, 0.1, 0);
         w.spawn(Agent::walker(Vec2::ZERO, Vec2::new(2.0, 0.0), 1.3));
         w.spawn(Agent::stationary(Vec2::new(5.0, 5.0)));

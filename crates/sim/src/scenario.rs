@@ -180,7 +180,8 @@ pub fn build_world(cfg: &ScenarioConfig, params: &ForceParams, dt: f32, seed: u6
         let mut prev = world.spawn(leader);
         let back = (goal - start).normalized() * -1.2;
         for k in 1..cfg.chain_len {
-            let offset = back * k as f32 + Vec2::new(rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3));
+            let offset =
+                back * k as f32 + Vec2::new(rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3));
             let mut f = Agent::walker(start + offset, goal, speed * 1.05);
             f.role = Role::Follower(prev);
             prev = world.spawn(f);
@@ -244,7 +245,10 @@ mod tests {
             num_walkers: 12,
             ..Default::default()
         };
-        let p = ForceParams { noise_std: 0.0, ..Default::default() };
+        let p = ForceParams {
+            noise_std: 0.0,
+            ..Default::default()
+        };
         let mut w = build_world(&cfg, &p, 0.1, 3);
         for _ in 0..30 {
             w.step();
@@ -266,7 +270,10 @@ mod tests {
             num_walkers: 12,
             ..Default::default()
         };
-        let p = ForceParams { noise_std: 0.0, ..Default::default() };
+        let p = ForceParams {
+            noise_std: 0.0,
+            ..Default::default()
+        };
         let mut w = build_world(&cfg, &p, 0.1, 4);
         for _ in 0..30 {
             w.step();

@@ -8,6 +8,27 @@ use crate::forces::{
 use crate::recording::Recording;
 use crate::vec2::Vec2;
 use adaptraj_tensor::rng::Rng;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Cached global-metrics handles for the hot stepping loop.
+struct SimMetrics {
+    steps: adaptraj_obs::CounterHandle,
+    steps_per_sec: adaptraj_obs::HistogramHandle,
+    active_agents: adaptraj_obs::HistogramHandle,
+}
+
+fn sim_metrics() -> &'static SimMetrics {
+    static METRICS: OnceLock<SimMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = adaptraj_obs::global();
+        SimMetrics {
+            steps: reg.counter("sim.steps"),
+            steps_per_sec: reg.histogram("sim.steps_per_sec"),
+            active_agents: reg.histogram("sim.active_agents"),
+        }
+    })
+}
 
 /// Distance at which a walker is considered to have reached its goal and
 /// leaves the scene.
@@ -115,9 +136,7 @@ impl World {
         // Delayed entries.
         let now = self.step_count;
         for agent in &mut self.agents {
-            if !agent.active
-                && agent.entry_delay > 0
-                && now >= agent.spawn_step + agent.entry_delay
+            if !agent.active && agent.entry_delay > 0 && now >= agent.spawn_step + agent.entry_delay
             {
                 agent.active = true;
                 agent.entry_delay = 0;
@@ -172,17 +191,25 @@ impl World {
             }
         }
         self.step_count += 1;
+        sim_metrics().steps.incr();
     }
 
     /// Runs `steps` steps, recording every agent's position per frame.
     /// Frame 0 is the state *before* the first step.
     pub fn run_record(&mut self, steps: usize) -> Recording {
+        let t0 = Instant::now();
         let mut rec = Recording::new(self.dt);
         rec.capture(self);
         for _ in 0..steps {
             self.step();
             rec.capture(self);
         }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let m = sim_metrics();
+        if steps > 0 && elapsed > 0.0 {
+            m.steps_per_sec.record(steps as f64 / elapsed);
+        }
+        m.active_agents.record(self.active_count() as f64);
         rec
     }
 
@@ -198,7 +225,10 @@ mod tests {
     use super::*;
 
     fn free_world(seed: u64) -> World {
-        let p = ForceParams { noise_std: 0.0, ..Default::default() };
+        let p = ForceParams {
+            noise_std: 0.0,
+            ..Default::default()
+        };
         World::new(p, 0.1, seed)
     }
 
@@ -228,8 +258,16 @@ mod tests {
     fn head_on_agents_avoid_collision() {
         let mut w = free_world(2);
         // Two walkers heading straight at each other.
-        let a = w.spawn(Agent::walker(Vec2::new(0.0, 0.05), Vec2::new(10.0, 0.0), 1.3));
-        let b = w.spawn(Agent::walker(Vec2::new(10.0, -0.05), Vec2::new(0.0, 0.0), 1.3));
+        let a = w.spawn(Agent::walker(
+            Vec2::new(0.0, 0.05),
+            Vec2::new(10.0, 0.0),
+            1.3,
+        ));
+        let b = w.spawn(Agent::walker(
+            Vec2::new(10.0, -0.05),
+            Vec2::new(0.0, 0.0),
+            1.3,
+        ));
         let mut min_dist = f32::MAX;
         for _ in 0..300 {
             w.step();
@@ -321,8 +359,7 @@ mod tests {
         let mut min_center_dist = f32::MAX;
         for _ in 0..300 {
             w.step();
-            min_center_dist =
-                min_center_dist.min(w.agents[id].pos.distance(Vec2::new(5.0, 0.0)));
+            min_center_dist = min_center_dist.min(w.agents[id].pos.distance(Vec2::new(5.0, 0.0)));
         }
         assert!(
             min_center_dist > 0.9,
@@ -334,7 +371,10 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let run = |seed| {
-            let p = ForceParams { noise_std: 0.2, ..Default::default() };
+            let p = ForceParams {
+                noise_std: 0.2,
+                ..Default::default()
+            };
             let mut w = World::new(p, 0.1, seed);
             let id = w.spawn(Agent::walker(Vec2::ZERO, Vec2::new(8.0, 3.0), 1.1));
             for _ in 0..100 {
@@ -386,5 +426,17 @@ mod tests {
         w.spawn(Agent::walker(Vec2::ZERO, Vec2::new(3.0, 0.0), 1.0));
         let rec = w.run_record(50);
         assert_eq!(rec.num_frames(), 51);
+    }
+
+    #[test]
+    fn stepping_feeds_the_metrics_registry() {
+        let before = adaptraj_obs::global().counter("sim.steps").get();
+        let mut w = free_world(10);
+        w.spawn(Agent::walker(Vec2::ZERO, Vec2::new(3.0, 0.0), 1.0));
+        w.run_record(20);
+        let reg = adaptraj_obs::global();
+        assert!(reg.counter("sim.steps").get() >= before + 20);
+        assert!(reg.histogram("sim.steps_per_sec").snapshot().count >= 1);
+        assert!(reg.histogram("sim.active_agents").snapshot().count >= 1);
     }
 }

@@ -69,8 +69,8 @@ impl Linear {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::param::GradBuffer;
     use crate::optim::Adam;
+    use crate::param::GradBuffer;
 
     #[test]
     fn forward_shape_and_bias() {

@@ -1,20 +1,63 @@
 //! Seeded random number generation.
 //!
-//! Thin wrapper around [`rand::rngs::StdRng`] that adds the sampling
-//! primitives the rest of the workspace needs (normal deviates via the
-//! Box–Muller transform, Bernoulli draws, permutations) behind a stable,
-//! deterministic-by-seed API. Every stochastic component in the
-//! reproduction (weight init, data synthesis, latent sampling, domain-label
-//! masking) draws from an explicitly seeded `Rng` so experiments replay
-//! bit-for-bit.
+//! A self-contained xoshiro256++ generator (Blackman & Vigna) seeded
+//! through SplitMix64, with the sampling primitives the rest of the
+//! workspace needs (normal deviates via the Box–Muller transform,
+//! Bernoulli draws, permutations) behind a stable, deterministic-by-seed
+//! API. Every stochastic component in the reproduction (weight init, data
+//! synthesis, latent sampling, domain-label masking) draws from an
+//! explicitly seeded `Rng` so experiments replay bit-for-bit. No external
+//! crates: the workspace must build with no registry access.
 
-use rand::rngs::StdRng;
-use rand::{RngExt as _, SeedableRng};
+/// Core xoshiro256++ state. 256 bits, period 2^256 − 1; all-zero state is
+/// impossible after SplitMix64 expansion.
+#[derive(Debug, Clone)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+/// SplitMix64 step — the recommended seed expander for xoshiro.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Xoshiro256 {
+    fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
 
 /// Deterministic random source used throughout the workspace.
 #[derive(Debug)]
 pub struct Rng {
-    inner: StdRng,
+    inner: Xoshiro256,
     /// Cached second deviate from the Box–Muller transform.
     spare_normal: Option<f32>,
 }
@@ -24,14 +67,15 @@ impl Rng {
     /// streams on every platform.
     pub fn seed_from(seed: u64) -> Self {
         Self {
-            inner: StdRng::seed_from_u64(seed),
+            inner: Xoshiro256::from_seed(seed),
             spare_normal: None,
         }
     }
 
     /// Uniform sample in `[0, 1)`.
     pub fn unit(&mut self) -> f32 {
-        self.inner.random::<f32>()
+        // 24 high bits -> all f32 values in [0, 1) are representable.
+        (self.inner.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
     }
 
     /// Uniform sample in `[lo, hi)`. `lo` must be `<= hi`; when they are
@@ -71,7 +115,9 @@ impl Rng {
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is undefined");
-        self.inner.random_range(0..n)
+        // Lemire's multiply-shift bounded sampler; the bias for any
+        // realistic n (≪ 2^64) is far below observable.
+        ((self.inner.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Fisher–Yates shuffle of a slice.
@@ -98,7 +144,7 @@ impl Rng {
     /// one. Useful for giving each worker/scene its own stream while keeping
     /// the parent deterministic.
     pub fn fork(&mut self) -> Rng {
-        let seed = (self.inner.random::<u64>()).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let seed = self.inner.next_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15);
         Rng::seed_from(seed)
     }
 }

@@ -144,7 +144,10 @@ pub fn load_params(store: &mut ParamStore, reader: &mut impl Read) -> Result<(),
 }
 
 /// Convenience: save to a file path (buffered).
-pub fn save_params_to_file(store: &ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+pub fn save_params_to_file(
+    store: &ParamStore,
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
     let mut w = io::BufWriter::new(std::fs::File::create(path)?);
     save_params(store, &mut w)?;
     w.flush()?;
@@ -168,9 +171,21 @@ mod tests {
     fn sample_store(seed: u64) -> ParamStore {
         let mut rng = Rng::seed_from(seed);
         let mut store = ParamStore::new();
-        store.register("layer0.w", Tensor::randn(3, 4, 0.0, 1.0, &mut rng), GroupId(0));
-        store.register("layer0.b", Tensor::randn(1, 4, 0.0, 1.0, &mut rng), GroupId(0));
-        store.register("head.w", Tensor::randn(4, 2, 0.0, 1.0, &mut rng), GroupId(2));
+        store.register(
+            "layer0.w",
+            Tensor::randn(3, 4, 0.0, 1.0, &mut rng),
+            GroupId(0),
+        );
+        store.register(
+            "layer0.b",
+            Tensor::randn(1, 4, 0.0, 1.0, &mut rng),
+            GroupId(0),
+        );
+        store.register(
+            "head.w",
+            Tensor::randn(4, 2, 0.0, 1.0, &mut rng),
+            GroupId(2),
+        );
         store
     }
 
@@ -210,9 +225,21 @@ mod tests {
         save_params(&src, &mut buf).unwrap();
         let mut rng = Rng::seed_from(9);
         let mut wrong = ParamStore::new();
-        wrong.register("layer0.w", Tensor::randn(3, 5, 0.0, 1.0, &mut rng), GroupId(0));
-        wrong.register("layer0.b", Tensor::randn(1, 4, 0.0, 1.0, &mut rng), GroupId(0));
-        wrong.register("head.w", Tensor::randn(4, 2, 0.0, 1.0, &mut rng), GroupId(2));
+        wrong.register(
+            "layer0.w",
+            Tensor::randn(3, 5, 0.0, 1.0, &mut rng),
+            GroupId(0),
+        );
+        wrong.register(
+            "layer0.b",
+            Tensor::randn(1, 4, 0.0, 1.0, &mut rng),
+            GroupId(0),
+        );
+        wrong.register(
+            "head.w",
+            Tensor::randn(4, 2, 0.0, 1.0, &mut rng),
+            GroupId(2),
+        );
         let err = load_params(&mut wrong, &mut buf.as_slice()).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("shape"), "{msg}");
@@ -225,9 +252,21 @@ mod tests {
         save_params(&src, &mut buf).unwrap();
         let mut rng = Rng::seed_from(9);
         let mut wrong = ParamStore::new();
-        wrong.register("renamed.w", Tensor::randn(3, 4, 0.0, 1.0, &mut rng), GroupId(0));
-        wrong.register("layer0.b", Tensor::randn(1, 4, 0.0, 1.0, &mut rng), GroupId(0));
-        wrong.register("head.w", Tensor::randn(4, 2, 0.0, 1.0, &mut rng), GroupId(2));
+        wrong.register(
+            "renamed.w",
+            Tensor::randn(3, 4, 0.0, 1.0, &mut rng),
+            GroupId(0),
+        );
+        wrong.register(
+            "layer0.b",
+            Tensor::randn(1, 4, 0.0, 1.0, &mut rng),
+            GroupId(0),
+        );
+        wrong.register(
+            "head.w",
+            Tensor::randn(4, 2, 0.0, 1.0, &mut rng),
+            GroupId(2),
+        );
         let err = load_params(&mut wrong, &mut buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("name"), "{err}");
     }

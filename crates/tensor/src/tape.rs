@@ -11,6 +11,38 @@
 
 use crate::param::{ParamId, ParamStore};
 use crate::tensor::Tensor;
+use std::sync::OnceLock;
+
+/// Cached handles into the global metrics registry so the hot backward
+/// path pays one atomic add + one histogram lock, not a registry lookup.
+struct TapeMetrics {
+    backward_calls: adaptraj_obs::CounterHandle,
+    tape_nodes: adaptraj_obs::CounterHandle,
+    backward_ms: adaptraj_obs::HistogramHandle,
+    tape_len: adaptraj_obs::HistogramHandle,
+}
+
+impl TapeMetrics {
+    fn observe_backward(&self, nodes: usize, elapsed: std::time::Duration) {
+        self.backward_calls.incr();
+        self.tape_nodes.add(nodes as u64);
+        self.backward_ms.record(elapsed.as_secs_f64() * 1e3);
+        self.tape_len.record(nodes as f64);
+    }
+}
+
+fn tape_metrics() -> &'static TapeMetrics {
+    static METRICS: OnceLock<TapeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = adaptraj_obs::global();
+        TapeMetrics {
+            backward_calls: reg.counter("tensor.backward_calls"),
+            tape_nodes: reg.counter("tensor.tape_nodes_total"),
+            backward_ms: reg.histogram("tensor.backward_ms"),
+            tape_len: reg.histogram("tensor.tape_len"),
+        }
+    })
+}
 
 /// Handle to a node on a [`Tape`]. Cheap to copy; only valid for the tape
 /// that created it.
@@ -319,11 +351,7 @@ impl Tape {
     /// rows. Numerically stable; returns a `1 x 1` loss.
     pub fn softmax_cross_entropy(&mut self, logits: Var, targets: &[usize]) -> Var {
         let lv = self.value(logits);
-        assert_eq!(
-            lv.rows(),
-            targets.len(),
-            "one target class per logits row"
-        );
+        assert_eq!(lv.rows(), targets.len(), "one target class per logits row");
         let probs = lv.softmax_rows();
         let n = targets.len().max(1) as f32;
         let mut loss = 0.0;
@@ -397,6 +425,7 @@ impl Tape {
             (1, 1),
             "backward root must be scalar"
         );
+        let start = std::time::Instant::now();
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         grads[root.0] = Some(Tensor::scalar(1.0));
 
@@ -408,6 +437,7 @@ impl Tape {
             self.accumulate_parents(idx, &g, &mut grads);
             grads[idx] = Some(g);
         }
+        tape_metrics().observe_backward(self.nodes.len(), start.elapsed());
         Grads { by_node: grads }
     }
 
@@ -632,91 +662,125 @@ mod tests {
     #[test]
     fn grad_matmul_chain_fd() {
         let w = rand_t(3, 2, 1);
-        check_grad(rand_t(2, 3, 2), move |t, x| {
-            let wv = t.constant(w.clone());
-            let y = t.matmul(x, wv);
-            let sq = t.mul(y, y);
-            t.mean_all(sq)
-        }, 1e-2);
+        check_grad(
+            rand_t(2, 3, 2),
+            move |t, x| {
+                let wv = t.constant(w.clone());
+                let y = t.matmul(x, wv);
+                let sq = t.mul(y, y);
+                t.mean_all(sq)
+            },
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_activations_fd() {
-        check_grad(rand_t(2, 4, 3), |t, x| {
-            let a = t.tanh(x);
-            let b = t.sigmoid(a);
-            let c = t.relu(b);
-            let d = t.leaky_relu(c, 0.1);
-            t.sum_all(d)
-        }, 2e-2);
+        check_grad(
+            rand_t(2, 4, 3),
+            |t, x| {
+                let a = t.tanh(x);
+                let b = t.sigmoid(a);
+                let c = t.relu(b);
+                let d = t.leaky_relu(c, 0.1);
+                t.sum_all(d)
+            },
+            2e-2,
+        );
     }
 
     #[test]
     fn grad_exp_fd() {
-        check_grad(rand_t(2, 3, 17), |t, x| {
-            let e = t.exp(x);
-            t.mean_all(e)
-        }, 2e-2);
+        check_grad(
+            rand_t(2, 3, 17),
+            |t, x| {
+                let e = t.exp(x);
+                t.mean_all(e)
+            },
+            2e-2,
+        );
     }
 
     #[test]
     fn grad_softmax_fd() {
         let target = rand_t(2, 4, 5);
-        check_grad(rand_t(2, 4, 4), move |t, x| {
-            let s = t.softmax_rows(x);
-            t.mse_to(s, &target)
-        }, 2e-2);
+        check_grad(
+            rand_t(2, 4, 4),
+            move |t, x| {
+                let s = t.softmax_rows(x);
+                t.mse_to(s, &target)
+            },
+            2e-2,
+        );
     }
 
     #[test]
     fn grad_concat_slice_fd() {
-        check_grad(rand_t(2, 4, 6), |t, x| {
-            let left = t.slice_cols(x, 0, 2);
-            let right = t.slice_cols(x, 2, 4);
-            let swapped = t.concat_cols(&[right, left]);
-            let prod = t.mul(swapped, swapped);
-            t.sum_all(prod)
-        }, 1e-2);
+        check_grad(
+            rand_t(2, 4, 6),
+            |t, x| {
+                let left = t.slice_cols(x, 0, 2);
+                let right = t.slice_cols(x, 2, 4);
+                let swapped = t.concat_cols(&[right, left]);
+                let prod = t.mul(swapped, swapped);
+                t.sum_all(prod)
+            },
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_concat_rows_gather_fd() {
-        check_grad(rand_t(3, 2, 7), |t, x| {
-            let top = t.gather_rows(x, &[0, 1]);
-            let again = t.gather_rows(x, &[2, 0]);
-            let stacked = t.concat_rows(&[top, again]);
-            let sq = t.mul(stacked, stacked);
-            t.mean_all(sq)
-        }, 1e-2);
+        check_grad(
+            rand_t(3, 2, 7),
+            |t, x| {
+                let top = t.gather_rows(x, &[0, 1]);
+                let again = t.gather_rows(x, &[2, 0]);
+                let stacked = t.concat_rows(&[top, again]);
+                let sq = t.mul(stacked, stacked);
+                t.mean_all(sq)
+            },
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_broadcast_and_reduce_fd() {
-        check_grad(rand_t(1, 3, 8), |t, x| {
-            let wide = t.broadcast_rows(x, 4);
-            let m = t.mean_rows(wide);
-            let s = t.sum_rows(m);
-            let sq = t.mul(s, s);
-            t.sum_all(sq)
-        }, 1e-2);
+        check_grad(
+            rand_t(1, 3, 8),
+            |t, x| {
+                let wide = t.broadcast_rows(x, 4);
+                let m = t.mean_rows(wide);
+                let s = t.sum_rows(m);
+                let sq = t.mul(s, s);
+                t.sum_all(sq)
+            },
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_bias_broadcast_fd() {
         let x = rand_t(3, 2, 9);
-        check_grad(rand_t(1, 2, 10), move |t, b| {
-            let xv = t.constant(x.clone());
-            let y = t.add_row_broadcast(xv, b);
-            let sq = t.mul(y, y);
-            t.sum_all(sq)
-        }, 1e-2);
+        check_grad(
+            rand_t(1, 2, 10),
+            move |t, b| {
+                let xv = t.constant(x.clone());
+                let y = t.add_row_broadcast(xv, b);
+                let sq = t.mul(y, y);
+                t.sum_all(sq)
+            },
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_cross_entropy_fd() {
-        check_grad(rand_t(3, 4, 11), |t, x| {
-            t.softmax_cross_entropy(x, &[1, 3, 0])
-        }, 2e-2);
+        check_grad(
+            rand_t(3, 4, 11),
+            |t, x| t.softmax_cross_entropy(x, &[1, 3, 0]),
+            2e-2,
+        );
     }
 
     #[test]
@@ -728,19 +792,27 @@ mod tests {
     #[test]
     fn grad_frob_orthogonality_fd() {
         let b = rand_t(3, 2, 15);
-        check_grad(rand_t(3, 2, 14), move |t, x| {
-            let bv = t.constant(b.clone());
-            t.frob_sq_of_gram(x, bv)
-        }, 2e-2);
+        check_grad(
+            rand_t(3, 2, 14),
+            move |t, x| {
+                let bv = t.constant(b.clone());
+                t.frob_sq_of_gram(x, bv)
+            },
+            2e-2,
+        );
     }
 
     #[test]
     fn grad_transpose_fd() {
-        check_grad(rand_t(2, 3, 16), |t, x| {
-            let xt = t.transpose(x);
-            let prod = t.matmul(x, xt);
-            t.sum_all(prod)
-        }, 1e-2);
+        check_grad(
+            rand_t(2, 3, 16),
+            |t, x| {
+                let xt = t.transpose(x);
+                let prod = t.matmul(x, xt);
+                t.sum_all(prod)
+            },
+            1e-2,
+        );
     }
 
     #[test]
@@ -841,5 +913,21 @@ mod tests {
         let mut tape = Tape::new();
         let x = tape.input(Tensor::row(&[1.0, 2.0]));
         tape.backward(x);
+    }
+
+    #[test]
+    fn backward_records_tape_metrics() {
+        let calls_before = adaptraj_obs::global()
+            .counter("tensor.backward_calls")
+            .get();
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::row(&[1.0, 2.0]));
+        let sq = tape.mul(x, x);
+        let loss = tape.sum_all(sq);
+        tape.backward(loss);
+        let reg = adaptraj_obs::global();
+        assert!(reg.counter("tensor.backward_calls").get() > calls_before);
+        assert!(reg.histogram("tensor.backward_ms").snapshot().count > 0);
+        assert!(reg.histogram("tensor.tape_len").snapshot().max >= 3.0);
     }
 }

@@ -1,4 +1,8 @@
 //! Property-based tests of the tensor kernels and autodiff engine.
+//!
+//! Compiled only with `--features proptest-tests` (requires the registry
+//! `proptest` crate; see Cargo.toml — the default build must stay offline).
+#![cfg(feature = "proptest-tests")]
 
 use adaptraj_tensor::{Rng, Tape, Tensor};
 use proptest::prelude::*;

@@ -17,8 +17,10 @@ fn main() {
     let synth = SynthesisConfig::default();
     let sources = [DomainId::EthUcy, DomainId::LCas];
     let target = DomainId::Sdd;
-    println!("synthesizing {} + {} (sources) and {} (unseen target) ...",
-        sources[0], sources[1], target);
+    println!(
+        "synthesizing {} + {} (sources) and {} (unseen target) ...",
+        sources[0], sources[1], target
+    );
     let mut train = Vec::new();
     for &s in &sources {
         train.extend(synthesize_domain(s, &synth).train);

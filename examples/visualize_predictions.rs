@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ds = synthesize_domain(DomainId::EthUcy, &SynthesisConfig::default());
     let mut csv = fs::File::create(out.join("ethucy_train.csv"))?;
     write_csv(&ds.train[..ds.train.len().min(50)], &mut csv)?;
-    println!("wrote {} (first 50 windows)", out.join("ethucy_train.csv").display());
+    println!(
+        "wrote {} (first 50 windows)",
+        out.join("ethucy_train.csv").display()
+    );
 
     // 2. Train a small model and checkpoint it.
     let cfg = TrainerConfig {
@@ -45,15 +48,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Reload into a freshly constructed (differently initialized)
     //    model and verify the predictions are the trained ones.
-    let mut reloaded = Vanilla::new(
-        TrainerConfig { seed: 999, ..cfg },
-        |s, r| PecNet::new(s, r, BackboneConfig::default()),
-    );
+    let mut reloaded = Vanilla::new(TrainerConfig { seed: 999, ..cfg }, |s, r| {
+        PecNet::new(s, r, BackboneConfig::default())
+    });
     load_params_from_file(reloaded.store_mut(), &ckpt)?;
 
     // 4. Render a few test windows with 3 sampled futures each.
     let mut rng = Rng::seed_from(7);
-    for (i, w) in ds.test.iter().filter(|w| !w.neighbors.is_empty()).take(4).enumerate() {
+    for (i, w) in ds
+        .test
+        .iter()
+        .filter(|w| !w.neighbors.is_empty())
+        .take(4)
+        .enumerate()
+    {
         let samples = reloaded.predict_k(w, 3, &mut rng);
         let svg = render_window(w, &samples, &VizOptions::default());
         let path = out.join(format!("window_{i}.svg"));

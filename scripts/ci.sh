@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, build, and the tier-1 test suite.
+# Every step works with no network access; steps whose tools are not
+# installed (fmt/clippy components) are skipped with a notice rather
+# than failing the run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+step() {
+    echo
+    echo "=== $* ==="
+}
+
+step "cargo fmt --check"
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --all -- --check || fail=1
+else
+    echo "skipped: rustfmt not installed"
+fi
+
+step "cargo clippy -D warnings"
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets --offline -- -D warnings || fail=1
+else
+    echo "skipped: clippy not installed"
+fi
+
+step "cargo build --release"
+cargo build --release --offline || fail=1
+
+step "cargo test (tier-1)"
+cargo test -q --offline || fail=1
+
+step "cargo test --workspace"
+cargo test -q --workspace --offline || fail=1
+
+echo
+if [ "$fail" -ne 0 ]; then
+    echo "CI: FAILED"
+    exit 1
+fi
+echo "CI: OK"

@@ -14,10 +14,13 @@ use adaptraj::data::io::write_csv;
 use adaptraj::data::stats::table_one;
 use adaptraj::eval::viz::{render_window, VizOptions};
 use adaptraj::eval::{run_cell, CellSpec, RunnerConfig, TextTable};
+use adaptraj::models::predictor::TrainReport;
 use adaptraj::models::{BackboneConfig, PecNet, Predictor, TrainerConfig, Vanilla};
+use adaptraj::obs::{EvalSummary, JsonlSink, RunTelemetry, StderrSink};
 use adaptraj::tensor::serialize::save_params_to_file;
 use adaptraj::tensor::Rng;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,7 +45,11 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
         Command::Help => {
             println!("{USAGE}");
         }
-        Command::Synthesize { domain, scenes, out } => {
+        Command::Synthesize {
+            domain,
+            scenes,
+            out,
+        } => {
             let cfg = SynthesisConfig {
                 scenes,
                 ..SynthesisConfig::default()
@@ -66,7 +73,8 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 scenes,
                 ..SynthesisConfig::default()
             };
-            let mut table = TextTable::new(&["Dataset", "#seq", "num", "v(x)", "v(y)", "a(x)", "a(y)"]);
+            let mut table =
+                TextTable::new(&["Dataset", "#seq", "num", "v(x)", "v(y)", "a(x)", "a(y)"]);
             for d in DomainId::ALL {
                 let ds = synthesize_domain(d, &cfg);
                 let windows: Vec<_> = ds.all_windows().cloned().collect();
@@ -90,15 +98,32 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             target,
             epochs,
             ckpt,
+            seed,
+            log_level,
+            metrics_out,
+            manifest,
         } => {
+            if let Some(level) = log_level {
+                adaptraj::obs::set_max_level(level);
+                adaptraj::obs::add_sink(Arc::new(StderrSink));
+            }
+            let metrics_sink = match &metrics_out {
+                Some(path) => {
+                    let sink = Arc::new(JsonlSink::create(path)?);
+                    adaptraj::obs::add_sink(sink.clone());
+                    Some(sink)
+                }
+                None => None,
+            };
+
             let datasets = synthesize_all(&SynthesisConfig::default());
             let spec = CellSpec {
                 backbone,
                 method,
-                sources,
+                sources: sources.clone(),
                 target,
             };
-            let cfg = RunnerConfig {
+            let mut cfg = RunnerConfig {
                 trainer: TrainerConfig {
                     epochs,
                     ..TrainerConfig::default()
@@ -106,14 +131,35 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 eval_cap: 0, // full test split
                 ..RunnerConfig::default()
             };
+            if let Some(s) = seed {
+                cfg.trainer.seed = s;
+            }
+
+            let mut telemetry = RunTelemetry::new();
+            telemetry.config("backbone", format!("{backbone:?}"));
+            telemetry.config("method", format!("{method:?}"));
+            telemetry.config(
+                "sources",
+                sources
+                    .iter()
+                    .map(|d| d.name())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            telemetry.config("target", target.name());
+            telemetry.config("epochs", epochs);
+            telemetry.config("seed", cfg.trainer.seed);
+
             println!("training {} ...", spec.label());
+            let report: TrainReport;
+            let summary: EvalSummary;
             if let Some(path) = ckpt {
                 // Train once here so the fitted parameters can be saved.
                 let train = adaptraj::eval::runner::pooled_train(&spec, &datasets);
                 let test = adaptraj::eval::runner::target_test(&spec, &datasets, 0);
                 let mut predictor = adaptraj::eval::build_predictor(&spec, &cfg);
                 let t0 = std::time::Instant::now();
-                predictor.fit(&train);
+                report = predictor.fit(&train);
                 let train_time = t0.elapsed().as_secs_f64();
                 let (eval, infer) =
                     adaptraj::eval::evaluate(predictor.as_ref(), &test, 3, cfg.eval_seed);
@@ -123,7 +169,15 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 );
                 save_params_to_file(predictor.store(), &path)?;
                 println!("checkpoint saved to {path}");
+                summary = EvalSummary {
+                    ade: eval.ade as f64,
+                    fde: eval.fde as f64,
+                    infer_time_s: infer,
+                    num_windows: test.len() as u64,
+                };
             } else {
+                let num_windows =
+                    adaptraj::eval::runner::target_test(&spec, &datasets, cfg.eval_cap).len();
                 let res = run_cell(&spec, &datasets, &cfg);
                 println!(
                     "ADE/FDE {}   train {:.1}s   inference {:.2} ms/trajectory",
@@ -131,7 +185,34 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                     res.train_time_s,
                     res.infer_time_s * 1e3
                 );
+                summary = EvalSummary {
+                    ade: res.eval.ade as f64,
+                    fde: res.eval.fde as f64,
+                    infer_time_s: res.infer_time_s,
+                    num_windows: num_windows as u64,
+                };
+                report = res.report;
             }
+
+            for rec in report.epochs {
+                telemetry.push_epoch(rec);
+            }
+            for p in report.phases {
+                telemetry.push_phase(&p.phase, p.duration_s);
+            }
+            telemetry.eval = Some(summary);
+
+            if let Some(path) = manifest {
+                telemetry.write_to_file(std::path::Path::new(&path))?;
+                println!("run manifest written to {path}");
+            }
+            if let Some(sink) = metrics_sink {
+                // Append the final metric snapshots after the trace events.
+                for line in adaptraj::obs::global().dump_jsonl() {
+                    sink.write_raw_line(&line);
+                }
+            }
+            adaptraj::obs::flush_sinks();
         }
         Command::Visualize { target, out, count } => {
             let ds = synthesize_domain(target, &SynthesisConfig::default());

@@ -5,6 +5,7 @@
 
 use adaptraj_data::domain::DomainId;
 use adaptraj_eval::{BackboneKind, MethodKind};
+use adaptraj_obs::Level;
 use std::collections::HashMap;
 
 /// Parsed CLI invocation.
@@ -21,8 +22,10 @@ pub enum Command {
     /// domains.
     Stats { scenes: usize },
     /// `run --backbone <b> --method <m> --sources a,b,c --target <d>
-    ///  [--epochs N] [--ckpt FILE]` — train one experiment cell and
-    /// report ADE/FDE (optionally saving a checkpoint).
+    ///  [--epochs N] [--ckpt FILE] [--seed S] [--log-level L]
+    ///  [--metrics-out FILE.jsonl] [--manifest FILE.json]` — train one
+    /// experiment cell and report ADE/FDE (optionally saving a checkpoint,
+    /// emitting trace/metrics JSONL, and writing a run manifest).
     Run {
         backbone: BackboneKind,
         method: MethodKind,
@@ -30,6 +33,10 @@ pub enum Command {
         target: DomainId,
         epochs: usize,
         ckpt: Option<String>,
+        seed: Option<u64>,
+        log_level: Option<Level>,
+        metrics_out: Option<String>,
+        manifest: Option<String>,
     },
     /// `visualize --target <d> [--out DIR] [--count N]` — train a quick
     /// model and render SVG predictions.
@@ -125,12 +132,37 @@ fn parse_flags<'a>(
     Ok(flags)
 }
 
-fn parse_usize(flags: &HashMap<&str, &str>, key: &str, default: usize) -> Result<usize, ParseError> {
+fn parse_usize(
+    flags: &HashMap<&str, &str>,
+    key: &str,
+    default: usize,
+) -> Result<usize, ParseError> {
     match flags.get(key) {
         None => Ok(default),
         Some(v) => v
             .parse()
             .map_err(|_| err(format!("--{key} expects an integer, got '{v}'"))),
+    }
+}
+
+fn parse_seed(flags: &HashMap<&str, &str>) -> Result<Option<u64>, ParseError> {
+    match flags.get("seed") {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| err(format!("--seed expects an unsigned integer, got '{v}'"))),
+    }
+}
+
+fn parse_log_level(flags: &HashMap<&str, &str>) -> Result<Option<Level>, ParseError> {
+    match flags.get("log-level") {
+        None => Ok(None),
+        Some(v) => Level::parse(v).map(Some).ok_or_else(|| {
+            err(format!(
+                "unknown log level '{v}' (expected error | warn | info | debug | trace)"
+            ))
+        }),
     }
 }
 
@@ -143,7 +175,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "synthesize" => {
             let flags = parse_flags(rest, &["domain", "scenes", "out"])?;
-            let domain = parse_domain(flags.get("domain").ok_or_else(|| err("--domain required"))?)?;
+            let domain = parse_domain(
+                flags
+                    .get("domain")
+                    .ok_or_else(|| err("--domain required"))?,
+            )?;
             Ok(Command::Synthesize {
                 domain,
                 scenes: parse_usize(&flags, "scenes", 24)?,
@@ -159,11 +195,29 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "run" => {
             let flags = parse_flags(
                 rest,
-                &["backbone", "method", "sources", "target", "epochs", "ckpt"],
+                &[
+                    "backbone",
+                    "method",
+                    "sources",
+                    "target",
+                    "epochs",
+                    "ckpt",
+                    "seed",
+                    "log-level",
+                    "metrics-out",
+                    "manifest",
+                ],
             )?;
-            let backbone =
-                parse_backbone(flags.get("backbone").ok_or_else(|| err("--backbone required"))?)?;
-            let method = parse_method(flags.get("method").ok_or_else(|| err("--method required"))?)?;
+            let backbone = parse_backbone(
+                flags
+                    .get("backbone")
+                    .ok_or_else(|| err("--backbone required"))?,
+            )?;
+            let method = parse_method(
+                flags
+                    .get("method")
+                    .ok_or_else(|| err("--method required"))?,
+            )?;
             let sources = flags
                 .get("sources")
                 .ok_or_else(|| err("--sources required (comma-separated)"))?
@@ -173,7 +227,20 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             if sources.is_empty() {
                 return Err(err("--sources must name at least one domain"));
             }
-            let target = parse_domain(flags.get("target").ok_or_else(|| err("--target required"))?)?;
+            for (i, d) in sources.iter().enumerate() {
+                if sources[..i].contains(d) {
+                    return Err(err(format!(
+                        "--sources lists '{}' more than once; each source domain may \
+                         appear only once",
+                        d.name()
+                    )));
+                }
+            }
+            let target = parse_domain(
+                flags
+                    .get("target")
+                    .ok_or_else(|| err("--target required"))?,
+            )?;
             Ok(Command::Run {
                 backbone,
                 method,
@@ -181,11 +248,19 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 target,
                 epochs: parse_usize(&flags, "epochs", 20)?,
                 ckpt: flags.get("ckpt").map(|s| s.to_string()),
+                seed: parse_seed(&flags)?,
+                log_level: parse_log_level(&flags)?,
+                metrics_out: flags.get("metrics-out").map(|s| s.to_string()),
+                manifest: flags.get("manifest").map(|s| s.to_string()),
             })
         }
         "visualize" => {
             let flags = parse_flags(rest, &["target", "out", "count"])?;
-            let target = parse_domain(flags.get("target").ok_or_else(|| err("--target required"))?)?;
+            let target = parse_domain(
+                flags
+                    .get("target")
+                    .ok_or_else(|| err("--target required"))?,
+            )?;
             Ok(Command::Visualize {
                 target,
                 out: flags.get("out").unwrap_or(&"viz_out").to_string(),
@@ -207,10 +282,19 @@ USAGE:
   adaptraj stats [--scenes N]
   adaptraj run --backbone <pecnet|lbebm> --method <vanilla|counter|causalmotion|adaptraj>
                --sources d1,d2,... --target <d> [--epochs N] [--ckpt FILE.atps]
+               [--seed S] [--log-level <error|warn|info|debug|trace>]
+               [--metrics-out FILE.jsonl] [--manifest FILE.json]
   adaptraj visualize --target <d> [--out DIR] [--count N]
   adaptraj help
 
 DOMAINS: eth_ucy | l_cas | syi | sdd
+
+OBSERVABILITY (run):
+  --seed S            seed training RNG (recorded in the manifest)
+  --log-level L       enable stderr tracing at the given level
+  --metrics-out FILE  stream trace events + final metric snapshots as JSONL
+  --manifest FILE     write a run-manifest JSON (per-epoch decomposed losses,
+                      gradient norms, phase timings, eval summary)
 ";
 
 #[cfg(test)]
@@ -245,7 +329,8 @@ mod tests {
     fn run_parses_full_invocation() {
         let cmd = parse(&args(
             "run --backbone lbebm --method adaptraj --sources eth_ucy,l_cas,syi \
-             --target sdd --epochs 30 --ckpt model.atps",
+             --target sdd --epochs 30 --ckpt model.atps --seed 42 \
+             --log-level debug --metrics-out m.jsonl --manifest run.json",
         ))
         .unwrap();
         assert_eq!(
@@ -257,8 +342,66 @@ mod tests {
                 target: DomainId::Sdd,
                 epochs: 30,
                 ckpt: Some("model.atps".into()),
+                seed: Some(42),
+                log_level: Some(Level::Debug),
+                metrics_out: Some("m.jsonl".into()),
+                manifest: Some("run.json".into()),
             }
         );
+    }
+
+    #[test]
+    fn run_observability_flags_default_to_off() {
+        let cmd = parse(&args(
+            "run --backbone pecnet --method vanilla --sources sdd --target syi",
+        ))
+        .unwrap();
+        let Command::Run {
+            seed,
+            log_level,
+            metrics_out,
+            manifest,
+            ..
+        } = cmd
+        else {
+            panic!("expected Run, got {cmd:?}");
+        };
+        assert_eq!(seed, None);
+        assert_eq!(log_level, None);
+        assert_eq!(metrics_out, None);
+        assert_eq!(manifest, None);
+    }
+
+    #[test]
+    fn duplicate_source_domains_are_rejected() {
+        let e = parse(&args(
+            "run --backbone pecnet --method adaptraj --sources sdd,sdd --target syi",
+        ))
+        .unwrap_err();
+        assert!(e.0.contains("more than once"), "{e}");
+        assert!(e.0.contains("SDD"), "{e}");
+
+        // Aliases of the same domain count as duplicates too.
+        let e = parse(&args(
+            "run --backbone pecnet --method adaptraj --sources l_cas,lcas --target syi",
+        ))
+        .unwrap_err();
+        assert!(e.0.contains("more than once"), "{e}");
+    }
+
+    #[test]
+    fn bad_seed_and_log_level_are_reported() {
+        let e = parse(&args(
+            "run --backbone pecnet --method vanilla --sources sdd --target syi --seed lots",
+        ))
+        .unwrap_err();
+        assert!(e.0.contains("--seed expects"), "{e}");
+
+        let e = parse(&args(
+            "run --backbone pecnet --method vanilla --sources sdd --target syi --log-level loud",
+        ))
+        .unwrap_err();
+        assert!(e.0.contains("unknown log level"), "{e}");
     }
 
     #[test]

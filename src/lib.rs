@@ -18,5 +18,6 @@ pub use adaptraj_core as core;
 pub use adaptraj_data as data;
 pub use adaptraj_eval as eval;
 pub use adaptraj_models as models;
+pub use adaptraj_obs as obs;
 pub use adaptraj_sim as sim;
 pub use adaptraj_tensor as tensor;

@@ -135,7 +135,11 @@ fn specific_experts_stay_frozen_through_step_two() {
     model.fit(&train);
     let ids = model.store().ids_in_group(SPECIFIC_GROUP);
     for (id, b) in ids.iter().zip(&before) {
-        assert_eq!(model.store().value(*id), b, "specific expert moved in step 2");
+        assert_eq!(
+            model.store().value(*id),
+            b,
+            "specific expert moved in step 2"
+        );
     }
 }
 

@@ -1,5 +1,9 @@
 //! Property-based tests spanning crates: metric axioms, window
 //! normalization, and simulator determinism.
+//!
+//! Compiled only with `--features proptest-tests` (requires the registry
+//! `proptest` crate; see Cargo.toml — the default build must stay offline).
+#![cfg(feature = "proptest-tests")]
 
 use adaptraj::data::domain::DomainId;
 use adaptraj::data::trajectory::{Point, TrajWindow, T_OBS, T_PRED, T_TOTAL};

@@ -1,0 +1,103 @@
+//! Cross-crate observability tests: training produces a manifest with one
+//! record per epoch, finite decomposed losses, and phase timings, and the
+//! whole thing serializes as the documented JSON schema.
+
+use adaptraj::core::{AdapTraj, AdapTrajConfig};
+use adaptraj::data::dataset::{synthesize_domain, SynthesisConfig};
+use adaptraj::data::domain::DomainId;
+use adaptraj::models::{BackboneConfig, PecNet, Predictor, TrainerConfig};
+use adaptraj::obs::{EvalSummary, RunTelemetry, MANIFEST_SCHEMA};
+
+fn tiny_synth() -> SynthesisConfig {
+    SynthesisConfig {
+        scenes: 5,
+        steps_per_scene: 320,
+        ..SynthesisConfig::smoke()
+    }
+}
+
+fn train_report() -> adaptraj::models::predictor::TrainReport {
+    let sources = [DomainId::EthUcy, DomainId::LCas];
+    let synth = tiny_synth();
+    let mut train = Vec::new();
+    for &s in &sources {
+        train.extend(synthesize_domain(s, &synth).train);
+    }
+    let cfg = AdapTrajConfig {
+        trainer: TrainerConfig {
+            epochs: 3,
+            batch_size: 8,
+            max_train_windows: 16,
+            ..TrainerConfig::default()
+        },
+        e_start: 1,
+        e_end: 2,
+        ..AdapTrajConfig::default()
+    };
+    let mut model = AdapTraj::new(cfg, &sources, |s, r, extra| {
+        PecNet::new(s, r, BackboneConfig::default().with_extra(extra))
+    });
+    model.fit(&train)
+}
+
+#[test]
+fn manifest_has_one_finite_record_per_epoch() {
+    let report = train_report();
+    let mut telemetry = RunTelemetry::new();
+    telemetry.config("backbone", "PecNet");
+    telemetry.config("seed", 1u64);
+    for rec in report.epochs {
+        telemetry.push_epoch(rec);
+    }
+    for p in &report.phases {
+        telemetry.push_phase(&p.phase, p.duration_s);
+    }
+    telemetry.eval = Some(EvalSummary {
+        ade: 0.5,
+        fde: 0.9,
+        infer_time_s: 0.001,
+        num_windows: 10,
+    });
+
+    // One record per epoch, numbered 0..n, all with finite core quantities.
+    assert_eq!(telemetry.epochs.len(), 3);
+    for (i, rec) in telemetry.epochs.iter().enumerate() {
+        assert_eq!(rec.epoch, i);
+        assert!(rec.loss.is_finite(), "epoch {i} loss {}", rec.loss);
+        assert!(rec.grad_norm.is_finite(), "epoch {i} grad_norm");
+        assert!(rec.duration_s >= 0.0);
+        assert_eq!(rec.non_finite_batches, 0);
+        // The AdapTraj loss decomposition is populated every epoch.
+        assert!(rec.components.backbone.is_finite(), "epoch {i} backbone");
+        assert!(rec.components.recon.is_finite(), "epoch {i} recon");
+        assert!(rec.components.similar.is_finite(), "epoch {i} similar");
+        assert!(!rec.group_norms.is_empty(), "epoch {i} group norms");
+        for g in &rec.group_norms {
+            assert!(g.grad_norm.is_finite() && g.param_norm.is_finite());
+        }
+    }
+    // The three-step schedule reports a wall-clock phase per step taken.
+    assert!(!telemetry.phases.is_empty());
+    assert!(telemetry.phases.iter().all(|p| p.duration_s > 0.0));
+
+    let json = telemetry.to_json();
+    assert!(json.contains(&format!(r#""schema":"{MANIFEST_SCHEMA}""#)));
+    assert!(json.contains(r#""num_epochs":3"#));
+    assert!(json.contains(r#""non_finite_batches_total":0"#));
+    assert!(json.contains(r#""ade":0.5"#));
+}
+
+#[test]
+fn manifest_round_trips_through_a_file() {
+    let report = train_report();
+    let mut telemetry = RunTelemetry::new();
+    for rec in report.epochs {
+        telemetry.push_epoch(rec);
+    }
+    let path = std::env::temp_dir().join(format!("adaptraj_manifest_{}.json", std::process::id()));
+    telemetry.write_to_file(&path).expect("write manifest");
+    let text = std::fs::read_to_string(&path).expect("read manifest back");
+    std::fs::remove_file(&path).ok();
+    assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+    assert_eq!(text, format!("{}\n", telemetry.to_json()));
+}
