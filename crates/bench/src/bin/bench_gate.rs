@@ -1,0 +1,101 @@
+//! Perf-regression gate: diffs two `adaptraj-bench/v1` documents and
+//! exits nonzero when the candidate regressed past the threshold.
+//!
+//! ```text
+//! bench_gate --baseline BENCH_old.json --candidate BENCH_new.json \
+//!            [--max-regress-pct 25] [--check]
+//! ```
+//!
+//! `--check` validates and reports but never fails on regressions
+//! (schema/parse errors still fail) — the CI smoke mode, where absolute
+//! timings on shared runners are too noisy to gate on.
+
+use adaptraj_bench::compare::{compare, parse_doc};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_gate --baseline FILE --candidate FILE \
+         [--max-regress-pct N] [--check]"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Result<adaptraj_bench::compare::BenchDoc, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_doc(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline = None;
+    let mut candidate = None;
+    let mut max_regress_pct = 25.0f64;
+    let mut check_only = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                baseline = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--candidate" => {
+                candidate = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--max-regress-pct" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) else {
+                    usage();
+                };
+                max_regress_pct = v;
+                i += 2;
+            }
+            "--check" => {
+                check_only = true;
+                i += 1;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+    let (Some(baseline), Some(candidate)) = (baseline, candidate) else {
+        usage();
+    };
+
+    let base = match load(&baseline) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_gate: baseline {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cand = match load(&candidate) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_gate: candidate {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let cmp = compare(&base, &cand, max_regress_pct);
+    print!("{}", cmp.render_text());
+    if cmp.ok() {
+        println!("bench_gate: OK (threshold {max_regress_pct}%)");
+        ExitCode::SUCCESS
+    } else if check_only {
+        println!(
+            "bench_gate: {} regression(s) past {max_regress_pct}% (check mode, not failing)",
+            cmp.regressions().len() + cmp.missing.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_gate: FAIL — {} regression(s) past {max_regress_pct}%",
+            cmp.regressions().len() + cmp.missing.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,280 @@
+//! Baseline/candidate comparison for `adaptraj-bench/v1` documents — the
+//! regression gate behind `scripts/bench.sh` and the CI bench smoke step.
+
+use crate::perf::BENCH_SCHEMA;
+use adaptraj_obs::json::Value;
+
+/// The per-workload metrics the gate compares.
+#[derive(Debug, Clone)]
+pub struct WorkloadMetrics {
+    pub name: String,
+    pub windows_per_sec: f64,
+    pub backward_ns_per_node: f64,
+    pub infer_p50_ms: f64,
+    pub infer_p99_ms: f64,
+}
+
+/// A parsed (and schema-validated) bench document.
+#[derive(Debug, Clone)]
+pub struct BenchDoc {
+    pub created_unix: u64,
+    pub workloads: Vec<WorkloadMetrics>,
+}
+
+fn field_f64(v: &Value, key: &str) -> f64 {
+    v.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN)
+}
+
+/// Parses a bench JSON document, validating the schema tag and the
+/// structural pieces the comparator relies on.
+pub fn parse_doc(json: &str) -> Result<BenchDoc, String> {
+    let v = Value::parse(json).map_err(|e| format!("invalid JSON: {e}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing 'schema' field")?;
+    if schema != BENCH_SCHEMA {
+        return Err(format!(
+            "unsupported schema '{schema}' (expected '{BENCH_SCHEMA}')"
+        ));
+    }
+    let created_unix = v.get("created_unix").and_then(Value::as_u64).unwrap_or(0);
+    let workloads_v = v
+        .get("workloads")
+        .and_then(Value::as_array)
+        .ok_or("missing 'workloads' array")?;
+    let mut workloads = Vec::with_capacity(workloads_v.len());
+    for (i, w) in workloads_v.iter().enumerate() {
+        let name = w
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("workload #{i} missing 'name'"))?
+            .to_string();
+        workloads.push(WorkloadMetrics {
+            name,
+            windows_per_sec: field_f64(w, "windows_per_sec"),
+            backward_ns_per_node: field_f64(w, "backward_ns_per_node"),
+            infer_p50_ms: field_f64(w, "infer_p50_ms"),
+            infer_p99_ms: field_f64(w, "infer_p99_ms"),
+        });
+    }
+    if workloads.is_empty() {
+        return Err("'workloads' array is empty".into());
+    }
+    Ok(BenchDoc {
+        created_unix,
+        workloads,
+    })
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct MetricDiff {
+    pub workload: String,
+    pub metric: &'static str,
+    pub baseline: f64,
+    pub candidate: f64,
+    /// Signed change in percent; positive means the candidate regressed
+    /// (slower throughput or higher latency), regardless of the metric's
+    /// direction.
+    pub regress_pct: f64,
+    pub regressed: bool,
+}
+
+/// Full comparison result.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    pub diffs: Vec<MetricDiff>,
+    /// Baseline workloads absent from the candidate (always a failure:
+    /// a silently dropped workload would hide regressions).
+    pub missing: Vec<String>,
+    pub max_regress_pct: f64,
+}
+
+impl Comparison {
+    pub fn regressions(&self) -> Vec<&MetricDiff> {
+        self.diffs.iter().filter(|d| d.regressed).collect()
+    }
+
+    pub fn ok(&self) -> bool {
+        self.missing.is_empty() && self.regressions().is_empty()
+    }
+
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:<22} {:>12} {:>12} {:>9}  {}\n",
+            "workload", "metric", "baseline", "candidate", "change", "status"
+        ));
+        for d in &self.diffs {
+            out.push_str(&format!(
+                "{:<18} {:<22} {:>12.3} {:>12.3} {:>+8.1}%  {}\n",
+                d.workload,
+                d.metric,
+                d.baseline,
+                d.candidate,
+                d.regress_pct,
+                if d.regressed { "REGRESSED" } else { "ok" }
+            ));
+        }
+        for name in &self.missing {
+            out.push_str(&format!("workload '{name}' missing from candidate\n"));
+        }
+        out
+    }
+}
+
+/// `(metric name, lower is better)` — for throughput, lower is worse.
+const METRICS: [(&str, bool); 4] = [
+    ("windows_per_sec", false),
+    ("backward_ns_per_node", true),
+    ("infer_p50_ms", true),
+    ("infer_p99_ms", true),
+];
+
+fn metric_value(w: &WorkloadMetrics, name: &str) -> f64 {
+    match name {
+        "windows_per_sec" => w.windows_per_sec,
+        "backward_ns_per_node" => w.backward_ns_per_node,
+        "infer_p50_ms" => w.infer_p50_ms,
+        "infer_p99_ms" => w.infer_p99_ms,
+        _ => unreachable!("unknown metric {name}"),
+    }
+}
+
+/// Compares candidate against baseline, flagging any metric that moved
+/// more than `max_regress_pct` in the unfavorable direction. Metrics
+/// that are NaN or non-positive on either side are skipped (a tiny smoke
+/// run can legitimately miss e.g. latency percentiles).
+pub fn compare(baseline: &BenchDoc, candidate: &BenchDoc, max_regress_pct: f64) -> Comparison {
+    let mut diffs = Vec::new();
+    let mut missing = Vec::new();
+    for base_w in &baseline.workloads {
+        let Some(cand_w) = candidate.workloads.iter().find(|w| w.name == base_w.name) else {
+            missing.push(base_w.name.clone());
+            continue;
+        };
+        for (metric, lower_is_better) in METRICS {
+            let b = metric_value(base_w, metric);
+            let c = metric_value(cand_w, metric);
+            if !(b.is_finite() && c.is_finite()) || b <= 0.0 || c <= 0.0 {
+                continue;
+            }
+            // Normalize so positive always means "worse".
+            let regress_pct = if lower_is_better {
+                (c - b) / b * 100.0
+            } else {
+                (b - c) / b * 100.0
+            };
+            diffs.push(MetricDiff {
+                workload: base_w.name.clone(),
+                metric,
+                baseline: b,
+                candidate: c,
+                regress_pct,
+                regressed: regress_pct > max_regress_pct,
+            });
+        }
+    }
+    Comparison {
+        diffs,
+        missing,
+        max_regress_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(wps: f64, nspn: f64, p50: f64, p99: f64) -> BenchDoc {
+        BenchDoc {
+            created_unix: 0,
+            workloads: vec![WorkloadMetrics {
+                name: "w".into(),
+                windows_per_sec: wps,
+                backward_ns_per_node: nspn,
+                infer_p50_ms: p50,
+                infer_p99_ms: p99,
+            }],
+        }
+    }
+
+    #[test]
+    fn identical_docs_pass() {
+        let d = doc(100.0, 500.0, 2.0, 5.0);
+        let cmp = compare(&d, &d, 10.0);
+        assert!(cmp.ok());
+        assert_eq!(cmp.diffs.len(), 4);
+    }
+
+    #[test]
+    fn throughput_drop_regresses() {
+        let base = doc(100.0, 500.0, 2.0, 5.0);
+        let cand = doc(60.0, 500.0, 2.0, 5.0); // -40% throughput
+        let cmp = compare(&base, &cand, 25.0);
+        let regs = cmp.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "windows_per_sec");
+        assert!(regs[0].regress_pct > 25.0);
+    }
+
+    #[test]
+    fn latency_rise_regresses_but_drop_does_not() {
+        let base = doc(100.0, 500.0, 2.0, 5.0);
+        let slower = doc(100.0, 500.0, 4.0, 5.0); // p50 doubled
+        assert!(!compare(&base, &slower, 25.0).ok());
+        let faster = doc(100.0, 500.0, 1.0, 2.0);
+        assert!(compare(&base, &faster, 25.0).ok());
+    }
+
+    #[test]
+    fn missing_workload_fails() {
+        let base = doc(100.0, 500.0, 2.0, 5.0);
+        let cand = BenchDoc {
+            created_unix: 0,
+            workloads: vec![WorkloadMetrics {
+                name: "other".into(),
+                windows_per_sec: 100.0,
+                backward_ns_per_node: 500.0,
+                infer_p50_ms: 2.0,
+                infer_p99_ms: 5.0,
+            }],
+        };
+        let cmp = compare(&base, &cand, 25.0);
+        assert!(!cmp.ok());
+        assert_eq!(cmp.missing, vec!["w".to_string()]);
+    }
+
+    #[test]
+    fn nan_metrics_are_skipped() {
+        let base = doc(100.0, f64::NAN, 2.0, 5.0);
+        let cand = doc(100.0, 9999.0, 2.0, 5.0);
+        let cmp = compare(&base, &cand, 25.0);
+        assert!(cmp.ok());
+        assert_eq!(cmp.diffs.len(), 3);
+    }
+
+    #[test]
+    fn parse_doc_validates_schema() {
+        assert!(parse_doc("{").is_err());
+        assert!(parse_doc("{\"schema\":\"other/v9\",\"workloads\":[]}")
+            .unwrap_err()
+            .contains("unsupported schema"));
+        assert!(
+            parse_doc("{\"schema\":\"adaptraj-bench/v1\",\"workloads\":[]}")
+                .unwrap_err()
+                .contains("empty")
+        );
+        let ok = parse_doc(
+            "{\"schema\":\"adaptraj-bench/v1\",\"created_unix\":5,\
+             \"workloads\":[{\"name\":\"w\",\"windows_per_sec\":10.0,\
+             \"backward_ns_per_node\":100.0,\"infer_p50_ms\":1.5,\
+             \"infer_p99_ms\":3.0}]}",
+        )
+        .unwrap();
+        assert_eq!(ok.created_unix, 5);
+        assert_eq!(ok.workloads[0].name, "w");
+        assert_eq!(ok.workloads[0].infer_p50_ms, 1.5);
+    }
+}

@@ -30,6 +30,9 @@ use adaptraj_data::preprocess::ExtractionConfig;
 use adaptraj_eval::RunnerConfig;
 use adaptraj_models::TrainerConfig;
 
+pub mod compare;
+pub mod perf;
+
 /// Experiment scale selected on the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

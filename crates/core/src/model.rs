@@ -11,7 +11,7 @@ use adaptraj_data::trajectory::{Point, TrajWindow};
 use adaptraj_models::backbone::{base_loss, tensor_to_points, EncodedScene};
 use adaptraj_models::predictor::{cap_per_domain, group_norms, Predictor, TrainReport};
 use adaptraj_models::traits::{Backbone, GenMode};
-use adaptraj_obs::{obs_info, obs_warn, EpochRecord, LossComponents, PhaseTiming, Span};
+use adaptraj_obs::{obs_info, obs_warn, profile, EpochRecord, LossComponents, PhaseTiming, Span};
 use adaptraj_tensor::optim::Adam;
 use adaptraj_tensor::{GradBuffer, ParamStore, Rng, Tape, Tensor, Var};
 use std::time::Instant;
@@ -224,44 +224,64 @@ impl<B: Backbone> AdapTraj<B> {
             .specific
             .expert_of(w.domain)
             .expect("training window from a non-source domain");
-        let enc = self.backbone.encode(&self.store, tape, w);
-        let expert = if masked { None } else { Some(domain_idx) };
-        let feats = self.features(tape, &enc, expert);
-        let distill = if masked && self.cfg.ablation.use_specific {
-            // Teacher targets: the true domain's expert outputs, detached.
-            let t_ind = self
-                .specific
-                .individual(&self.store, tape, domain_idx, enc.h_focal);
-            let t_nei = self
-                .specific
-                .neighbor(&self.store, tape, domain_idx, enc.p_i);
-            let t_ind_val = tape.value(t_ind).clone();
-            let t_nei_val = tape.value(t_nei).clone();
-            let d_ind = tape.mse_to(feats.spec_ind, &t_ind_val);
-            let d_nei = tape.mse_to(feats.spec_nei, &t_nei_val);
-            Some(tape.add(d_ind, d_nei))
-        } else {
-            None
+        let enc = {
+            let _p = profile::phase("encode");
+            self.backbone.encode(&self.store, tape, w)
         };
-        let extra = self.extra_features(tape, &feats);
-        let gen =
-            self.backbone
-                .generate(&self.store, tape, w, &enc, Some(extra), rng, GenMode::Train);
-        let mut loss = base_loss(tape, gen.pred, w);
-        if let Some(aux) = gen.aux_loss {
-            loss = tape.add(loss, aux);
-        }
-        let backbone_val = tape.value(loss).item();
-        let parts = ours_loss_parts(
-            &self.store,
-            tape,
-            &self.cfg,
-            &self.recon,
-            &self.classifier,
-            &feats,
-            w,
-            domain_idx,
-        );
+        let expert = if masked { None } else { Some(domain_idx) };
+        let (feats, distill, extra) = {
+            let _p = profile::phase("features");
+            let feats = self.features(tape, &enc, expert);
+            let distill = if masked && self.cfg.ablation.use_specific {
+                // Teacher targets: the true domain's expert outputs, detached.
+                let t_ind = self
+                    .specific
+                    .individual(&self.store, tape, domain_idx, enc.h_focal);
+                let t_nei = self
+                    .specific
+                    .neighbor(&self.store, tape, domain_idx, enc.p_i);
+                let t_ind_val = tape.value(t_ind).clone();
+                let t_nei_val = tape.value(t_nei).clone();
+                let d_ind = tape.mse_to(feats.spec_ind, &t_ind_val);
+                let d_nei = tape.mse_to(feats.spec_nei, &t_nei_val);
+                Some(tape.add(d_ind, d_nei))
+            } else {
+                None
+            };
+            let extra = self.extra_features(tape, &feats);
+            (feats, distill, extra)
+        };
+        let (mut loss, backbone_val) = {
+            let _p = profile::phase("generate");
+            let gen = self.backbone.generate(
+                &self.store,
+                tape,
+                w,
+                &enc,
+                Some(extra),
+                rng,
+                GenMode::Train,
+            );
+            let mut loss = base_loss(tape, gen.pred, w);
+            if let Some(aux) = gen.aux_loss {
+                loss = tape.add(loss, aux);
+            }
+            let backbone_val = tape.value(loss).item();
+            (loss, backbone_val)
+        };
+        let parts = {
+            let _p = profile::phase("aux_loss");
+            ours_loss_parts(
+                &self.store,
+                tape,
+                &self.cfg,
+                &self.recon,
+                &self.classifier,
+                &feats,
+                w,
+                domain_idx,
+            )
+        };
         let weighted = tape.scale(parts.total, delta);
         loss = tape.add(loss, weighted);
         if let Some(d) = distill {
@@ -413,6 +433,10 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
             let mut span = Span::enter("core.fit", "epoch")
                 .with("epoch", epoch)
                 .with("step", step);
+            // Profiler attribution for the three-step schedule: every op in
+            // this epoch lands under "step1" | "step2" | "step3" (with the
+            // window_loss sub-phases nested below, e.g. "step2/aux_loss").
+            let _profile_phase = profile::phase(phase);
             let epoch_start = Instant::now();
             let mut rec = EpochRecord::new(epoch, phase);
             let mut means = ComponentMeans::default();
@@ -487,9 +511,16 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
 
     fn predict(&self, w: &TrajWindow, rng: &mut Rng) -> Vec<Point> {
         let mut tape = Tape::new();
-        let enc = self.backbone.encode(&self.store, &mut tape, w);
-        let feats = self.features(&mut tape, &enc, None);
-        let extra = self.extra_features(&mut tape, &feats);
+        let enc = {
+            let _p = profile::phase("encode");
+            self.backbone.encode(&self.store, &mut tape, w)
+        };
+        let extra = {
+            let _p = profile::phase("features");
+            let feats = self.features(&mut tape, &enc, None);
+            self.extra_features(&mut tape, &feats)
+        };
+        let _p = profile::phase("generate");
         let gen = self.backbone.generate(
             &self.store,
             &mut tape,

@@ -19,8 +19,8 @@ pub mod viz;
 
 pub use metrics::{ade, best_of_k, fde, EvalAccumulator, EvalResult};
 pub use runner::{
-    build_predictor, evaluate, leave_one_out, run_cell, run_cell_avg, BackboneKind, CellResult,
-    CellSpec, MethodKind, RunnerConfig,
+    build_predictor, evaluate, leave_one_out, pooled_train, run_cell, run_cell_avg, target_test,
+    BackboneKind, CellResult, CellSpec, MethodKind, RunnerConfig,
 };
 pub use social::{collides, misses, SocialAccumulator, SocialReport};
 pub use stats::{paired_bootstrap, PairedBootstrap};

@@ -4,7 +4,7 @@ use crate::config::TrainerConfig;
 use adaptraj_data::batch::shuffled_batches;
 use adaptraj_data::domain::DomainId;
 use adaptraj_data::trajectory::{Point, TrajWindow};
-use adaptraj_obs::{obs_info, obs_warn, EpochRecord, GroupNorm, PhaseTiming, Span};
+use adaptraj_obs::{obs_info, obs_warn, profile, EpochRecord, GroupNorm, PhaseTiming, Span};
 use adaptraj_tensor::optim::Adam;
 use adaptraj_tensor::{GradBuffer, GroupId, ParamStore, Rng, Tape, Var};
 use std::time::Instant;
@@ -184,6 +184,9 @@ where
     for epoch in 0..cfg.epochs {
         let global_epoch = epoch + epoch_offset;
         let mut span = Span::enter("models.fit", "epoch").with("epoch", global_epoch);
+        // Profiler attribution: ops in this epoch land under the loop's
+        // phase label ("train" for single-phase methods).
+        let _profile_phase = profile::phase(phase);
         let epoch_start = Instant::now();
         let mut rec = EpochRecord::new(global_epoch, phase);
         let mut epoch_loss = 0.0f64;

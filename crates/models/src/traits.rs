@@ -4,6 +4,7 @@
 use crate::backbone::{base_loss, EncodedScene};
 use crate::config::BackboneConfig;
 use adaptraj_data::trajectory::TrajWindow;
+use adaptraj_obs::profile;
 use adaptraj_tensor::{ParamStore, Rng, Tape, Var};
 
 /// Whether a generation pass is a training pass (posterior latents,
@@ -65,7 +66,11 @@ pub fn train_forward<B: Backbone + ?Sized>(
     extra: Option<Var>,
     rng: &mut Rng,
 ) -> (Var, Var) {
-    let enc = backbone.encode(store, tape, w);
+    let enc = {
+        let _p = profile::phase("encode");
+        backbone.encode(store, tape, w)
+    };
+    let _p = profile::phase("generate");
     let gen = backbone.generate(store, tape, w, &enc, extra, rng, GenMode::Train);
     let mut loss = base_loss(tape, gen.pred, w);
     if let Some(aux) = gen.aux_loss {
@@ -83,7 +88,11 @@ pub fn sample_forward<B: Backbone + ?Sized>(
     extra: Option<Var>,
     rng: &mut Rng,
 ) -> Var {
-    let enc = backbone.encode(store, tape, w);
+    let enc = {
+        let _p = profile::phase("encode");
+        backbone.encode(store, tape, w)
+    };
+    let _p = profile::phase("generate");
     backbone
         .generate(store, tape, w, &enc, extra, rng, GenMode::Sample)
         .pred

@@ -9,7 +9,13 @@
 //!   disabled levels cost nothing on the hot path.
 //! - [`metrics`]: a process-global registry of counters, gauges, and
 //!   log-bucketed streaming histograms (p50/p90/p99) behind cheap
-//!   cloneable handles.
+//!   cloneable handles, with snapshot/delta support for
+//!   order-independent measurements.
+//! - [`profile`]: the op-level autodiff profiler — per-op-kind and
+//!   per-phase forward/backward wall-clock and allocation attribution,
+//!   fed by the tape in `adaptraj-tensor` through a single
+//!   [`profile::record_op`] choke point that compiles down to one atomic
+//!   load when profiling is disabled.
 //! - [`telemetry`]: the [`RunTelemetry`] recorder capturing per-epoch
 //!   decomposed losses, per-group gradient/parameter norms, non-finite
 //!   guards, and per-phase wall-clock, serialized as a run-manifest
@@ -21,10 +27,15 @@
 
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod telemetry;
 pub mod trace;
 
-pub use metrics::{global, CounterHandle, GaugeHandle, HistSnapshot, HistogramHandle, Registry};
+pub use metrics::{
+    global, CounterHandle, GaugeHandle, HistSnapshot, HistogramHandle, Registry, RegistryDelta,
+    RegistrySnapshot,
+};
+pub use profile::{ProfileSnapshot, PROFILE_SCHEMA};
 pub use telemetry::{
     EpochRecord, EvalSummary, GroupNorm, LossComponents, PhaseTiming, RunTelemetry, MANIFEST_SCHEMA,
 };

@@ -253,6 +253,115 @@ impl Registry {
         self.gauges.lock().expect("registry poisoned").clear();
         self.histograms.lock().expect("registry poisoned").clear();
     }
+
+    /// Point-in-time copy of every registered metric. Pair two snapshots
+    /// with [`RegistrySnapshot::since`] for order-independent assertions
+    /// and measurements against the process-global registry, whose raw
+    /// values accumulate across tests and repeated in-process runs.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(n, h)| (n.clone(), h.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(n, h)| (n.clone(), h.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(n, h)| (n.clone(), h.snapshot()))
+            .collect();
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Registry`] (see [`Registry::snapshot`]).
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, HistSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Counter value at snapshot time; 0 when the counter did not exist.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value at snapshot time, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram summary at snapshot time, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Delta of this (later) snapshot against an `earlier` one: counter
+    /// increments plus histogram count/sum increments. Quantiles do not
+    /// difference meaningfully and are intentionally absent.
+    pub fn since(&self, earlier: &RegistrySnapshot) -> RegistryDelta {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(n, &v)| (n.clone(), v.saturating_sub(earlier.counter(n))))
+            .collect();
+        let mut hist_count = BTreeMap::new();
+        let mut hist_sum = BTreeMap::new();
+        for (n, s) in &self.histograms {
+            let (c0, s0) = earlier
+                .histograms
+                .get(n)
+                .map_or((0, 0.0), |e| (e.count, e.sum));
+            hist_count.insert(n.clone(), s.count.saturating_sub(c0));
+            hist_sum.insert(n.clone(), s.sum - s0);
+        }
+        RegistryDelta {
+            counters,
+            hist_count,
+            hist_sum,
+        }
+    }
+}
+
+/// Increments between two [`RegistrySnapshot`]s.
+#[derive(Debug, Clone, Default)]
+pub struct RegistryDelta {
+    counters: BTreeMap<String, u64>,
+    hist_count: BTreeMap<String, u64>,
+    hist_sum: BTreeMap<String, f64>,
+}
+
+impl RegistryDelta {
+    /// How much the counter grew between the snapshots.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// How many values the histogram recorded between the snapshots.
+    pub fn hist_count(&self, name: &str) -> u64 {
+        self.hist_count.get(name).copied().unwrap_or(0)
+    }
+
+    /// How much the histogram's running sum grew between the snapshots.
+    pub fn hist_sum(&self, name: &str) -> f64 {
+        self.hist_sum.get(name).copied().unwrap_or(0.0)
+    }
 }
 
 /// The process-wide registry all instrumentation records into.
@@ -328,6 +437,99 @@ mod tests {
     fn empty_histogram_quantile_is_nan() {
         let h = HistogramHandle::default();
         assert!(h.quantile(0.5).is_nan());
+    }
+
+    /// Deterministic xorshift64* generator for distribution tests (the
+    /// crate is dependency-free, so no `rand`).
+    struct TestRng(u64);
+
+    impl TestRng {
+        fn next_f64(&mut self) -> f64 {
+            self.0 ^= self.0 >> 12;
+            self.0 ^= self.0 << 25;
+            self.0 ^= self.0 >> 27;
+            let x = self.0.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            // Uniform in (0, 1): never exactly 0 so ln() below is finite.
+            ((x >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+        }
+    }
+
+    /// Records `values` and asserts every estimated quantile is within
+    /// `tol` relative error of the exact empirical quantile.
+    fn assert_quantiles_close(mut values: Vec<f64>, tol: f64) {
+        let h = HistogramHandle::default();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99] {
+            // Same nearest-rank convention as the sketch.
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let truth = values[rank - 1];
+            let est = h.quantile(q);
+            let rel = (est - truth).abs() / truth.abs().max(1e-300);
+            assert!(
+                rel <= tol,
+                "q={q}: est {est} vs exact {truth} (rel err {rel:.4} > {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_sketch_accuracy_uniform() {
+        let mut rng = TestRng(0x9E37_79B9_7F4A_7C15);
+        let values: Vec<f64> = (0..20_000).map(|_| 1.0 + 99.0 * rng.next_f64()).collect();
+        // γ = 1.02 bounds the bucket-midpoint error at ~1% relative;
+        // allow a hair over for nearest-rank discretization.
+        assert_quantiles_close(values, 0.011);
+    }
+
+    #[test]
+    fn quantile_sketch_accuracy_exponential() {
+        let mut rng = TestRng(42);
+        // Exponential(λ=1/3): heavy right tail exercises many buckets.
+        let values: Vec<f64> = (0..20_000).map(|_| -3.0 * rng.next_f64().ln()).collect();
+        assert_quantiles_close(values, 0.011);
+    }
+
+    #[test]
+    fn quantile_sketch_accuracy_lognormal() {
+        let mut rng = TestRng(7);
+        // Log-normal via Box–Muller: spans several orders of magnitude,
+        // the regime log-bucketing is built for.
+        let values: Vec<f64> = (0..10_000)
+            .map(|_| {
+                let (u1, u2) = (rng.next_f64(), rng.next_f64());
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (0.5 + 1.5 * z).exp()
+            })
+            .collect();
+        assert_quantiles_close(values, 0.011);
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_increments() {
+        let reg = Registry::new();
+        reg.counter("c").add(10);
+        reg.histogram("h").record(5.0);
+        let before = reg.snapshot();
+        assert_eq!(before.counter("c"), 10);
+        assert_eq!(before.counter("missing"), 0);
+        assert_eq!(before.histogram("h").unwrap().count, 1);
+
+        reg.counter("c").add(3);
+        reg.gauge("g").set(2.5);
+        reg.histogram("h").record(7.0);
+        reg.histogram("h2").record(1.0);
+
+        let delta = reg.snapshot().since(&before);
+        assert_eq!(delta.counter("c"), 3);
+        assert_eq!(delta.counter("missing"), 0);
+        assert_eq!(delta.hist_count("h"), 1);
+        assert!((delta.hist_sum("h") - 7.0).abs() < 1e-12);
+        // A histogram born after the first snapshot deltas from zero.
+        assert_eq!(delta.hist_count("h2"), 1);
+        assert_eq!(reg.snapshot().gauge("g"), Some(2.5));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::param::{ParamId, ParamStore};
 use crate::tensor::Tensor;
+use adaptraj_obs::profile::{self, OpTimer};
 use std::sync::OnceLock;
 
 /// Cached handles into the global metrics registry so the hot backward
@@ -19,7 +20,12 @@ struct TapeMetrics {
     backward_calls: adaptraj_obs::CounterHandle,
     tape_nodes: adaptraj_obs::CounterHandle,
     backward_ms: adaptraj_obs::HistogramHandle,
+    /// Nodes-per-backward distribution (graph size per step), alongside
+    /// the `tape_nodes` counter sum.
     tape_len: adaptraj_obs::HistogramHandle,
+    /// Per-backward cost normalized by graph size — the bench harness's
+    /// "backward ns/node" regression metric.
+    backward_ns_per_node: adaptraj_obs::HistogramHandle,
 }
 
 impl TapeMetrics {
@@ -28,6 +34,10 @@ impl TapeMetrics {
         self.tape_nodes.add(nodes as u64);
         self.backward_ms.record(elapsed.as_secs_f64() * 1e3);
         self.tape_len.record(nodes as f64);
+        if nodes > 0 {
+            self.backward_ns_per_node
+                .record(elapsed.as_nanos() as f64 / nodes as f64);
+        }
     }
 }
 
@@ -40,6 +50,7 @@ fn tape_metrics() -> &'static TapeMetrics {
             tape_nodes: reg.counter("tensor.tape_nodes_total"),
             backward_ms: reg.histogram("tensor.backward_ms"),
             tape_len: reg.histogram("tensor.tape_len"),
+            backward_ns_per_node: reg.histogram("tensor.backward_ns_per_node"),
         }
     })
 }
@@ -87,6 +98,42 @@ enum Op {
     HadamardConst(Var, Tensor),
     SoftmaxCrossEntropy(Var, Vec<usize>),
     GradReverse(Var, f32),
+}
+
+impl Op {
+    /// Stable profiler label for this op kind (see `adaptraj_obs::profile`).
+    fn kind(&self) -> &'static str {
+        match self {
+            Op::Leaf => "leaf",
+            Op::Add(..) => "add",
+            Op::Sub(..) => "sub",
+            Op::Mul(..) => "mul",
+            Op::Neg(..) => "neg",
+            Op::Scale(..) => "scale",
+            Op::AddScalar(..) => "add_scalar",
+            Op::MatMul(..) => "matmul",
+            Op::Transpose(..) => "transpose",
+            Op::AddRowBroadcast(..) => "add_row_broadcast",
+            Op::Relu(..) => "relu",
+            Op::LeakyRelu(..) => "leaky_relu",
+            Op::Tanh(..) => "tanh",
+            Op::Sigmoid(..) => "sigmoid",
+            Op::Exp(..) => "exp",
+            Op::SoftmaxRows(..) => "softmax_rows",
+            Op::ConcatCols(..) => "concat_cols",
+            Op::ConcatRows(..) => "concat_rows",
+            Op::SliceCols(..) => "slice_cols",
+            Op::GatherRows(..) => "gather_rows",
+            Op::BroadcastRows(..) => "broadcast_rows",
+            Op::MeanRows(..) => "mean_rows",
+            Op::SumRows(..) => "sum_rows",
+            Op::MeanAll(..) => "mean_all",
+            Op::SumAll(..) => "sum_all",
+            Op::HadamardConst(..) => "hadamard_const",
+            Op::SoftmaxCrossEntropy(..) => "softmax_cross_entropy",
+            Op::GradReverse(..) => "grad_reverse",
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -143,8 +190,20 @@ impl Tape {
         &self.nodes[var.0].value
     }
 
-    fn push(&mut self, value: Tensor, op: Op, needs_grad: bool) -> Var {
+    /// Records a computed node. Every forward op funnels through here with
+    /// the [`OpTimer`] it started before computing, making this the single
+    /// forward-side profiler choke point: elapsed wall-clock and the bytes
+    /// of the freshly allocated result attribute to the op's kind and the
+    /// current profiling phase. With profiling disabled the timer is inert
+    /// and `record_op` returns immediately.
+    fn push(&mut self, timer: OpTimer, value: Tensor, op: Op, needs_grad: bool) -> Var {
         debug_assert!(value.all_finite(), "non-finite value from {op:?}");
+        profile::record_op(
+            op.kind(),
+            profile::Dir::Forward,
+            timer,
+            (value.len() * std::mem::size_of::<f32>()) as u64,
+        );
         self.nodes.push(Node {
             value,
             op,
@@ -163,170 +222,197 @@ impl Tape {
 
     /// A constant leaf: gradients do not flow into it.
     pub fn constant(&mut self, value: Tensor) -> Var {
-        self.push(value, Op::Leaf, false)
+        let t = profile::op_timer();
+        self.push(t, value, Op::Leaf, false)
     }
 
     /// An input leaf that accumulates gradients (e.g. a Langevin latent).
     pub fn input(&mut self, value: Tensor) -> Var {
-        self.push(value, Op::Leaf, true)
+        let t = profile::op_timer();
+        self.push(t, value, Op::Leaf, true)
     }
 
     /// Brings a stored parameter onto the tape; its gradient can later be
     /// routed back to the store via [`Tape::param_grads`].
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
-        let var = self.push(store.value(id).clone(), Op::Leaf, true);
+        let t = profile::op_timer();
+        let var = self.push(t, store.value(id).clone(), Op::Leaf, true);
         self.param_uses.push((id, var));
         var
     }
 
     pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let t = profile::op_timer();
         let v = self.value(a).add(self.value(b));
         let ng = self.any_needs(&[a, b]);
-        self.push(v, Op::Add(a, b), ng)
+        self.push(t, v, Op::Add(a, b), ng)
     }
 
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let t = profile::op_timer();
         let v = self.value(a).sub(self.value(b));
         let ng = self.any_needs(&[a, b]);
-        self.push(v, Op::Sub(a, b), ng)
+        self.push(t, v, Op::Sub(a, b), ng)
     }
 
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let t = profile::op_timer();
         let v = self.value(a).mul(self.value(b));
         let ng = self.any_needs(&[a, b]);
-        self.push(v, Op::Mul(a, b), ng)
+        self.push(t, v, Op::Mul(a, b), ng)
     }
 
     pub fn neg(&mut self, a: Var) -> Var {
+        let t = profile::op_timer();
         let v = self.value(a).scale(-1.0);
         let ng = self.needs(a);
-        self.push(v, Op::Neg(a), ng)
+        self.push(t, v, Op::Neg(a), ng)
     }
 
     pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
+        let t = profile::op_timer();
         let v = self.value(a).scale(alpha);
         let ng = self.needs(a);
-        self.push(v, Op::Scale(a, alpha), ng)
+        self.push(t, v, Op::Scale(a, alpha), ng)
     }
 
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let t = profile::op_timer();
         let v = self.value(a).map(|x| x + c);
         let ng = self.needs(a);
-        self.push(v, Op::AddScalar(a), ng)
+        self.push(t, v, Op::AddScalar(a), ng)
     }
 
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let t = profile::op_timer();
         let v = self.value(a).matmul(self.value(b));
         let ng = self.any_needs(&[a, b]);
-        self.push(v, Op::MatMul(a, b), ng)
+        self.push(t, v, Op::MatMul(a, b), ng)
     }
 
     pub fn transpose(&mut self, a: Var) -> Var {
+        let t = profile::op_timer();
         let v = self.value(a).transpose();
         let ng = self.needs(a);
-        self.push(v, Op::Transpose(a), ng)
+        self.push(t, v, Op::Transpose(a), ng)
     }
 
     /// `[n,m] + [1,m]` broadcast (bias addition).
     pub fn add_row_broadcast(&mut self, a: Var, bias: Var) -> Var {
+        let t = profile::op_timer();
         let v = self.value(a).add_row_broadcast(self.value(bias));
         let ng = self.any_needs(&[a, bias]);
-        self.push(v, Op::AddRowBroadcast(a, bias), ng)
+        self.push(t, v, Op::AddRowBroadcast(a, bias), ng)
     }
 
     pub fn relu(&mut self, a: Var) -> Var {
+        let t = profile::op_timer();
         let v = self.value(a).map(|x| x.max(0.0));
         let ng = self.needs(a);
-        self.push(v, Op::Relu(a), ng)
+        self.push(t, v, Op::Relu(a), ng)
     }
 
     pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
+        let t = profile::op_timer();
         let v = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
         let ng = self.needs(a);
-        self.push(v, Op::LeakyRelu(a, slope), ng)
+        self.push(t, v, Op::LeakyRelu(a, slope), ng)
     }
 
     pub fn tanh(&mut self, a: Var) -> Var {
+        let t = profile::op_timer();
         let v = self.value(a).map(f32::tanh);
         let ng = self.needs(a);
-        self.push(v, Op::Tanh(a), ng)
+        self.push(t, v, Op::Tanh(a), ng)
     }
 
     pub fn sigmoid(&mut self, a: Var) -> Var {
+        let t = profile::op_timer();
         let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
         let ng = self.needs(a);
-        self.push(v, Op::Sigmoid(a), ng)
+        self.push(t, v, Op::Sigmoid(a), ng)
     }
 
     pub fn exp(&mut self, a: Var) -> Var {
+        let t = profile::op_timer();
         let v = self.value(a).map(f32::exp);
         let ng = self.needs(a);
-        self.push(v, Op::Exp(a), ng)
+        self.push(t, v, Op::Exp(a), ng)
     }
 
     pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let t = profile::op_timer();
         let v = self.value(a).softmax_rows();
         let ng = self.needs(a);
-        self.push(v, Op::SoftmaxRows(a), ng)
+        self.push(t, v, Op::SoftmaxRows(a), ng)
     }
 
     pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        let t = profile::op_timer();
         let vals: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
         let v = Tensor::concat_cols(&vals);
         let ng = self.any_needs(parts);
-        self.push(v, Op::ConcatCols(parts.to_vec()), ng)
+        self.push(t, v, Op::ConcatCols(parts.to_vec()), ng)
     }
 
     pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        let t = profile::op_timer();
         let vals: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
         let v = Tensor::concat_rows(&vals);
         let ng = self.any_needs(parts);
-        self.push(v, Op::ConcatRows(parts.to_vec()), ng)
+        self.push(t, v, Op::ConcatRows(parts.to_vec()), ng)
     }
 
     pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let t = profile::op_timer();
         let v = self.value(a).slice_cols(start, end);
         let ng = self.needs(a);
-        self.push(v, Op::SliceCols(a, start, end), ng)
+        self.push(t, v, Op::SliceCols(a, start, end), ng)
     }
 
     pub fn gather_rows(&mut self, a: Var, indices: &[usize]) -> Var {
+        let t = profile::op_timer();
         let v = self.value(a).gather_rows(indices);
         let ng = self.needs(a);
-        self.push(v, Op::GatherRows(a, indices.to_vec()), ng)
+        self.push(t, v, Op::GatherRows(a, indices.to_vec()), ng)
     }
 
     /// Repeats a `1 x m` row `n` times.
     pub fn broadcast_rows(&mut self, a: Var, n: usize) -> Var {
+        let t = profile::op_timer();
         let v = self.value(a).broadcast_rows(n);
         let ng = self.needs(a);
-        self.push(v, Op::BroadcastRows(a), ng)
+        self.push(t, v, Op::BroadcastRows(a), ng)
     }
 
     pub fn mean_rows(&mut self, a: Var) -> Var {
+        let t = profile::op_timer();
         let v = self.value(a).mean_rows();
         let ng = self.needs(a);
-        self.push(v, Op::MeanRows(a), ng)
+        self.push(t, v, Op::MeanRows(a), ng)
     }
 
     pub fn sum_rows(&mut self, a: Var) -> Var {
+        let t = profile::op_timer();
         let v = self.value(a).sum_rows();
         let ng = self.needs(a);
-        self.push(v, Op::SumRows(a), ng)
+        self.push(t, v, Op::SumRows(a), ng)
     }
 
     /// Mean over all elements, as a `1 x 1` scalar.
     pub fn mean_all(&mut self, a: Var) -> Var {
+        let t = profile::op_timer();
         let v = Tensor::scalar(self.value(a).mean());
         let ng = self.needs(a);
-        self.push(v, Op::MeanAll(a), ng)
+        self.push(t, v, Op::MeanAll(a), ng)
     }
 
     /// Sum over all elements, as a `1 x 1` scalar.
     pub fn sum_all(&mut self, a: Var) -> Var {
+        let t = profile::op_timer();
         let v = Tensor::scalar(self.value(a).sum());
         let ng = self.needs(a);
-        self.push(v, Op::SumAll(a), ng)
+        self.push(t, v, Op::SumAll(a), ng)
     }
 
     /// Gradient-reversal layer (Ganin & Lempitsky): identity in the
@@ -335,21 +421,24 @@ impl Tape {
     /// learns to predict the domain while everything upstream learns to
     /// prevent it.
     pub fn grad_reverse(&mut self, a: Var, lambda: f32) -> Var {
+        let t = profile::op_timer();
         let v = self.value(a).clone();
         let ng = self.needs(a);
-        self.push(v, Op::GradReverse(a, lambda), ng)
+        self.push(t, v, Op::GradReverse(a, lambda), ng)
     }
 
     /// Elementwise product with a constant mask (dropout, padding masks).
     pub fn hadamard_const(&mut self, a: Var, mask: Tensor) -> Var {
+        let t = profile::op_timer();
         let v = self.value(a).mul(&mask);
         let ng = self.needs(a);
-        self.push(v, Op::HadamardConst(a, mask), ng)
+        self.push(t, v, Op::HadamardConst(a, mask), ng)
     }
 
     /// Fused softmax + cross-entropy over class-index targets, averaged over
     /// rows. Numerically stable; returns a `1 x 1` loss.
     pub fn softmax_cross_entropy(&mut self, logits: Var, targets: &[usize]) -> Var {
+        let t = profile::op_timer();
         let lv = self.value(logits);
         assert_eq!(lv.rows(), targets.len(), "one target class per logits row");
         let probs = lv.softmax_rows();
@@ -361,6 +450,7 @@ impl Tape {
         }
         let ng = self.needs(logits);
         self.push(
+            t,
             Tensor::scalar(loss / n),
             Op::SoftmaxCrossEntropy(logits, targets.to_vec()),
             ng,
@@ -434,7 +524,12 @@ impl Tape {
                 continue;
             }
             let Some(g) = grads[idx].take() else { continue };
+            // Backward-side profiler choke point, mirroring `push`: the
+            // whole chain-rule step for this node attributes to its op
+            // kind. Inert (one atomic load) when profiling is disabled.
+            let t = profile::op_timer();
             self.accumulate_parents(idx, &g, &mut grads);
+            profile::record_op(self.nodes[idx].op.kind(), profile::Dir::Backward, t, 0);
             grads[idx] = Some(g);
         }
         tape_metrics().observe_backward(self.nodes.len(), start.elapsed());
@@ -917,17 +1012,63 @@ mod tests {
 
     #[test]
     fn backward_records_tape_metrics() {
-        let calls_before = adaptraj_obs::global()
-            .counter("tensor.backward_calls")
-            .get();
+        // Snapshot/delta keeps the assertions order-independent: the
+        // global registry accumulates across every test in this binary.
+        let before = adaptraj_obs::global().snapshot();
         let mut tape = Tape::new();
         let x = tape.input(Tensor::row(&[1.0, 2.0]));
         let sq = tape.mul(x, x);
         let loss = tape.sum_all(sq);
         tape.backward(loss);
-        let reg = adaptraj_obs::global();
-        assert!(reg.counter("tensor.backward_calls").get() > calls_before);
-        assert!(reg.histogram("tensor.backward_ms").snapshot().count > 0);
-        assert!(reg.histogram("tensor.tape_len").snapshot().max >= 3.0);
+        let delta = adaptraj_obs::global().snapshot().since(&before);
+        assert!(delta.counter("tensor.backward_calls") >= 1);
+        // x, x*x, sum -> three nodes on this tape's backward pass.
+        assert!(delta.counter("tensor.tape_nodes_total") >= 3);
+        assert!(delta.hist_count("tensor.backward_ms") >= 1);
+        // Graph size lands in the distribution, not just the counter sum.
+        assert!(delta.hist_count("tensor.tape_len") >= 1);
+        assert!(delta.hist_count("tensor.backward_ns_per_node") >= 1);
+        assert!(
+            adaptraj_obs::global()
+                .histogram("tensor.tape_len")
+                .snapshot()
+                .max
+                >= 3.0
+        );
+    }
+
+    #[test]
+    fn profiler_attributes_tape_ops_by_kind_and_phase() {
+        use adaptraj_obs::profile;
+        profile::set_enabled(true);
+        let snapshot = {
+            let _phase = profile::phase("tape_test");
+            let mut tape = Tape::new();
+            let x = tape.input(Tensor::row(&[1.0, 2.0, 3.0]));
+            let w = tape.constant(Tensor::col(&[1.0, 0.5, 2.0]));
+            let y = tape.matmul(x, w);
+            let sq = tape.mul(y, y);
+            let loss = tape.sum_all(sq);
+            tape.backward(loss);
+            profile::snapshot().under("tape_test")
+        };
+        profile::set_enabled(false);
+
+        let ops = snapshot.by_op();
+        let get = |kind: &str| ops.iter().find(|r| r.kind == kind).cloned();
+        let mm = get("matmul").expect("matmul profiled");
+        assert_eq!(mm.fwd_calls, 1);
+        assert_eq!(mm.bwd_calls, 1);
+        // matmul result is 1x1 -> 4 bytes allocated forward.
+        assert_eq!(mm.bytes, 4);
+        let leaf = get("leaf").expect("leaves profiled");
+        assert_eq!(leaf.fwd_calls, 2);
+        // Leaves have no parents: the backward visit for `x` still counts.
+        assert!(get("mul").unwrap().bwd_calls >= 1);
+
+        let phases = snapshot.by_phase();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].phase, "tape_test");
+        assert!(phases[0].fwd_ns > 0 && phases[0].bwd_ns > 0);
     }
 }

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Perf-regression workflow: run the fixed-seed bench workloads, write
+# BENCH_<timestamp>.json at the repo root, and gate it against the most
+# recent previous BENCH_*.json (if any) with bench_gate.
+#
+#   scripts/bench.sh [--max-regress-pct N] [-- extra bench args]
+#
+# Examples:
+#   scripts/bench.sh                       # default threshold (25%)
+#   scripts/bench.sh --max-regress-pct 10
+#   scripts/bench.sh -- --epochs 8 --scenes 12
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+max_regress_pct=25
+extra_args=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --max-regress-pct)
+            max_regress_pct="$2"
+            shift 2
+            ;;
+        --)
+            shift
+            extra_args=("$@")
+            break
+            ;;
+        *)
+            echo "usage: scripts/bench.sh [--max-regress-pct N] [-- extra bench args]" >&2
+            exit 2
+            ;;
+    esac
+done
+
+# Most recent previous bench document (by mtime) becomes the baseline.
+baseline=$(ls -1t BENCH_*.json 2>/dev/null | head -n 1 || true)
+
+out="BENCH_$(date +%Y%m%d_%H%M%S).json"
+echo "=== bench -> $out ==="
+cargo run --release --offline --bin adaptraj -- bench --out "$out" "${extra_args[@]}"
+
+if [ -z "$baseline" ]; then
+    echo
+    echo "no previous BENCH_*.json found — $out is the new baseline, nothing to gate"
+    exit 0
+fi
+
+echo
+echo "=== bench_gate: $baseline -> $out (threshold ${max_regress_pct}%) ==="
+cargo run --release --offline -p adaptraj-bench --bin bench_gate -- \
+    --baseline "$baseline" --candidate "$out" --max-regress-pct "$max_regress_pct"

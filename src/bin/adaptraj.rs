@@ -7,6 +7,7 @@
 //!     --sources eth_ucy,l_cas,syi --target sdd
 //! ```
 
+use adaptraj::bench::perf::{run_perf, PerfConfig};
 use adaptraj::cli::{parse, Command, USAGE};
 use adaptraj::data::dataset::{synthesize_all, synthesize_domain, SynthesisConfig};
 use adaptraj::data::domain::DomainId;
@@ -16,6 +17,7 @@ use adaptraj::eval::viz::{render_window, VizOptions};
 use adaptraj::eval::{run_cell, CellSpec, RunnerConfig, TextTable};
 use adaptraj::models::predictor::TrainReport;
 use adaptraj::models::{BackboneConfig, PecNet, Predictor, TrainerConfig, Vanilla};
+use adaptraj::obs::profile;
 use adaptraj::obs::{EvalSummary, JsonlSink, RunTelemetry, StderrSink};
 use adaptraj::tensor::serialize::save_params_to_file;
 use adaptraj::tensor::Rng;
@@ -102,10 +104,15 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             log_level,
             metrics_out,
             manifest,
+            profile_out,
         } => {
             if let Some(level) = log_level {
                 adaptraj::obs::set_max_level(level);
                 adaptraj::obs::add_sink(Arc::new(StderrSink));
+            }
+            if profile_out.is_some() {
+                profile::reset();
+                profile::set_enabled(true);
             }
             let metrics_sink = match &metrics_out {
                 Some(path) => {
@@ -206,6 +213,13 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 telemetry.write_to_file(std::path::Path::new(&path))?;
                 println!("run manifest written to {path}");
             }
+            if let Some(path) = profile_out {
+                profile::set_enabled(false);
+                let snap = profile::snapshot();
+                std::fs::write(&path, snap.to_json())?;
+                println!("op-level profile written to {path}");
+                print!("{}", snap.render_table());
+            }
             if let Some(sink) = metrics_sink {
                 // Append the final metric snapshots after the trace events.
                 for line in adaptraj::obs::global().dump_jsonl() {
@@ -213,6 +227,33 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 }
             }
             adaptraj::obs::flush_sinks();
+        }
+        Command::Bench {
+            out,
+            epochs,
+            scenes,
+            eval_windows,
+            seed,
+            profile_out,
+        } => {
+            let cfg = PerfConfig {
+                epochs,
+                scenes,
+                eval_windows,
+                seed: seed.unwrap_or(PerfConfig::default().seed),
+            };
+            println!(
+                "bench: {} epochs, {} scenes, {} inference windows, seed {} ...",
+                cfg.epochs, cfg.scenes, cfg.eval_windows, cfg.seed
+            );
+            let report = run_perf(&cfg);
+            print!("{}", report.render_text());
+            std::fs::write(&out, report.to_json())?;
+            println!("bench document written to {out}");
+            if let Some(path) = profile_out {
+                std::fs::write(&path, report.profile.to_json())?;
+                println!("op-level profile written to {path}");
+            }
         }
         Command::Visualize { target, out, count } => {
             let ds = synthesize_domain(target, &SynthesisConfig::default());

@@ -37,6 +37,19 @@ pub enum Command {
         log_level: Option<Level>,
         metrics_out: Option<String>,
         manifest: Option<String>,
+        profile_out: Option<String>,
+    },
+    /// `bench [--out FILE.json] [--epochs N] [--scenes N]
+    ///  [--eval-windows N] [--seed S] [--profile-out FILE.json]` — run the
+    /// fixed-seed perf workloads under the op-level profiler and write an
+    /// `adaptraj-bench/v1` document (see EXPERIMENTS.md).
+    Bench {
+        out: String,
+        epochs: usize,
+        scenes: usize,
+        eval_windows: usize,
+        seed: Option<u64>,
+        profile_out: Option<String>,
     },
     /// `visualize --target <d> [--out DIR] [--count N]` — train a quick
     /// model and render SVG predictions.
@@ -206,6 +219,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "log-level",
                     "metrics-out",
                     "manifest",
+                    "profile-out",
                 ],
             )?;
             let backbone = parse_backbone(
@@ -252,6 +266,28 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 log_level: parse_log_level(&flags)?,
                 metrics_out: flags.get("metrics-out").map(|s| s.to_string()),
                 manifest: flags.get("manifest").map(|s| s.to_string()),
+                profile_out: flags.get("profile-out").map(|s| s.to_string()),
+            })
+        }
+        "bench" => {
+            let flags = parse_flags(
+                rest,
+                &[
+                    "out",
+                    "epochs",
+                    "scenes",
+                    "eval-windows",
+                    "seed",
+                    "profile-out",
+                ],
+            )?;
+            Ok(Command::Bench {
+                out: flags.get("out").unwrap_or(&"BENCH_local.json").to_string(),
+                epochs: parse_usize(&flags, "epochs", 4)?,
+                scenes: parse_usize(&flags, "scenes", 6)?,
+                eval_windows: parse_usize(&flags, "eval-windows", 120)?,
+                seed: parse_seed(&flags)?,
+                profile_out: flags.get("profile-out").map(|s| s.to_string()),
             })
         }
         "visualize" => {
@@ -284,6 +320,9 @@ USAGE:
                --sources d1,d2,... --target <d> [--epochs N] [--ckpt FILE.atps]
                [--seed S] [--log-level <error|warn|info|debug|trace>]
                [--metrics-out FILE.jsonl] [--manifest FILE.json]
+               [--profile-out FILE.json]
+  adaptraj bench [--out FILE.json] [--epochs N] [--scenes N] [--eval-windows N]
+                 [--seed S] [--profile-out FILE.json]
   adaptraj visualize --target <d> [--out DIR] [--count N]
   adaptraj help
 
@@ -295,6 +334,14 @@ OBSERVABILITY (run):
   --metrics-out FILE  stream trace events + final metric snapshots as JSONL
   --manifest FILE     write a run-manifest JSON (per-epoch decomposed losses,
                       gradient norms, phase timings, eval summary)
+  --profile-out FILE  enable the op-level profiler and write a per-op/per-phase
+                      breakdown JSON (adaptraj-profile/v1)
+
+BENCH:
+  runs fixed-seed training + inference workloads (PECNet/LBEBM vanilla and
+  PECNet-AdapTraj) under the profiler and writes an adaptraj-bench/v1 JSON
+  with throughput, backward ns/node, latency percentiles, and op/phase
+  breakdowns; gate two runs with scripts/bench.sh (bench_gate).
 ";
 
 #[cfg(test)]
@@ -330,7 +377,8 @@ mod tests {
         let cmd = parse(&args(
             "run --backbone lbebm --method adaptraj --sources eth_ucy,l_cas,syi \
              --target sdd --epochs 30 --ckpt model.atps --seed 42 \
-             --log-level debug --metrics-out m.jsonl --manifest run.json",
+             --log-level debug --metrics-out m.jsonl --manifest run.json \
+             --profile-out prof.json",
         ))
         .unwrap();
         assert_eq!(
@@ -346,8 +394,47 @@ mod tests {
                 log_level: Some(Level::Debug),
                 metrics_out: Some("m.jsonl".into()),
                 manifest: Some("run.json".into()),
+                profile_out: Some("prof.json".into()),
             }
         );
+    }
+
+    #[test]
+    fn bench_defaults_and_full_invocation() {
+        assert_eq!(
+            parse(&args("bench")).unwrap(),
+            Command::Bench {
+                out: "BENCH_local.json".into(),
+                epochs: 4,
+                scenes: 6,
+                eval_windows: 120,
+                seed: None,
+                profile_out: None,
+            }
+        );
+        assert_eq!(
+            parse(&args(
+                "bench --out BENCH_1.json --epochs 2 --scenes 3 --eval-windows 50 \
+                 --seed 9 --profile-out prof.json"
+            ))
+            .unwrap(),
+            Command::Bench {
+                out: "BENCH_1.json".into(),
+                epochs: 2,
+                scenes: 3,
+                eval_windows: 50,
+                seed: Some(9),
+                profile_out: Some("prof.json".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn bench_rejects_unknown_flags_and_bad_values() {
+        let e = parse(&args("bench --target sdd")).unwrap_err();
+        assert!(e.0.contains("unknown flag"), "{e}");
+        let e = parse(&args("bench --eval-windows few")).unwrap_err();
+        assert!(e.0.contains("integer"), "{e}");
     }
 
     #[test]
@@ -361,6 +448,7 @@ mod tests {
             log_level,
             metrics_out,
             manifest,
+            profile_out,
             ..
         } = cmd
         else {
@@ -370,6 +458,7 @@ mod tests {
         assert_eq!(log_level, None);
         assert_eq!(metrics_out, None);
         assert_eq!(manifest, None);
+        assert_eq!(profile_out, None);
     }
 
     #[test]

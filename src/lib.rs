@@ -11,9 +11,11 @@
 //! * [`models`] — backbones (PECNet, LBEBM) and baselines (Counter, CausalMotion)
 //! * [`core`] — the AdapTraj framework itself
 //! * [`eval`] — metrics and experiment orchestration
+//! * [`bench`] — perf workloads, bench-document comparison, table binaries
 
 pub mod cli;
 
+pub use adaptraj_bench as bench;
 pub use adaptraj_core as core;
 pub use adaptraj_data as data;
 pub use adaptraj_eval as eval;
