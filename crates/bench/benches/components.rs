@@ -6,7 +6,7 @@
 use adaptraj_core::{Aggregator, InvariantExtractor, SpecificExtractor};
 use adaptraj_data::domain::DomainId;
 use adaptraj_data::trajectory::{Point, TrajWindow, T_OBS, T_TOTAL};
-use adaptraj_models::{Backbone, BackboneConfig, GenMode, Lbebm, PecNet};
+use adaptraj_models::{Backbone, BackboneConfig, ForwardCtx, Lbebm, PecNet};
 use adaptraj_tensor::nn::LstmCell;
 use adaptraj_tensor::{GroupId, ParamStore, Rng, Tape, Tensor};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -66,7 +66,8 @@ fn bench_backbones(c: &mut Criterion) {
         b.iter(|| {
             let mut tape = Tape::new();
             let enc = pecnet.encode(&store, &mut tape, &w);
-            black_box(pecnet.generate(&store, &mut tape, &w, &enc, None, &mut r, GenMode::Sample));
+            let mut ctx = ForwardCtx::sample(&store, &mut tape, &mut r);
+            black_box(pecnet.generate(&mut ctx, &w, &enc, None));
         })
     });
 
@@ -78,7 +79,8 @@ fn bench_backbones(c: &mut Criterion) {
         b.iter(|| {
             let mut tape = Tape::new();
             let enc = lbebm.encode(&store2, &mut tape, &w);
-            black_box(lbebm.generate(&store2, &mut tape, &w, &enc, None, &mut r, GenMode::Sample));
+            let mut ctx = ForwardCtx::sample(&store2, &mut tape, &mut r);
+            black_box(lbebm.generate(&mut ctx, &w, &enc, None));
         })
     });
     group.finish();

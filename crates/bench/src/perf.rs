@@ -30,6 +30,10 @@ pub struct PerfConfig {
     pub scenes: usize,
     /// Inference passes timed per workload (cycles over the test split).
     pub eval_windows: usize,
+    /// Worker threads for the training executor (`adaptraj-exec`); the
+    /// timed inference loop stays single-threaded so latency percentiles
+    /// remain comparable across configs.
+    pub workers: usize,
     /// Seed for synthesis, training, and inference sampling.
     pub seed: u64,
 }
@@ -40,6 +44,7 @@ impl Default for PerfConfig {
             epochs: 4,
             scenes: 6,
             eval_windows: 120,
+            workers: 1,
             seed: 7,
         }
     }
@@ -52,6 +57,7 @@ impl PerfConfig {
             epochs: 1,
             scenes: 3,
             eval_windows: 20,
+            workers: 1,
             seed: 7,
         }
     }
@@ -163,6 +169,7 @@ fn run_workload(
             max_train_windows: 96,
             seed: cfg.seed,
             patience: 0,
+            workers: cfg.workers,
             ..TrainerConfig::default()
         },
         ..RunnerConfig::default()
@@ -274,6 +281,7 @@ impl PerfReport {
             .u64("epochs", self.config.epochs as u64)
             .u64("scenes", self.config.scenes as u64)
             .u64("eval_windows", self.config.eval_windows as u64)
+            .u64("workers", self.config.workers as u64)
             .u64("seed", self.config.seed)
             .finish();
         Obj::new()
@@ -329,6 +337,7 @@ mod tests {
             epochs: 1,
             scenes: 2,
             eval_windows: 4,
+            workers: 2,
             seed: 3,
         };
         let report = run_perf(&cfg);

@@ -8,9 +8,10 @@ use crate::losses::ours_loss_parts;
 use adaptraj_data::batch::shuffled_batches;
 use adaptraj_data::domain::DomainId;
 use adaptraj_data::trajectory::{Point, TrajWindow};
+use adaptraj_exec::{window_seed, WorkerPool};
 use adaptraj_models::backbone::{base_loss, tensor_to_points, EncodedScene};
 use adaptraj_models::predictor::{cap_per_domain, group_norms, Predictor, TrainReport};
-use adaptraj_models::traits::{Backbone, GenMode};
+use adaptraj_models::traits::{Backbone, ForwardCtx, GenMode};
 use adaptraj_obs::{obs_info, obs_warn, profile, EpochRecord, LossComponents, PhaseTiming, Span};
 use adaptraj_tensor::optim::Adam;
 use adaptraj_tensor::{GradBuffer, ParamStore, Rng, Tape, Tensor, Var};
@@ -214,23 +215,24 @@ impl<B: Backbone> AdapTraj<B> {
     /// more epochs to stop degrading the decoder's conditioning.
     fn window_loss(
         &self,
-        tape: &mut Tape,
+        ctx: &mut ForwardCtx<'_>,
         w: &TrajWindow,
         masked: bool,
         delta: f32,
-        rng: &mut Rng,
     ) -> (Var, WindowLossValues) {
+        ctx.mode = GenMode::Train;
         let domain_idx = self
             .specific
             .expert_of(w.domain)
             .expect("training window from a non-source domain");
         let enc = {
             let _p = profile::phase("encode");
-            self.backbone.encode(&self.store, tape, w)
+            self.backbone.encode(ctx.store, ctx.tape, w)
         };
         let expert = if masked { None } else { Some(domain_idx) };
         let (feats, distill, extra) = {
             let _p = profile::phase("features");
+            let tape = &mut *ctx.tape;
             let feats = self.features(tape, &enc, expert);
             let distill = if masked && self.cfg.ablation.use_specific {
                 // Teacher targets: the true domain's expert outputs, detached.
@@ -253,15 +255,8 @@ impl<B: Backbone> AdapTraj<B> {
         };
         let (mut loss, backbone_val) = {
             let _p = profile::phase("generate");
-            let gen = self.backbone.generate(
-                &self.store,
-                tape,
-                w,
-                &enc,
-                Some(extra),
-                rng,
-                GenMode::Train,
-            );
+            let gen = self.backbone.generate(ctx, w, &enc, Some(extra));
+            let tape = &mut *ctx.tape;
             let mut loss = base_loss(tape, gen.pred, w);
             if let Some(aux) = gen.aux_loss {
                 loss = tape.add(loss, aux);
@@ -269,6 +264,7 @@ impl<B: Backbone> AdapTraj<B> {
             let backbone_val = tape.value(loss).item();
             (loss, backbone_val)
         };
+        let tape = &mut *ctx.tape;
         let parts = {
             let _p = profile::phase("aux_loss");
             ours_loss_parts(
@@ -419,6 +415,8 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
 
         // Wall-clock per schedule step, keyed `step - 1`.
         let mut step_seconds = [0.0f64; 3];
+        let pool = WorkerPool::new(self.cfg.trainer.workers);
+        let seed = self.cfg.trainer.seed;
         for epoch in 0..self.cfg.e_total() {
             let step = self.cfg.step_of_epoch(epoch);
             Self::configure_schedule(&mut opt, &self.cfg, step);
@@ -444,16 +442,40 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
             let mut seen = 0usize;
             let mut grad_norm_sum = 0.0f64;
             let mut batches = 0usize;
+            // Profiler path the worker threads re-enter, so their records
+            // roll up under the same "stepN" phase as the dispatcher's.
+            let profile_path = profile::current_path().unwrap_or_default();
             for batch in shuffled_batches(windows.len(), self.cfg.trainer.batch_size, &mut rng) {
                 let mut buf = GradBuffer::new();
                 let inv = 1.0 / batch.len() as f32;
-                for &i in &batch {
-                    let masked = masking && rng.chance(self.cfg.sigma);
-                    let mut tape = Tape::new();
-                    let (loss, values) =
-                        self.window_loss(&mut tape, windows[i], masked, delta, &mut rng);
-                    let val = tape.value(loss).item();
+                // Masked flags come off the main-thread rng in batch order,
+                // *before* dispatch, so the draw sequence is independent of
+                // worker interleaving (and of worker count).
+                let jobs: Vec<(usize, bool)> = batch
+                    .iter()
+                    .map(|&i| (i, masking && rng.chance(self.cfg.sigma)))
+                    .collect();
+                let this = &*self;
+                let results = pool
+                    .map(&jobs, |_, &(i, masked)| {
+                        let _p = profile::phase_at(&profile_path);
+                        let mut tape = Tape::new();
+                        let mut wrng = Rng::seed_from(window_seed(seed, epoch as u64, i as u64));
+                        let mut ctx = ForwardCtx::train(&this.store, &mut tape, &mut wrng);
+                        let (loss, values) = this.window_loss(&mut ctx, windows[i], masked, delta);
+                        let val = tape.value(loss).item();
+                        if !val.is_finite() {
+                            return (val, values, Vec::new());
+                        }
+                        let grads = tape.backward(loss);
+                        (val, values, tape.param_grads(&grads))
+                    })
+                    .unwrap_or_else(|e| panic!("training worker panicked: {e}"));
+                // Reduce in batch-position order: bit-identical for any
+                // worker count.
+                for (pos, (val, values, pairs)) in results.iter().enumerate() {
                     if !val.is_finite() {
+                        let i = jobs[pos].0;
                         rec.non_finite_batches += 1;
                         obs_warn!(
                             "core.fit",
@@ -461,10 +483,9 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
                         );
                         continue;
                     }
-                    let grads = tape.backward(loss);
-                    buf.absorb_scaled(&tape, &grads, inv);
-                    epoch_loss += val as f64;
-                    means.add(&values);
+                    buf.absorb_pairs_scaled(pairs, inv);
+                    epoch_loss += *val as f64;
+                    means.add(values);
                     seen += 1;
                 }
                 let norm = if self.cfg.trainer.grad_clip > 0.0 {
@@ -521,15 +542,8 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
             self.extra_features(&mut tape, &feats)
         };
         let _p = profile::phase("generate");
-        let gen = self.backbone.generate(
-            &self.store,
-            &mut tape,
-            w,
-            &enc,
-            Some(extra),
-            rng,
-            GenMode::Sample,
-        );
+        let mut ctx = ForwardCtx::sample(&self.store, &mut tape, rng);
+        let gen = self.backbone.generate(&mut ctx, w, &enc, Some(extra));
         tensor_to_points(tape.value(gen.pred))
     }
 }

@@ -6,6 +6,7 @@ use adaptraj_core::{AdapTraj, AdapTrajConfig};
 use adaptraj_data::dataset::DomainDataset;
 use adaptraj_data::domain::DomainId;
 use adaptraj_data::trajectory::TrajWindow;
+use adaptraj_exec::{window_seed, WorkerPool};
 use adaptraj_models::predictor::TrainReport;
 use adaptraj_models::{
     BackboneConfig, CausalMotion, Counter, Lbebm, PecNet, Predictor, TrainerConfig, Vanilla,
@@ -253,26 +254,40 @@ pub fn target_test<'a>(
 
 /// Evaluates a trained predictor on test windows (best-of-k) and measures
 /// single-sample inference latency.
+///
+/// Windows are dispatched to the `adaptraj-exec` worker pool; each window
+/// draws its `k` samples from an RNG seeded by [`window_seed`], so ADE/FDE
+/// are bit-identical for every worker count. The per-window latency is the
+/// wall-clock of the *first* sample, as before.
 pub fn evaluate(
     predictor: &dyn Predictor,
     test: &[&TrajWindow],
     k: usize,
     seed: u64,
+    workers: usize,
 ) -> (EvalResult, f64) {
     assert!(!test.is_empty(), "empty test set");
-    let mut rng = Rng::seed_from(seed);
+    let pool = WorkerPool::new(workers);
+    let results = pool
+        .map(test, |i, w| {
+            let mut rng = Rng::seed_from(window_seed(seed, 0, i as u64));
+            let t0 = Instant::now();
+            let first = predictor.predict(w, &mut rng);
+            let latency = t0.elapsed().as_secs_f64();
+            let mut samples = vec![first];
+            for _ in 1..k.max(1) {
+                samples.push(predictor.predict(w, &mut rng));
+            }
+            let (a, f) = best_of_k(&samples, &w.fut);
+            (a, f, latency)
+        })
+        .unwrap_or_else(|e| panic!("evaluation worker panicked: {e}"));
+    // Reduce in window order: identical accumulation for any worker count.
     let mut acc = EvalAccumulator::new();
     let mut latency = 0.0f64;
-    for w in test {
-        let t0 = Instant::now();
-        let first = predictor.predict(w, &mut rng);
-        latency += t0.elapsed().as_secs_f64();
-        let mut samples = vec![first];
-        for _ in 1..k.max(1) {
-            samples.push(predictor.predict(w, &mut rng));
-        }
-        let (a, f) = best_of_k(&samples, &w.fut);
+    for (a, f, l) in results {
         acc.push(a, f);
+        latency += l;
     }
     (acc.result(), latency / test.len() as f64)
 }
@@ -288,7 +303,13 @@ pub fn run_cell(spec: &CellSpec, datasets: &[DomainDataset], cfg: &RunnerConfig)
     let t0 = Instant::now();
     let report = predictor.fit(&train);
     let train_time_s = t0.elapsed().as_secs_f64();
-    let (eval, infer_time_s) = evaluate(predictor.as_ref(), &test, cfg.samples_k, cfg.eval_seed);
+    let (eval, infer_time_s) = evaluate(
+        predictor.as_ref(),
+        &test,
+        cfg.samples_k,
+        cfg.eval_seed,
+        cfg.trainer.workers,
+    );
     span.record("ade", eval.ade);
     span.record("fde", eval.fde);
     span.record("train_s", train_time_s);
@@ -427,6 +448,26 @@ mod tests {
         };
         let res = run_cell(&spec, &datasets, &tiny_runner());
         assert!(res.eval.ade.is_finite() && res.eval.ade > 0.0);
+    }
+
+    #[test]
+    fn evaluate_is_invariant_to_worker_count() {
+        let datasets = tiny_datasets();
+        let spec = CellSpec {
+            backbone: BackboneKind::PecNet,
+            method: MethodKind::Vanilla,
+            sources: vec![DomainId::EthUcy],
+            target: DomainId::LCas,
+        };
+        let cfg = tiny_runner();
+        let train = pooled_train(&spec, &datasets);
+        let test = target_test(&spec, &datasets, 10);
+        let mut predictor = build_predictor(&spec, &cfg);
+        predictor.fit(&train);
+        let (e1, _) = evaluate(predictor.as_ref(), &test, 2, 99, 1);
+        let (e4, _) = evaluate(predictor.as_ref(), &test, 2, 99, 4);
+        assert_eq!(e1.ade.to_bits(), e4.ade.to_bits(), "ADE depends on workers");
+        assert_eq!(e1.fde.to_bits(), e4.fde.to_bits(), "FDE depends on workers");
     }
 
     #[test]

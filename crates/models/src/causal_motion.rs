@@ -13,9 +13,10 @@
 
 use crate::config::TrainerConfig;
 use crate::predictor::{cap_per_domain, Predictor, TrainReport};
-use crate::traits::{sample_forward, train_forward, Backbone};
+use crate::traits::{sample_forward, train_forward, Backbone, ForwardCtx};
 use adaptraj_data::batch::shuffled_batches;
 use adaptraj_data::trajectory::{Point, TrajWindow};
+use adaptraj_exec::{window_seed, WorkerPool};
 use adaptraj_tensor::optim::Adam;
 use adaptraj_tensor::{GradBuffer, ParamStore, Rng, Tape};
 
@@ -65,7 +66,9 @@ impl<B: Backbone> Predictor for CausalMotion<B> {
             return report;
         }
 
-        for _epoch in 0..self.cfg.epochs {
+        let pool = WorkerPool::new(self.cfg.workers);
+        let seed = self.cfg.seed;
+        for epoch in 0..self.cfg.epochs {
             let mut epoch_loss = 0.0;
             let mut seen = 0usize;
             for batch in shuffled_batches(windows.len(), self.cfg.batch_size, &mut rng) {
@@ -76,24 +79,29 @@ impl<B: Backbone> Predictor for CausalMotion<B> {
                 //   dL/dθ = (g1 + g2)/2 + 2λ (r1 − r2)(g1 − g2)
                 // where r_k are mean half risks and g_k their gradients.
                 let mid = batch.len().div_ceil(2);
+                let store = &self.store;
+                let backbone = &self.backbone;
+                let results = pool
+                    .map(&batch, |_, &i| {
+                        let mut tape = Tape::new();
+                        let mut wrng = Rng::seed_from(window_seed(seed, epoch as u64, i as u64));
+                        let mut ctx = ForwardCtx::train(store, &mut tape, &mut wrng);
+                        let (_, loss) = train_forward(backbone, &mut ctx, windows[i], None);
+                        let val = tape.value(loss).item();
+                        let grads = tape.backward(loss);
+                        (val, tape.param_grads(&grads))
+                    })
+                    .unwrap_or_else(|e| panic!("training worker panicked: {e}"));
                 let mut bufs = [GradBuffer::new(), GradBuffer::new()];
                 let mut risks = [0.0f32; 2];
-                for (pos, &i) in batch.iter().enumerate() {
+                // Reduce in batch-position order: bit-identical for any
+                // worker count.
+                for (pos, (val, pairs)) in results.iter().enumerate() {
                     let half = usize::from(pos >= mid);
                     let n_half = if half == 0 { mid } else { batch.len() - mid };
-                    let mut tape = Tape::new();
-                    let (_, loss) = train_forward(
-                        &self.backbone,
-                        &self.store,
-                        &mut tape,
-                        windows[i],
-                        None,
-                        &mut rng,
-                    );
-                    let grads = tape.backward(loss);
-                    bufs[half].absorb_scaled(&tape, &grads, 1.0 / n_half.max(1) as f32);
-                    risks[half] += tape.value(loss).item() / n_half.max(1) as f32;
-                    epoch_loss += tape.value(loss).item();
+                    bufs[half].absorb_pairs_scaled(pairs, 1.0 / n_half.max(1) as f32);
+                    risks[half] += val / n_half.max(1) as f32;
+                    epoch_loss += val;
                     seen += 1;
                 }
                 let mut total = GradBuffer::new();
@@ -127,7 +135,8 @@ impl<B: Backbone> Predictor for CausalMotion<B> {
         // Inference is architecturally identical to vanilla (the paper
         // notes near-identical inference time for CausalMotion).
         let mut tape = Tape::new();
-        let pred = sample_forward(&self.backbone, &self.store, &mut tape, w, None, rng);
+        let mut ctx = ForwardCtx::sample(&self.store, &mut tape, rng);
+        let pred = sample_forward(&self.backbone, &mut ctx, w, None);
         crate::backbone::tensor_to_points(tape.value(pred))
     }
 }

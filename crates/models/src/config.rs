@@ -88,6 +88,11 @@ pub struct TrainerConfig {
     /// without improvement (0 disables). Applies to the single-phase
     /// trainers; AdapTraj's three-step schedule always runs to `epochs`.
     pub patience: usize,
+    /// Worker threads for the data-parallel executor (`adaptraj-exec`).
+    /// `0` or `1` run per-window passes inline on the calling thread; the
+    /// per-window seed-splitting scheme makes results bit-identical for
+    /// every worker count.
+    pub workers: usize,
 }
 
 impl Default for TrainerConfig {
@@ -100,6 +105,7 @@ impl Default for TrainerConfig {
             seed: 1,
             max_train_windows: 400,
             patience: 0,
+            workers: 1,
         }
     }
 }

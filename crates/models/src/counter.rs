@@ -13,8 +13,9 @@
 //! (Tab. VIII).
 
 use crate::config::TrainerConfig;
-use crate::predictor::{cap_per_domain, fit_loop, Predictor, TrainReport};
-use crate::traits::{sample_forward, train_forward, Backbone};
+use crate::predictor::{cap_per_domain, Predictor, TrainReport};
+use crate::trainer::Trainer;
+use crate::traits::{sample_forward, train_forward, Backbone, ForwardCtx};
 use adaptraj_data::trajectory::{Point, TrajWindow};
 use adaptraj_tensor::optim::Adam;
 use adaptraj_tensor::{ParamStore, Rng, Tape};
@@ -72,16 +73,16 @@ impl<B: Backbone> Predictor for Counter<B> {
         let backbone = &self.backbone;
         // Both branches share parameters; the counterfactual branch trains
         // the model to predict well from individual clues alone.
-        fit_loop(
+        Trainer::new(&self.cfg).fit(
             &mut self.store,
             &mut opt,
-            &self.cfg,
             &windows,
             &mut rng,
             |store, tape, w, r| {
-                let (_, l_fact) = train_forward(backbone, store, tape, w, None, r);
+                let mut ctx = ForwardCtx::train(store, tape, r);
+                let (_, l_fact) = train_forward(backbone, &mut ctx, w, None);
                 let cf = counterfactual_of(w);
-                let (_, l_cf) = train_forward(backbone, store, tape, &cf, None, r);
+                let (_, l_cf) = train_forward(backbone, &mut ctx, &cf, None);
                 let sum = tape.add(l_fact, l_cf);
                 tape.scale(sum, 0.5)
             },
@@ -104,11 +105,13 @@ impl<B: Backbone> Predictor for Counter<B> {
         let mut tape = Tape::new();
 
         let mut r1 = Rng::seed_from(seed);
-        let y_fact = sample_forward(&self.backbone, &self.store, &mut tape, w, None, &mut r1);
+        let mut ctx1 = ForwardCtx::sample(&self.store, &mut tape, &mut r1);
+        let y_fact = sample_forward(&self.backbone, &mut ctx1, w, None);
 
         let cf = counterfactual_of(w);
         let mut r2 = Rng::seed_from(seed);
-        let y_cf = sample_forward(&self.backbone, &self.store, &mut tape, &cf, None, &mut r2);
+        let mut ctx2 = ForwardCtx::sample(&self.store, &mut tape, &mut r2);
+        let y_cf = sample_forward(&self.backbone, &mut ctx2, &cf, None);
 
         // Y_final = Y(X,E) − β·(Y(X,E) − Y(X,∅)): subtract the
         // neighbor-caused component.

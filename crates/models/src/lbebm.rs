@@ -15,7 +15,7 @@ use crate::backbone::{
     fut_flat_tensor, EncodedScene, InteractionKind, RolloutDecoder, SceneEncoder, BACKBONE_GROUP,
 };
 use crate::config::BackboneConfig;
-use crate::traits::{Backbone, GenMode, Generation};
+use crate::traits::{Backbone, ForwardCtx, GenMode, Generation};
 use adaptraj_data::trajectory::{TrajWindow, T_PRED};
 use adaptraj_tensor::nn::{Activation, Mlp};
 use adaptraj_tensor::{ParamStore, Rng, Tape, Tensor, Var};
@@ -127,13 +127,10 @@ impl Backbone for Lbebm {
 
     fn generate(
         &self,
-        store: &ParamStore,
-        tape: &mut Tape,
+        ctx: &mut ForwardCtx<'_>,
         w: &TrajWindow,
         enc: &EncodedScene,
         extra: Option<Var>,
-        rng: &mut Rng,
-        mode: GenMode,
     ) -> Generation {
         assert_eq!(
             extra.is_some(),
@@ -141,7 +138,9 @@ impl Backbone for Lbebm {
             "extra conditioning must match the configured extra_dim"
         );
         let zd = self.cfg.z_dim;
-        let (z, aux_loss) = match mode {
+        let store = ctx.store;
+        let tape = &mut *ctx.tape;
+        let (z, aux_loss) = match ctx.mode {
             GenMode::Train => {
                 // Posterior sample.
                 let fut = tape.constant(fut_flat_tensor(w));
@@ -153,7 +152,7 @@ impl Backbone for Lbebm {
                 let logvar = tape.scale(logvar_t, 3.0);
                 let half = tape.scale(logvar, 0.5);
                 let std = tape.exp(half);
-                let eps = tape.constant(Tensor::randn(1, zd, 0.0, 1.0, rng));
+                let eps = tape.constant(Tensor::randn(1, zd, 0.0, 1.0, ctx.rng));
                 let noise = tape.mul(std, eps);
                 let z_pos = tape.add(mu, noise);
 
@@ -162,7 +161,7 @@ impl Backbone for Lbebm {
                 // (a constant) — only the energy head learns from it.
                 let h_val = tape.value(enc.h_focal).clone();
                 let p_val = tape.value(enc.p_i).clone();
-                let z_neg = self.langevin_sample(store, &h_val, &p_val, rng);
+                let z_neg = self.langevin_sample(store, &h_val, &p_val, ctx.rng);
                 let joint_pos = tape.concat_cols(&[z_pos, enc.h_focal, enc.p_i]);
                 let e_pos = self.energy.forward(store, tape, joint_pos);
                 let e_pos = tape.sum_all(e_pos);
@@ -195,7 +194,7 @@ impl Backbone for Lbebm {
             GenMode::Sample => {
                 let h_val = tape.value(enc.h_focal).clone();
                 let p_val = tape.value(enc.p_i).clone();
-                let z = self.langevin_sample(store, &h_val, &p_val, rng);
+                let z = self.langevin_sample(store, &h_val, &p_val, ctx.rng);
                 (tape.constant(z), None)
             }
         };
@@ -204,8 +203,8 @@ impl Backbone for Lbebm {
         if let Some(e) = extra {
             parts.push(e);
         }
-        let ctx = tape.concat_cols(&parts);
-        let pred = self.rollout.rollout(store, tape, ctx);
+        let cond = tape.concat_cols(&parts);
+        let pred = self.rollout.rollout(store, tape, cond);
         Generation { pred, aux_loss }
     }
 }
@@ -232,11 +231,13 @@ mod tests {
         let model = Lbebm::new(&mut store, &mut rng, BackboneConfig::default());
         let w = toy_window(0.4);
         let mut tape = Tape::new();
-        let (pred, loss) = train_forward(&model, &store, &mut tape, &w, None, &mut rng);
+        let mut ctx = ForwardCtx::train(&store, &mut tape, &mut rng);
+        let (pred, loss) = train_forward(&model, &mut ctx, &w, None);
         assert_eq!(tape.value(pred).shape(), (T_PRED, 2));
         assert!(tape.value(loss).item().is_finite());
         let mut t2 = Tape::new();
-        let s = sample_forward(&model, &store, &mut t2, &w, None, &mut rng);
+        let mut c2 = ForwardCtx::sample(&store, &mut t2, &mut rng);
+        let s = sample_forward(&model, &mut c2, &w, None);
         assert_eq!(t2.value(s).shape(), (T_PRED, 2));
     }
 
@@ -250,7 +251,8 @@ mod tests {
         let (mut first, mut last) = (0.0, 0.0);
         for it in 0..120 {
             let mut tape = Tape::new();
-            let (_, loss) = train_forward(&model, &store, &mut tape, &w, None, &mut rng);
+            let mut ctx = ForwardCtx::train(&store, &mut tape, &mut rng);
+            let (_, loss) = train_forward(&model, &mut ctx, &w, None);
             let grads = tape.backward(loss);
             let mut buf = GradBuffer::new();
             buf.absorb(&tape, &grads);
@@ -297,9 +299,11 @@ mod tests {
         let model = Lbebm::new(&mut store, &mut rng, BackboneConfig::default());
         let w = toy_window(0.2);
         let mut t1 = Tape::new();
-        let s1 = sample_forward(&model, &store, &mut t1, &w, None, &mut rng);
+        let mut c1 = ForwardCtx::sample(&store, &mut t1, &mut rng);
+        let s1 = sample_forward(&model, &mut c1, &w, None);
         let mut t2 = Tape::new();
-        let s2 = sample_forward(&model, &store, &mut t2, &w, None, &mut rng);
+        let mut c2 = ForwardCtx::sample(&store, &mut t2, &mut rng);
+        let s2 = sample_forward(&model, &mut c2, &w, None);
         assert_ne!(t1.value(s1).data(), t2.value(s2).data());
     }
 
@@ -313,25 +317,10 @@ mod tests {
         let mut tape = Tape::new();
         let enc = model.encode(&store, &mut tape, &w);
         let e1 = tape.constant(Tensor::zeros(1, 5));
-        let g1 = model.generate(
-            &store,
-            &mut tape,
-            &w,
-            &enc,
-            Some(e1),
-            &mut rng,
-            GenMode::Sample,
-        );
         let e2 = tape.constant(Tensor::full(1, 5, 3.0));
-        let g2 = model.generate(
-            &store,
-            &mut tape,
-            &w,
-            &enc,
-            Some(e2),
-            &mut rng,
-            GenMode::Sample,
-        );
+        let mut ctx = ForwardCtx::sample(&store, &mut tape, &mut rng);
+        let g1 = model.generate(&mut ctx, &w, &enc, Some(e1));
+        let g2 = model.generate(&mut ctx, &w, &enc, Some(e2));
         assert_ne!(tape.value(g1.pred).data(), tape.value(g2.pred).data());
     }
 }

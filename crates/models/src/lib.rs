@@ -14,7 +14,12 @@
 //!   invariance-loss approach.
 //! * [`traits::Backbone`] — the encode/generate split that makes AdapTraj
 //!   (in `adaptraj-core`) plug-and-play: it taps `h_ei` and `P_i` and
-//!   feeds its fused features back as `extra` conditioning.
+//!   feeds its fused features back as `extra` conditioning. Forward passes
+//!   thread a [`traits::ForwardCtx`] (store + tape + rng + mode) so they
+//!   cross worker-thread boundaries cleanly.
+//! * [`trainer::Trainer`] — the shared mini-batch loop behind the
+//!   `adaptraj-exec` worker pool; `--workers N` data-parallelism with
+//!   bit-identical results for every worker count.
 
 pub mod backbone;
 pub mod causal_motion;
@@ -24,6 +29,7 @@ pub mod lbebm;
 pub mod pecnet;
 pub mod predictor;
 pub mod social_lstm;
+pub mod trainer;
 pub mod traits;
 pub mod vanilla;
 
@@ -35,5 +41,6 @@ pub use lbebm::Lbebm;
 pub use pecnet::PecNet;
 pub use predictor::{Predictor, TrainReport};
 pub use social_lstm::SocialLstm;
-pub use traits::{sample_forward, train_forward, Backbone, GenMode, Generation};
+pub use trainer::Trainer;
+pub use traits::{sample_forward, train_forward, Backbone, ForwardCtx, GenMode, Generation};
 pub use vanilla::Vanilla;

@@ -12,7 +12,7 @@ use crate::backbone::{
     EncodedScene, InteractionKind, RolloutDecoder, SceneEncoder, BACKBONE_GROUP,
 };
 use crate::config::BackboneConfig;
-use crate::traits::{Backbone, GenMode, Generation};
+use crate::traits::{Backbone, ForwardCtx, GenMode, Generation};
 use adaptraj_data::trajectory::TrajWindow;
 use adaptraj_tensor::nn::{Activation, Mlp};
 use adaptraj_tensor::{ParamStore, Rng, Tape, Tensor, Var};
@@ -85,15 +85,14 @@ impl PecNet {
     /// prior latent.
     fn infer_endpoint(
         &self,
-        store: &ParamStore,
-        tape: &mut Tape,
+        ctx: &mut ForwardCtx<'_>,
         w: &TrajWindow,
         enc: &EncodedScene,
-        rng: &mut Rng,
-        mode: GenMode,
     ) -> (Var, Option<Var>) {
         let zd = self.cfg.z_dim;
-        match mode {
+        let store = ctx.store;
+        let tape = &mut *ctx.tape;
+        match ctx.mode {
             GenMode::Train => {
                 let gt_ep = Tensor::row(w.fut.last().expect("future non-empty"));
                 let gt_var = tape.constant(gt_ep.clone());
@@ -108,7 +107,7 @@ impl PecNet {
                 // Reparameterized sample.
                 let half_logvar = tape.scale(logvar, 0.5);
                 let std = tape.exp(half_logvar);
-                let eps = tape.constant(Tensor::randn(1, zd, 0.0, 1.0, rng));
+                let eps = tape.constant(Tensor::randn(1, zd, 0.0, 1.0, ctx.rng));
                 let noise = tape.mul(std, eps);
                 let z = tape.add(mu, noise);
                 // Endpoint reconstruction.
@@ -129,7 +128,7 @@ impl PecNet {
                 (ep_hat, Some(aux))
             }
             GenMode::Sample => {
-                let mut z = Tensor::randn(1, zd, 0.0, 1.0, rng);
+                let mut z = Tensor::randn(1, zd, 0.0, 1.0, ctx.rng);
                 for v in z.data_mut() {
                     *v = v.clamp(-TRUNCATION, TRUNCATION);
                 }
@@ -157,26 +156,23 @@ impl Backbone for PecNet {
 
     fn generate(
         &self,
-        store: &ParamStore,
-        tape: &mut Tape,
+        ctx: &mut ForwardCtx<'_>,
         w: &TrajWindow,
         enc: &EncodedScene,
         extra: Option<Var>,
-        rng: &mut Rng,
-        mode: GenMode,
     ) -> Generation {
         assert_eq!(
             extra.is_some(),
             self.cfg.extra_dim > 0,
             "extra conditioning must match the configured extra_dim"
         );
-        let (endpoint, aux_loss) = self.infer_endpoint(store, tape, w, enc, rng, mode);
+        let (endpoint, aux_loss) = self.infer_endpoint(ctx, w, enc);
         let mut parts = vec![enc.h_focal, enc.p_i, endpoint];
         if let Some(e) = extra {
             parts.push(e);
         }
-        let ctx = tape.concat_cols(&parts);
-        let pred = self.rollout.rollout(store, tape, ctx);
+        let cond = ctx.tape.concat_cols(&parts);
+        let pred = self.rollout.rollout(ctx.store, ctx.tape, cond);
         Generation { pred, aux_loss }
     }
 }
@@ -203,12 +199,14 @@ mod tests {
         let model = PecNet::new(&mut store, &mut rng, BackboneConfig::default());
         let w = toy_window(0.4);
         let mut tape = Tape::new();
-        let (pred, loss) = train_forward(&model, &store, &mut tape, &w, None, &mut rng);
+        let mut ctx = ForwardCtx::train(&store, &mut tape, &mut rng);
+        let (pred, loss) = train_forward(&model, &mut ctx, &w, None);
         assert_eq!(tape.value(pred).shape(), (T_PRED, 2));
         assert!(tape.value(loss).item().is_finite());
 
         let mut tape2 = Tape::new();
-        let sample = sample_forward(&model, &store, &mut tape2, &w, None, &mut rng);
+        let mut ctx2 = ForwardCtx::sample(&store, &mut tape2, &mut rng);
+        let sample = sample_forward(&model, &mut ctx2, &w, None);
         assert_eq!(tape2.value(sample).shape(), (T_PRED, 2));
     }
 
@@ -223,7 +221,8 @@ mod tests {
         let mut last = 0.0;
         for it in 0..120 {
             let mut tape = Tape::new();
-            let (_, loss) = train_forward(&model, &store, &mut tape, &w, None, &mut rng);
+            let mut ctx = ForwardCtx::train(&store, &mut tape, &mut rng);
+            let (_, loss) = train_forward(&model, &mut ctx, &w, None);
             let grads = tape.backward(loss);
             let mut buf = GradBuffer::new();
             buf.absorb(&tape, &grads);
@@ -245,9 +244,11 @@ mod tests {
         let model = PecNet::new(&mut store, &mut rng, BackboneConfig::default());
         let w = toy_window(0.3);
         let mut t1 = Tape::new();
-        let s1 = sample_forward(&model, &store, &mut t1, &w, None, &mut rng);
+        let mut c1 = ForwardCtx::sample(&store, &mut t1, &mut rng);
+        let s1 = sample_forward(&model, &mut c1, &w, None);
         let mut t2 = Tape::new();
-        let s2 = sample_forward(&model, &store, &mut t2, &w, None, &mut rng);
+        let mut c2 = ForwardCtx::sample(&store, &mut t2, &mut rng);
+        let s2 = sample_forward(&model, &mut c2, &w, None);
         assert_ne!(
             t1.value(s1).data(),
             t2.value(s2).data(),
@@ -265,25 +266,10 @@ mod tests {
         let mut tape = Tape::new();
         let enc = model.encode(&store, &mut tape, &w);
         let e1 = tape.constant(Tensor::zeros(1, 6));
-        let g1 = model.generate(
-            &store,
-            &mut tape,
-            &w,
-            &enc,
-            Some(e1),
-            &mut rng,
-            GenMode::Sample,
-        );
         let e2 = tape.constant(Tensor::full(1, 6, 2.0));
-        let g2 = model.generate(
-            &store,
-            &mut tape,
-            &w,
-            &enc,
-            Some(e2),
-            &mut rng,
-            GenMode::Sample,
-        );
+        let mut ctx = ForwardCtx::sample(&store, &mut tape, &mut rng);
+        let g1 = model.generate(&mut ctx, &w, &enc, Some(e1));
+        let g2 = model.generate(&mut ctx, &w, &enc, Some(e2));
         assert_ne!(
             tape.value(g1.pred).data(),
             tape.value(g2.pred).data(),
@@ -301,6 +287,7 @@ mod tests {
         let w = toy_window(0.4);
         let mut tape = Tape::new();
         let enc = model.encode(&store, &mut tape, &w);
-        model.generate(&store, &mut tape, &w, &enc, None, &mut rng, GenMode::Sample);
+        let mut ctx = ForwardCtx::sample(&store, &mut tape, &mut rng);
+        model.generate(&mut ctx, &w, &enc, None);
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::backbone::{EncodedScene, InteractionKind, RolloutDecoder, SceneEncoder};
 use crate::config::BackboneConfig;
-use crate::traits::{Backbone, GenMode, Generation};
+use crate::traits::{Backbone, ForwardCtx, Generation};
 use adaptraj_data::trajectory::TrajWindow;
 use adaptraj_tensor::{ParamStore, Rng, Tape, Tensor, Var};
 
@@ -50,13 +50,10 @@ impl Backbone for SocialLstm {
 
     fn generate(
         &self,
-        store: &ParamStore,
-        tape: &mut Tape,
+        ctx: &mut ForwardCtx<'_>,
         _w: &TrajWindow,
         enc: &EncodedScene,
         extra: Option<Var>,
-        rng: &mut Rng,
-        _mode: GenMode,
     ) -> Generation {
         assert_eq!(
             extra.is_some(),
@@ -65,13 +62,14 @@ impl Backbone for SocialLstm {
         );
         // A plain Gaussian latent in both modes: Social-LSTM has no
         // learned latent space; diversity comes from input noise (Eq. 5).
-        let z = tape.constant(Tensor::randn(1, self.cfg.z_dim, 0.0, 1.0, rng));
+        let tape = &mut *ctx.tape;
+        let z = tape.constant(Tensor::randn(1, self.cfg.z_dim, 0.0, 1.0, ctx.rng));
         let mut parts = vec![enc.h_focal, enc.p_i, z];
         if let Some(e) = extra {
             parts.push(e);
         }
-        let ctx = tape.concat_cols(&parts);
-        let pred = self.rollout.rollout(store, tape, ctx);
+        let cond = tape.concat_cols(&parts);
+        let pred = self.rollout.rollout(ctx.store, tape, cond);
         Generation {
             pred,
             aux_loss: None,
@@ -106,7 +104,8 @@ mod tests {
         let (mut first, mut last) = (0.0, 0.0);
         for it in 0..100 {
             let mut tape = Tape::new();
-            let (pred, loss) = train_forward(&model, &store, &mut tape, &w, None, &mut rng);
+            let mut ctx = ForwardCtx::train(&store, &mut tape, &mut rng);
+            let (pred, loss) = train_forward(&model, &mut ctx, &w, None);
             assert_eq!(tape.value(pred).shape(), (T_PRED, 2));
             let grads = tape.backward(loss);
             let mut buf = GradBuffer::new();
@@ -142,9 +141,11 @@ mod tests {
         let model = SocialLstm::new(&mut store, &mut rng, BackboneConfig::default());
         let w = toy_window(0.3);
         let mut t1 = Tape::new();
-        let a = sample_forward(&model, &store, &mut t1, &w, None, &mut rng);
+        let mut c1 = ForwardCtx::sample(&store, &mut t1, &mut rng);
+        let a = sample_forward(&model, &mut c1, &w, None);
         let mut t2 = Tape::new();
-        let b = sample_forward(&model, &store, &mut t2, &w, None, &mut rng);
+        let mut c2 = ForwardCtx::sample(&store, &mut t2, &mut rng);
+        let b = sample_forward(&model, &mut c2, &w, None);
         assert_ne!(t1.value(a).data(), t2.value(b).data());
     }
 
@@ -160,25 +161,10 @@ mod tests {
         let mut tape = Tape::new();
         let enc = model.encode(&store, &mut tape, &w);
         let e1 = tape.constant(Tensor::zeros(1, 6));
-        let g1 = model.generate(
-            &store,
-            &mut tape,
-            &w,
-            &enc,
-            Some(e1),
-            &mut rng,
-            GenMode::Sample,
-        );
         let e2 = tape.constant(Tensor::full(1, 6, 2.0));
-        let g2 = model.generate(
-            &store,
-            &mut tape,
-            &w,
-            &enc,
-            Some(e2),
-            &mut rng,
-            GenMode::Sample,
-        );
+        let mut ctx = ForwardCtx::sample(&store, &mut tape, &mut rng);
+        let g1 = model.generate(&mut ctx, &w, &enc, Some(e1));
+        let g2 = model.generate(&mut ctx, &w, &enc, Some(e2));
         assert_ne!(tape.value(g1.pred).data(), tape.value(g2.pred).data());
     }
 }

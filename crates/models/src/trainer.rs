@@ -1,0 +1,390 @@
+//! The `Trainer` builder: the shared mini-batch training loop behind a
+//! data-parallel worker-pool executor.
+//!
+//! Replaces the free-function `fit_loop`/`fit_loop_phase` pair (kept as
+//! deprecated shims in `predictor`). Per window, `per_window` builds a
+//! scalar loss on a fresh tape owned by the worker that runs it; per-window
+//! gradients are shipped back to the dispatching thread and reduced into
+//! one [`GradBuffer`] **in batch-position order**, so the accumulated sum —
+//! and therefore every optimizer step — is bit-identical for any worker
+//! count.
+//!
+//! Determinism contract: the caller's `rng` is consumed only for batch
+//! shuffling, in epoch order. Each window's latent draws come from a
+//! private `Rng` seeded with [`window_seed`]`(cfg.seed, epoch, window)`,
+//! which depends on the run seed and the window's position in `windows` —
+//! never on which worker picks up the job or how jobs interleave.
+
+use crate::config::TrainerConfig;
+use crate::predictor::{group_norms, TrainReport};
+use adaptraj_data::batch::shuffled_batches;
+use adaptraj_data::trajectory::TrajWindow;
+use adaptraj_exec::{window_seed, WorkerPool};
+use adaptraj_obs::{obs_info, obs_warn, profile, EpochRecord, PhaseTiming, Span};
+use adaptraj_tensor::optim::Adam;
+use adaptraj_tensor::param::ParamId;
+use adaptraj_tensor::{GradBuffer, ParamStore, Rng, Tape, Tensor, Var};
+use std::time::Instant;
+
+/// What one worker sends back for one window: the loss value and the
+/// already-extracted parameter gradients (empty when the loss came back
+/// non-finite — the guard runs on the worker so a NaN backward pass is
+/// never even attempted).
+struct WindowResult {
+    val: f32,
+    pairs: Vec<(ParamId, Tensor)>,
+}
+
+/// Builder for the shared training loop.
+///
+/// ```ignore
+/// let report = Trainer::new(&cfg)
+///     .workers(4)
+///     .phase("step1")
+///     .on_epoch(|rec| eprintln!("epoch {} loss {}", rec.epoch, rec.loss))
+///     .fit(&mut store, &mut opt, &windows, &mut rng, per_window);
+/// ```
+pub struct Trainer<'a> {
+    cfg: &'a TrainerConfig,
+    workers: usize,
+    phase: &'a str,
+    epoch_offset: usize,
+    #[allow(clippy::type_complexity)]
+    on_epoch: Option<Box<dyn FnMut(&EpochRecord) + 'a>>,
+}
+
+impl<'a> Trainer<'a> {
+    /// A trainer with the config's worker count, phase `"train"`, and no
+    /// epoch callback.
+    pub fn new(cfg: &'a TrainerConfig) -> Self {
+        Self {
+            cfg,
+            workers: cfg.workers,
+            phase: "train",
+            epoch_offset: 0,
+            on_epoch: None,
+        }
+    }
+
+    /// Overrides the worker count (`0` or `1` = inline on the calling
+    /// thread).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Telemetry label for this run of the loop ("train" for single-phase
+    /// methods; "step1"/"step2"/"step3" under the AdapTraj schedule).
+    pub fn phase(mut self, phase: &'a str) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// Keeps epoch numbering global when a schedule invokes the loop
+    /// repeatedly.
+    pub fn epoch_offset(mut self, offset: usize) -> Self {
+        self.epoch_offset = offset;
+        self
+    }
+
+    /// Called with each epoch's finished [`EpochRecord`] (after it is
+    /// pushed onto the report).
+    pub fn on_epoch(mut self, f: impl FnMut(&EpochRecord) + 'a) -> Self {
+        self.on_epoch = Some(Box::new(f));
+        self
+    }
+
+    /// Runs the loop: per epoch, shuffled mini-batches; per window, a
+    /// fresh tape + private rng on a worker thread; gradients averaged
+    /// over the batch, clipped, and applied with `opt`.
+    ///
+    /// Telemetry per epoch: an `epoch` span (debug level), mean loss over
+    /// *finite* windows, the batch-averaged pre-clip global gradient norm,
+    /// per-group gradient/parameter norms from the final batch, and a
+    /// count of windows skipped because their loss came back non-finite.
+    pub fn fit<F>(
+        mut self,
+        store: &mut ParamStore,
+        opt: &mut Adam,
+        windows: &[&TrajWindow],
+        rng: &mut Rng,
+        per_window: F,
+    ) -> TrainReport
+    where
+        F: Fn(&ParamStore, &mut Tape, &TrajWindow, &mut Rng) -> Var + Sync,
+    {
+        let mut report = TrainReport::default();
+        if windows.is_empty() {
+            return report;
+        }
+        let pool = WorkerPool::new(self.workers);
+        let cfg = self.cfg;
+        let phase_start = Instant::now();
+        let mut best_loss = f32::INFINITY;
+        let mut stale_epochs = 0usize;
+        for epoch in 0..cfg.epochs {
+            let global_epoch = epoch + self.epoch_offset;
+            let mut span = Span::enter("models.fit", "epoch").with("epoch", global_epoch);
+            // Profiler attribution: ops in this epoch land under the
+            // loop's phase label; workers re-enter the same path.
+            let _profile_phase = profile::phase(self.phase);
+            let profile_path = profile::current_path().unwrap_or_default();
+            let epoch_start = Instant::now();
+            let mut rec = EpochRecord::new(global_epoch, self.phase);
+            let mut epoch_loss = 0.0f64;
+            let mut seen = 0usize;
+            let mut grad_norm_sum = 0.0f64;
+            let mut batches = 0usize;
+            for batch in shuffled_batches(windows.len(), cfg.batch_size, rng) {
+                let results = run_batch(
+                    &pool,
+                    store,
+                    windows,
+                    &batch,
+                    cfg.seed,
+                    global_epoch as u64,
+                    &profile_path,
+                    &per_window,
+                );
+                // Reduce in batch-position order — bit-identical to the
+                // sequential loop for every worker count.
+                let mut buf = GradBuffer::new();
+                let inv = 1.0 / batch.len() as f32;
+                for (&i, r) in batch.iter().zip(&results) {
+                    if !r.val.is_finite() {
+                        rec.non_finite_batches += 1;
+                        obs_warn!(
+                            "models.fit",
+                            "non-finite loss at epoch {global_epoch}, window {i}; skipping"
+                        );
+                        continue;
+                    }
+                    buf.absorb_pairs_scaled(&r.pairs, inv);
+                    epoch_loss += r.val as f64;
+                    seen += 1;
+                }
+                let norm = if cfg.grad_clip > 0.0 {
+                    buf.clip_global_norm(cfg.grad_clip)
+                } else {
+                    buf.global_norm()
+                };
+                grad_norm_sum += norm as f64;
+                batches += 1;
+                rec.group_norms = group_norms(store, &buf);
+                opt.step(store, &buf);
+            }
+            let mean_loss = (epoch_loss / seen.max(1) as f64) as f32;
+            rec.loss = mean_loss as f64;
+            rec.grad_norm = grad_norm_sum / batches.max(1) as f64;
+            rec.duration_s = epoch_start.elapsed().as_secs_f64();
+            span.record("loss", rec.loss);
+            span.record("grad_norm", rec.grad_norm);
+            report.epoch_losses.push(mean_loss);
+            // Optional plateau-based early stopping.
+            let mut stop = false;
+            if cfg.patience > 0 {
+                if mean_loss < best_loss - 1e-6 {
+                    best_loss = mean_loss;
+                    stale_epochs = 0;
+                } else {
+                    stale_epochs += 1;
+                    if stale_epochs >= cfg.patience {
+                        rec.early_stop = true;
+                        stop = true;
+                        obs_info!(
+                            "models.fit",
+                            "early stop at epoch {global_epoch}: no improvement for {} epochs",
+                            cfg.patience
+                        );
+                    }
+                }
+            }
+            report.epochs.push(rec);
+            if let Some(cb) = self.on_epoch.as_mut() {
+                cb(report.epochs.last().expect("just pushed"));
+            }
+            if stop {
+                break;
+            }
+        }
+        report.phases.push(PhaseTiming::new(
+            self.phase,
+            phase_start.elapsed().as_secs_f64(),
+        ));
+        report
+    }
+}
+
+/// Dispatches one batch to the pool and blocks for the ordered results.
+/// A worker panic is re-raised here, matching the sequential loop where a
+/// panicking `per_window` unwinds through `fit`.
+#[allow(clippy::too_many_arguments)]
+fn run_batch<F>(
+    pool: &WorkerPool,
+    store: &ParamStore,
+    windows: &[&TrajWindow],
+    batch: &[usize],
+    seed: u64,
+    global_epoch: u64,
+    profile_path: &str,
+    per_window: &F,
+) -> Vec<WindowResult>
+where
+    F: Fn(&ParamStore, &mut Tape, &TrajWindow, &mut Rng) -> Var + Sync,
+{
+    match pool.map(batch, |_, &i| {
+        let _p = profile::phase_at(profile_path);
+        let mut tape = Tape::new();
+        let mut wrng = Rng::seed_from(window_seed(seed, global_epoch, i as u64));
+        let loss = per_window(store, &mut tape, windows[i], &mut wrng);
+        let val = tape.value(loss).item();
+        if !val.is_finite() {
+            return WindowResult {
+                val,
+                pairs: Vec::new(),
+            };
+        }
+        let grads = tape.backward(loss);
+        WindowResult {
+            val,
+            pairs: tape.param_grads(&grads),
+        }
+    }) {
+        Ok(results) => results,
+        Err(e) => panic!("training worker panicked: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptraj_data::domain::DomainId;
+    use adaptraj_data::trajectory::{Point, T_TOTAL};
+    use adaptraj_tensor::{GroupId, Tensor};
+
+    fn window_for(domain: DomainId, v: f32) -> TrajWindow {
+        let focal: Vec<Point> = (0..T_TOTAL).map(|t| [v * t as f32, 0.0]).collect();
+        TrajWindow::from_world(&focal, &[], domain)
+    }
+
+    /// A stochastic objective: `(p * g)^2` with `g` drawn from the
+    /// per-window rng, so any divergence in the seed-splitting scheme
+    /// between worker counts shows up in the loss curve.
+    fn run(workers: usize, epochs: usize) -> TrainReport {
+        let mut store = ParamStore::new();
+        let p = store.register("p", Tensor::row(&[5.0]), GroupId::DEFAULT);
+        let mut opt = Adam::new(0.1);
+        let cfg = TrainerConfig {
+            epochs,
+            batch_size: 3,
+            workers,
+            ..TrainerConfig::smoke()
+        };
+        let train: Vec<TrajWindow> = (0..7).map(|_| window_for(DomainId::LCas, 0.1)).collect();
+        let windows: Vec<&TrajWindow> = train.iter().collect();
+        let mut rng = Rng::seed_from(11);
+        Trainer::new(&cfg).fit(
+            &mut store,
+            &mut opt,
+            &windows,
+            &mut rng,
+            |s, tape, _w, r| {
+                let pv = tape.param(s, p);
+                let g = tape.constant(Tensor::scalar(1.0 + r.unit()));
+                let scaled = tape.mul(pv, g);
+                let sq = tape.mul(scaled, scaled);
+                tape.sum_all(sq)
+            },
+        )
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_loss_curve() {
+        let seq = run(1, 6);
+        let par = run(4, 6);
+        let bits =
+            |r: &TrainReport| -> Vec<u32> { r.epoch_losses.iter().map(|l| l.to_bits()).collect() };
+        assert_eq!(bits(&seq), bits(&par), "{seq:?} vs {par:?}");
+        assert_eq!(run(0, 4).epoch_losses, run(2, 4).epoch_losses);
+    }
+
+    #[test]
+    fn trainer_descends_and_reports_epochs() {
+        let report = run(3, 20);
+        assert_eq!(report.epoch_losses.len(), 20);
+        assert!(
+            report.final_loss().unwrap() < report.epoch_losses[0] * 0.1,
+            "{:?}",
+            report.epoch_losses
+        );
+        assert_eq!(report.epochs.len(), 20);
+        assert_eq!(report.phases.len(), 1);
+        assert_eq!(report.phases[0].phase, "train");
+    }
+
+    #[test]
+    fn on_epoch_sees_every_record() {
+        let mut store = ParamStore::new();
+        let p = store.register("p", Tensor::row(&[2.0]), GroupId::DEFAULT);
+        let mut opt = Adam::new(0.05);
+        let cfg = TrainerConfig {
+            epochs: 4,
+            batch_size: 2,
+            ..TrainerConfig::smoke()
+        };
+        let train: Vec<TrajWindow> = (0..4).map(|_| window_for(DomainId::Sdd, 0.2)).collect();
+        let windows: Vec<&TrajWindow> = train.iter().collect();
+        let mut rng = Rng::seed_from(0);
+        let mut seen = Vec::new();
+        let report = Trainer::new(&cfg)
+            .phase("custom")
+            .epoch_offset(10)
+            .on_epoch(|rec| seen.push((rec.epoch, rec.phase.clone())))
+            .fit(
+                &mut store,
+                &mut opt,
+                &windows,
+                &mut rng,
+                |s, tape, _w, _r| {
+                    let pv = tape.param(s, p);
+                    let sq = tape.mul(pv, pv);
+                    tape.sum_all(sq)
+                },
+            );
+        assert_eq!(report.epochs.len(), 4);
+        assert_eq!(seen.len(), 4);
+        assert_eq!(seen[0], (10, "custom".to_string()));
+        assert_eq!(seen[3], (13, "custom".to_string()));
+    }
+
+    #[test]
+    fn panicking_per_window_unwinds_cleanly() {
+        let result = std::panic::catch_unwind(|| {
+            let mut store = ParamStore::new();
+            let _p = store.register("p", Tensor::row(&[1.0]), GroupId::DEFAULT);
+            let mut opt = Adam::new(0.05);
+            let cfg = TrainerConfig {
+                epochs: 1,
+                batch_size: 2,
+                workers: 4,
+                ..TrainerConfig::smoke()
+            };
+            let train: Vec<TrajWindow> = (0..4).map(|_| window_for(DomainId::Syi, 0.2)).collect();
+            let windows: Vec<&TrajWindow> = train.iter().collect();
+            let mut rng = Rng::seed_from(0);
+            Trainer::new(&cfg).fit(
+                &mut store,
+                &mut opt,
+                &windows,
+                &mut rng,
+                |s, tape, _w, _r| {
+                    let _ = (s, &tape);
+                    panic!("boom in per_window");
+                },
+            )
+        });
+        let err = result.expect_err("must propagate the worker panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("boom in per_window"), "{msg}");
+    }
+}

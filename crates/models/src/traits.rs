@@ -15,6 +15,49 @@ pub enum GenMode {
     Sample,
 }
 
+/// Everything a forward pass threads through the model stack: the shared
+/// (read-only) parameter store, this window's tape, the stream of latent
+/// draws, and the train/sample mode. Bundling these lets the worker-pool
+/// executor hand one value across a thread boundary and keeps backbone
+/// signatures to `(ctx, w, enc, extra)`.
+#[derive(Debug)]
+pub struct ForwardCtx<'a> {
+    /// Parameters, shared read-only across worker threads; writes happen
+    /// only at optimizer-step barriers on the dispatching thread.
+    pub store: &'a ParamStore,
+    /// The autodiff tape owned by this window's forward pass.
+    pub tape: &'a mut Tape,
+    /// Latent-draw stream. Under the executor this is a per-window rng
+    /// seeded from `window_seed(run_seed, epoch, window)` so results do
+    /// not depend on the worker count.
+    pub rng: &'a mut Rng,
+    /// Training pass (posterior latents, teacher signals) or inference
+    /// sample.
+    pub mode: GenMode,
+}
+
+impl<'a> ForwardCtx<'a> {
+    /// Context for a training pass ([`GenMode::Train`]).
+    pub fn train(store: &'a ParamStore, tape: &'a mut Tape, rng: &'a mut Rng) -> Self {
+        Self {
+            store,
+            tape,
+            rng,
+            mode: GenMode::Train,
+        }
+    }
+
+    /// Context for an inference sample ([`GenMode::Sample`]).
+    pub fn sample(store: &'a ParamStore, tape: &'a mut Tape, rng: &'a mut Rng) -> Self {
+        Self {
+            store,
+            tape,
+            rng,
+            mode: GenMode::Sample,
+        }
+    }
+}
+
 /// Result of one generation pass.
 #[derive(Debug, Clone, Copy)]
 pub struct Generation {
@@ -31,7 +74,12 @@ pub struct Generation {
 /// plug-and-play: the framework taps `h_ei` and `P_i` from
 /// [`EncodedScene`], derives its four feature types, and passes the fused
 /// `[H^i | H^s]` back as `extra` conditioning for generation.
-pub trait Backbone {
+///
+/// `Send + Sync` is a supertrait so the worker-pool executor can share
+/// `&dyn Backbone` across threads; backbones are plain configuration data
+/// (all learned state lives in the [`ParamStore`]), so every impl
+/// satisfies it automatically.
+pub trait Backbone: Send + Sync {
     fn name(&self) -> &'static str;
 
     fn config(&self) -> &BackboneConfig;
@@ -42,58 +90,52 @@ pub trait Backbone {
     /// Stage 3: future-trajectory generation conditioned on the encoded
     /// scene and an optional `extra` vector of width
     /// [`BackboneConfig::extra_dim`] (must be `Some` iff `extra_dim > 0`).
-    #[allow(clippy::too_many_arguments)]
     fn generate(
         &self,
-        store: &ParamStore,
-        tape: &mut Tape,
+        ctx: &mut ForwardCtx<'_>,
         w: &TrajWindow,
         enc: &EncodedScene,
         extra: Option<Var>,
-        rng: &mut Rng,
-        mode: GenMode,
     ) -> Generation;
 }
 
 /// One full training forward pass: encode, generate in train mode, and
 /// combine `L_base` (Eq. 8) with the backbone's auxiliary loss. Returns
-/// `(prediction, loss)`.
+/// `(prediction, loss)`. Forces [`GenMode::Train`] regardless of the mode
+/// the context was built with.
 pub fn train_forward<B: Backbone + ?Sized>(
     backbone: &B,
-    store: &ParamStore,
-    tape: &mut Tape,
+    ctx: &mut ForwardCtx<'_>,
     w: &TrajWindow,
     extra: Option<Var>,
-    rng: &mut Rng,
 ) -> (Var, Var) {
+    ctx.mode = GenMode::Train;
     let enc = {
         let _p = profile::phase("encode");
-        backbone.encode(store, tape, w)
+        backbone.encode(ctx.store, ctx.tape, w)
     };
     let _p = profile::phase("generate");
-    let gen = backbone.generate(store, tape, w, &enc, extra, rng, GenMode::Train);
-    let mut loss = base_loss(tape, gen.pred, w);
+    let gen = backbone.generate(ctx, w, &enc, extra);
+    let mut loss = base_loss(ctx.tape, gen.pred, w);
     if let Some(aux) = gen.aux_loss {
-        loss = tape.add(loss, aux);
+        loss = ctx.tape.add(loss, aux);
     }
     (gen.pred, loss)
 }
 
-/// One inference pass returning the predicted future positions.
+/// One inference pass returning the predicted future positions. Forces
+/// [`GenMode::Sample`].
 pub fn sample_forward<B: Backbone + ?Sized>(
     backbone: &B,
-    store: &ParamStore,
-    tape: &mut Tape,
+    ctx: &mut ForwardCtx<'_>,
     w: &TrajWindow,
     extra: Option<Var>,
-    rng: &mut Rng,
 ) -> Var {
+    ctx.mode = GenMode::Sample;
     let enc = {
         let _p = profile::phase("encode");
-        backbone.encode(store, tape, w)
+        backbone.encode(ctx.store, ctx.tape, w)
     };
     let _p = profile::phase("generate");
-    backbone
-        .generate(store, tape, w, &enc, extra, rng, GenMode::Sample)
-        .pred
+    backbone.generate(ctx, w, &enc, extra).pred
 }

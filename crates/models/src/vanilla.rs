@@ -1,8 +1,9 @@
 //! The `vanilla` learning method: plain backbone training on pooled data.
 
 use crate::config::TrainerConfig;
-use crate::predictor::{cap_per_domain, fit_loop, Predictor, TrainReport};
-use crate::traits::{sample_forward, train_forward, Backbone};
+use crate::predictor::{cap_per_domain, Predictor, TrainReport};
+use crate::trainer::Trainer;
+use crate::traits::{sample_forward, train_forward, Backbone, ForwardCtx};
 use adaptraj_data::trajectory::{Point, TrajWindow};
 use adaptraj_tensor::optim::Adam;
 use adaptraj_tensor::{ParamStore, Rng, Tape};
@@ -53,13 +54,15 @@ impl<B: Backbone> Predictor for Vanilla<B> {
         let mut rng = Rng::seed_from(self.cfg.seed ^ 0xF17);
         let mut opt = Adam::new(self.cfg.lr);
         let backbone = &self.backbone;
-        fit_loop(
+        Trainer::new(&self.cfg).fit(
             &mut self.store,
             &mut opt,
-            &self.cfg,
             &windows,
             &mut rng,
-            |store, tape, w, r| train_forward(backbone, store, tape, w, None, r).1,
+            |store, tape, w, r| {
+                let mut ctx = ForwardCtx::train(store, tape, r);
+                train_forward(backbone, &mut ctx, w, None).1
+            },
         )
     }
 
@@ -73,7 +76,8 @@ impl<B: Backbone> Predictor for Vanilla<B> {
 
     fn predict(&self, w: &TrajWindow, rng: &mut Rng) -> Vec<Point> {
         let mut tape = Tape::new();
-        let pred = sample_forward(&self.backbone, &self.store, &mut tape, w, None, rng);
+        let mut ctx = ForwardCtx::sample(&self.store, &mut tape, rng);
+        let pred = sample_forward(&self.backbone, &mut ctx, w, None);
         crate::backbone::tensor_to_points(tape.value(pred))
     }
 }

@@ -15,8 +15,14 @@
 //! clean. [`op_timer`] is a single relaxed atomic load returning `None`,
 //! and [`record_op`] returns immediately on a `None` timer, so a disabled
 //! profiler adds only that load per op. When enabled, each op pays one
-//! `Instant::now` pair plus a short global-mutex critical section — fine
-//! for profiling runs, which are single-threaded training loops.
+//! `Instant::now` pair plus a short global-mutex critical section.
+//!
+//! Threading: the phase stack is thread-local, but the aggregation cells
+//! and the interned phase-path table are process-global behind one mutex,
+//! so records from `adaptraj-exec` worker threads merge into the same
+//! snapshot automatically. A worker re-enters its dispatcher's phase by
+//! capturing [`current_path`] before the job is sent and calling
+//! [`phase_at`] inside it.
 
 use crate::json::{Arr, Obj};
 use std::cell::RefCell;
@@ -106,6 +112,42 @@ thread_local! {
 
 fn current_phase() -> u32 {
     PHASE_STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+}
+
+/// Full `/`-joined path of the phase this thread is currently inside, or
+/// `None` at the root. Capture this before handing a job to a worker
+/// thread and re-enter it there with [`phase_at`].
+pub fn current_path() -> Option<String> {
+    let id = current_phase();
+    if id == 0 {
+        return None;
+    }
+    let st = state().lock().expect("profiler poisoned");
+    Some(st.phase_paths[id as usize].clone())
+}
+
+/// Enters an **absolute** `/`-joined phase path, ignoring this thread's
+/// current phase stack. Used by worker threads to attribute their ops to
+/// the dispatching thread's phase. Free (and untracked) while profiling
+/// is disabled or when `path` is empty.
+pub fn phase_at(path: &str) -> PhaseGuard {
+    if !profiling_enabled() || path.is_empty() {
+        return PhaseGuard { pushed: false };
+    }
+    let id = {
+        let mut st = state().lock().expect("profiler poisoned");
+        match st.phase_ids.get(path) {
+            Some(&id) => id,
+            None => {
+                let id = st.phase_paths.len() as u32;
+                st.phase_paths.push(path.to_string());
+                st.phase_ids.insert(path.to_string(), id);
+                id
+            }
+        }
+    };
+    PHASE_STACK.with(|s| s.borrow_mut().push(id));
+    PhaseGuard { pushed: true }
 }
 
 /// The choke point every instrumented op reports through. A no-op when the
@@ -528,6 +570,59 @@ mod tests {
         let snap = snapshot().under("t_reset");
         assert_eq!(snap.entries.len(), 1);
         assert_eq!(snap.entries[0].phase, "t_reset");
+        reset();
+    }
+
+    #[test]
+    fn worker_thread_records_merge_under_dispatcher_phase() {
+        let _g = test_lock();
+        set_enabled(true);
+        reset();
+        {
+            let _outer = phase("t_merge");
+            let path = current_path().expect("inside a phase");
+            assert_eq!(path, "t_merge");
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let path = path.clone();
+                    std::thread::spawn(move || {
+                        let _p = phase_at(&path);
+                        record_op("add", Dir::Forward, op_timer(), 16);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            record_op("add", Dir::Forward, op_timer(), 16);
+        }
+        set_enabled(false);
+        let snap = snapshot().under("t_merge");
+        // All four records (3 worker threads + dispatcher) land in the
+        // same cell because the phase-path table is process-global.
+        assert_eq!(snap.entries.len(), 1);
+        assert_eq!(snap.entries[0].calls, 4);
+        assert_eq!(snap.entries[0].bytes, 64);
+        reset();
+    }
+
+    #[test]
+    fn phase_at_is_inert_at_root_or_disabled() {
+        let _g = test_lock();
+        set_enabled(false);
+        reset();
+        assert!(current_path().is_none());
+        {
+            let _p = phase_at("t_inert");
+            record_op("add", Dir::Forward, op_timer(), 1);
+        }
+        set_enabled(true);
+        {
+            let _p = phase_at("");
+            record_op("add", Dir::Forward, op_timer(), 1);
+        }
+        set_enabled(false);
+        assert!(snapshot().under("t_inert").entries.is_empty());
         reset();
     }
 

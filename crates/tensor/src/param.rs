@@ -155,6 +155,20 @@ impl GradBuffer {
         }
     }
 
+    /// Adds pre-extracted `(id, grad)` pairs scaled by `alpha`. The
+    /// worker-pool executor ships `tape.param_grads(..)` results across
+    /// threads and reduces them here in dispatch order, so the sum is
+    /// bit-identical to the sequential `absorb_scaled` loop.
+    pub fn absorb_pairs_scaled(&mut self, pairs: &[(ParamId, Tensor)], alpha: f32) {
+        for (id, g) in pairs {
+            self.ensure(id.index() + 1);
+            match &mut self.slots[id.index()] {
+                Some(acc) => acc.axpy(alpha, g),
+                slot @ None => *slot = Some(g.scale(alpha)),
+            }
+        }
+    }
+
     pub fn get(&self, id: ParamId) -> Option<&Tensor> {
         self.slots.get(id.index()).and_then(|s| s.as_ref())
     }
@@ -281,6 +295,47 @@ mod tests {
         let mut buf = GradBuffer::new();
         buf.absorb(&tape, &grads);
         assert_eq!(buf.get(ids[0]).unwrap().data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn absorb_pairs_matches_absorb_scaled_bitwise() {
+        let (store, ids) = store_with(2);
+        let run = |via_pairs: bool| -> Vec<Vec<f32>> {
+            let mut buf = GradBuffer::new();
+            for k in 0..3 {
+                let mut tape = Tape::new();
+                let p0 = tape.param(&store, ids[0]);
+                let p1 = tape.param(&store, ids[1]);
+                let s = tape.add(p0, p1);
+                let scaled = tape.scale(s, 1.0 + k as f32 * 0.3);
+                let loss = tape.sum_all(scaled);
+                let grads = tape.backward(loss);
+                if via_pairs {
+                    let pairs = tape.param_grads(&grads);
+                    buf.absorb_pairs_scaled(&pairs, 1.0 / 3.0);
+                } else {
+                    buf.absorb_scaled(&tape, &grads, 1.0 / 3.0);
+                }
+            }
+            ids.iter()
+                .map(|&id| buf.get(id).unwrap().data().to_vec())
+                .collect()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn param_store_is_read_shareable_across_threads() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<ParamStore>();
+        let (store, ids) = store_with(1);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    assert_eq!(store.value(ids[0]).data(), &[0.0, 0.0]);
+                });
+            }
+        });
     }
 
     #[test]

@@ -9,6 +9,11 @@
 #   scripts/bench.sh                       # default threshold (25%)
 #   scripts/bench.sh --max-regress-pct 10
 #   scripts/bench.sh -- --epochs 8 --scenes 12
+#   scripts/bench.sh -- --workers 4        # data-parallel training run
+#
+# The worker count is recorded in the bench document's `config.workers`
+# field, so a baseline and candidate trained with different `--workers`
+# values are visibly non-comparable in the gate output.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

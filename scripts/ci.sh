@@ -36,13 +36,17 @@ cargo test -q --offline || fail=1
 step "cargo test --workspace"
 cargo test -q --workspace --offline || fail=1
 
+step "determinism suite (workers 1 vs 4 bit-identity)"
+cargo test -q --offline --test determinism || fail=1
+
 step "bench smoke + gate (check mode)"
-# Tiny fixed-seed bench run, then schema-validate and diff against the
-# committed baseline in check mode (reports drift, only fails on schema
-# or structural errors — absolute timings are machine-dependent).
+# Tiny fixed-seed bench run on 2 workers, then schema-validate and diff
+# against the committed baseline in check mode (reports drift, only fails
+# on schema or structural errors — absolute timings are machine-dependent).
 mkdir -p target
 cargo run --release --offline --bin adaptraj -- \
-    bench --out target/BENCH_ci.json --epochs 1 --scenes 3 --eval-windows 20 || fail=1
+    bench --out target/BENCH_ci.json --epochs 1 --scenes 3 --eval-windows 20 \
+    --workers 2 || fail=1
 cargo run --release --offline -p adaptraj-bench --bin bench_gate -- \
     --baseline results/BENCH_baseline.json --candidate target/BENCH_ci.json \
     --check || fail=1

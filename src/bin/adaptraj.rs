@@ -99,6 +99,7 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             sources,
             target,
             epochs,
+            workers,
             ckpt,
             seed,
             log_level,
@@ -133,6 +134,7 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             let mut cfg = RunnerConfig {
                 trainer: TrainerConfig {
                     epochs,
+                    workers,
                     ..TrainerConfig::default()
                 },
                 eval_cap: 0, // full test split
@@ -155,6 +157,7 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             );
             telemetry.config("target", target.name());
             telemetry.config("epochs", epochs);
+            telemetry.config("workers", workers);
             telemetry.config("seed", cfg.trainer.seed);
 
             println!("training {} ...", spec.label());
@@ -169,7 +172,7 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 report = predictor.fit(&train);
                 let train_time = t0.elapsed().as_secs_f64();
                 let (eval, infer) =
-                    adaptraj::eval::evaluate(predictor.as_ref(), &test, 3, cfg.eval_seed);
+                    adaptraj::eval::evaluate(predictor.as_ref(), &test, 3, cfg.eval_seed, workers);
                 println!(
                     "ADE/FDE {eval}   train {train_time:.1}s   inference {:.2} ms/trajectory",
                     infer * 1e3
@@ -233,6 +236,7 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             epochs,
             scenes,
             eval_windows,
+            workers,
             seed,
             profile_out,
         } => {
@@ -240,11 +244,12 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 epochs,
                 scenes,
                 eval_windows,
+                workers,
                 seed: seed.unwrap_or(PerfConfig::default().seed),
             };
             println!(
-                "bench: {} epochs, {} scenes, {} inference windows, seed {} ...",
-                cfg.epochs, cfg.scenes, cfg.eval_windows, cfg.seed
+                "bench: {} epochs, {} scenes, {} inference windows, {} workers, seed {} ...",
+                cfg.epochs, cfg.scenes, cfg.eval_windows, cfg.workers, cfg.seed
             );
             let report = run_perf(&cfg);
             print!("{}", report.render_text());

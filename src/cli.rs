@@ -22,7 +22,7 @@ pub enum Command {
     /// domains.
     Stats { scenes: usize },
     /// `run --backbone <b> --method <m> --sources a,b,c --target <d>
-    ///  [--epochs N] [--ckpt FILE] [--seed S] [--log-level L]
+    ///  [--epochs N] [--workers N] [--ckpt FILE] [--seed S] [--log-level L]
     ///  [--metrics-out FILE.jsonl] [--manifest FILE.json]` — train one
     /// experiment cell and report ADE/FDE (optionally saving a checkpoint,
     /// emitting trace/metrics JSONL, and writing a run manifest).
@@ -32,6 +32,7 @@ pub enum Command {
         sources: Vec<DomainId>,
         target: DomainId,
         epochs: usize,
+        workers: usize,
         ckpt: Option<String>,
         seed: Option<u64>,
         log_level: Option<Level>,
@@ -40,14 +41,16 @@ pub enum Command {
         profile_out: Option<String>,
     },
     /// `bench [--out FILE.json] [--epochs N] [--scenes N]
-    ///  [--eval-windows N] [--seed S] [--profile-out FILE.json]` — run the
-    /// fixed-seed perf workloads under the op-level profiler and write an
-    /// `adaptraj-bench/v1` document (see EXPERIMENTS.md).
+    ///  [--eval-windows N] [--workers N] [--seed S]
+    ///  [--profile-out FILE.json]` — run the fixed-seed perf workloads
+    /// under the op-level profiler and write an `adaptraj-bench/v1`
+    /// document (see EXPERIMENTS.md).
     Bench {
         out: String,
         epochs: usize,
         scenes: usize,
         eval_windows: usize,
+        workers: usize,
         seed: Option<u64>,
         profile_out: Option<String>,
     },
@@ -214,6 +217,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "sources",
                     "target",
                     "epochs",
+                    "workers",
                     "ckpt",
                     "seed",
                     "log-level",
@@ -261,6 +265,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 sources,
                 target,
                 epochs: parse_usize(&flags, "epochs", 20)?,
+                workers: parse_usize(&flags, "workers", 1)?,
                 ckpt: flags.get("ckpt").map(|s| s.to_string()),
                 seed: parse_seed(&flags)?,
                 log_level: parse_log_level(&flags)?,
@@ -277,6 +282,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "epochs",
                     "scenes",
                     "eval-windows",
+                    "workers",
                     "seed",
                     "profile-out",
                 ],
@@ -286,6 +292,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 epochs: parse_usize(&flags, "epochs", 4)?,
                 scenes: parse_usize(&flags, "scenes", 6)?,
                 eval_windows: parse_usize(&flags, "eval-windows", 120)?,
+                workers: parse_usize(&flags, "workers", 1)?,
                 seed: parse_seed(&flags)?,
                 profile_out: flags.get("profile-out").map(|s| s.to_string()),
             })
@@ -317,16 +324,22 @@ USAGE:
   adaptraj synthesize --domain <d> [--scenes N] [--out FILE.csv]
   adaptraj stats [--scenes N]
   adaptraj run --backbone <pecnet|lbebm> --method <vanilla|counter|causalmotion|adaptraj>
-               --sources d1,d2,... --target <d> [--epochs N] [--ckpt FILE.atps]
+               --sources d1,d2,... --target <d> [--epochs N] [--workers N]
+               [--ckpt FILE.atps]
                [--seed S] [--log-level <error|warn|info|debug|trace>]
                [--metrics-out FILE.jsonl] [--manifest FILE.json]
                [--profile-out FILE.json]
   adaptraj bench [--out FILE.json] [--epochs N] [--scenes N] [--eval-windows N]
-                 [--seed S] [--profile-out FILE.json]
+                 [--workers N] [--seed S] [--profile-out FILE.json]
   adaptraj visualize --target <d> [--out DIR] [--count N]
   adaptraj help
 
 DOMAINS: eth_ucy | l_cas | syi | sdd
+
+EXECUTION:
+  --workers N         worker threads for the data-parallel executor
+                      (adaptraj-exec); results are bit-identical for every
+                      worker count, 1 runs inline (default 1)
 
 OBSERVABILITY (run):
   --seed S            seed training RNG (recorded in the manifest)
@@ -376,7 +389,7 @@ mod tests {
     fn run_parses_full_invocation() {
         let cmd = parse(&args(
             "run --backbone lbebm --method adaptraj --sources eth_ucy,l_cas,syi \
-             --target sdd --epochs 30 --ckpt model.atps --seed 42 \
+             --target sdd --epochs 30 --workers 4 --ckpt model.atps --seed 42 \
              --log-level debug --metrics-out m.jsonl --manifest run.json \
              --profile-out prof.json",
         ))
@@ -389,6 +402,7 @@ mod tests {
                 sources: vec![DomainId::EthUcy, DomainId::LCas, DomainId::Syi],
                 target: DomainId::Sdd,
                 epochs: 30,
+                workers: 4,
                 ckpt: Some("model.atps".into()),
                 seed: Some(42),
                 log_level: Some(Level::Debug),
@@ -408,6 +422,7 @@ mod tests {
                 epochs: 4,
                 scenes: 6,
                 eval_windows: 120,
+                workers: 1,
                 seed: None,
                 profile_out: None,
             }
@@ -415,7 +430,7 @@ mod tests {
         assert_eq!(
             parse(&args(
                 "bench --out BENCH_1.json --epochs 2 --scenes 3 --eval-windows 50 \
-                 --seed 9 --profile-out prof.json"
+                 --workers 4 --seed 9 --profile-out prof.json"
             ))
             .unwrap(),
             Command::Bench {
@@ -423,6 +438,7 @@ mod tests {
                 epochs: 2,
                 scenes: 3,
                 eval_windows: 50,
+                workers: 4,
                 seed: Some(9),
                 profile_out: Some("prof.json".into()),
             }
@@ -444,6 +460,7 @@ mod tests {
         ))
         .unwrap();
         let Command::Run {
+            workers,
             seed,
             log_level,
             metrics_out,
@@ -454,6 +471,7 @@ mod tests {
         else {
             panic!("expected Run, got {cmd:?}");
         };
+        assert_eq!(workers, 1);
         assert_eq!(seed, None);
         assert_eq!(log_level, None);
         assert_eq!(metrics_out, None);

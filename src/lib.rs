@@ -12,6 +12,7 @@
 //! * [`core`] — the AdapTraj framework itself
 //! * [`eval`] — metrics and experiment orchestration
 //! * [`bench`] — perf workloads, bench-document comparison, table binaries
+//! * [`exec`] — the data-parallel worker-pool executor behind `--workers N`
 
 pub mod cli;
 
@@ -19,6 +20,7 @@ pub use adaptraj_bench as bench;
 pub use adaptraj_core as core;
 pub use adaptraj_data as data;
 pub use adaptraj_eval as eval;
+pub use adaptraj_exec as exec;
 pub use adaptraj_models as models;
 pub use adaptraj_obs as obs;
 pub use adaptraj_sim as sim;
