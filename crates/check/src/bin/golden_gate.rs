@@ -1,0 +1,102 @@
+//! Golden-regression gate: diffs candidate `adaptraj-golden/v1` documents
+//! against the committed baselines and exits nonzero on any drift.
+//!
+//! ```text
+//! golden_gate --baseline-dir results --candidate-dir target/golden \
+//!             [--metric-tol-pct 0.1] [--check]
+//! ```
+//!
+//! Epoch losses and decomposed components must match the baselines
+//! bit-for-bit; ADE/FDE must agree within `--metric-tol-pct` percent.
+//! A baseline with no candidate always fails. `--check` validates and
+//! reports but never fails on drift (schema/parse errors still fail).
+
+use adaptraj_check::golden::{compare, load_baselines, GoldenDoc};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: golden_gate --baseline-dir DIR --candidate-dir DIR \
+         [--metric-tol-pct N] [--check]"
+    );
+    std::process::exit(2);
+}
+
+fn load(dir: &str) -> Result<Vec<GoldenDoc>, String> {
+    load_baselines(Path::new(dir)).map_err(|e| format!("{dir}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_dir = None;
+    let mut candidate_dir = None;
+    let mut metric_tol_pct = 0.1f64;
+    let mut check_only = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline-dir" => {
+                baseline_dir = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--candidate-dir" => {
+                candidate_dir = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--metric-tol-pct" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) else {
+                    usage();
+                };
+                metric_tol_pct = v;
+                i += 2;
+            }
+            "--check" => {
+                check_only = true;
+                i += 1;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+    let (Some(baseline_dir), Some(candidate_dir)) = (baseline_dir, candidate_dir) else {
+        usage();
+    };
+
+    let base = match load(&baseline_dir) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("golden_gate: baseline {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cand = match load(&candidate_dir) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("golden_gate: candidate {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let cmp = compare(&base, &cand, metric_tol_pct);
+    print!("{}", cmp.render_text());
+    if cmp.ok() {
+        println!("golden_gate: OK ({} run(s))", cmp.compared);
+        ExitCode::SUCCESS
+    } else if check_only {
+        println!(
+            "golden_gate: {} divergence(s) (check mode, not failing)",
+            cmp.diffs.len() + cmp.missing.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "golden_gate: FAIL — {} divergence(s) from committed goldens",
+            cmp.diffs.len() + cmp.missing.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,131 @@
+//! Error paths in the checkpoint ↔ optimizer interplay
+//! (`adaptraj_tensor::serialize` + `adaptraj_tensor::optim`):
+//!
+//! * a checkpoint whose group assignment disagrees with the receiving
+//!   store must be rejected (a silently re-grouped parameter would dodge
+//!   the three-step schedule's freezes),
+//! * loading a checkpoint must not bypass a frozen group on subsequent
+//!   optimizer steps, and
+//! * stepping an Adam whose moment buffers were built for a different
+//!   architecture must fail loudly, not corrupt parameters.
+
+use adaptraj_tensor::optim::Adam;
+use adaptraj_tensor::serialize::{load_params, save_params, CheckpointError};
+use adaptraj_tensor::{GradBuffer, GroupId, ParamId, ParamStore, Rng, Tape, Tensor};
+
+const TRAINED: GroupId = GroupId(0);
+const FROZEN: GroupId = GroupId(1);
+
+fn two_group_store(seed: u64) -> (ParamStore, ParamId, ParamId) {
+    let mut rng = Rng::seed_from(seed);
+    let mut store = ParamStore::new();
+    let a = store.register("body.w", Tensor::randn(3, 4, 0.0, 1.0, &mut rng), TRAINED);
+    let b = store.register("head.w", Tensor::randn(4, 2, 0.0, 1.0, &mut rng), FROZEN);
+    (store, a, b)
+}
+
+/// One gradient step of `L = Σ θ²` over every parameter.
+fn quadratic_step(store: &mut ParamStore, opt: &mut Adam) {
+    let mut tape = Tape::new();
+    let ids: Vec<ParamId> = store.ids().collect();
+    let mut loss = None;
+    for id in ids {
+        let p = tape.param(store, id);
+        let sq = tape.mul(p, p);
+        let term = tape.sum_all(sq);
+        loss = Some(match loss {
+            Some(acc) => tape.add(acc, term),
+            None => term,
+        });
+    }
+    let loss = loss.expect("store has parameters");
+    let grads = tape.backward(loss);
+    let mut buf = GradBuffer::new();
+    buf.absorb(&tape, &grads);
+    opt.step(store, &buf);
+}
+
+#[test]
+fn checkpoint_with_reassigned_group_is_rejected() {
+    let (src, _, _) = two_group_store(1);
+    let mut bytes = Vec::new();
+    save_params(&src, &mut bytes).unwrap();
+
+    // Same names and shapes, but "head.w" now claims the trained group —
+    // exactly the silent drift that would make a schedule freeze the
+    // wrong parameters after a resume.
+    let mut rng = Rng::seed_from(2);
+    let mut dst = ParamStore::new();
+    dst.register("body.w", Tensor::randn(3, 4, 0.0, 1.0, &mut rng), TRAINED);
+    dst.register("head.w", Tensor::randn(4, 2, 0.0, 1.0, &mut rng), TRAINED);
+    let before = dst.snapshot();
+
+    let err = load_params(&mut dst, &mut bytes.as_slice()).unwrap_err();
+    assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+    assert!(err.to_string().contains("group"), "{err}");
+    // "body.w" loads before the mismatch is discovered; the guarantee is
+    // the error, not atomicity — but the mismatched parameter itself must
+    // be untouched.
+    assert_eq!(dst.snapshot()[1].data(), before[1].data());
+}
+
+#[test]
+fn loading_a_checkpoint_does_not_bypass_frozen_groups() {
+    // Warm up an optimizer with a freeze, checkpoint mid-training, resume
+    // into a fresh store: the frozen parameter must hold its loaded value
+    // bit-for-bit while the trained one keeps moving.
+    let (mut store, _, _) = two_group_store(3);
+    let mut opt = Adam::new(1e-2);
+    opt.schedule.freeze(FROZEN);
+    quadratic_step(&mut store, &mut opt);
+
+    let mut bytes = Vec::new();
+    save_params(&store, &mut bytes).unwrap();
+
+    let (mut resumed, trained_id, frozen_id) = two_group_store(4);
+    load_params(&mut resumed, &mut bytes.as_slice()).unwrap();
+    let frozen_before = resumed.value(frozen_id).clone();
+    let trained_before = resumed.value(trained_id).clone();
+
+    quadratic_step(&mut resumed, &mut opt);
+    assert_eq!(
+        resumed.value(frozen_id).data(),
+        frozen_before.data(),
+        "frozen group moved after checkpoint load"
+    );
+    assert_ne!(
+        resumed.value(trained_id).data(),
+        trained_before.data(),
+        "trained group did not move"
+    );
+}
+
+#[test]
+fn adam_state_shape_mismatch_after_load_fails_loudly() {
+    // Build Adam moments against one architecture…
+    let (mut store, _, _) = two_group_store(5);
+    let mut opt = Adam::new(1e-2);
+    quadratic_step(&mut store, &mut opt);
+
+    // …then swap in a differently-shaped store, as if a checkpoint for a
+    // *new* model were resumed with the old optimizer state. The stale
+    // moment tensors no longer match the gradients; the update must
+    // panic on the shape assertion instead of silently mis-updating.
+    let mut rng = Rng::seed_from(6);
+    let mut other = ParamStore::new();
+    other.register("body.w", Tensor::randn(2, 2, 0.0, 1.0, &mut rng), TRAINED);
+    let snapshot = other.snapshot();
+
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        quadratic_step(&mut other, &mut opt);
+    }));
+    assert!(
+        outcome.is_err(),
+        "stepping stale Adam state onto a reshaped store must not succeed"
+    );
+    assert_eq!(
+        other.snapshot()[0].data(),
+        snapshot[0].data(),
+        "parameters were modified by a failed optimizer step"
+    );
+}

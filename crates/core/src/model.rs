@@ -294,8 +294,27 @@ impl<B: Backbone> AdapTraj<B> {
         (loss, values)
     }
 
-    /// Applies the per-step optimizer schedule of Alg. 1.
-    fn configure_schedule(opt: &mut Adam, cfg: &AdapTrajConfig, step: usize) {
+    /// The full per-window training loss `L_total = L_base + δ·L_ours`
+    /// (+ distillation when `masked`) as a single tape node, exposed for
+    /// the gradient-verification suite in `adaptraj-check`: `backward` on
+    /// the returned node must match central finite differences over the
+    /// store (modulo the intentional gradient-reversal and teacher-detach
+    /// asymmetries documented there). `ctx.store` must be this model's own
+    /// store — the extractor/head parameters are always read from `self`.
+    pub fn window_training_loss(
+        &self,
+        ctx: &mut ForwardCtx<'_>,
+        w: &TrajWindow,
+        masked: bool,
+        delta: f32,
+    ) -> Var {
+        self.window_loss(ctx, w, masked, delta).0
+    }
+
+    /// Applies the per-step optimizer schedule of Alg. 1. Public so the
+    /// verification suite can assert the freeze/multiplier state of each
+    /// step directly rather than only observing its end-to-end effect.
+    pub fn configure_schedule(opt: &mut Adam, cfg: &AdapTrajConfig, step: usize) {
         let sched = &mut opt.schedule;
         sched.unfreeze_all();
         sched.clear_multipliers();

@@ -17,6 +17,7 @@ use crate::traits::{sample_forward, train_forward, Backbone, ForwardCtx};
 use adaptraj_data::batch::shuffled_batches;
 use adaptraj_data::trajectory::{Point, TrajWindow};
 use adaptraj_exec::{window_seed, WorkerPool};
+use adaptraj_obs::{EpochRecord, PhaseTiming};
 use adaptraj_tensor::optim::Adam;
 use adaptraj_tensor::{GradBuffer, ParamStore, Rng, Tape};
 
@@ -68,7 +69,9 @@ impl<B: Backbone> Predictor for CausalMotion<B> {
 
         let pool = WorkerPool::new(self.cfg.workers);
         let seed = self.cfg.seed;
+        let fit_start = std::time::Instant::now();
         for epoch in 0..self.cfg.epochs {
+            let epoch_start = std::time::Instant::now();
             let mut epoch_loss = 0.0;
             let mut seen = 0usize;
             for batch in shuffled_batches(windows.len(), self.cfg.batch_size, &mut rng) {
@@ -118,8 +121,21 @@ impl<B: Backbone> Predictor for CausalMotion<B> {
                 }
                 opt.step(&mut self.store, &total);
             }
-            report.epoch_losses.push(epoch_loss / seen.max(1) as f32);
+            let mean = epoch_loss / seen.max(1) as f32;
+            report.epoch_losses.push(mean);
+            // Full per-epoch record so manifests and the golden-regression
+            // layer see CausalMotion the same way they see every other
+            // trainer: `loss` is the mean per-window risk (the half-risk
+            // V-REx penalty has no per-window decomposition to pin).
+            let mut rec = EpochRecord::new(epoch, "train");
+            rec.loss = mean as f64;
+            rec.components.backbone = mean as f64;
+            rec.duration_s = epoch_start.elapsed().as_secs_f64();
+            report.epochs.push(rec);
         }
+        report
+            .phases
+            .push(PhaseTiming::new("train", fit_start.elapsed().as_secs_f64()));
         report
     }
 

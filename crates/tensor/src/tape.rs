@@ -190,6 +190,53 @@ impl Tape {
         &self.nodes[var.0].value
     }
 
+    /// The stable profiler label of the op that produced `var` (see
+    /// `Op::kind`); `"leaf"` for constants, inputs, and parameters.
+    pub fn op_kind(&self, var: Var) -> &'static str {
+        self.nodes[var.0].op.kind()
+    }
+
+    /// Whether gradients flow into `var` (constants opt out).
+    pub fn needs_grad(&self, var: Var) -> bool {
+        self.nodes[var.0].needs_grad
+    }
+
+    /// The parents of `var` — the operands of the op that produced it, in
+    /// operand order; empty for leaves. Every parent was recorded before
+    /// its child, so node order is a topological order; `adaptraj-check`
+    /// asserts this structural invariant through this accessor.
+    pub fn parents(&self, var: Var) -> Vec<Var> {
+        match &self.nodes[var.0].op {
+            Op::Leaf => Vec::new(),
+            Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::MatMul(a, b)
+            | Op::AddRowBroadcast(a, b) => vec![*a, *b],
+            Op::Neg(a)
+            | Op::Scale(a, _)
+            | Op::AddScalar(a)
+            | Op::Transpose(a)
+            | Op::Relu(a)
+            | Op::LeakyRelu(a, _)
+            | Op::Tanh(a)
+            | Op::Sigmoid(a)
+            | Op::Exp(a)
+            | Op::SoftmaxRows(a)
+            | Op::SliceCols(a, _, _)
+            | Op::GatherRows(a, _)
+            | Op::BroadcastRows(a)
+            | Op::MeanRows(a)
+            | Op::SumRows(a)
+            | Op::MeanAll(a)
+            | Op::SumAll(a)
+            | Op::HadamardConst(a, _)
+            | Op::SoftmaxCrossEntropy(a, _)
+            | Op::GradReverse(a, _) => vec![*a],
+            Op::ConcatCols(parts) | Op::ConcatRows(parts) => parts.clone(),
+        }
+    }
+
     /// Records a computed node. Every forward op funnels through here with
     /// the [`OpTimer`] it started before computing, making this the single
     /// forward-side profiler choke point: elapsed wall-clock and the bytes

@@ -39,6 +39,25 @@ cargo test -q --workspace --offline || fail=1
 step "determinism suite (workers 1 vs 4 bit-identity)"
 cargo test -q --offline --test determinism || fail=1
 
+step "gradient verification + property harness (adaptraj-check)"
+# Central-difference gradient checks for all 28 tape ops, the LSTM/MLP
+# layers, and every backbone's full training loss; tape invariants and
+# algebraic identities through the offline shrinking generator.
+cargo test -q --offline -p adaptraj-check || fail=1
+
+step "golden regression gate (fixed-seed micro-runs)"
+# Re-runs the five pinned micro-runs and compares against the committed
+# results/GOLDEN_*.json: losses bit-for-bit, ADE/FDE within 0.1%. Any
+# drift fails CI; intentional changes regenerate with
+#   cargo run --release -- check --update-golden
+mkdir -p target/golden-ci
+cargo run --release --offline --bin adaptraj -- \
+    check --golden-dir results --out-dir target/golden-ci || fail=1
+# The standalone comparator must reach the same verdict from the files
+# the CLI just wrote (exercises the parse path end to end).
+cargo run --release --offline -p adaptraj-check --bin golden_gate -- \
+    --baseline-dir results --candidate-dir target/golden-ci || fail=1
+
 step "bench smoke + gate (check mode)"
 # Tiny fixed-seed bench run on 2 workers, then schema-validate and diff
 # against the committed baseline in check mode (reports drift, only fails

@@ -8,6 +8,7 @@
 //! ```
 
 use adaptraj::bench::perf::{run_perf, PerfConfig};
+use adaptraj::check::{compare, load_baselines, run_all_goldens, write_doc};
 use adaptraj::cli::{parse, Command, USAGE};
 use adaptraj::data::dataset::{synthesize_all, synthesize_domain, SynthesisConfig};
 use adaptraj::data::domain::DomainId;
@@ -40,6 +41,32 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `--update-golden` overwrites committed baselines, so it refuses to run
+/// on a dirty tree: an accidental rewrite mixed into unrelated edits would
+/// launder real drift into the baseline. `ADAPTRAJ_UPDATE_GOLDEN_ALLOW_DIRTY=1`
+/// overrides (needed once, to bootstrap the first baselines). If `git` is
+/// unavailable the update proceeds — the gate is advisory, not load-bearing.
+fn ensure_clean_tree_for_golden_update() -> Result<(), Box<dyn std::error::Error>> {
+    if std::env::var_os("ADAPTRAJ_UPDATE_GOLDEN_ALLOW_DIRTY").is_some_and(|v| v == "1") {
+        eprintln!("warning: updating golden baselines with a dirty working tree (override set)");
+        return Ok(());
+    }
+    let Ok(out) = std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+    else {
+        return Ok(());
+    };
+    if out.status.success() && !out.stdout.is_empty() {
+        return Err(
+            "refusing --update-golden: the working tree has uncommitted changes \
+             (commit or stash them first, or set ADAPTRAJ_UPDATE_GOLDEN_ALLOW_DIRTY=1)"
+                .into(),
+        );
+    }
+    Ok(())
 }
 
 fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
@@ -258,6 +285,52 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             if let Some(path) = profile_out {
                 std::fs::write(&path, report.profile.to_json())?;
                 println!("op-level profile written to {path}");
+            }
+        }
+        Command::Check {
+            golden_dir,
+            out_dir,
+            metric_tol_pct,
+            update_golden,
+        } => {
+            let golden_dir = std::path::PathBuf::from(golden_dir);
+            if update_golden {
+                ensure_clean_tree_for_golden_update()?;
+                println!(
+                    "re-running {} golden micro-runs ...",
+                    adaptraj::check::GOLDEN_NAMES.len()
+                );
+                for doc in run_all_goldens() {
+                    let path = write_doc(&golden_dir, &doc)?;
+                    println!("wrote {}", path.display());
+                }
+                println!(
+                    "golden baselines updated in {} — commit them with the change \
+                     that motivated the drift",
+                    golden_dir.display()
+                );
+                return Ok(());
+            }
+            let baselines = load_baselines(&golden_dir)?;
+            println!("re-running {} golden micro-runs ...", baselines.len());
+            let candidates = run_all_goldens();
+            if let Some(dir) = out_dir {
+                let dir = std::path::PathBuf::from(dir);
+                for doc in &candidates {
+                    let path = write_doc(&dir, doc)?;
+                    println!("candidate written to {}", path.display());
+                }
+            }
+            let cmp = compare(&baselines, &candidates, metric_tol_pct);
+            print!("{}", cmp.render_text());
+            if !cmp.ok() {
+                return Err(format!(
+                    "golden drift: {} divergence(s), {} missing run(s) — if the change \
+                     is intentional, regenerate with `adaptraj check --update-golden`",
+                    cmp.diffs.len(),
+                    cmp.missing.len()
+                )
+                .into());
             }
         }
         Command::Visualize { target, out, count } => {

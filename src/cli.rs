@@ -61,6 +61,18 @@ pub enum Command {
         out: String,
         count: usize,
     },
+    /// `check [--golden-dir DIR] [--out-dir DIR] [--metric-tol-pct N]
+    ///  [--update-golden]` — re-run the fixed-seed golden micro-runs and
+    /// gate them against the committed `results/GOLDEN_*.json` baselines
+    /// (bit-exact losses, percentage-tolerance ADE/FDE). With
+    /// `--update-golden`, rewrite the baselines instead (requires a clean
+    /// working tree).
+    Check {
+        golden_dir: String,
+        out_dir: Option<String>,
+        metric_tol_pct: f64,
+        update_golden: bool,
+    },
     /// `help`
     Help,
 }
@@ -168,6 +180,29 @@ fn parse_seed(flags: &HashMap<&str, &str>) -> Result<Option<u64>, ParseError> {
             .parse()
             .map(Some)
             .map_err(|_| err(format!("--seed expects an unsigned integer, got '{v}'"))),
+    }
+}
+
+fn parse_f64(flags: &HashMap<&str, &str>, key: &str, default: f64) -> Result<f64, ParseError> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| err(format!("--{key} expects a number, got '{v}'"))),
+    }
+}
+
+/// Removes every occurrence of a valueless `--flag` from `args`, returning
+/// whether it was present. `parse_flags` only understands `--key value`
+/// pairs, so boolean switches are peeled off before it runs.
+fn take_switch(args: &mut Vec<String>, name: &str) -> Result<bool, ParseError> {
+    let flag = format!("--{name}");
+    let before = args.len();
+    args.retain(|a| *a != flag);
+    match before - args.len() {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(err(format!("--{name} given twice"))),
     }
 }
 
@@ -310,6 +345,17 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 count: parse_usize(&flags, "count", 4)?,
             })
         }
+        "check" => {
+            let mut rest = rest.to_vec();
+            let update_golden = take_switch(&mut rest, "update-golden")?;
+            let flags = parse_flags(&rest, &["golden-dir", "out-dir", "metric-tol-pct"])?;
+            Ok(Command::Check {
+                golden_dir: flags.get("golden-dir").unwrap_or(&"results").to_string(),
+                out_dir: flags.get("out-dir").map(|s| s.to_string()),
+                metric_tol_pct: parse_f64(&flags, "metric-tol-pct", 0.1)?,
+                update_golden,
+            })
+        }
         other => Err(err(format!(
             "unknown command '{other}' (try: adaptraj help)"
         ))),
@@ -332,6 +378,8 @@ USAGE:
   adaptraj bench [--out FILE.json] [--epochs N] [--scenes N] [--eval-windows N]
                  [--workers N] [--seed S] [--profile-out FILE.json]
   adaptraj visualize --target <d> [--out DIR] [--count N]
+  adaptraj check [--golden-dir DIR] [--out-dir DIR] [--metric-tol-pct N]
+                 [--update-golden]
   adaptraj help
 
 DOMAINS: eth_ucy | l_cas | syi | sdd
@@ -355,6 +403,16 @@ BENCH:
   PECNet-AdapTraj) under the profiler and writes an adaptraj-bench/v1 JSON
   with throughput, backward ns/node, latency percentiles, and op/phase
   breakdowns; gate two runs with scripts/bench.sh (bench_gate).
+
+CHECK:
+  re-runs the five fixed-seed golden micro-runs (adaptraj-golden/v1) and
+  compares them against the committed baselines in --golden-dir (default
+  results/): per-epoch losses and decomposed components must match
+  bit-for-bit; ADE/FDE within --metric-tol-pct percent (default 0.1).
+  --out-dir saves the candidate documents for inspection. --update-golden
+  rewrites the baselines instead of comparing; it refuses to run with a
+  dirty working tree (set ADAPTRAJ_UPDATE_GOLDEN_ALLOW_DIRTY=1 to
+  override, e.g. when bootstrapping the very first baselines).
 ";
 
 #[cfg(test)]
@@ -546,6 +604,42 @@ mod tests {
     fn unknown_command_is_reported() {
         let e = parse(&args("launch")).unwrap_err();
         assert!(e.0.contains("unknown command"), "{e}");
+    }
+
+    #[test]
+    fn check_defaults_and_full_invocation() {
+        assert_eq!(
+            parse(&args("check")).unwrap(),
+            Command::Check {
+                golden_dir: "results".into(),
+                out_dir: None,
+                metric_tol_pct: 0.1,
+                update_golden: false,
+            }
+        );
+        // The boolean switch parses in any position among key-value flags.
+        assert_eq!(
+            parse(&args(
+                "check --golden-dir base --update-golden --out-dir cand --metric-tol-pct 2.5"
+            ))
+            .unwrap(),
+            Command::Check {
+                golden_dir: "base".into(),
+                out_dir: Some("cand".into()),
+                metric_tol_pct: 2.5,
+                update_golden: true,
+            }
+        );
+    }
+
+    #[test]
+    fn check_rejects_bad_flags() {
+        let e = parse(&args("check --metric-tol-pct lots")).unwrap_err();
+        assert!(e.0.contains("expects a number"), "{e}");
+        let e = parse(&args("check --update-golden --update-golden")).unwrap_err();
+        assert!(e.0.contains("twice"), "{e}");
+        let e = parse(&args("check --epochs 3")).unwrap_err();
+        assert!(e.0.contains("unknown flag"), "{e}");
     }
 
     #[test]

@@ -13,10 +13,12 @@
 //! * [`eval`] — metrics and experiment orchestration
 //! * [`bench`] — perf workloads, bench-document comparison, table binaries
 //! * [`exec`] — the data-parallel worker-pool executor behind `--workers N`
+//! * [`check`] — gradient verification, property harness, golden regression
 
 pub mod cli;
 
 pub use adaptraj_bench as bench;
+pub use adaptraj_check as check;
 pub use adaptraj_core as core;
 pub use adaptraj_data as data;
 pub use adaptraj_eval as eval;
