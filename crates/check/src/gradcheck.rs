@@ -38,7 +38,7 @@ use adaptraj_tensor::{ParamId, ParamStore, Tape, Tensor, Var};
 /// `tests/op_grads.rs` machine-checks that the per-op fixtures exercise
 /// all of these in both directions; if a new op is added to the tape this
 /// list (and a fixture) must grow with it.
-pub const OP_KINDS: [&str; 28] = [
+pub const OP_KINDS: [&str; 30] = [
     "leaf",
     "add",
     "sub",
@@ -47,6 +47,8 @@ pub const OP_KINDS: [&str; 28] = [
     "scale",
     "add_scalar",
     "matmul",
+    "matmul_nt",
+    "matmul_tn",
     "transpose",
     "add_row_broadcast",
     "relu",

@@ -1,4 +1,4 @@
-//! Per-op finite-difference fixtures: every one of the 28 tape `Op`
+//! Per-op finite-difference fixtures: every one of the 30 tape `Op`
 //! kinds, plus the LSTM and MLP layers, must match central differences at
 //! rel-err ≤ 1e-2. Coverage is machine-checked through the op profiler —
 //! a new tape op that lands without a fixture here fails the coverage
@@ -151,6 +151,48 @@ fn fixtures() -> Vec<Fixture> {
                 &cfg(),
             )
             .assert_ok("matmul");
+        }),
+    );
+    fixture(
+        "matmul_nt",
+        Box::new(|| {
+            let right = randn(4, 3, 140);
+            let left = randn(5, 4, 141);
+            grad_check_input(
+                &randn(2, 3, 47),
+                move |t, x| {
+                    // Both operand slots: x·Rᵀ (dA path) and L·yᵀ (dB path).
+                    let rv = t.constant(right.clone());
+                    let lv = t.constant(left.clone());
+                    let a = t.matmul_nt(x, rv); // [2,3]·[4,3]ᵀ = [2,4]
+                    let b = t.matmul_nt(lv, a); // [5,4]·[2,4]ᵀ = [5,2]
+                    let sq = t.mul(b, b);
+                    t.sum_all(sq)
+                },
+                &cfg(),
+            )
+            .assert_ok("matmul_nt");
+        }),
+    );
+    fixture(
+        "matmul_tn",
+        Box::new(|| {
+            let right = randn(2, 4, 142);
+            let left = randn(3, 5, 143);
+            grad_check_input(
+                &randn(2, 3, 48),
+                move |t, x| {
+                    // Both operand slots: xᵀ·R (dA path) and yᵀ·L... via two nodes.
+                    let rv = t.constant(right.clone());
+                    let lv = t.constant(left.clone());
+                    let a = t.matmul_tn(x, rv); // [2,3]ᵀ·[2,4] = [3,4]
+                    let b = t.matmul_tn(lv, a); // [3,5]ᵀ·[3,4] = [5,4]
+                    let sq = t.mul(b, b);
+                    t.sum_all(sq)
+                },
+                &cfg(),
+            )
+            .assert_ok("matmul_tn");
         }),
     );
     fixture(

@@ -64,8 +64,7 @@ pub fn similarity_loss(
 /// would instead penalize feature magnitude).
 pub fn difference_loss(tape: &mut Tape, feats: &Features) -> Var {
     let dot_sq = |tape: &mut Tape, a: Var, b: Var| {
-        let bt = tape.transpose(b);
-        let dot = tape.matmul(a, bt);
+        let dot = tape.matmul_nt(a, b);
         tape.mul(dot, dot)
     };
     let ind = dot_sq(tape, feats.inv_ind, feats.spec_ind);

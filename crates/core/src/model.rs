@@ -478,16 +478,21 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
                 let results = pool
                     .map(&jobs, |_, &(i, masked)| {
                         let _p = profile::phase_at(&profile_path);
-                        let mut tape = Tape::new();
-                        let mut wrng = Rng::seed_from(window_seed(seed, epoch as u64, i as u64));
-                        let mut ctx = ForwardCtx::train(&this.store, &mut tape, &mut wrng);
-                        let (loss, values) = this.window_loss(&mut ctx, windows[i], masked, delta);
-                        let val = tape.value(loss).item();
-                        if !val.is_finite() {
-                            return (val, values, Vec::new());
-                        }
-                        let grads = tape.backward(loss);
-                        (val, values, tape.param_grads(&grads))
+                        adaptraj_tensor::with_pooled(|tape| {
+                            let mut wrng =
+                                Rng::seed_from(window_seed(seed, epoch as u64, i as u64));
+                            let mut ctx = ForwardCtx::train(&this.store, tape, &mut wrng);
+                            let (loss, values) =
+                                this.window_loss(&mut ctx, windows[i], masked, delta);
+                            let val = tape.value(loss).item();
+                            if !val.is_finite() {
+                                return (val, values, Vec::new());
+                            }
+                            let grads = tape.backward(loss);
+                            let pairs = tape.param_grads(&grads);
+                            grads.recycle();
+                            (val, values, pairs)
+                        })
                     })
                     .unwrap_or_else(|e| panic!("training worker panicked: {e}"));
                 // Reduce in batch-position order: bit-identical for any
@@ -550,20 +555,21 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
     }
 
     fn predict(&self, w: &TrajWindow, rng: &mut Rng) -> Vec<Point> {
-        let mut tape = Tape::new();
-        let enc = {
-            let _p = profile::phase("encode");
-            self.backbone.encode(&self.store, &mut tape, w)
-        };
-        let extra = {
-            let _p = profile::phase("features");
-            let feats = self.features(&mut tape, &enc, None);
-            self.extra_features(&mut tape, &feats)
-        };
-        let _p = profile::phase("generate");
-        let mut ctx = ForwardCtx::sample(&self.store, &mut tape, rng);
-        let gen = self.backbone.generate(&mut ctx, w, &enc, Some(extra));
-        tensor_to_points(tape.value(gen.pred))
+        adaptraj_tensor::with_pooled(|tape| {
+            let enc = {
+                let _p = profile::phase("encode");
+                self.backbone.encode(&self.store, tape, w)
+            };
+            let extra = {
+                let _p = profile::phase("features");
+                let feats = self.features(tape, &enc, None);
+                self.extra_features(tape, &feats)
+            };
+            let _p = profile::phase("generate");
+            let mut ctx = ForwardCtx::sample(&self.store, tape, rng);
+            let gen = self.backbone.generate(&mut ctx, w, &enc, Some(extra));
+            tensor_to_points(ctx.tape.value(gen.pred))
+        })
     }
 }
 

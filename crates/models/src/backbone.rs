@@ -198,8 +198,7 @@ impl SceneEncoder {
                 let q = self.w_q.forward(store, tape, h_focal); // [1, d]
                 let k = self.w_k.forward(store, tape, h_all); // [N, d]
                 let v = self.w_v.forward(store, tape, h_all); // [N, d]
-                let kt = tape.transpose(k); // [d, N]
-                let scores = tape.matmul(q, kt); // [1, N]
+                let scores = tape.matmul_nt(q, k); // [1, N], q·kᵀ untransposed
                 let scaled = tape.scale(scores, 1.0 / (self.inter_dim as f32).sqrt());
                 let attn = tape.softmax_rows(scaled);
                 tape.matmul(attn, v) // [1, d]

@@ -19,7 +19,7 @@ use adaptraj_data::trajectory::{Point, TrajWindow};
 use adaptraj_exec::{window_seed, WorkerPool};
 use adaptraj_obs::{EpochRecord, PhaseTiming};
 use adaptraj_tensor::optim::Adam;
-use adaptraj_tensor::{GradBuffer, ParamStore, Rng, Tape};
+use adaptraj_tensor::{GradBuffer, ParamStore, Rng};
 
 /// Weight of the risk-variance (V-REx style) invariance penalty.
 const INVARIANCE_WEIGHT: f32 = 2.0;
@@ -86,13 +86,17 @@ impl<B: Backbone> Predictor for CausalMotion<B> {
                 let backbone = &self.backbone;
                 let results = pool
                     .map(&batch, |_, &i| {
-                        let mut tape = Tape::new();
-                        let mut wrng = Rng::seed_from(window_seed(seed, epoch as u64, i as u64));
-                        let mut ctx = ForwardCtx::train(store, &mut tape, &mut wrng);
-                        let (_, loss) = train_forward(backbone, &mut ctx, windows[i], None);
-                        let val = tape.value(loss).item();
-                        let grads = tape.backward(loss);
-                        (val, tape.param_grads(&grads))
+                        adaptraj_tensor::with_pooled(|tape| {
+                            let mut wrng =
+                                Rng::seed_from(window_seed(seed, epoch as u64, i as u64));
+                            let mut ctx = ForwardCtx::train(store, tape, &mut wrng);
+                            let (_, loss) = train_forward(backbone, &mut ctx, windows[i], None);
+                            let val = tape.value(loss).item();
+                            let grads = tape.backward(loss);
+                            let pairs = tape.param_grads(&grads);
+                            grads.recycle();
+                            (val, pairs)
+                        })
                     })
                     .unwrap_or_else(|e| panic!("training worker panicked: {e}"));
                 let mut bufs = [GradBuffer::new(), GradBuffer::new()];
@@ -150,10 +154,11 @@ impl<B: Backbone> Predictor for CausalMotion<B> {
     fn predict(&self, w: &TrajWindow, rng: &mut Rng) -> Vec<Point> {
         // Inference is architecturally identical to vanilla (the paper
         // notes near-identical inference time for CausalMotion).
-        let mut tape = Tape::new();
-        let mut ctx = ForwardCtx::sample(&self.store, &mut tape, rng);
-        let pred = sample_forward(&self.backbone, &mut ctx, w, None);
-        crate::backbone::tensor_to_points(tape.value(pred))
+        adaptraj_tensor::with_pooled(|tape| {
+            let mut ctx = ForwardCtx::sample(&self.store, tape, rng);
+            let pred = sample_forward(&self.backbone, &mut ctx, w, None);
+            crate::backbone::tensor_to_points(ctx.tape.value(pred))
+        })
     }
 }
 

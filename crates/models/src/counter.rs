@@ -18,7 +18,7 @@ use crate::trainer::Trainer;
 use crate::traits::{sample_forward, train_forward, Backbone, ForwardCtx};
 use adaptraj_data::trajectory::{Point, TrajWindow};
 use adaptraj_tensor::optim::Adam;
-use adaptraj_tensor::{ParamStore, Rng, Tape};
+use adaptraj_tensor::{ParamStore, Rng};
 
 /// Strength of the counterfactual subtraction (1.0 = fully remove the
 /// neighbor-caused component, as described in the paper).
@@ -102,23 +102,24 @@ impl<B: Backbone> Predictor for Counter<B> {
         // passes so the subtraction isolates the neighbor effect rather
         // than sampling noise.
         let seed = ((rng.unit().to_bits() as u64) << 32) | rng.unit().to_bits() as u64;
-        let mut tape = Tape::new();
+        adaptraj_tensor::with_pooled(|tape| {
+            let mut r1 = Rng::seed_from(seed);
+            let mut ctx1 = ForwardCtx::sample(&self.store, tape, &mut r1);
+            let y_fact = sample_forward(&self.backbone, &mut ctx1, w, None);
 
-        let mut r1 = Rng::seed_from(seed);
-        let mut ctx1 = ForwardCtx::sample(&self.store, &mut tape, &mut r1);
-        let y_fact = sample_forward(&self.backbone, &mut ctx1, w, None);
+            let cf = counterfactual_of(w);
+            let mut r2 = Rng::seed_from(seed);
+            let mut ctx2 = ForwardCtx::sample(&self.store, ctx1.tape, &mut r2);
+            let y_cf = sample_forward(&self.backbone, &mut ctx2, &cf, None);
+            let tape = ctx2.tape;
 
-        let cf = counterfactual_of(w);
-        let mut r2 = Rng::seed_from(seed);
-        let mut ctx2 = ForwardCtx::sample(&self.store, &mut tape, &mut r2);
-        let y_cf = sample_forward(&self.backbone, &mut ctx2, &cf, None);
-
-        // Y_final = Y(X,E) − β·(Y(X,E) − Y(X,∅)): subtract the
-        // neighbor-caused component.
-        let effect = tape.sub(y_fact, y_cf);
-        let scaled = tape.scale(effect, CF_STRENGTH);
-        let y_final = tape.sub(y_fact, scaled);
-        crate::backbone::tensor_to_points(tape.value(y_final))
+            // Y_final = Y(X,E) − β·(Y(X,E) − Y(X,∅)): subtract the
+            // neighbor-caused component.
+            let effect = tape.sub(y_fact, y_cf);
+            let scaled = tape.scale(effect, CF_STRENGTH);
+            let y_final = tape.sub(y_fact, scaled);
+            crate::backbone::tensor_to_points(tape.value(y_final))
+        })
     }
 }
 

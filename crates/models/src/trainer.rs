@@ -234,25 +234,35 @@ where
 {
     match pool.map(batch, |_, &i| {
         let _p = profile::phase_at(profile_path);
-        let mut tape = Tape::new();
-        let mut wrng = Rng::seed_from(window_seed(seed, global_epoch, i as u64));
-        let loss = per_window(store, &mut tape, windows[i], &mut wrng);
-        let val = tape.value(loss).item();
-        if !val.is_finite() {
-            return WindowResult {
-                val,
-                pairs: Vec::new(),
-            };
-        }
-        let grads = tape.backward(loss);
-        WindowResult {
-            val,
-            pairs: tape.param_grads(&grads),
-        }
+        worker_tape(|tape| {
+            let mut wrng = Rng::seed_from(window_seed(seed, global_epoch, i as u64));
+            let loss = per_window(store, tape, windows[i], &mut wrng);
+            let val = tape.value(loss).item();
+            if !val.is_finite() {
+                return WindowResult {
+                    val,
+                    pairs: Vec::new(),
+                };
+            }
+            let grads = tape.backward(loss);
+            let pairs = tape.param_grads(&grads);
+            grads.recycle();
+            WindowResult { val, pairs }
+        })
     }) {
         Ok(results) => results,
         Err(e) => panic!("training worker panicked: {e}"),
     }
+}
+
+/// Runs `f` on the calling worker thread's reusable pooled tape (see
+/// `adaptraj_tensor::with_pooled`). The worker pool keeps its threads
+/// alive across batches, so in steady state every window job replays onto
+/// a tape whose node vector — and, via `Tape::reset`, whose retired value
+/// buffers — carry over from the previous window: the forward/backward
+/// hot path stops touching the allocator.
+pub(crate) fn worker_tape<R>(f: impl FnOnce(&mut Tape) -> R) -> R {
+    adaptraj_tensor::with_pooled(f)
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@ use crate::trainer::Trainer;
 use crate::traits::{sample_forward, train_forward, Backbone, ForwardCtx};
 use adaptraj_data::trajectory::{Point, TrajWindow};
 use adaptraj_tensor::optim::Adam;
-use adaptraj_tensor::{ParamStore, Rng, Tape};
+use adaptraj_tensor::{ParamStore, Rng};
 
 /// A backbone trained with nothing but `L_base` + its own auxiliary loss —
 /// the paper's "vanilla" rows.
@@ -75,10 +75,11 @@ impl<B: Backbone> Predictor for Vanilla<B> {
     }
 
     fn predict(&self, w: &TrajWindow, rng: &mut Rng) -> Vec<Point> {
-        let mut tape = Tape::new();
-        let mut ctx = ForwardCtx::sample(&self.store, &mut tape, rng);
-        let pred = sample_forward(&self.backbone, &mut ctx, w, None);
-        crate::backbone::tensor_to_points(tape.value(pred))
+        adaptraj_tensor::with_pooled(|tape| {
+            let mut ctx = ForwardCtx::sample(&self.store, tape, rng);
+            let pred = sample_forward(&self.backbone, &mut ctx, w, None);
+            crate::backbone::tensor_to_points(ctx.tape.value(pred))
+        })
     }
 }
 

@@ -55,12 +55,14 @@
 pub mod nn;
 pub mod optim;
 pub mod param;
+pub mod pool;
 pub mod rng;
 pub mod serialize;
 pub mod tape;
 pub mod tensor;
 
 pub use param::{GradBuffer, GroupId, ParamId, ParamStore};
+pub use pool::{BufferPool, PoolStats};
 pub use rng::Rng;
-pub use tape::{Grads, Tape, Var};
+pub use tape::{with_pooled, Grads, Tape, Var};
 pub use tensor::Tensor;

@@ -49,11 +49,15 @@ impl ParamStore {
         Self::default()
     }
 
-    /// Registers a parameter and returns its handle.
+    /// Registers a parameter and returns its handle. The value is held in
+    /// shared (`Arc`-backed) storage so bringing it onto a tape
+    /// ([`Tape::param`]) is a refcount bump, not a full clone; optimizer
+    /// updates go through copy-on-write and mutate in place once no tape
+    /// holds a reference.
     pub fn register(&mut self, name: impl Into<String>, value: Tensor, group: GroupId) -> ParamId {
         self.entries.push(ParamEntry {
             name: name.into(),
-            value,
+            value: value.into_shared(),
             group,
         });
         ParamId(self.entries.len() - 1)

@@ -1,0 +1,307 @@
+//! Per-thread scratch-buffer pooling for tensor storage.
+//!
+//! Every owned tensor allocation in this crate funnels through the helpers
+//! here. Each thread keeps a [`BufferPool`] free-list of retired
+//! `Vec<f32>` buffers (returned by [`Tape::reset`](crate::tape::Tape::reset)
+//! and [`recycle_vec`]); an allocation request is served from the free list
+//! when a buffer with enough capacity is available and falls back to a
+//! fresh heap allocation otherwise. In steady state — one persistent
+//! worker thread running one pooled tape per window — the forward/backward
+//! hot path recycles the previous window's buffers instead of touching the
+//! allocator.
+//!
+//! Accounting happens at two levels:
+//!
+//! - **Per-thread tallies** ([`thread_stats`]): reuse hits, bytes served
+//!   from the pool, and bytes freshly allocated, kept in plain
+//!   thread-local cells so the hot path never takes a lock. Tests read
+//!   these directly (each libtest test runs on its own thread, so the
+//!   numbers are isolated per test).
+//! - **Global metrics** (`tensor.pool_reuse`, `tensor.bytes_reused`,
+//!   `tensor.bytes_allocated` in the `adaptraj-obs` registry): flushed
+//!   from the thread tallies by [`flush_thread_metrics`], which
+//!   `Tape::reset` calls once per window so per-allocation cost stays a
+//!   couple of thread-local adds.
+//!
+//! The tape's forward profiler reads [`drain_pending_fresh_bytes`] at each
+//! node push, so profile byte lines count only *fresh* allocations — a
+//! buffer served from the pool (or a leaf borrowed from the `ParamStore`)
+//! is no longer double-counted as newly allocated memory.
+
+use std::cell::{Cell, RefCell};
+use std::sync::OnceLock;
+
+/// Keep at most this many retired buffers per thread; beyond it, retired
+/// buffers are dropped to bound steady-state memory.
+const MAX_FREE: usize = 512;
+
+/// Cumulative allocation statistics of one thread's pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Allocation requests served from the free list.
+    pub reuse_hits: u64,
+    /// Bytes of those requests (requested length × 4).
+    pub bytes_reused: u64,
+    /// Bytes served by fresh heap allocations.
+    pub bytes_allocated: u64,
+}
+
+/// A free-list of retired `Vec<f32>` scratch buffers.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Vec<Vec<f32>>,
+    stats: PoolStats,
+    /// Stats not yet flushed to the global metrics registry.
+    unflushed: PoolStats,
+}
+
+impl BufferPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffers currently on the free list.
+    pub fn free_buffers(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total `f32` capacity currently retained on the free list.
+    pub fn free_capacity(&self) -> usize {
+        self.free.iter().map(Vec::capacity).sum()
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    fn note(&mut self, reused: bool, bytes: u64) {
+        if reused {
+            self.stats.reuse_hits += 1;
+            self.stats.bytes_reused += bytes;
+            self.unflushed.reuse_hits += 1;
+            self.unflushed.bytes_reused += bytes;
+        } else {
+            self.stats.bytes_allocated += bytes;
+            self.unflushed.bytes_allocated += bytes;
+        }
+    }
+
+    /// Pops a retired buffer with capacity ≥ `len`, if any (newest first —
+    /// the most recently retired buffer is the most likely to be
+    /// cache-warm).
+    fn pop_with_capacity(&mut self, len: usize) -> Option<Vec<f32>> {
+        let idx = self.free.iter().rposition(|b| b.capacity() >= len)?;
+        Some(self.free.swap_remove(idx))
+    }
+
+    /// A zero-filled buffer of exactly `len` elements.
+    pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let bytes = (len * std::mem::size_of::<f32>()) as u64;
+        match self.pop_with_capacity(len) {
+            Some(mut buf) => {
+                self.note(true, bytes);
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => {
+                self.note(false, bytes);
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// An empty buffer with capacity ≥ `cap`, ready for `extend`/`push`.
+    pub fn take_empty(&mut self, cap: usize) -> Vec<f32> {
+        let bytes = (cap * std::mem::size_of::<f32>()) as u64;
+        match self.pop_with_capacity(cap) {
+            Some(mut buf) => {
+                self.note(true, bytes);
+                buf.clear();
+                buf
+            }
+            None => {
+                self.note(false, bytes);
+                Vec::with_capacity(cap)
+            }
+        }
+    }
+
+    /// Retires a buffer into the free list. No-ops on zero-capacity
+    /// buffers and when the list is full.
+    pub fn give(&mut self, buf: Vec<f32>) {
+        if buf.capacity() > 0 && self.free.len() < MAX_FREE {
+            self.free.push(buf);
+        }
+    }
+}
+
+thread_local! {
+    static TL_POOL: RefCell<BufferPool> = RefCell::new(BufferPool::new());
+    /// Fresh bytes allocated since the tape last drained — the forward
+    /// profiler's per-op allocation attribution.
+    static PENDING_FRESH: Cell<u64> = const { Cell::new(0) };
+}
+
+struct PoolMetrics {
+    reuse: adaptraj_obs::CounterHandle,
+    bytes_reused: adaptraj_obs::CounterHandle,
+    bytes_allocated: adaptraj_obs::CounterHandle,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = adaptraj_obs::global();
+        PoolMetrics {
+            reuse: reg.counter("tensor.pool_reuse"),
+            bytes_reused: reg.counter("tensor.bytes_reused"),
+            bytes_allocated: reg.counter("tensor.bytes_allocated"),
+        }
+    })
+}
+
+/// A zero-filled buffer of `len` elements from the calling thread's pool.
+pub(crate) fn alloc_zeroed(len: usize) -> Vec<f32> {
+    TL_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        let before = pool.stats.bytes_allocated;
+        let buf = pool.take_zeroed(len);
+        let fresh = pool.stats.bytes_allocated - before;
+        if fresh > 0 {
+            PENDING_FRESH.with(|c| c.set(c.get() + fresh));
+        }
+        buf
+    })
+}
+
+/// An empty buffer with capacity ≥ `cap` from the calling thread's pool.
+pub(crate) fn alloc_empty(cap: usize) -> Vec<f32> {
+    TL_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        let before = pool.stats.bytes_allocated;
+        let buf = pool.take_empty(cap);
+        let fresh = pool.stats.bytes_allocated - before;
+        if fresh > 0 {
+            PENDING_FRESH.with(|c| c.set(c.get() + fresh));
+        }
+        buf
+    })
+}
+
+/// A pooled copy of `src`.
+pub(crate) fn alloc_copy(src: &[f32]) -> Vec<f32> {
+    let mut buf = alloc_empty(src.len());
+    buf.extend_from_slice(src);
+    buf
+}
+
+/// Retires a buffer into the calling thread's pool.
+pub fn recycle_vec(buf: Vec<f32>) {
+    TL_POOL.with(|p| p.borrow_mut().give(buf));
+}
+
+/// Fresh bytes allocated on this thread since the last drain. The tape
+/// calls this once per recorded node so profile byte lines attribute only
+/// genuinely fresh allocations to each op.
+pub(crate) fn drain_pending_fresh_bytes() -> u64 {
+    PENDING_FRESH.with(|c| c.replace(0))
+}
+
+/// Cumulative stats of the calling thread's pool.
+pub fn thread_stats() -> PoolStats {
+    TL_POOL.with(|p| p.borrow().stats())
+}
+
+/// Buffers currently retained by the calling thread's pool.
+pub fn thread_free_buffers() -> usize {
+    TL_POOL.with(|p| p.borrow().free_buffers())
+}
+
+/// Flushes this thread's unflushed tallies into the global metrics
+/// registry (`tensor.pool_reuse` / `tensor.bytes_reused` /
+/// `tensor.bytes_allocated`). Called by `Tape::reset` once per window.
+pub fn flush_thread_metrics() {
+    TL_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        let u = std::mem::take(&mut pool.unflushed);
+        if u == PoolStats::default() {
+            return;
+        }
+        let m = pool_metrics();
+        m.reuse.add(u.reuse_hits);
+        m.bytes_reused.add(u.bytes_reused);
+        m.bytes_allocated.add(u.bytes_allocated);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_allocation_when_pool_is_empty() {
+        let mut pool = BufferPool::new();
+        let buf = pool.take_zeroed(8);
+        assert_eq!(buf.len(), 8);
+        assert!(buf.iter().all(|&x| x == 0.0));
+        let s = pool.stats();
+        assert_eq!(s.reuse_hits, 0);
+        assert_eq!(s.bytes_allocated, 32);
+        assert_eq!(s.bytes_reused, 0);
+    }
+
+    #[test]
+    fn retired_buffer_is_reused_and_zeroed() {
+        let mut pool = BufferPool::new();
+        let mut buf = pool.take_zeroed(16);
+        buf.iter_mut().for_each(|x| *x = 7.0);
+        let ptr = buf.as_ptr();
+        pool.give(buf);
+        assert_eq!(pool.free_buffers(), 1);
+
+        let again = pool.take_zeroed(10);
+        assert_eq!(again.as_ptr(), ptr, "capacity not retained across reuse");
+        assert_eq!(again.len(), 10);
+        assert!(again.iter().all(|&x| x == 0.0), "stale values leaked");
+        let s = pool.stats();
+        assert_eq!(s.reuse_hits, 1);
+        assert_eq!(s.bytes_reused, 40);
+    }
+
+    #[test]
+    fn undersized_buffers_are_skipped() {
+        let mut pool = BufferPool::new();
+        pool.give(vec![0.0; 4]);
+        let buf = pool.take_zeroed(64);
+        assert_eq!(buf.len(), 64);
+        assert_eq!(pool.stats().reuse_hits, 0, "4-slot buffer cannot serve 64");
+        assert_eq!(pool.free_buffers(), 1, "small buffer stays pooled");
+    }
+
+    #[test]
+    fn take_empty_keeps_capacity_but_clears_length() {
+        let mut pool = BufferPool::new();
+        pool.give(vec![3.0; 32]);
+        let buf = pool.take_empty(20);
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= 32);
+        assert_eq!(pool.stats().reuse_hits, 1);
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let mut pool = BufferPool::new();
+        for _ in 0..(MAX_FREE + 100) {
+            pool.give(vec![0.0; 2]);
+        }
+        assert_eq!(pool.free_buffers(), MAX_FREE);
+    }
+
+    #[test]
+    fn zero_capacity_buffers_are_not_pooled() {
+        let mut pool = BufferPool::new();
+        pool.give(Vec::new());
+        assert_eq!(pool.free_buffers(), 0);
+    }
+}

@@ -138,7 +138,7 @@ pub fn load_params(store: &mut ParamStore, reader: &mut impl Read) -> Result<(),
             reader.read_exact(&mut buf)?;
             *v = f32::from_le_bytes(buf);
         }
-        *store.value_mut(id) = Tensor::from_vec(rows, cols, data);
+        *store.value_mut(id) = Tensor::from_vec(rows, cols, data).into_shared();
     }
     Ok(())
 }

@@ -10,6 +10,7 @@
 //! backbone obtains `∂E/∂z` for its Langevin sampler.
 
 use crate::param::{ParamId, ParamStore};
+use crate::pool;
 use crate::tensor::Tensor;
 use adaptraj_obs::profile::{self, OpTimer};
 use std::sync::OnceLock;
@@ -55,6 +56,40 @@ fn tape_metrics() -> &'static TapeMetrics {
     })
 }
 
+thread_local! {
+    /// The calling thread's reusable tape (see [`with_pooled`]).
+    static POOLED_TAPE: std::cell::RefCell<Tape> = std::cell::RefCell::new(Tape::new());
+}
+
+/// Runs `f` with the calling thread's reusable tape. The tape is reset on
+/// entry (defensive: a previous job may have panicked mid-window) and on
+/// exit, so each use retires its buffers into the thread's buffer pool and
+/// drops the tape's `Arc` references to parameter leaves — letting a
+/// following optimizer step mutate `ParamStore` values in place instead of
+/// copy-on-writing them. Persistent worker threads therefore replay every
+/// window onto warm, already-sized memory.
+///
+/// Re-entrant calls (a private tape inside a pooled-tape job, e.g. an
+/// inner Langevin tape) fall back to a temporary tape that still retires
+/// its buffers on exit. Values must be copied out of the tape before `f`
+/// returns, as with any tape whose lifetime ends.
+pub fn with_pooled<R>(f: impl FnOnce(&mut Tape) -> R) -> R {
+    POOLED_TAPE.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut tape) => {
+            tape.reset();
+            let out = f(&mut tape);
+            tape.reset();
+            out
+        }
+        Err(_) => {
+            let mut tape = Tape::new();
+            let out = f(&mut tape);
+            tape.reset();
+            out
+        }
+    })
+}
+
 /// Handle to a node on a [`Tape`]. Cheap to copy; only valid for the tape
 /// that created it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +113,10 @@ enum Op {
     Scale(Var, f32),
     AddScalar(Var),
     MatMul(Var, Var),
+    /// `A · Bᵀ` without materializing the transpose.
+    MatMulNt(Var, Var),
+    /// `Aᵀ · B` without materializing the transpose.
+    MatMulTn(Var, Var),
     Transpose(Var),
     AddRowBroadcast(Var, Var),
     Relu(Var),
@@ -98,6 +137,12 @@ enum Op {
     HadamardConst(Var, Tensor),
     SoftmaxCrossEntropy(Var, Vec<usize>),
     GradReverse(Var, f32),
+    /// Stand-in for ops whose operand bookkeeping (`Vec<Var>` /
+    /// `Vec<usize>`) is only needed by the backward pass: when no operand
+    /// requires gradients the op is recorded as this sentinel instead,
+    /// skipping the clone. The stored label is the original op's
+    /// [`Op::kind`] so profiles stay attributed correctly.
+    NoGrad(&'static str),
 }
 
 impl Op {
@@ -112,6 +157,8 @@ impl Op {
             Op::Scale(..) => "scale",
             Op::AddScalar(..) => "add_scalar",
             Op::MatMul(..) => "matmul",
+            Op::MatMulNt(..) => "matmul_nt",
+            Op::MatMulTn(..) => "matmul_tn",
             Op::Transpose(..) => "transpose",
             Op::AddRowBroadcast(..) => "add_row_broadcast",
             Op::Relu(..) => "relu",
@@ -132,6 +179,7 @@ impl Op {
             Op::HadamardConst(..) => "hadamard_const",
             Op::SoftmaxCrossEntropy(..) => "softmax_cross_entropy",
             Op::GradReverse(..) => "grad_reverse",
+            Op::NoGrad(kind) => kind,
         }
     }
 }
@@ -161,6 +209,15 @@ impl Grads {
         self.get(var)
             .unwrap_or_else(|| panic!("no gradient recorded for node {}", var.0))
     }
+
+    /// Retires every gradient buffer into the calling thread's buffer
+    /// pool. Call once the gradients have been absorbed downstream (e.g.
+    /// into a `GradBuffer`) so the next backward pass reuses them.
+    pub fn recycle(self) {
+        for g in self.by_node.into_iter().flatten() {
+            g.recycle();
+        }
+    }
 }
 
 /// The autodiff tape. See the module docs for the design.
@@ -174,6 +231,25 @@ pub struct Tape {
 impl Tape {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Clears the tape for reuse across window jobs. Every node's value
+    /// buffer (and op-owned tensors such as `hadamard_const` masks) is
+    /// retired into the calling thread's buffer pool, so the next forward
+    /// pass on this thread allocates from warm, cache-resident memory
+    /// instead of the heap; the node and param-use vectors keep their
+    /// capacity. Also flushes the thread's pool tallies into the global
+    /// metrics registry (`tensor.pool_reuse` & friends) — once per window
+    /// instead of once per allocation.
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            if let Op::HadamardConst(_, mask) = node.op {
+                mask.recycle();
+            }
+            node.value.recycle();
+        }
+        self.param_uses.clear();
+        pool::flush_thread_metrics();
     }
 
     /// Number of recorded nodes.
@@ -207,11 +283,13 @@ impl Tape {
     /// asserts this structural invariant through this accessor.
     pub fn parents(&self, var: Var) -> Vec<Var> {
         match &self.nodes[var.0].op {
-            Op::Leaf => Vec::new(),
+            Op::Leaf | Op::NoGrad(_) => Vec::new(),
             Op::Add(a, b)
             | Op::Sub(a, b)
             | Op::Mul(a, b)
             | Op::MatMul(a, b)
+            | Op::MatMulNt(a, b)
+            | Op::MatMulTn(a, b)
             | Op::AddRowBroadcast(a, b) => vec![*a, *b],
             Op::Neg(a)
             | Op::Scale(a, _)
@@ -240,16 +318,19 @@ impl Tape {
     /// Records a computed node. Every forward op funnels through here with
     /// the [`OpTimer`] it started before computing, making this the single
     /// forward-side profiler choke point: elapsed wall-clock and the bytes
-    /// of the freshly allocated result attribute to the op's kind and the
-    /// current profiling phase. With profiling disabled the timer is inert
-    /// and `record_op` returns immediately.
+    /// the op freshly allocated attribute to the op's kind and the current
+    /// profiling phase. Bytes come from draining the thread's pending
+    /// fresh-allocation tally (see `crate::pool`), so pool reuse and
+    /// `Arc`-shared parameter leaves count as zero — only genuine heap
+    /// allocations show up in profile byte lines. With profiling disabled
+    /// the timer is inert and `record_op` returns immediately.
     fn push(&mut self, timer: OpTimer, value: Tensor, op: Op, needs_grad: bool) -> Var {
         debug_assert!(value.all_finite(), "non-finite value from {op:?}");
         profile::record_op(
             op.kind(),
             profile::Dir::Forward,
             timer,
-            (value.len() * std::mem::size_of::<f32>()) as u64,
+            pool::drain_pending_fresh_bytes(),
         );
         self.nodes.push(Node {
             value,
@@ -337,6 +418,24 @@ impl Tape {
         self.push(t, v, Op::MatMul(a, b), ng)
     }
 
+    /// `a · bᵀ` as one node — the transpose is never materialized, in the
+    /// value or in either gradient.
+    pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
+        let t = profile::op_timer();
+        let v = self.value(a).matmul_nt(self.value(b));
+        let ng = self.any_needs(&[a, b]);
+        self.push(t, v, Op::MatMulNt(a, b), ng)
+    }
+
+    /// `aᵀ · b` as one node — the transpose is never materialized, in the
+    /// value or in either gradient.
+    pub fn matmul_tn(&mut self, a: Var, b: Var) -> Var {
+        let t = profile::op_timer();
+        let v = self.value(a).matmul_tn(self.value(b));
+        let ng = self.any_needs(&[a, b]);
+        self.push(t, v, Op::MatMulTn(a, b), ng)
+    }
+
     pub fn transpose(&mut self, a: Var) -> Var {
         let t = profile::op_timer();
         let v = self.value(a).transpose();
@@ -399,7 +498,12 @@ impl Tape {
         let vals: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
         let v = Tensor::concat_cols(&vals);
         let ng = self.any_needs(parts);
-        self.push(t, v, Op::ConcatCols(parts.to_vec()), ng)
+        let op = if ng {
+            Op::ConcatCols(parts.to_vec())
+        } else {
+            Op::NoGrad("concat_cols")
+        };
+        self.push(t, v, op, ng)
     }
 
     pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
@@ -407,7 +511,12 @@ impl Tape {
         let vals: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
         let v = Tensor::concat_rows(&vals);
         let ng = self.any_needs(parts);
-        self.push(t, v, Op::ConcatRows(parts.to_vec()), ng)
+        let op = if ng {
+            Op::ConcatRows(parts.to_vec())
+        } else {
+            Op::NoGrad("concat_rows")
+        };
+        self.push(t, v, op, ng)
     }
 
     pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
@@ -421,7 +530,12 @@ impl Tape {
         let t = profile::op_timer();
         let v = self.value(a).gather_rows(indices);
         let ng = self.needs(a);
-        self.push(t, v, Op::GatherRows(a, indices.to_vec()), ng)
+        let op = if ng {
+            Op::GatherRows(a, indices.to_vec())
+        } else {
+            Op::NoGrad("gather_rows")
+        };
+        self.push(t, v, op, ng)
     }
 
     /// Repeats a `1 x m` row `n` times.
@@ -538,10 +652,11 @@ impl Tape {
         self.sub(term1, term2)
     }
 
-    /// Soft subspace orthogonality (Eq. 20): `‖Aᵀ B‖_F²`.
+    /// Soft subspace orthogonality (Eq. 20): `‖Aᵀ B‖_F²`. The gram matrix
+    /// is one [`Tape::matmul_tn`] node, so no transpose is ever
+    /// materialized — forward or backward.
     pub fn frob_sq_of_gram(&mut self, a: Var, b: Var) -> Var {
-        let at = self.transpose(a);
-        let g = self.matmul(at, b);
+        let g = self.matmul_tn(a, b);
         let sq = self.mul(g, g);
         self.sum_all(sq)
     }
@@ -612,8 +727,26 @@ impl Tape {
             Op::Scale(a, alpha) => self.add_grad(grads, *a, g.scale(*alpha)),
             Op::AddScalar(a) => self.add_grad(grads, *a, g.clone()),
             Op::MatMul(a, b) => {
-                let da = g.matmul(&self.value(*b).transpose());
-                let db = self.value(*a).transpose().matmul(g);
+                // dA = g·Bᵀ, dB = Aᵀ·g via the transpose-free kernels:
+                // same per-element accumulation order and zero-skip as the
+                // old transpose-then-matmul composition, so gradients are
+                // bit-identical with no transpose temporaries.
+                let da = g.matmul_nt(self.value(*b));
+                let db = self.value(*a).matmul_tn(g);
+                self.add_grad(grads, *a, da);
+                self.add_grad(grads, *b, db);
+            }
+            Op::MatMulNt(a, b) => {
+                // y = A·Bᵀ: dA = g·B, dB = gᵀ·A.
+                let da = g.matmul(self.value(*b));
+                let db = g.matmul_tn(self.value(*a));
+                self.add_grad(grads, *a, da);
+                self.add_grad(grads, *b, db);
+            }
+            Op::MatMulTn(a, b) => {
+                // y = Aᵀ·B: dA = B·gᵀ, dB = A·g.
+                let da = self.value(*b).matmul_nt(g);
+                let db = self.value(*a).matmul(g);
                 self.add_grad(grads, *a, da);
                 self.add_grad(grads, *b, db);
             }
@@ -727,6 +860,9 @@ impl Tape {
                 }
                 self.add_grad(grads, *logits, dx.scale(scale));
             }
+            // Recorded only for nodes with `needs_grad == false`, which the
+            // backward loop never visits.
+            Op::NoGrad(_) => unreachable!("NoGrad nodes never need gradients"),
         }
     }
 
@@ -941,6 +1077,146 @@ mod tests {
                 t.frob_sq_of_gram(x, bv)
             },
             2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul_nt_fd_both_slots() {
+        let other = rand_t(4, 3, 21);
+        check_grad(
+            rand_t(2, 3, 20),
+            {
+                let other = other.clone();
+                move |t, x| {
+                    let o = t.constant(other.clone());
+                    let y = t.matmul_nt(x, o);
+                    let sq = t.mul(y, y);
+                    t.mean_all(sq)
+                }
+            },
+            1e-2,
+        );
+        let left = rand_t(2, 3, 22);
+        check_grad(
+            other,
+            move |t, x| {
+                let l = t.constant(left.clone());
+                let y = t.matmul_nt(l, x);
+                let sq = t.mul(y, y);
+                t.mean_all(sq)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul_tn_fd_both_slots() {
+        let other = rand_t(3, 4, 24);
+        check_grad(
+            rand_t(3, 2, 23),
+            {
+                let other = other.clone();
+                move |t, x| {
+                    let o = t.constant(other.clone());
+                    let y = t.matmul_tn(x, o);
+                    let sq = t.mul(y, y);
+                    t.mean_all(sq)
+                }
+            },
+            1e-2,
+        );
+        let left = rand_t(3, 2, 25);
+        check_grad(
+            other,
+            move |t, x| {
+                let l = t.constant(left.clone());
+                let y = t.matmul_tn(l, x);
+                let sq = t.mul(y, y);
+                t.mean_all(sq)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn matmul_nt_tn_ops_match_transpose_compositions_bitwise() {
+        let a = rand_t(3, 5, 26);
+        let b = rand_t(4, 5, 27);
+        let mut tape = Tape::new();
+        let (av, bv) = (tape.input(a.clone()), tape.input(b.clone()));
+        let fused = tape.matmul_nt(av, bv);
+        let bt = tape.transpose(bv);
+        let naive = tape.matmul(av, bt);
+        assert_eq!(tape.value(fused), tape.value(naive));
+
+        let c = rand_t(5, 3, 28);
+        let d = rand_t(5, 4, 29);
+        let cv = tape.input(c);
+        let dv = tape.constant(d);
+        let fused_tn = tape.matmul_tn(cv, dv);
+        let ct = tape.transpose(cv);
+        let naive_tn = tape.matmul(ct, dv);
+        assert_eq!(tape.value(fused_tn), tape.value(naive_tn));
+    }
+
+    #[test]
+    fn no_grad_concat_and_gather_store_sentinel_ops() {
+        let mut tape = Tape::new();
+        let c1 = tape.constant(Tensor::row(&[1.0, 2.0]));
+        let c2 = tape.constant(Tensor::row(&[3.0]));
+        let cat = tape.concat_cols(&[c1, c2]);
+        let stack = tape.concat_rows(&[c1, c1]);
+        let gath = tape.gather_rows(stack, &[1, 0]);
+        // Values are unaffected; the ops just drop their operand lists.
+        assert_eq!(tape.value(cat).data(), &[1.0, 2.0, 3.0]);
+        assert_eq!(tape.value(gath).data(), &[1.0, 2.0, 1.0, 2.0]);
+        // Profiler labels keep the original kind; parents are dropped.
+        assert_eq!(tape.op_kind(cat), "concat_cols");
+        assert_eq!(tape.op_kind(stack), "concat_rows");
+        assert_eq!(tape.op_kind(gath), "gather_rows");
+        assert!(!tape.needs_grad(cat));
+        assert!(tape.parents(cat).is_empty());
+        assert!(tape.parents(gath).is_empty());
+
+        // With a grad-requiring operand the real op (and its parents) are
+        // recorded as before.
+        let x = tape.input(Tensor::row(&[4.0]));
+        let live = tape.concat_cols(&[c1, x]);
+        assert_eq!(tape.parents(live), vec![c1, x]);
+        let s = tape.sum_all(live);
+        let grads = tape.backward(s);
+        assert_eq!(grads.expect(x).data(), &[1.0]);
+    }
+
+    #[test]
+    fn reset_clears_nodes_and_recycles_buffers() {
+        let pool_before = crate::pool::thread_stats();
+        let mut tape = Tape::new();
+        let x = tape.input(rand_t(16, 16, 30));
+        let m = tape.matmul(x, x);
+        let masked = tape.hadamard_const(m, Tensor::ones(16, 16));
+        let loss = tape.mean_all(masked);
+        let first = tape.value(loss).item();
+        tape.backward(loss).recycle();
+
+        tape.reset();
+        assert!(tape.is_empty());
+        assert!(
+            crate::pool::thread_free_buffers() > 0,
+            "reset retired no buffers into the pool"
+        );
+
+        // Same computation on the reused tape: identical result, with the
+        // kernels now drawing from the pool.
+        let x = tape.input(rand_t(16, 16, 30));
+        let m = tape.matmul(x, x);
+        let masked = tape.hadamard_const(m, Tensor::ones(16, 16));
+        let loss = tape.mean_all(masked);
+        assert_eq!(tape.value(loss).item().to_bits(), first.to_bits());
+        let pool_after = crate::pool::thread_stats();
+        assert!(
+            pool_after.reuse_hits > pool_before.reuse_hits,
+            "second pass did not reuse pooled buffers"
         );
     }
 

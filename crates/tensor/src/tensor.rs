@@ -6,23 +6,81 @@
 //! cache-friendly, and easy to verify, which matters more here than
 //! generality: all of the paper's modules (MLP extractors, LSTM encoders,
 //! attention pooling, energy heads) are expressible as matrix programs.
+//!
+//! # Storage
+//!
+//! A tensor's buffer is either *owned* (a plain `Vec<f32>`, drawn from the
+//! per-thread [`crate::pool`] so hot-path results reuse retired capacity) or
+//! *shared* (an `Arc<Vec<f32>>`). Shared storage is how parameter leaves
+//! avoid the full-tensor clone per forward pass: the `ParamStore` keeps its
+//! values shared, so bringing a parameter onto a tape is one refcount bump.
+//! Mutation is copy-on-write — `data_mut` on an aliased shared buffer
+//! copies first — which preserves the old snapshot-at-`param()` semantics
+//! exactly: nodes already on a tape never observe later optimizer updates.
 
+use crate::pool;
 use crate::rng::Rng;
 use std::fmt;
+use std::sync::Arc;
+
+/// Row-of-`other` block size for the cache-blocked [`Tensor::matmul_nt`]
+/// kernel: one block of B rows stays resident in L1/L2 while every row of
+/// A streams past it. Blocking only tiles the output (i, j) space — the
+/// k-accumulation of each output element is never split, which is what
+/// keeps the kernels bit-identical to the naive `transpose` + `matmul`
+/// composition (see DESIGN.md, "Kernel & memory model").
+const NT_BLOCK_ROWS: usize = 64;
+
+#[derive(Debug)]
+enum Storage {
+    Owned(Vec<f32>),
+    Shared(Arc<Vec<f32>>),
+}
+
+impl Storage {
+    #[inline]
+    fn as_slice(&self) -> &[f32] {
+        match self {
+            Storage::Owned(v) => v,
+            Storage::Shared(a) => a,
+        }
+    }
+}
+
+impl Clone for Storage {
+    fn clone(&self) -> Self {
+        match self {
+            // Deep copy through the pool so hot-path clones reuse retired
+            // buffers instead of hitting the allocator.
+            Storage::Owned(v) => Storage::Owned(pool::alloc_copy(v)),
+            // Refcount bump — this is the allocation-free parameter-leaf
+            // path.
+            Storage::Shared(a) => Storage::Shared(Arc::clone(a)),
+        }
+    }
+}
 
 /// A dense row-major matrix of `f32` values.
-#[derive(Clone, PartialEq)]
+#[derive(Clone)]
 pub struct Tensor {
     rows: usize,
     cols: usize,
-    data: Vec<f32>,
+    data: Storage,
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.data.as_slice() == other.data.as_slice()
+    }
 }
 
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor[{}x{}]", self.rows, self.cols)?;
         if self.len() <= 16 {
-            write!(f, " {:?}", self.data)?;
+            write!(f, " {:?}", self.data.as_slice())?;
         }
         Ok(())
     }
@@ -38,16 +96,16 @@ impl Tensor {
             "data length {} does not match shape {rows}x{cols}",
             data.len()
         );
-        Self { rows, cols, data }
+        Self {
+            rows,
+            cols,
+            data: Storage::Owned(data),
+        }
     }
 
     /// All-zeros tensor.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self {
-            rows,
-            cols,
-            data: vec![0.0; rows * cols],
-        }
+        Self::from_vec(rows, cols, pool::alloc_zeroed(rows * cols))
     }
 
     /// All-ones tensor.
@@ -57,20 +115,15 @@ impl Tensor {
 
     /// Constant-filled tensor.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self {
-            rows,
-            cols,
-            data: vec![value; rows * cols],
-        }
+        let n = rows * cols;
+        let mut data = pool::alloc_empty(n);
+        data.resize(n, value);
+        Self::from_vec(rows, cols, data)
     }
 
     /// I.i.d. normal entries.
     pub fn randn(rows: usize, cols: usize, mean: f32, std: f32, rng: &mut Rng) -> Self {
-        Self {
-            rows,
-            cols,
-            data: rng.normal_vec(rows * cols, mean, std),
-        }
+        Self::from_vec(rows, cols, rng.normal_vec(rows * cols, mean, std))
     }
 
     /// A `1 x n` row vector.
@@ -102,55 +155,98 @@ impl Tensor {
     }
 
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.rows * self.cols
     }
 
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
     }
 
     pub fn data(&self) -> &[f32] {
-        &self.data
+        self.data.as_slice()
     }
 
+    /// Mutable view of the buffer. Copy-on-write: an aliased shared buffer
+    /// is copied first, so mutation never leaks into other holders.
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        match &mut self.data {
+            Storage::Owned(v) => v,
+            Storage::Shared(a) => Arc::make_mut(a).as_mut_slice(),
+        }
     }
 
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        match self.data {
+            Storage::Owned(v) => v,
+            Storage::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|a| a.as_ref().clone()),
+        }
+    }
+
+    /// Converts the buffer to shared (`Arc`-backed) storage, making
+    /// subsequent clones refcount bumps. The `ParamStore` keeps every value
+    /// in this form so parameter leaves are borrowed, not copied.
+    pub fn into_shared(self) -> Self {
+        match self.data {
+            Storage::Owned(v) => Self {
+                rows: self.rows,
+                cols: self.cols,
+                data: Storage::Shared(Arc::new(v)),
+            },
+            Storage::Shared(_) => self,
+        }
+    }
+
+    /// True when the buffer is `Arc`-shared (cheap to clone).
+    pub fn is_shared(&self) -> bool {
+        matches!(self.data, Storage::Shared(_))
+    }
+
+    /// Retires this tensor's buffer into the calling thread's
+    /// [`pool`] so the next kernel allocation can reuse it. Shared buffers
+    /// with other live holders are simply released.
+    pub fn recycle(self) {
+        match self.data {
+            Storage::Owned(v) => pool::recycle_vec(v),
+            Storage::Shared(a) => {
+                if let Ok(v) = Arc::try_unwrap(a) {
+                    pool::recycle_vec(v);
+                }
+            }
+        }
     }
 
     /// Element access with bounds checks in debug builds.
     #[inline]
     pub fn at(&self, r: usize, c: usize) -> f32 {
         debug_assert!(r < self.rows && c < self.cols);
-        self.data[r * self.cols + c]
+        self.data.as_slice()[r * self.cols + c]
     }
 
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
         debug_assert!(r < self.rows && c < self.cols);
-        self.data[r * self.cols + c] = v;
+        let idx = r * self.cols + c;
+        self.data_mut()[idx] = v;
     }
 
     /// Borrow row `r` as a slice.
     #[inline]
     pub fn row_slice(&self, r: usize) -> &[f32] {
         debug_assert!(r < self.rows);
-        &self.data[r * self.cols..(r + 1) * self.cols]
+        &self.data.as_slice()[r * self.cols..(r + 1) * self.cols]
     }
 
     #[inline]
     pub fn row_slice_mut(&mut self, r: usize) -> &mut [f32] {
         debug_assert!(r < self.rows);
-        &mut self.data[r * self.cols..(r + 1) * self.cols]
+        let (start, end) = (r * self.cols, (r + 1) * self.cols);
+        &mut self.data_mut()[start..end]
     }
 
     /// The single value of a `1 x 1` tensor.
     pub fn item(&self) -> f32 {
         assert_eq!(self.shape(), (1, 1), "item() on non-scalar {self:?}");
-        self.data[0]
+        self.data.as_slice()[0]
     }
 
     fn assert_same_shape(&self, other: &Tensor, op: &str) {
@@ -183,32 +279,27 @@ impl Tensor {
 
     /// Elementwise map.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        let src = self.data.as_slice();
+        let mut out = pool::alloc_empty(src.len());
+        out.extend(src.iter().map(|&x| f(x)));
+        Tensor::from_vec(self.rows, self.cols, out)
     }
 
     /// Elementwise zip-map against another same-shape tensor.
     pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         self.assert_same_shape(other, "zip_map");
-        Tensor {
-            rows: self.rows,
-            cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-        }
+        let a = self.data.as_slice();
+        let b = other.data.as_slice();
+        let mut out = pool::alloc_empty(a.len());
+        out.extend(a.iter().zip(b).map(|(&x, &y)| f(x, y)));
+        Tensor::from_vec(self.rows, self.cols, out)
     }
 
     /// In-place scaled accumulate: `self += alpha * other`.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         self.assert_same_shape(other, "axpy");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        let b = other.data.as_slice();
+        for (a, &b) in self.data_mut().iter_mut().zip(b) {
             *a += alpha * b;
         }
     }
@@ -221,7 +312,11 @@ impl Tensor {
     /// Matrix product `self[n,k] * other[k,m] -> [n,m]`.
     ///
     /// Classic ikj loop order so the inner loop streams both the output row
-    /// and the `other` row sequentially.
+    /// and the `other` row sequentially. Each output element accumulates
+    /// its k-terms in ascending order, skipping terms whose `self` factor
+    /// is exactly zero — the accumulation-order contract shared with
+    /// [`Tensor::matmul_nt`] / [`Tensor::matmul_tn`] and pinned by the
+    /// golden-regression gate.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.rows,
@@ -229,15 +324,98 @@ impl Tensor {
             self.rows, self.cols, other.rows, other.cols
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
-        let mut out = vec![0.0f32; n * m];
+        let a_data = self.data.as_slice();
+        let b_data = other.data.as_slice();
+        let mut out = pool::alloc_zeroed(n * m);
         for i in 0..n {
-            let a_row = &self.data[i * k..(i + 1) * k];
+            let a_row = &a_data[i * k..(i + 1) * k];
             let out_row = &mut out[i * m..(i + 1) * m];
             for (p, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                let b_row = &other.data[p * m..(p + 1) * m];
+                let b_row = &b_data[p * m..(p + 1) * m];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(n, m, out)
+    }
+
+    /// Transpose-free product with a transposed right operand:
+    /// `self[n,k] * other[m,k]ᵀ -> [n,m]`, bit-identical to
+    /// `self.matmul(&other.transpose())` without materializing the
+    /// transpose.
+    ///
+    /// Each output element is the dot product of a row of `self` and a row
+    /// of `other` — both contiguous, so no strided access anywhere. The
+    /// rows of `other` are tiled in blocks of [`NT_BLOCK_ROWS`] that stay
+    /// cache-resident while every row of `self` streams past. The k-loop
+    /// accumulates ascending with the same zero-skip on the `self` factor
+    /// as [`Tensor::matmul`], so the flop-for-flop f32 rounding matches the
+    /// naive composition exactly.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt: inner dims {}x{} * ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, k, m) = (self.rows, self.cols, other.rows);
+        let a_data = self.data.as_slice();
+        let b_data = other.data.as_slice();
+        let mut out = pool::alloc_zeroed(n * m);
+        let mut jb = 0;
+        while jb < m {
+            let j_end = (jb + NT_BLOCK_ROWS).min(m);
+            for i in 0..n {
+                let a_row = &a_data[i * k..(i + 1) * k];
+                let out_row = &mut out[i * m..(i + 1) * m];
+                for (j, o) in out_row[jb..j_end].iter_mut().enumerate() {
+                    let b_row = &b_data[(jb + j) * k..(jb + j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        acc += a * b;
+                    }
+                    *o = acc;
+                }
+            }
+            jb = j_end;
+        }
+        Tensor::from_vec(n, m, out)
+    }
+
+    /// Transpose-free product with a transposed left operand:
+    /// `self[k,n]ᵀ * other[k,m] -> [n,m]`, bit-identical to
+    /// `self.transpose().matmul(other)` without materializing the
+    /// transpose.
+    ///
+    /// Streams the shared dimension in the outer loop: row `p` of `self`
+    /// and row `p` of `other` are both read contiguously, and each output
+    /// row accumulates an axpy of `other`'s row. The per-element k-order
+    /// is ascending with the zero-skip on the `self` factor — identical to
+    /// the naive composition, term for term.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn: inner dims ({}x{})ᵀ * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (k, n, m) = (self.rows, self.cols, other.cols);
+        let a_data = self.data.as_slice();
+        let b_data = other.data.as_slice();
+        let mut out = pool::alloc_zeroed(n * m);
+        for p in 0..k {
+            let a_row = &a_data[p * n..(p + 1) * n];
+            let b_row = &b_data[p * m..(p + 1) * m];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * m..(i + 1) * m];
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
                 }
@@ -248,10 +426,11 @@ impl Tensor {
 
     /// Transpose.
     pub fn transpose(&self) -> Tensor {
-        let mut out = vec![0.0f32; self.len()];
+        let src = self.data.as_slice();
+        let mut out = pool::alloc_zeroed(src.len());
         for r in 0..self.rows {
             for c in 0..self.cols {
-                out[c * self.rows + r] = self.data[r * self.cols + c];
+                out[c * self.rows + r] = src[r * self.cols + c];
             }
         }
         Tensor::from_vec(self.cols, self.rows, out)
@@ -261,23 +440,24 @@ impl Tensor {
     pub fn add_row_broadcast(&self, row: &Tensor) -> Tensor {
         assert_eq!(row.rows, 1, "broadcast source must be a row vector");
         assert_eq!(row.cols, self.cols, "broadcast width mismatch");
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            for (o, &b) in out.row_slice_mut(r).iter_mut().zip(&row.data) {
+        let bias = row.data.as_slice();
+        let mut out = pool::alloc_copy(self.data.as_slice());
+        for chunk in out.chunks_mut(self.cols.max(1)) {
+            for (o, &b) in chunk.iter_mut().zip(bias) {
                 *o += b;
             }
         }
-        out
+        Tensor::from_vec(self.rows, self.cols, out)
     }
 
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        self.data.as_slice().iter().sum()
     }
 
     /// Mean of all elements. Zero for empty tensors.
     pub fn mean(&self) -> f32 {
-        if self.data.is_empty() {
+        if self.is_empty() {
             0.0
         } else {
             self.sum() / self.len() as f32
@@ -287,7 +467,7 @@ impl Tensor {
     /// Column-wise mean: `[n, m] -> [1, m]`.
     pub fn mean_rows(&self) -> Tensor {
         assert!(self.rows > 0, "mean_rows on empty tensor");
-        let mut out = vec![0.0f32; self.cols];
+        let mut out = pool::alloc_zeroed(self.cols);
         for r in 0..self.rows {
             for (o, &x) in out.iter_mut().zip(self.row_slice(r)) {
                 *o += x;
@@ -302,7 +482,7 @@ impl Tensor {
 
     /// Column-wise sum: `[n, m] -> [1, m]`.
     pub fn sum_rows(&self) -> Tensor {
-        let mut out = vec![0.0f32; self.cols];
+        let mut out = pool::alloc_zeroed(self.cols);
         for r in 0..self.rows {
             for (o, &x) in out.iter_mut().zip(self.row_slice(r)) {
                 *o += x;
@@ -313,7 +493,7 @@ impl Tensor {
 
     /// Squared Frobenius norm.
     pub fn frob_sq(&self) -> f32 {
-        self.data.iter().map(|&x| x * x).sum()
+        self.data.as_slice().iter().map(|&x| x * x).sum()
     }
 
     /// Horizontal concatenation of column blocks with equal row counts.
@@ -325,7 +505,7 @@ impl Tensor {
             "concat_cols: row mismatch"
         );
         let cols: usize = parts.iter().map(|p| p.cols).sum();
-        let mut out = Vec::with_capacity(rows * cols);
+        let mut out = pool::alloc_empty(rows * cols);
         for r in 0..rows {
             for p in parts {
                 out.extend_from_slice(p.row_slice(r));
@@ -343,9 +523,9 @@ impl Tensor {
             "concat_rows: col mismatch"
         );
         let rows: usize = parts.iter().map(|p| p.rows).sum();
-        let mut out = Vec::with_capacity(rows * cols);
+        let mut out = pool::alloc_empty(rows * cols);
         for p in parts {
-            out.extend_from_slice(&p.data);
+            out.extend_from_slice(p.data.as_slice());
         }
         Tensor::from_vec(rows, cols, out)
     }
@@ -354,7 +534,7 @@ impl Tensor {
     pub fn slice_cols(&self, start: usize, end: usize) -> Tensor {
         assert!(start <= end && end <= self.cols, "slice_cols out of range");
         let w = end - start;
-        let mut out = Vec::with_capacity(self.rows * w);
+        let mut out = pool::alloc_empty(self.rows * w);
         for r in 0..self.rows {
             out.extend_from_slice(&self.row_slice(r)[start..end]);
         }
@@ -363,7 +543,7 @@ impl Tensor {
 
     /// Row gather: `out[i] = self[indices[i]]`.
     pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
-        let mut out = Vec::with_capacity(indices.len() * self.cols);
+        let mut out = pool::alloc_empty(indices.len() * self.cols);
         for &i in indices {
             assert!(i < self.rows, "gather_rows index {i} >= {}", self.rows);
             out.extend_from_slice(self.row_slice(i));
@@ -374,18 +554,17 @@ impl Tensor {
     /// Repeats a `1 x m` row `n` times.
     pub fn broadcast_rows(&self, n: usize) -> Tensor {
         assert_eq!(self.rows, 1, "broadcast_rows needs a row vector");
-        let mut out = Vec::with_capacity(n * self.cols);
+        let mut out = pool::alloc_empty(n * self.cols);
         for _ in 0..n {
-            out.extend_from_slice(&self.data);
+            out.extend_from_slice(self.data.as_slice());
         }
         Tensor::from_vec(n, self.cols, out)
     }
 
     /// Row-wise softmax.
     pub fn softmax_rows(&self) -> Tensor {
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            let row = out.row_slice_mut(r);
+        let mut out = pool::alloc_copy(self.data.as_slice());
+        for row in out.chunks_mut(self.cols.max(1)) {
             let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0;
             for x in row.iter_mut() {
@@ -397,17 +576,20 @@ impl Tensor {
                 *x *= inv;
             }
         }
-        out
+        Tensor::from_vec(self.rows, self.cols, out)
     }
 
     /// Largest absolute entry (0 for empty tensors).
     pub fn max_abs(&self) -> f32 {
-        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+        self.data
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |m, &x| m.max(x.abs()))
     }
 
     /// True if every entry is finite.
     pub fn all_finite(&self) -> bool {
-        self.data.iter().all(|x| x.is_finite())
+        self.data.as_slice().iter().all(|x| x.is_finite())
     }
 }
 
@@ -461,6 +643,81 @@ mod tests {
         let i = t(2, 2, &[1.0, 0.0, 0.0, 1.0]);
         assert_eq!(a.matmul(&i), a);
         assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_nt_matches_transpose_compose_bitwise() {
+        let mut rng = Rng::seed_from(11);
+        for &(n, k, m) in &[(1, 1, 1), (2, 3, 4), (7, 5, 9), (4, 130, 70), (3, 8, 150)] {
+            let mut a = Tensor::randn(n, k, 0.0, 1.0, &mut rng);
+            let b = Tensor::randn(m, k, 0.0, 1.0, &mut rng);
+            // Plant exact zeros so the zero-skip path is exercised.
+            a.data_mut()[0] = 0.0;
+            let fused = a.matmul_nt(&b);
+            let naive = a.matmul(&b.transpose());
+            assert_eq!(fused.shape(), (n, m));
+            let bits = |x: &Tensor| x.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&fused), bits(&naive), "shape ({n},{k},{m})");
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_transpose_compose_bitwise() {
+        let mut rng = Rng::seed_from(12);
+        for &(k, n, m) in &[(1, 1, 1), (3, 2, 4), (5, 7, 9), (130, 4, 70), (8, 3, 150)] {
+            let mut a = Tensor::randn(k, n, 0.0, 1.0, &mut rng);
+            let b = Tensor::randn(k, m, 0.0, 1.0, &mut rng);
+            a.data_mut()[0] = 0.0;
+            let fused = a.matmul_tn(&b);
+            let naive = a.transpose().matmul(&b);
+            assert_eq!(fused.shape(), (n, m));
+            let bits = |x: &Tensor| x.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&fused), bits(&naive), "shape ({k},{n},{m})");
+        }
+    }
+
+    #[test]
+    fn matmul_nt_tn_empty_shapes() {
+        assert_eq!(
+            Tensor::zeros(0, 3).matmul_nt(&Tensor::zeros(4, 3)).shape(),
+            (0, 4)
+        );
+        assert_eq!(
+            Tensor::zeros(3, 0).matmul_tn(&Tensor::zeros(3, 4)).shape(),
+            (0, 4)
+        );
+        assert_eq!(
+            Tensor::zeros(2, 0).matmul_nt(&Tensor::zeros(5, 0)).shape(),
+            (2, 5)
+        );
+    }
+
+    #[test]
+    fn shared_storage_clones_are_refcount_bumps() {
+        let a = t(2, 2, &[1.0, 2.0, 3.0, 4.0]).into_shared();
+        assert!(a.is_shared());
+        let b = a.clone();
+        assert!(b.is_shared());
+        // Same underlying buffer.
+        assert_eq!(a.data().as_ptr(), b.data().as_ptr());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shared_storage_mutation_is_copy_on_write() {
+        let a = t(1, 3, &[1.0, 2.0, 3.0]).into_shared();
+        let mut b = a.clone();
+        b.data_mut()[0] = 99.0;
+        assert_eq!(a.data(), &[1.0, 2.0, 3.0], "CoW leaked into the alias");
+        assert_eq!(b.data(), &[99.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn shared_and_owned_tensors_compare_by_value() {
+        let owned = t(2, 1, &[5.0, 6.0]);
+        let shared = owned.clone().into_shared();
+        assert_eq!(owned, shared);
+        assert_eq!(shared.into_vec(), vec![5.0, 6.0]);
     }
 
     #[test]
@@ -578,6 +835,22 @@ mod tests {
         let a = Tensor::zeros(0, 3);
         let b = Tensor::zeros(3, 4);
         assert_eq!(a.matmul(&b).shape(), (0, 4));
+    }
+
+    #[test]
+    fn recycled_buffers_are_reused_by_kernels() {
+        // Warm the thread pool with a retired buffer, then check a kernel
+        // allocation reports a reuse hit (thread-local stats, so this test
+        // is isolated from the rest of the suite).
+        let before = pool::thread_stats();
+        Tensor::zeros(8, 8).recycle();
+        let z = Tensor::zeros(8, 8);
+        assert_eq!(z.sum(), 0.0);
+        let after = pool::thread_stats();
+        assert!(
+            after.reuse_hits > before.reuse_hits,
+            "kernel did not reuse the retired buffer"
+        );
     }
 
     #[test]
