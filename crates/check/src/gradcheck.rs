@@ -38,7 +38,7 @@ use adaptraj_tensor::{ParamId, ParamStore, Tape, Tensor, Var};
 /// `tests/op_grads.rs` machine-checks that the per-op fixtures exercise
 /// all of these in both directions; if a new op is added to the tape this
 /// list (and a fixture) must grow with it.
-pub const OP_KINDS: [&str; 30] = [
+pub const OP_KINDS: [&str; 32] = [
     "leaf",
     "add",
     "sub",
@@ -69,6 +69,8 @@ pub const OP_KINDS: [&str; 30] = [
     "hadamard_const",
     "softmax_cross_entropy",
     "grad_reverse",
+    "fused_affine",
+    "lstm_cell",
 ];
 
 /// Tuning knobs for a finite-difference check.

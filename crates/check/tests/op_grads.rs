@@ -1,4 +1,4 @@
-//! Per-op finite-difference fixtures: every one of the 30 tape `Op`
+//! Per-op finite-difference fixtures: every one of the 32 tape `Op`
 //! kinds, plus the LSTM and MLP layers, must match central differences at
 //! rel-err ≤ 1e-2. Coverage is machine-checked through the op profiler —
 //! a new tape op that lands without a fixture here fails the coverage
@@ -7,7 +7,7 @@
 use adaptraj_check::gradcheck::{grad_check, grad_check_input, GradCheckConfig, OP_KINDS};
 use adaptraj_obs::profile;
 use adaptraj_tensor::nn::{Activation, LstmCell, Mlp};
-use adaptraj_tensor::{GroupId, ParamStore, Rng, Tape, Tensor};
+use adaptraj_tensor::{FusedAct, GroupId, ParamStore, Rng, Tape, Tensor};
 
 fn cfg() -> GradCheckConfig {
     GradCheckConfig::default() // eps 1e-2, tol 1e-2, exhaustive
@@ -548,8 +548,128 @@ fn fixtures() -> Vec<Fixture> {
             .assert_ok("grad_reverse");
         }),
     );
+    fixture(
+        "fused_affine(data)",
+        Box::new(|| {
+            let w = randn(3, 4, 150);
+            let b = randn(1, 4, 151);
+            grad_check_input(
+                &randn(2, 3, 49),
+                move |t, x| {
+                    // Smooth activation so FD is exact everywhere; the
+                    // relu/leaky variants are pinned bit-for-bit against
+                    // the unfused composition in the tape's unit tests.
+                    let wv = t.constant(w.clone());
+                    let bv = t.constant(b.clone());
+                    let y = t.fused_affine(x, wv, bv, FusedAct::Tanh);
+                    let sq = t.mul(y, y);
+                    t.sum_all(sq)
+                },
+                &cfg(),
+            )
+            .assert_ok("fused_affine(data)");
+        }),
+    );
+    fixture(
+        "fused_affine(weight)",
+        Box::new(|| {
+            let d = randn(4, 2, 152);
+            let b = randn(1, 3, 153);
+            grad_check_input(
+                &randn(2, 3, 50),
+                move |t, x| {
+                    let dv = t.constant(d.clone());
+                    let bv = t.constant(b.clone());
+                    let y = t.fused_affine(dv, x, bv, FusedAct::Sigmoid);
+                    let sq = t.mul(y, y);
+                    t.sum_all(sq)
+                },
+                &cfg(),
+            )
+            .assert_ok("fused_affine(weight)");
+        }),
+    );
+    fixture(
+        "fused_affine(bias)",
+        Box::new(|| {
+            let d = randn(4, 2, 154);
+            let w = randn(2, 3, 155);
+            grad_check_input(
+                &randn(1, 3, 51),
+                move |t, x| {
+                    // Gradient sums over the broadcast rows.
+                    let dv = t.constant(d.clone());
+                    let wv = t.constant(w.clone());
+                    let y = t.fused_affine(dv, wv, x, FusedAct::Tanh);
+                    let sq = t.mul(y, y);
+                    t.sum_all(sq)
+                },
+                &cfg(),
+            )
+            .assert_ok("fused_affine(bias)");
+        }),
+    );
+    fixture(
+        "lstm_cell(input)",
+        Box::new(|| {
+            let w = randn(5, 12, 156).scale(0.5);
+            let b = randn(1, 12, 157).scale(0.1);
+            let h0 = randn(2, 3, 158).scale(0.5);
+            let c0 = randn(2, 3, 159).scale(0.5);
+            grad_check_input(
+                &randn(2, 2, 52),
+                move |t, x| {
+                    let wv = t.constant(w.clone());
+                    let bv = t.constant(b.clone());
+                    let hv = t.constant(h0.clone());
+                    let cv = t.constant(c0.clone());
+                    // Loss over [h' | c'] so both output halves carry
+                    // upstream gradient into the cell backward.
+                    let hc = t.lstm_cell(x, hv, cv, wv, bv);
+                    let sq = t.mul(hc, hc);
+                    t.sum_all(sq)
+                },
+                &cfg(),
+            )
+            .assert_ok("lstm_cell(input)");
+        }),
+    );
+    fixture(
+        "lstm_cell(state)",
+        Box::new(|| {
+            let w = randn(5, 12, 160).scale(0.5);
+            let b = randn(1, 12, 161).scale(0.1);
+            let x0 = randn(2, 2, 162);
+            let other = randn(2, 3, 163).scale(0.5);
+            // h-slot and c-slot gradients, each against central FD.
+            for h_slot in [true, false] {
+                let (w, b, x0, other) = (w.clone(), b.clone(), x0.clone(), other.clone());
+                grad_check_input(
+                    &randn(2, 3, if h_slot { 53 } else { 54 }),
+                    move |t, x| {
+                        let wv = t.constant(w.clone());
+                        let bv = t.constant(b.clone());
+                        let xv = t.constant(x0.clone());
+                        let ov = t.constant(other.clone());
+                        let (hv, cv) = if h_slot { (x, ov) } else { (ov, x) };
+                        let hc = t.lstm_cell(xv, hv, cv, wv, bv);
+                        let sq = t.mul(hc, hc);
+                        t.sum_all(sq)
+                    },
+                    &cfg(),
+                )
+                .assert_ok(if h_slot {
+                    "lstm_cell(h)"
+                } else {
+                    "lstm_cell(c)"
+                });
+            }
+        }),
+    );
     // "leaf" is exercised by every fixture above: inputs and constants are
     // leaves, and input leaves on the gradient path get backward visits.
+    // The w/b slots of lstm_cell are exercised parameter-side by
+    // `lstm_params_match_finite_differences`.
     out
 }
 
@@ -581,7 +701,7 @@ fn every_op_kind_passes_fd_and_coverage_is_machine_checked() {
         uncovered.is_empty(),
         "op kinds without both-direction fixture coverage: {uncovered:?}"
     );
-    // The reverse: the kind list itself must stay exhaustive. A 29th op
+    // The reverse: the kind list itself must stay exhaustive. A 33rd op
     // would show up here before anyone remembers to extend OP_KINDS.
     for r in &ops {
         assert!(

@@ -18,7 +18,7 @@
 use crate::config::{BackboneConfig, EncoderKind};
 use adaptraj_data::trajectory::{Point, TrajWindow, T_OBS, T_PRED};
 use adaptraj_tensor::nn::{Activation, Linear, Lstm, LstmCell, LstmState, Mlp, TransformerEncoder};
-use adaptraj_tensor::{GroupId, ParamStore, Rng, Tape, Tensor, Var};
+use adaptraj_tensor::{FusedAct, GroupId, ParamStore, Rng, Tape, Tensor, Var};
 
 /// Parameter group for all backbone weights (the AdapTraj schedule
 /// addresses modules by group).
@@ -171,8 +171,7 @@ impl SceneEncoder {
                 let mut steps = Vec::with_capacity(T_OBS);
                 for t in 0..T_OBS {
                     let pos = tape.constant(Self::step_positions(w, t));
-                    let e = self.embed.forward(store, tape, pos);
-                    steps.push(tape.relu(e));
+                    steps.push(self.embed.forward_act(store, tape, pos, FusedAct::Relu));
                 }
                 let (_, final_state) = lstm.forward(store, tape, &steps);
                 final_state.h // [N, hidden]
@@ -182,8 +181,7 @@ impl SceneEncoder {
                 let rows: Vec<Var> = (0..w.agents())
                     .map(|a| {
                         let seq = tape.constant(Self::agent_track(w, a));
-                        let e = self.embed.forward(store, tape, seq);
-                        let e = tape.relu(e);
+                        let e = self.embed.forward_act(store, tape, seq, FusedAct::Relu);
                         trf.encode_sequence(store, tape, e)
                     })
                     .collect();
@@ -204,8 +202,7 @@ impl SceneEncoder {
                 tape.matmul(attn, v) // [1, d]
             }
             InteractionKind::MeanPool => {
-                let v = self.w_v.forward(store, tape, h_all);
-                let act = tape.relu(v);
+                let act = self.w_v.forward_act(store, tape, h_all, FusedAct::Relu);
                 tape.mean_rows(act)
             }
         };
@@ -289,8 +286,7 @@ impl RolloutDecoder {
         let mut pos = tape.constant(Tensor::zeros(1, 2));
         let mut outputs = Vec::with_capacity(T_PRED);
         for _ in 0..T_PRED {
-            let e = self.embed.forward(store, tape, pos);
-            let e = tape.relu(e);
+            let e = self.embed.forward_act(store, tape, pos, FusedAct::Relu);
             let x = tape.concat_cols(&[e, ctx]);
             state = self.cell.step(store, tape, x, state);
             let delta = self.head.forward(store, tape, state.h);

@@ -64,5 +64,5 @@ pub mod tensor;
 pub use param::{GradBuffer, GroupId, ParamId, ParamStore};
 pub use pool::{BufferPool, PoolStats};
 pub use rng::Rng;
-pub use tape::{with_pooled, Grads, Tape, Var};
+pub use tape::{with_pooled, FusedAct, Grads, Tape, Var};
 pub use tensor::Tensor;

@@ -3,7 +3,7 @@
 use super::init::xavier_std;
 use crate::param::{GroupId, ParamId, ParamStore};
 use crate::rng::Rng;
-use crate::tape::{Tape, Var};
+use crate::tape::{FusedAct, Tape, Var};
 use crate::tensor::Tensor;
 
 /// `y = x·W + b` with `W: [in, out]`, `b: [1, out]`.
@@ -55,6 +55,11 @@ impl Linear {
 
     /// Applies the affine map to `x: [n, in] -> [n, out]`.
     pub fn forward(&self, store: &ParamStore, tape: &mut Tape, x: Var) -> Var {
+        self.forward_act(store, tape, x, FusedAct::Identity)
+    }
+
+    /// Applies `act(x·W + b)` as one fused tape node.
+    pub fn forward_act(&self, store: &ParamStore, tape: &mut Tape, x: Var, act: FusedAct) -> Var {
         debug_assert_eq!(
             tape.value(x).cols(),
             self.in_dim,
@@ -62,7 +67,7 @@ impl Linear {
         );
         let w = tape.param(store, self.w);
         let b = tape.param(store, self.b);
-        tape.affine(x, w, b)
+        tape.fused_affine(x, w, b, act)
     }
 }
 

@@ -75,29 +75,17 @@ impl LstmCell {
 
     /// One step: consumes `x: [n, in]` and the previous state, produces the
     /// next state. Gate layout in the fused projection: `[i | f | g | o]`.
+    /// The whole recurrence is one [`Tape::lstm_cell`] node (plus the two
+    /// state slices), not the fifteen-node elementwise composition.
     pub fn step(&self, store: &ParamStore, tape: &mut Tape, x: Var, state: LstmState) -> LstmState {
         debug_assert_eq!(tape.value(x).cols(), self.in_dim, "LSTM input width");
         let w = tape.param(store, self.w);
         let b = tape.param(store, self.b);
-        let xh = tape.concat_cols(&[x, state.h]);
-        let gates = tape.affine(xh, w, b);
+        let hc = tape.lstm_cell(x, state.h, state.c, w, b);
         let h = self.hidden;
-        let i_gate = tape.slice_cols(gates, 0, h);
-        let f_gate = tape.slice_cols(gates, h, 2 * h);
-        let g_gate = tape.slice_cols(gates, 2 * h, 3 * h);
-        let o_gate = tape.slice_cols(gates, 3 * h, 4 * h);
-        let i = tape.sigmoid(i_gate);
-        let f = tape.sigmoid(f_gate);
-        let g = tape.tanh(g_gate);
-        let o = tape.sigmoid(o_gate);
-        let fc = tape.mul(f, state.c);
-        let ig = tape.mul(i, g);
-        let c_next = tape.add(fc, ig);
-        let c_act = tape.tanh(c_next);
-        let h_next = tape.mul(o, c_act);
         LstmState {
-            h: h_next,
-            c: c_next,
+            h: tape.slice_cols(hc, 0, h),
+            c: tape.slice_cols(hc, h, 2 * h),
         }
     }
 }

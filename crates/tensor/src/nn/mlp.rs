@@ -3,7 +3,7 @@
 use super::linear::Linear;
 use crate::param::{GroupId, ParamStore};
 use crate::rng::Rng;
-use crate::tape::{Tape, Var};
+use crate::tape::{FusedAct, Tape, Var};
 
 /// Hidden-layer nonlinearity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -39,6 +39,20 @@ impl Activation {
                 tape.mul(half_x, one_plus)
             }
             Activation::Identity => x,
+        }
+    }
+
+    /// The fused-affine form of this activation, when one exists. GELU's
+    /// derivative is not recoverable from its output, so it stays a
+    /// composite of elementwise ops.
+    fn fused(self) -> Option<FusedAct> {
+        match self {
+            Activation::Relu => Some(FusedAct::Relu),
+            Activation::LeakyRelu => Some(FusedAct::LeakyRelu(0.01)),
+            Activation::Tanh => Some(FusedAct::Tanh),
+            Activation::Sigmoid => Some(FusedAct::Sigmoid),
+            Activation::Identity => Some(FusedAct::Identity),
+            Activation::Gelu => None,
         }
     }
 }
@@ -94,15 +108,24 @@ impl Mlp {
         self.layers.len()
     }
 
-    /// Forward pass `[n, in] -> [n, out]`.
+    /// Forward pass `[n, in] -> [n, out]`. Activated layers record a
+    /// single fused affine+activation node when the activation supports it.
     pub fn forward(&self, store: &ParamStore, tape: &mut Tape, x: Var) -> Var {
         let last = self.layers.len() - 1;
         let mut h = x;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(store, tape, h);
-            if i < last || self.activate_output {
-                h = self.activation.apply(tape, h);
-            }
+            let activated = i < last || self.activate_output;
+            h = match self.activation.fused() {
+                Some(act) if activated => layer.forward_act(store, tape, h, act),
+                _ => {
+                    let y = layer.forward(store, tape, h);
+                    if activated {
+                        self.activation.apply(tape, y)
+                    } else {
+                        y
+                    }
+                }
+            };
         }
         h
     }

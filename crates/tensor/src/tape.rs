@@ -90,6 +90,65 @@ pub fn with_pooled<R>(f: impl FnOnce(&mut Tape) -> R) -> R {
     })
 }
 
+/// Activation fused into an [`Op::FusedAffine`] node. Only activations
+/// whose derivative is recoverable from the *output* qualify (the fused
+/// node stores no pre-activation tensor); GELU stays a composite.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FusedAct {
+    #[default]
+    Identity,
+    Relu,
+    LeakyRelu(f32),
+    Tanh,
+    Sigmoid,
+}
+
+impl FusedAct {
+    /// Scalar forward — bit-identical to the standalone activation ops.
+    #[inline]
+    fn apply(self, x: f32) -> f32 {
+        match self {
+            FusedAct::Identity => x,
+            FusedAct::Relu => x.max(0.0),
+            FusedAct::LeakyRelu(slope) => {
+                if x > 0.0 {
+                    x
+                } else {
+                    slope * x
+                }
+            }
+            FusedAct::Tanh => x.tanh(),
+            FusedAct::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Derivative mask reconstructed from the activation *output* `y`.
+    /// For ReLU/LeakyReLU this is exact because `y > 0 ⇔ x > 0`; for
+    /// tanh/sigmoid it is the usual output-form derivative.
+    #[inline]
+    fn dmask_from_output(self, y: f32) -> f32 {
+        match self {
+            FusedAct::Identity => 1.0,
+            FusedAct::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            FusedAct::LeakyRelu(slope) => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    slope
+                }
+            }
+            FusedAct::Tanh => 1.0 - y * y,
+            FusedAct::Sigmoid => y * (1.0 - y),
+        }
+    }
+}
+
 /// Handle to a node on a [`Tape`]. Cheap to copy; only valid for the tape
 /// that created it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,6 +196,23 @@ enum Op {
     HadamardConst(Var, Tensor),
     SoftmaxCrossEntropy(Var, Vec<usize>),
     GradReverse(Var, f32),
+    /// `act(x·W + b)` as one node: matmul, broadcast bias, and activation
+    /// fused, with no pre-activation or mask tensor materialized.
+    FusedAffine(Var, Var, Var, FusedAct),
+    /// One full LSTM recurrence step. The node's value is `[h' | c']`
+    /// (`[n, 2·hidden]`); post-activation gate values `[i|f|g|o]` and
+    /// `tanh(c')` are cached for the backward pass.
+    LstmCell {
+        x: Var,
+        h: Var,
+        c: Var,
+        w: Var,
+        b: Var,
+        /// Post-activation gates `[i|f|g|o]`, `[n, 4·hidden]`.
+        gates: Tensor,
+        /// `tanh(c')`, `[n, hidden]`.
+        c_act: Tensor,
+    },
     /// Stand-in for ops whose operand bookkeeping (`Vec<Var>` /
     /// `Vec<usize>`) is only needed by the backward pass: when no operand
     /// requires gradients the op is recorded as this sentinel instead,
@@ -179,6 +255,8 @@ impl Op {
             Op::HadamardConst(..) => "hadamard_const",
             Op::SoftmaxCrossEntropy(..) => "softmax_cross_entropy",
             Op::GradReverse(..) => "grad_reverse",
+            Op::FusedAffine(..) => "fused_affine",
+            Op::LstmCell { .. } => "lstm_cell",
             Op::NoGrad(kind) => kind,
         }
     }
@@ -243,8 +321,13 @@ impl Tape {
     /// instead of once per allocation.
     pub fn reset(&mut self) {
         for node in self.nodes.drain(..) {
-            if let Op::HadamardConst(_, mask) = node.op {
-                mask.recycle();
+            match node.op {
+                Op::HadamardConst(_, mask) => mask.recycle(),
+                Op::LstmCell { gates, c_act, .. } => {
+                    gates.recycle();
+                    c_act.recycle();
+                }
+                _ => {}
             }
             node.value.recycle();
         }
@@ -312,6 +395,8 @@ impl Tape {
             | Op::SoftmaxCrossEntropy(a, _)
             | Op::GradReverse(a, _) => vec![*a],
             Op::ConcatCols(parts) | Op::ConcatRows(parts) => parts.clone(),
+            Op::FusedAffine(x, w, b, _) => vec![*x, *w, *b],
+            Op::LstmCell { x, h, c, w, b, .. } => vec![*x, *h, *c, *w, *b],
         }
     }
 
@@ -661,10 +746,97 @@ impl Tape {
         self.sum_all(sq)
     }
 
-    /// Affine map `x·W + b` with broadcast bias.
+    /// Affine map `x·W + b` with broadcast bias — one fused node.
     pub fn affine(&mut self, x: Var, w: Var, b: Var) -> Var {
-        let xw = self.matmul(x, w);
-        self.add_row_broadcast(xw, b)
+        self.fused_affine(x, w, b, FusedAct::Identity)
+    }
+
+    /// `act(x·W + b)` as a single node: the matmul output is biased and
+    /// activated in place, so the pre-activation tensor, the bias-broadcast
+    /// copy, and the activation output never exist as separate buffers.
+    /// Values and gradients are bit-identical to the unfused
+    /// matmul → add_row_broadcast → activation composition.
+    pub fn fused_affine(&mut self, x: Var, w: Var, b: Var, act: FusedAct) -> Var {
+        let t = profile::op_timer();
+        let mut v = self.value(x).matmul(self.value(w));
+        let bv = self.value(b);
+        debug_assert_eq!(bv.rows(), 1, "bias must be a row vector");
+        debug_assert_eq!(bv.cols(), v.cols(), "bias width mismatch");
+        let cols = v.cols();
+        let bias = bv.data();
+        for row in v.data_mut().chunks_exact_mut(cols.max(1)) {
+            for (o, &bj) in row.iter_mut().zip(bias) {
+                *o = act.apply(*o + bj);
+            }
+        }
+        let ng = self.any_needs(&[x, w, b]);
+        self.push(t, v, Op::FusedAffine(x, w, b, act), ng)
+    }
+
+    /// One LSTM recurrence step as a single node. Gate layout in the fused
+    /// projection `W: [in+hidden, 4·hidden]` is `[i | f | g | o]`; the
+    /// returned value is `[h' | c']` (`[n, 2·hidden]`), to be split with
+    /// [`Tape::slice_cols`]. Values and gradients are bit-identical to the
+    /// unfused concat → affine → slice/activate → blend composition, but
+    /// the step records one node instead of fifteen.
+    pub fn lstm_cell(&mut self, x: Var, h: Var, c: Var, w: Var, b: Var) -> Var {
+        let t = profile::op_timer();
+        let (xv, hv, cv) = (self.value(x), self.value(h), self.value(c));
+        let (wv, bv) = (self.value(w), self.value(b));
+        let n = xv.rows();
+        let hid = hv.cols();
+        assert_eq!(hv.rows(), n, "h batch mismatch");
+        assert_eq!(cv.shape(), (n, hid), "c shape mismatch");
+        assert_eq!(wv.rows(), xv.cols() + hid, "W height mismatch");
+        assert_eq!(wv.cols(), 4 * hid, "W must pack 4 gates");
+        assert_eq!(bv.shape(), (1, 4 * hid), "bias shape mismatch");
+
+        let xh = Tensor::concat_cols(&[xv, hv]);
+        let mut gates = xh.matmul(wv);
+        xh.recycle();
+        let bias = bv.data();
+        for row in gates.data_mut().chunks_exact_mut(4 * hid) {
+            for (j, (o, &bj)) in row.iter_mut().zip(bias).enumerate() {
+                let v = *o + bj;
+                // Cell candidate gate is tanh; i/f/o are sigmoid.
+                *o = if (2 * hid..3 * hid).contains(&j) {
+                    v.tanh()
+                } else {
+                    1.0 / (1.0 + (-v).exp())
+                };
+            }
+        }
+
+        let mut c_act = Tensor::zeros(n, hid);
+        let mut value = Tensor::zeros(n, 2 * hid);
+        for r in 0..n {
+            let grow = gates.row_slice(r);
+            let cprev = cv.row_slice(r);
+            let carow = c_act.row_slice_mut(r);
+            for j in 0..hid {
+                let cn = grow[hid + j] * cprev[j] + grow[j] * grow[2 * hid + j];
+                carow[j] = cn.tanh();
+                let vrow = &mut value.row_slice_mut(r)[..];
+                vrow[j] = grow[3 * hid + j] * carow[j];
+                vrow[hid + j] = cn;
+            }
+        }
+
+        let ng = self.any_needs(&[x, h, c, w, b]);
+        self.push(
+            t,
+            value,
+            Op::LstmCell {
+                x,
+                h,
+                c,
+                w,
+                b,
+                gates,
+                c_act,
+            },
+            ng,
+        )
     }
 
     // ---- backward ----------------------------------------------------------
@@ -859,6 +1031,79 @@ impl Tape {
                     dx.set(r, t, v - 1.0);
                 }
                 self.add_grad(grads, *logits, dx.scale(scale));
+            }
+            Op::FusedAffine(x, w, b, act) => {
+                // d_pre = g ⊙ act'(y), with the derivative reconstructed
+                // from the node's own output; then the three affine
+                // gradients exactly as the unfused composition produced
+                // them: dx = d_pre·Wᵀ, dW = xᵀ·d_pre, db = Σ_rows d_pre.
+                let y = &self.nodes[idx].value;
+                let dpre = match act {
+                    FusedAct::Identity => g.clone(),
+                    a => g.zip_map(y, |gv, yv| gv * a.dmask_from_output(yv)),
+                };
+                self.add_grad(grads, *x, dpre.matmul_nt(self.value(*w)));
+                self.add_grad(grads, *w, self.value(*x).matmul_tn(&dpre));
+                self.add_grad(grads, *b, dpre.sum_rows());
+                dpre.recycle();
+            }
+            Op::LstmCell {
+                x,
+                h,
+                c,
+                w,
+                b,
+                gates,
+                c_act,
+            } => {
+                // Incoming g is [dh' | dc'] ([n, 2·hidden]). Walk the cell
+                // equations backwards in the exact order (and with the
+                // exact expressions) of the unfused graph, producing the
+                // post-gate-activation gradient d_pre [n, 4·hidden], then
+                // route it through the affine and the input concat.
+                let n = c_act.rows();
+                let hid = c_act.cols();
+                let cv = self.value(*c);
+                let mut dpre = Tensor::zeros(n, 4 * hid);
+                let mut dc_prev = Tensor::zeros(n, hid);
+                for r in 0..n {
+                    let grow = gates.row_slice(r);
+                    let carow = c_act.row_slice(r);
+                    let cprev = cv.row_slice(r);
+                    let gr = g.row_slice(r);
+                    let dprow = dpre.row_slice_mut(r);
+                    for j in 0..hid {
+                        let (i_, f_, g_, o_) =
+                            (grow[j], grow[hid + j], grow[2 * hid + j], grow[3 * hid + j]);
+                        let ca = carow[j];
+                        let (dh, dc_in) = (gr[j], gr[hid + j]);
+                        let do_ = dh * ca;
+                        let dca = dh * o_;
+                        // dc' = downstream dc + tanh backward, in the same
+                        // accumulation order as the unfused graph.
+                        let dc = dc_in + dca * (1.0 - ca * ca);
+                        dc_prev.row_slice_mut(r)[j] = dc * f_;
+                        let df = dc * cprev[j];
+                        let di = dc * g_;
+                        let dg = dc * i_;
+                        dprow[j] = di * (i_ * (1.0 - i_));
+                        dprow[hid + j] = df * (f_ * (1.0 - f_));
+                        dprow[2 * hid + j] = dg * (1.0 - g_ * g_);
+                        dprow[3 * hid + j] = do_ * (o_ * (1.0 - o_));
+                    }
+                }
+                self.add_grad(grads, *b, dpre.sum_rows());
+                let (xv, hv) = (self.value(*x), self.value(*h));
+                let in_dim = xv.cols();
+                let dxh = dpre.matmul_nt(self.value(*w));
+                let xh = Tensor::concat_cols(&[xv, hv]);
+                self.add_grad(grads, *w, xh.matmul_tn(&dpre));
+                xh.recycle();
+                dpre.recycle();
+                self.add_grad(grads, *x, dxh.slice_cols(0, in_dim));
+                self.add_grad(grads, *h, dxh.slice_cols(in_dim, in_dim + hid));
+                dxh.recycle();
+                self.add_grad(grads, *c, dc_prev);
             }
             // Recorded only for nodes with `needs_grad == false`, which the
             // backward loop never visits.
@@ -1157,6 +1402,128 @@ mod tests {
         let ct = tape.transpose(cv);
         let naive_tn = tape.matmul(ct, dv);
         assert_eq!(tape.value(fused_tn), tape.value(naive_tn));
+    }
+
+    #[test]
+    fn fused_affine_matches_unfused_composition_bitwise() {
+        // Every fusable activation: value and all three gradients must be
+        // bit-for-bit what the matmul → add_row_broadcast → activation
+        // composition produces — the contract that keeps goldens stable.
+        for act in [
+            FusedAct::Identity,
+            FusedAct::Relu,
+            FusedAct::LeakyRelu(0.01),
+            FusedAct::Tanh,
+            FusedAct::Sigmoid,
+        ] {
+            let x = rand_t(4, 3, 60);
+            let w = rand_t(3, 5, 61);
+            let b = rand_t(1, 5, 62);
+
+            let mut t1 = Tape::new();
+            let (xv, wv, bv) = (
+                t1.input(x.clone()),
+                t1.input(w.clone()),
+                t1.input(b.clone()),
+            );
+            let y1 = t1.fused_affine(xv, wv, bv, act);
+            let s1 = t1.mul(y1, y1);
+            let l1 = t1.sum_all(s1);
+            let g1 = t1.backward(l1);
+
+            let mut t2 = Tape::new();
+            let (xu, wu, bu) = (t2.input(x), t2.input(w), t2.input(b));
+            let mm = t2.matmul(xu, wu);
+            let pre = t2.add_row_broadcast(mm, bu);
+            let y2 = match act {
+                FusedAct::Identity => pre,
+                FusedAct::Relu => t2.relu(pre),
+                FusedAct::LeakyRelu(s) => t2.leaky_relu(pre, s),
+                FusedAct::Tanh => t2.tanh(pre),
+                FusedAct::Sigmoid => t2.sigmoid(pre),
+            };
+            let s2 = t2.mul(y2, y2);
+            let l2 = t2.sum_all(s2);
+            let g2 = t2.backward(l2);
+
+            assert_eq!(t1.value(y1), t2.value(y2), "{act:?} value drifted");
+            for (fused, unfused, name) in [(xv, xu, "dx"), (wv, wu, "dw"), (bv, bu, "db")] {
+                assert_eq!(
+                    g1.expect(fused),
+                    g2.expect(unfused),
+                    "{act:?} {name} drifted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lstm_cell_matches_unfused_step_bitwise() {
+        // One fused node vs the fifteen-node composition: h', c', and all
+        // five input gradients must be bit-identical.
+        let (n, in_dim, hid) = (3, 2, 4);
+        let x = rand_t(n, in_dim, 63);
+        let h0 = rand_t(n, hid, 64);
+        let c0 = rand_t(n, hid, 65);
+        let w = rand_t(in_dim + hid, 4 * hid, 66);
+        let b = rand_t(1, 4 * hid, 67);
+
+        let mut t1 = Tape::new();
+        let xv = t1.input(x.clone());
+        let hv = t1.input(h0.clone());
+        let cv = t1.input(c0.clone());
+        let wv = t1.input(w.clone());
+        let bv = t1.input(b.clone());
+        let hc = t1.lstm_cell(xv, hv, cv, wv, bv);
+        let h1 = t1.slice_cols(hc, 0, hid);
+        let c1 = t1.slice_cols(hc, hid, 2 * hid);
+        let sq_h = t1.mul(h1, h1);
+        let sq_c = t1.mul(c1, c1);
+        let lh = t1.sum_all(sq_h);
+        let lc = t1.sum_all(sq_c);
+        let l1 = t1.add(lh, lc);
+        let g1 = t1.backward(l1);
+
+        let mut t2 = Tape::new();
+        let xu = t2.input(x);
+        let hu = t2.input(h0);
+        let cu = t2.input(c0);
+        let wu = t2.input(w);
+        let bu = t2.input(b);
+        let xh = t2.concat_cols(&[xu, hu]);
+        let mm = t2.matmul(xh, wu);
+        let gates = t2.add_row_broadcast(mm, bu);
+        let i_gate = t2.slice_cols(gates, 0, hid);
+        let f_gate = t2.slice_cols(gates, hid, 2 * hid);
+        let g_gate = t2.slice_cols(gates, 2 * hid, 3 * hid);
+        let o_gate = t2.slice_cols(gates, 3 * hid, 4 * hid);
+        let i = t2.sigmoid(i_gate);
+        let f = t2.sigmoid(f_gate);
+        let g = t2.tanh(g_gate);
+        let o = t2.sigmoid(o_gate);
+        let fc = t2.mul(f, cu);
+        let ig = t2.mul(i, g);
+        let c2 = t2.add(fc, ig);
+        let c_act = t2.tanh(c2);
+        let h2 = t2.mul(o, c_act);
+        let sq_h = t2.mul(h2, h2);
+        let sq_c = t2.mul(c2, c2);
+        let lh = t2.sum_all(sq_h);
+        let lc = t2.sum_all(sq_c);
+        let l2 = t2.add(lh, lc);
+        let g2 = t2.backward(l2);
+
+        assert_eq!(t1.value(h1), t2.value(h2), "h' drifted");
+        assert_eq!(t1.value(c1), t2.value(c2), "c' drifted");
+        for (fused, unfused, name) in [
+            (xv, xu, "dx"),
+            (hv, hu, "dh"),
+            (cv, cu, "dc"),
+            (wv, wu, "dw"),
+            (bv, bu, "db"),
+        ] {
+            assert_eq!(g1.expect(fused), g2.expect(unfused), "{name} drifted");
+        }
     }
 
     #[test]

@@ -40,7 +40,7 @@ step "determinism suite (workers 1 vs 4 bit-identity)"
 cargo test -q --offline --test determinism || fail=1
 
 step "gradient verification + property harness (adaptraj-check)"
-# Central-difference gradient checks for all 30 tape ops, the LSTM/MLP
+# Central-difference gradient checks for all 32 tape ops, the LSTM/MLP
 # layers, and every backbone's full training loss; tape invariants and
 # algebraic identities through the offline shrinking generator.
 cargo test -q --offline -p adaptraj-check || fail=1
