@@ -3,20 +3,25 @@
 //!
 //! ```text
 //! bench_gate --baseline BENCH_old.json --candidate BENCH_new.json \
-//!            [--max-regress-pct 25] [--check]
+//!            [--max-regress-pct 25 | --min-improve-pct 25] [--check]
 //! ```
 //!
-//! `--check` validates and reports but never fails on regressions
+//! `--max-regress-pct` (the default mode) fails if any metric got worse
+//! past the threshold. `--min-improve-pct` inverts the burden of proof:
+//! every workload must IMPROVE `windows_per_sec` by at least N% with
+//! `infer_p99_ms` no worse — the mode used to land an optimization PR.
+//!
+//! `--check` validates and reports but never fails on threshold misses
 //! (schema/parse errors still fail) — the CI smoke mode, where absolute
 //! timings on shared runners are too noisy to gate on.
 
-use adaptraj_bench::compare::{compare, parse_doc};
+use adaptraj_bench::compare::{compare, improvement, parse_doc};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_gate --baseline FILE --candidate FILE \
-         [--max-regress-pct N] [--check]"
+         [--max-regress-pct N | --min-improve-pct N] [--check]"
     );
     std::process::exit(2);
 }
@@ -31,6 +36,7 @@ fn main() -> ExitCode {
     let mut baseline = None;
     let mut candidate = None;
     let mut max_regress_pct = 25.0f64;
+    let mut min_improve_pct: Option<f64> = None;
     let mut check_only = false;
     let mut i = 0;
     while i < args.len() {
@@ -48,6 +54,13 @@ fn main() -> ExitCode {
                     usage();
                 };
                 max_regress_pct = v;
+                i += 2;
+            }
+            "--min-improve-pct" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) else {
+                    usage();
+                };
+                min_improve_pct = Some(v);
                 i += 2;
             }
             "--check" => {
@@ -79,6 +92,27 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(min_improve_pct) = min_improve_pct {
+        let rep = improvement(&base, &cand, min_improve_pct);
+        print!("{}", rep.render_text());
+        return if rep.ok() {
+            println!("bench_gate: OK (every workload improved >= {min_improve_pct}%)");
+            ExitCode::SUCCESS
+        } else if check_only {
+            println!(
+                "bench_gate: {} workload(s) below +{min_improve_pct}% (check mode, not failing)",
+                rep.failures().len() + rep.missing.len()
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "bench_gate: FAIL — {} workload(s) below +{min_improve_pct}% or with worse p99",
+                rep.failures().len() + rep.missing.len()
+            );
+            ExitCode::FAILURE
+        };
+    }
 
     let cmp = compare(&base, &cand, max_regress_pct);
     print!("{}", cmp.render_text());

@@ -1,0 +1,164 @@
+//! Micro-benchmark for the three matmul kernels (`matmul`, `matmul_nt`,
+//! `matmul_tn`) on the shapes the training hot path actually runs:
+//!
+//! - encoder LSTM gate projection `xh·W`: `[n,48]·[48,128]` (embed 16 +
+//!   hidden 32 in, 4·32 gates out), plus its backward pair
+//!   `dpre·Wᵀ = [n,128]·([48,128])ᵀ` and `xhᵀ·dpre = ([n,48])ᵀ·[n,128]`
+//! - decoder LSTM gate projection: `[n,80]·[80,128]` (embed 16 + context
+//!   64 in) with the matching NT/TN backward shapes
+//! - pooling projection `h·Wᵥ`: `[n,32]·[32,32]` and its backward pair
+//!
+//! For each NT/TN case the explicit `transpose()+matmul` composition is
+//! timed alongside the fused kernel and the outputs are asserted
+//! bit-identical — the same contract the tape's backward relies on.
+//!
+//! ```text
+//! matmul_kernels [--iters N] [--batch N,N,...]
+//! ```
+
+use adaptraj_tensor::{Rng, Tensor};
+use std::time::Instant;
+
+fn gflops(flops: f64, ns: f64) -> f64 {
+    flops / ns
+}
+
+/// Median-of-runs timer: returns ns per call for `f`, after one warmup.
+fn time_ns<F: FnMut() -> Tensor>(iters: usize, mut f: F) -> f64 {
+    let mut sink = 0.0f32;
+    sink += f().data().iter().sum::<f32>(); // warmup
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out = f();
+        samples.push(t0.elapsed().as_nanos() as f64);
+        sink += out.data()[0];
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    // Keep the optimizer honest about `sink` without polluting stdout.
+    if sink.is_nan() {
+        eprintln!("unexpected NaN in benchmark output");
+    }
+    samples[samples.len() / 2]
+}
+
+struct Case {
+    name: &'static str,
+    /// `[m,k]·[k,n]` for NN; the NT/TN operand shapes derive from it.
+    m: usize,
+    k: usize,
+    n: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iters = 200usize;
+    let mut batches = vec![8usize, 64];
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--iters" => {
+                iters = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--batch" => {
+                batches = args
+                    .get(i + 1)
+                    .map(|s| {
+                        s.split(',')
+                            .map(|p| p.parse().unwrap_or_else(|_| usage()))
+                            .collect()
+                    })
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    let mut rng = Rng::seed_from(42);
+    println!(
+        "{:<34} {:<22} {:>12} {:>9}  vs transpose+matmul",
+        "case", "kernel", "ns/call", "GFLOP/s"
+    );
+    for &n_batch in &batches {
+        let cases = [
+            Case {
+                name: "encoder gates [n,48]x[48,128]",
+                m: n_batch,
+                k: 48,
+                n: 128,
+            },
+            Case {
+                name: "decoder gates [n,80]x[80,128]",
+                m: n_batch,
+                k: 80,
+                n: 128,
+            },
+            Case {
+                name: "pool proj [n,32]x[32,32]",
+                m: n_batch,
+                k: 32,
+                n: 32,
+            },
+        ];
+        for c in cases {
+            let flops = 2.0 * c.m as f64 * c.k as f64 * c.n as f64;
+            let a = Tensor::randn(c.m, c.k, 0.0, 1.0, &mut rng); // [m,k]
+            let b = Tensor::randn(c.k, c.n, 0.0, 1.0, &mut rng); // [k,n]
+            let g = Tensor::randn(c.m, c.n, 0.0, 1.0, &mut rng); // [m,n] upstream grad
+
+            // Forward NN kernel.
+            let t_nn = time_ns(iters, || a.matmul(&b));
+            println!(
+                "{:<34} {:<22} {:>12.0} {:>9.2}  -",
+                format!("{} n={}", c.name, c.m),
+                "matmul (NN)",
+                t_nn,
+                gflops(flops, t_nn)
+            );
+
+            // Backward dx: g[m,n] · (b[k,n])ᵀ — fused NT vs transpose+NN.
+            assert_eq!(
+                g.matmul_nt(&b).data(),
+                g.matmul(&b.transpose()).data(),
+                "NT kernel drifted from transpose+matmul"
+            );
+            let t_nt = time_ns(iters, || g.matmul_nt(&b));
+            let t_nt_ref = time_ns(iters, || g.matmul(&b.transpose()));
+            println!(
+                "{:<34} {:<22} {:>12.0} {:>9.2}  {:.2}x",
+                format!("{} n={}", c.name, c.m),
+                "matmul_nt (dx)",
+                t_nt,
+                gflops(flops, t_nt),
+                t_nt_ref / t_nt
+            );
+
+            // Backward dw: (a[m,k])ᵀ · g[m,n] — fused TN vs transpose+NN.
+            assert_eq!(
+                a.matmul_tn(&g).data(),
+                a.transpose().matmul(&g).data(),
+                "TN kernel drifted from transpose+matmul"
+            );
+            let t_tn = time_ns(iters, || a.matmul_tn(&g));
+            let t_tn_ref = time_ns(iters, || a.transpose().matmul(&g));
+            println!(
+                "{:<34} {:<22} {:>12.0} {:>9.2}  {:.2}x",
+                format!("{} n={}", c.name, c.m),
+                "matmul_tn (dw)",
+                t_tn,
+                gflops(flops, t_tn),
+                t_tn_ref / t_tn
+            );
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: matmul_kernels [--iters N] [--batch N,N,...]");
+    std::process::exit(2);
+}

@@ -183,6 +183,127 @@ pub fn compare(baseline: &BenchDoc, candidate: &BenchDoc, max_regress_pct: f64) 
     }
 }
 
+/// Latency tolerance for the improvement gate: `infer_p99_ms` may drift
+/// up to this much before the workload counts as "worse". p99 on a
+/// 120-window run is a single sample; a hard `<=` would flake on noise.
+pub const P99_TOLERANCE_PCT: f64 = 10.0;
+
+/// One workload's throughput-improvement verdict (min-improve mode).
+#[derive(Debug, Clone)]
+pub struct ImproveDiff {
+    pub workload: String,
+    pub baseline_wps: f64,
+    pub candidate_wps: f64,
+    /// Signed throughput change in percent; positive means faster.
+    pub improve_pct: f64,
+    pub met_target: bool,
+    pub baseline_p99_ms: f64,
+    pub candidate_p99_ms: f64,
+    /// `infer_p99_ms` rose past [`P99_TOLERANCE_PCT`].
+    pub p99_worse: bool,
+}
+
+/// Result of the improvement gate (`bench_gate --min-improve-pct`).
+#[derive(Debug, Clone)]
+pub struct ImprovementReport {
+    pub diffs: Vec<ImproveDiff>,
+    /// Baseline workloads absent from the candidate — always a failure.
+    pub missing: Vec<String>,
+    pub min_improve_pct: f64,
+}
+
+impl ImprovementReport {
+    pub fn ok(&self) -> bool {
+        self.missing.is_empty() && self.diffs.iter().all(|d| d.met_target && !d.p99_worse)
+    }
+
+    pub fn failures(&self) -> Vec<&ImproveDiff> {
+        self.diffs
+            .iter()
+            .filter(|d| !d.met_target || d.p99_worse)
+            .collect()
+    }
+
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:>12} {:>12} {:>9}  {:>10} {:>10}  {}\n",
+            "workload", "base w/s", "cand w/s", "change", "base p99", "cand p99", "status"
+        ));
+        for d in &self.diffs {
+            let status = match (d.met_target, d.p99_worse) {
+                (true, false) => "ok".to_string(),
+                (false, _) => format!("BELOW TARGET (+{:.0}% required)", self.min_improve_pct),
+                (true, true) => format!("P99 WORSE (>{P99_TOLERANCE_PCT:.0}%)"),
+            };
+            out.push_str(&format!(
+                "{:<18} {:>12.3} {:>12.3} {:>+8.1}%  {:>10.3} {:>10.3}  {}\n",
+                d.workload,
+                d.baseline_wps,
+                d.candidate_wps,
+                d.improve_pct,
+                d.baseline_p99_ms,
+                d.candidate_p99_ms,
+                status
+            ));
+        }
+        for name in &self.missing {
+            out.push_str(&format!("workload '{name}' missing from candidate\n"));
+        }
+        out
+    }
+}
+
+/// The inverse gate of [`compare`]: instead of "did nothing regress",
+/// require every workload's `windows_per_sec` to IMPROVE by at least
+/// `min_improve_pct` while `infer_p99_ms` stays within
+/// [`P99_TOLERANCE_PCT`] of the baseline. Used to prove an optimization
+/// landed, not just that it didn't break anything.
+pub fn improvement(
+    baseline: &BenchDoc,
+    candidate: &BenchDoc,
+    min_improve_pct: f64,
+) -> ImprovementReport {
+    let mut diffs = Vec::new();
+    let mut missing = Vec::new();
+    for base_w in &baseline.workloads {
+        let Some(cand_w) = candidate.workloads.iter().find(|w| w.name == base_w.name) else {
+            missing.push(base_w.name.clone());
+            continue;
+        };
+        let (b, c) = (base_w.windows_per_sec, cand_w.windows_per_sec);
+        let improve_pct = if b.is_finite() && c.is_finite() && b > 0.0 {
+            (c - b) / b * 100.0
+        } else {
+            f64::NAN
+        };
+        let (bp99, cp99) = (base_w.infer_p99_ms, cand_w.infer_p99_ms);
+        // Missing/NaN p99 on either side skips the latency guard (a tiny
+        // smoke run can legitimately lack percentiles), same policy as
+        // `compare`.
+        let p99_worse = bp99.is_finite()
+            && cp99.is_finite()
+            && bp99 > 0.0
+            && cp99 > 0.0
+            && (cp99 - bp99) / bp99 * 100.0 > P99_TOLERANCE_PCT;
+        diffs.push(ImproveDiff {
+            workload: base_w.name.clone(),
+            baseline_wps: b,
+            candidate_wps: c,
+            improve_pct,
+            met_target: improve_pct.is_finite() && improve_pct >= min_improve_pct,
+            baseline_p99_ms: bp99,
+            candidate_p99_ms: cp99,
+            p99_worse,
+        });
+    }
+    ImprovementReport {
+        diffs,
+        missing,
+        min_improve_pct,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +374,54 @@ mod tests {
         let cmp = compare(&base, &cand, 25.0);
         assert!(cmp.ok());
         assert_eq!(cmp.diffs.len(), 3);
+    }
+
+    #[test]
+    fn improvement_gate_requires_target_throughput_gain() {
+        let base = doc(100.0, 500.0, 2.0, 5.0);
+        let fast = doc(130.0, 400.0, 1.5, 4.0); // +30% throughput
+        assert!(improvement(&base, &fast, 25.0).ok());
+        let slow_gain = doc(110.0, 400.0, 1.5, 4.0); // only +10%
+        let rep = improvement(&base, &slow_gain, 25.0);
+        assert!(!rep.ok());
+        assert_eq!(rep.failures().len(), 1);
+        assert!(!rep.failures()[0].met_target);
+    }
+
+    #[test]
+    fn improvement_gate_rejects_p99_regressions() {
+        let base = doc(100.0, 500.0, 2.0, 5.0);
+        // Throughput target met, but p99 rose 40% — past tolerance.
+        let latent = doc(150.0, 400.0, 2.0, 7.0);
+        let rep = improvement(&base, &latent, 25.0);
+        assert!(!rep.ok());
+        assert!(rep.failures()[0].p99_worse);
+        // Within the 10% tolerance band: passes.
+        let ok = doc(150.0, 400.0, 2.0, 5.4);
+        assert!(improvement(&base, &ok, 25.0).ok());
+    }
+
+    #[test]
+    fn improvement_gate_fails_on_missing_workload() {
+        let base = doc(100.0, 500.0, 2.0, 5.0);
+        let cand = BenchDoc {
+            created_unix: 0,
+            workloads: vec![WorkloadMetrics {
+                name: "other".into(),
+                windows_per_sec: 500.0,
+                backward_ns_per_node: 100.0,
+                infer_p50_ms: 1.0,
+                infer_p99_ms: 2.0,
+            }],
+        };
+        assert!(!improvement(&base, &cand, 25.0).ok());
+    }
+
+    #[test]
+    fn improvement_gate_skips_latency_guard_without_percentiles() {
+        let base = doc(100.0, 500.0, 2.0, f64::NAN);
+        let cand = doc(140.0, 400.0, 1.5, 9999.0);
+        assert!(improvement(&base, &cand, 25.0).ok());
     }
 
     #[test]

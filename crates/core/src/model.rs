@@ -489,8 +489,7 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
                                 return (val, values, Vec::new());
                             }
                             let grads = tape.backward(loss);
-                            let pairs = tape.param_grads(&grads);
-                            grads.recycle();
+                            let pairs = tape.take_param_grads(grads);
                             (val, values, pairs)
                         })
                     })
@@ -512,6 +511,13 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
                     means.add(values);
                     seen += 1;
                 }
+                // Retire the shipped gradient buffers into this thread's
+                // pool so the next batch's reduction reuses them.
+                for (_, _, pairs) in results {
+                    for (_, g) in pairs {
+                        g.recycle();
+                    }
+                }
                 let norm = if self.cfg.trainer.grad_clip > 0.0 {
                     buf.clip_global_norm(self.cfg.trainer.grad_clip)
                 } else {
@@ -521,6 +527,7 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
                 batches += 1;
                 rec.group_norms = group_norms(&self.store, &buf);
                 opt.step(&mut self.store, &buf);
+                buf.recycle();
             }
             let mean_loss = (epoch_loss / seen.max(1) as f64) as f32;
             rec.loss = mean_loss as f64;

@@ -93,8 +93,7 @@ impl<B: Backbone> Predictor for CausalMotion<B> {
                             let (_, loss) = train_forward(backbone, &mut ctx, windows[i], None);
                             let val = tape.value(loss).item();
                             let grads = tape.backward(loss);
-                            let pairs = tape.param_grads(&grads);
-                            grads.recycle();
+                            let pairs = tape.take_param_grads(grads);
                             (val, pairs)
                         })
                     })
@@ -124,6 +123,17 @@ impl<B: Backbone> Predictor for CausalMotion<B> {
                     total.clip_global_norm(self.cfg.grad_clip);
                 }
                 opt.step(&mut self.store, &total);
+                // Retire per-half buffers, the combined buffer, and the
+                // shipped gradient pairs into this thread's pool.
+                total.recycle();
+                let [b0, b1] = bufs;
+                b0.recycle();
+                b1.recycle();
+                for (_, pairs) in results {
+                    for (_, g) in pairs {
+                        g.recycle();
+                    }
+                }
             }
             let mean = epoch_loss / seen.max(1) as f32;
             report.epoch_losses.push(mean);

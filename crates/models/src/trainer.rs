@@ -163,6 +163,13 @@ impl<'a> Trainer<'a> {
                     epoch_loss += r.val as f64;
                     seen += 1;
                 }
+                // Retire the shipped gradient buffers into this thread's
+                // pool so the next batch's reduction reuses them.
+                for r in results {
+                    for (_, g) in r.pairs {
+                        g.recycle();
+                    }
+                }
                 let norm = if cfg.grad_clip > 0.0 {
                     buf.clip_global_norm(cfg.grad_clip)
                 } else {
@@ -172,6 +179,7 @@ impl<'a> Trainer<'a> {
                 batches += 1;
                 rec.group_norms = group_norms(store, &buf);
                 opt.step(store, &buf);
+                buf.recycle();
             }
             let mean_loss = (epoch_loss / seen.max(1) as f64) as f32;
             rec.loss = mean_loss as f64;
@@ -245,8 +253,7 @@ where
                 };
             }
             let grads = tape.backward(loss);
-            let pairs = tape.param_grads(&grads);
-            grads.recycle();
+            let pairs = tape.take_param_grads(grads);
             WindowResult { val, pairs }
         })
     }) {

@@ -99,16 +99,16 @@ impl Sgd {
             let Some(lr) = self.schedule.effective_lr(store.group(id)) else {
                 continue;
             };
-            let update = if self.momentum > 0.0 {
+            if self.momentum > 0.0 {
                 let v = self.velocity[id.index()]
                     .get_or_insert_with(|| Tensor::zeros(g.rows(), g.cols()));
-                *v = v.scale(self.momentum);
+                let decayed = v.scale(self.momentum);
+                std::mem::replace(v, decayed).recycle();
                 v.axpy(1.0, g);
-                v.clone()
+                store.value_mut(id).axpy(-lr, v);
             } else {
-                g.clone()
-            };
-            store.value_mut(id).axpy(-lr, &update);
+                store.value_mut(id).axpy(-lr, g);
+            }
         }
     }
 }
@@ -168,9 +168,11 @@ impl Adam {
             let m = self.m[idx].get_or_insert_with(|| Tensor::zeros(g.rows(), g.cols()));
             let v = self.v[idx].get_or_insert_with(|| Tensor::zeros(g.rows(), g.cols()));
 
-            *m = m.scale(self.beta1);
+            let decayed = m.scale(self.beta1);
+            std::mem::replace(m, decayed).recycle();
             m.axpy(1.0 - self.beta1, g);
-            *v = v.zip_map(g, |vv, gg| self.beta2 * vv + (1.0 - self.beta2) * gg * gg);
+            let next_v = v.zip_map(g, |vv, gg| self.beta2 * vv + (1.0 - self.beta2) * gg * gg);
+            std::mem::replace(v, next_v).recycle();
 
             let eps = self.eps;
             let update = m.zip_map(v, |mm, vv| {
@@ -182,8 +184,10 @@ impl Adam {
             if self.weight_decay > 0.0 {
                 let decay = param.scale(self.weight_decay);
                 param.axpy(-lr, &decay);
+                decay.recycle();
             }
             param.axpy(-lr, &update);
+            update.recycle();
         }
     }
 }

@@ -177,10 +177,22 @@ impl GradBuffer {
         self.slots.get(id.index()).and_then(|s| s.as_ref())
     }
 
-    /// Clears all accumulated gradients, keeping capacity.
+    /// Clears all accumulated gradients, keeping capacity. Dropped
+    /// gradient buffers retire into the calling thread's pool.
     pub fn clear(&mut self) {
         for s in &mut self.slots {
-            *s = None;
+            if let Some(g) = s.take() {
+                g.recycle();
+            }
+        }
+    }
+
+    /// Retires every accumulated gradient buffer into the calling
+    /// thread's buffer pool. Call once the optimizer step has consumed
+    /// the buffer so the next batch's gradients reuse the storage.
+    pub fn recycle(self) {
+        for g in self.slots.into_iter().flatten() {
+            g.recycle();
         }
     }
 
@@ -202,7 +214,8 @@ impl GradBuffer {
         if norm > max_norm && norm > 0.0 {
             let s = max_norm / norm;
             for g in self.slots.iter_mut().flatten() {
-                *g = g.scale(s);
+                let scaled = g.scale(s);
+                std::mem::replace(g, scaled).recycle();
             }
         }
         norm

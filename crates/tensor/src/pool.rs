@@ -1,14 +1,19 @@
 //! Per-thread scratch-buffer pooling for tensor storage.
 //!
 //! Every owned tensor allocation in this crate funnels through the helpers
-//! here. Each thread keeps a [`BufferPool`] free-list of retired
-//! `Vec<f32>` buffers (returned by [`Tape::reset`](crate::tape::Tape::reset)
-//! and [`recycle_vec`]); an allocation request is served from the free list
-//! when a buffer with enough capacity is available and falls back to a
-//! fresh heap allocation otherwise. In steady state — one persistent
-//! worker thread running one pooled tape per window — the forward/backward
-//! hot path recycles the previous window's buffers instead of touching the
-//! allocator.
+//! here. Each thread keeps a [`BufferPool`] of retired `Vec<f32>` buffers
+//! (returned by [`Tape::reset`](crate::tape::Tape::reset) and
+//! [`recycle_vec`]), segregated into power-of-two capacity classes:
+//! fresh allocations round their capacity up to the class size, so a
+//! retired buffer lands back in exactly the class that future requests of
+//! the same shape hit, and both `take` and `give` are O(1) bucket
+//! operations (no scanning, no first-fit waste where a small request
+//! consumes a large buffer). An allocation request falls back to a fresh
+//! heap allocation only when its class — and every larger one — is empty.
+//! In steady state — one persistent worker thread running one pooled tape
+//! per window, where successive windows repeat the same tensor shapes —
+//! the forward/backward hot path recycles the previous window's buffers
+//! instead of touching the allocator.
 //!
 //! Accounting happens at two levels:
 //!
@@ -31,9 +36,31 @@
 use std::cell::{Cell, RefCell};
 use std::sync::OnceLock;
 
-/// Keep at most this many retired buffers per thread; beyond it, retired
-/// buffers are dropped to bound steady-state memory.
-const MAX_FREE: usize = 512;
+/// Number of power-of-two capacity classes (class `b` holds buffers of
+/// capacity `[2^b, 2^(b+1))`; the top class also absorbs anything larger).
+const BUCKETS: usize = 31;
+
+/// Keep at most this many retired buffers per capacity class; beyond it,
+/// retired buffers are dropped to bound steady-state memory. One window's
+/// tape can retire upwards of a thousand buffers of the same small class
+/// (per-timestep constants and their gradients), and every buffer dropped
+/// here is a guaranteed pool miss — a fresh heap allocation — on the next
+/// window, so the budget errs large: 2048 buffers of the biggest common
+/// hot-path class (~4 KB) is ~8 MB per worker thread, a fraction of one
+/// training batch.
+const MAX_FREE_PER_BUCKET: usize = 2048;
+
+/// Class a request of `len` elements is served from: the smallest class
+/// whose buffers are all guaranteed to hold `len`.
+fn request_class(len: usize) -> usize {
+    (len.max(1).next_power_of_two().trailing_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Class a retired buffer of capacity `cap >= 1` is stored in:
+/// `floor(log2(cap))`, so every buffer in class `b` has capacity `>= 2^b`.
+fn storage_class(cap: usize) -> usize {
+    ((usize::BITS - 1 - cap.leading_zeros()) as usize).min(BUCKETS - 1)
+}
 
 /// Cumulative allocation statistics of one thread's pool.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -46,28 +73,41 @@ pub struct PoolStats {
     pub bytes_allocated: u64,
 }
 
-/// A free-list of retired `Vec<f32>` scratch buffers.
-#[derive(Debug, Default)]
+/// Size-class buckets of retired `Vec<f32>` scratch buffers.
+#[derive(Debug)]
 pub struct BufferPool {
-    free: Vec<Vec<f32>>,
+    free: [Vec<Vec<f32>>; BUCKETS],
     stats: PoolStats,
     /// Stats not yet flushed to the global metrics registry.
     unflushed: PoolStats,
 }
 
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl BufferPool {
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            free: std::array::from_fn(|_| Vec::new()),
+            stats: PoolStats::default(),
+            unflushed: PoolStats::default(),
+        }
     }
 
-    /// Number of buffers currently on the free list.
+    /// Number of buffers currently retired into the pool.
     pub fn free_buffers(&self) -> usize {
-        self.free.len()
+        self.free.iter().map(Vec::len).sum()
     }
 
-    /// Total `f32` capacity currently retained on the free list.
+    /// Total `f32` capacity currently retained in the pool.
     pub fn free_capacity(&self) -> usize {
-        self.free.iter().map(Vec::capacity).sum()
+        self.free
+            .iter()
+            .flat_map(|bucket| bucket.iter().map(Vec::capacity))
+            .sum()
     }
 
     pub fn stats(&self) -> PoolStats {
@@ -86,15 +126,35 @@ impl BufferPool {
         }
     }
 
-    /// Pops a retired buffer with capacity ≥ `len`, if any (newest first —
-    /// the most recently retired buffer is the most likely to be
-    /// cache-warm).
+    /// Pops a retired buffer with capacity ≥ `len`, if any: the request's
+    /// own class first (newest first — the most recently retired buffer
+    /// is the most likely to be cache-warm), then any larger class. As a
+    /// last resort the class below is scanned: buffers that entered the
+    /// pool from outside (`recycle_vec` on a caller-built `Vec`) can have
+    /// a non-rounded capacity that lands one class under the request yet
+    /// still fits. Pool-allocated buffers never need that scan.
     fn pop_with_capacity(&mut self, len: usize) -> Option<Vec<f32>> {
-        let idx = self.free.iter().rposition(|b| b.capacity() >= len)?;
-        Some(self.free.swap_remove(idx))
+        let class = request_class(len);
+        for bucket in &mut self.free[class..] {
+            // The class invariant guarantees the capacity except in the
+            // top (clamped) bucket, so check the candidate rather than
+            // assume.
+            if bucket.last().is_some_and(|b| b.capacity() >= len) {
+                return bucket.pop();
+            }
+        }
+        if class > 0 {
+            let below = &mut self.free[class - 1];
+            if let Some(idx) = below.iter().rposition(|b| b.capacity() >= len) {
+                return Some(below.swap_remove(idx));
+            }
+        }
+        None
     }
 
-    /// A zero-filled buffer of exactly `len` elements.
+    /// A zero-filled buffer of exactly `len` elements. Fresh allocations
+    /// round their capacity up to the class size, so the buffer re-enters
+    /// its exact class when retired.
     pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
         let bytes = (len * std::mem::size_of::<f32>()) as u64;
         match self.pop_with_capacity(len) {
@@ -106,7 +166,9 @@ impl BufferPool {
             }
             None => {
                 self.note(false, bytes);
-                vec![0.0; len]
+                let mut buf = Vec::with_capacity(len.max(1).next_power_of_two());
+                buf.resize(len, 0.0);
+                buf
             }
         }
     }
@@ -122,16 +184,20 @@ impl BufferPool {
             }
             None => {
                 self.note(false, bytes);
-                Vec::with_capacity(cap)
+                Vec::with_capacity(cap.max(1).next_power_of_two())
             }
         }
     }
 
-    /// Retires a buffer into the free list. No-ops on zero-capacity
-    /// buffers and when the list is full.
+    /// Retires a buffer into its capacity class. No-ops on zero-capacity
+    /// buffers and when the class is full.
     pub fn give(&mut self, buf: Vec<f32>) {
-        if buf.capacity() > 0 && self.free.len() < MAX_FREE {
-            self.free.push(buf);
+        if buf.capacity() == 0 {
+            return;
+        }
+        let bucket = &mut self.free[storage_class(buf.capacity())];
+        if bucket.len() < MAX_FREE_PER_BUCKET {
+            bucket.push(buf);
         }
     }
 }
@@ -290,12 +356,40 @@ mod tests {
     }
 
     #[test]
-    fn free_list_is_bounded() {
+    fn capacity_classes_are_bounded() {
         let mut pool = BufferPool::new();
-        for _ in 0..(MAX_FREE + 100) {
+        for _ in 0..(MAX_FREE_PER_BUCKET + 100) {
             pool.give(vec![0.0; 2]);
         }
-        assert_eq!(pool.free_buffers(), MAX_FREE);
+        assert_eq!(pool.free_buffers(), MAX_FREE_PER_BUCKET);
+        // A different capacity class has its own budget.
+        pool.give(vec![0.0; 64]);
+        assert_eq!(pool.free_buffers(), MAX_FREE_PER_BUCKET + 1);
+    }
+
+    #[test]
+    fn request_is_served_from_its_own_class_before_larger_ones() {
+        let mut pool = BufferPool::new();
+        pool.give(vec![0.0; 1024]);
+        pool.give(vec![0.0; 16]);
+        // A 10-element request must take the 16-slot buffer, not burn the
+        // 1024-slot one.
+        let buf = pool.take_zeroed(10);
+        assert!(buf.capacity() < 1024);
+        assert_eq!(pool.free_capacity(), 1024);
+    }
+
+    #[test]
+    fn fresh_allocations_round_capacity_to_the_class_size() {
+        let mut pool = BufferPool::new();
+        // 600 rounds to 1024, so retire + re-request of the same odd
+        // length is a guaranteed class hit.
+        let buf = pool.take_zeroed(600);
+        assert_eq!(buf.capacity(), 1024);
+        pool.give(buf);
+        let again = pool.take_zeroed(600);
+        assert_eq!(again.len(), 600);
+        assert_eq!(pool.stats().reuse_hits, 1);
     }
 
     #[test]

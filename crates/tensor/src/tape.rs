@@ -872,10 +872,16 @@ impl Tape {
 
     fn add_grad(&self, grads: &mut [Option<Tensor>], v: Var, delta: Tensor) {
         if !self.nodes[v.0].needs_grad {
+            // A delta computed for a no-grad parent still owns a pooled
+            // buffer — retire it rather than dropping it on the floor.
+            delta.recycle();
             return;
         }
         match &mut grads[v.0] {
-            Some(g) => g.axpy(1.0, &delta),
+            Some(g) => {
+                g.axpy(1.0, &delta);
+                delta.recycle();
+            }
             slot @ None => *slot = Some(delta),
         }
     }
@@ -929,22 +935,30 @@ impl Tape {
             }
             Op::Relu(a) => {
                 let mask = self.value(*a).map(|x| if x > 0.0 { 1.0 } else { 0.0 });
-                self.add_grad(grads, *a, g.mul(&mask));
+                let dx = g.mul(&mask);
+                mask.recycle();
+                self.add_grad(grads, *a, dx);
             }
             Op::LeakyRelu(a, slope) => {
                 let s = *slope;
                 let mask = self.value(*a).map(|x| if x > 0.0 { 1.0 } else { s });
-                self.add_grad(grads, *a, g.mul(&mask));
+                let dx = g.mul(&mask);
+                mask.recycle();
+                self.add_grad(grads, *a, dx);
             }
             Op::Tanh(a) => {
                 let y = &self.nodes[idx].value;
                 let dy = y.map(|t| 1.0 - t * t);
-                self.add_grad(grads, *a, g.mul(&dy));
+                let dx = g.mul(&dy);
+                dy.recycle();
+                self.add_grad(grads, *a, dx);
             }
             Op::Sigmoid(a) => {
                 let y = &self.nodes[idx].value;
                 let dy = y.map(|s| s * (1.0 - s));
-                self.add_grad(grads, *a, g.mul(&dy));
+                let dx = g.mul(&dy);
+                dy.recycle();
+                self.add_grad(grads, *a, dx);
             }
             Op::Exp(a) => {
                 let y = &self.nodes[idx].value;
@@ -1003,7 +1017,10 @@ impl Tape {
             Op::BroadcastRows(a) => self.add_grad(grads, *a, g.sum_rows()),
             Op::MeanRows(a) => {
                 let n = self.value(*a).rows();
-                self.add_grad(grads, *a, g.scale(1.0 / n as f32).broadcast_rows(n));
+                let scaled = g.scale(1.0 / n as f32);
+                let dx = scaled.broadcast_rows(n);
+                scaled.recycle();
+                self.add_grad(grads, *a, dx);
             }
             Op::SumRows(a) => {
                 let n = self.value(*a).rows();
@@ -1030,7 +1047,9 @@ impl Tape {
                     let v = dx.at(r, t);
                     dx.set(r, t, v - 1.0);
                 }
-                self.add_grad(grads, *logits, dx.scale(scale));
+                let out = dx.scale(scale);
+                dx.recycle();
+                self.add_grad(grads, *logits, out);
             }
             Op::FusedAffine(x, w, b, act) => {
                 // d_pre = g ⊙ act'(y), with the derivative reconstructed
@@ -1124,6 +1143,31 @@ impl Tape {
                     out.push((id, g.clone()));
                 }
             }
+        }
+        out
+    }
+
+    /// Like [`Tape::param_grads`] but consumes `grads`, *moving* each
+    /// gradient buffer into the result instead of cloning it and retiring
+    /// every unclaimed buffer into the thread's pool. Repeated parameter
+    /// uses are summed in the same order as `param_grads`, so the values
+    /// are bit-identical — this is the allocation-free variant the
+    /// training hot path uses.
+    pub fn take_param_grads(&self, grads: Grads) -> Vec<(ParamId, Tensor)> {
+        let mut by_node = grads.by_node;
+        let mut out: Vec<(ParamId, Tensor)> = Vec::with_capacity(self.param_uses.len());
+        for &(id, var) in &self.param_uses {
+            if let Some(g) = by_node.get_mut(var.0).and_then(Option::take) {
+                if let Some((_, acc)) = out.iter_mut().find(|(i, _)| *i == id) {
+                    acc.axpy(1.0, &g);
+                    g.recycle();
+                } else {
+                    out.push((id, g));
+                }
+            }
+        }
+        for g in by_node.into_iter().flatten() {
+            g.recycle();
         }
         out
     }

@@ -23,14 +23,6 @@ use crate::rng::Rng;
 use std::fmt;
 use std::sync::Arc;
 
-/// Row-of-`other` block size for the cache-blocked [`Tensor::matmul_nt`]
-/// kernel: one block of B rows stays resident in L1/L2 while every row of
-/// A streams past it. Blocking only tiles the output (i, j) space — the
-/// k-accumulation of each output element is never split, which is what
-/// keeps the kernels bit-identical to the naive `transpose` + `matmul`
-/// composition (see DESIGN.md, "Kernel & memory model").
-const NT_BLOCK_ROWS: usize = 64;
-
 #[derive(Debug)]
 enum Storage {
     Owned(Vec<f32>),
@@ -343,18 +335,22 @@ impl Tensor {
         Tensor::from_vec(n, m, out)
     }
 
-    /// Transpose-free product with a transposed right operand:
+    /// Product with a transposed right operand:
     /// `self[n,k] * other[m,k]ᵀ -> [n,m]`, bit-identical to
-    /// `self.matmul(&other.transpose())` without materializing the
-    /// transpose.
+    /// `self.matmul(&other.transpose())` without recording a transpose on
+    /// the tape or allocating a transposed tensor.
     ///
-    /// Each output element is the dot product of a row of `self` and a row
-    /// of `other` — both contiguous, so no strided access anywhere. The
-    /// rows of `other` are tiled in blocks of [`NT_BLOCK_ROWS`] that stay
-    /// cache-resident while every row of `self` streams past. The k-loop
-    /// accumulates ascending with the same zero-skip on the `self` factor
-    /// as [`Tensor::matmul`], so the flop-for-flop f32 rounding matches the
-    /// naive composition exactly.
+    /// The kernel packs `other`ᵀ into a pooled scratch buffer and then
+    /// runs the same streaming ikj axpy loop as [`Tensor::matmul`]. The
+    /// dot-product formulation (row of `self` · row of `other`) avoids
+    /// the pack but serializes the f32 reduction — the accumulation-order
+    /// contract forbids reassociating it, so it cannot vectorize and runs
+    /// ~4x slower on the gate-projection shapes. Packing costs O(k·m)
+    /// against the O(n·k·m) product and the scratch comes from (and
+    /// returns to) the thread pool, so the hot path stays allocation-free.
+    /// Per output element the k-terms accumulate ascending with the same
+    /// zero-skip on the `self` factor as [`Tensor::matmul`], matching the
+    /// naive composition flop for flop.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.cols,
@@ -365,25 +361,27 @@ impl Tensor {
         let a_data = self.data.as_slice();
         let b_data = other.data.as_slice();
         let mut out = pool::alloc_zeroed(n * m);
-        let mut jb = 0;
-        while jb < m {
-            let j_end = (jb + NT_BLOCK_ROWS).min(m);
+        if k > 0 && m > 0 {
+            let mut bt = pool::alloc_zeroed(k * m);
+            for (j, b_row) in b_data.chunks_exact(k).enumerate() {
+                for (p, &v) in b_row.iter().enumerate() {
+                    bt[p * m + j] = v;
+                }
+            }
             for i in 0..n {
                 let a_row = &a_data[i * k..(i + 1) * k];
                 let out_row = &mut out[i * m..(i + 1) * m];
-                for (j, o) in out_row[jb..j_end].iter_mut().enumerate() {
-                    let b_row = &b_data[(jb + j) * k..(jb + j + 1) * k];
-                    let mut acc = 0.0f32;
-                    for (&a, &b) in a_row.iter().zip(b_row) {
-                        if a == 0.0 {
-                            continue;
-                        }
-                        acc += a * b;
+                for (p, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
                     }
-                    *o = acc;
+                    let bt_row = &bt[p * m..(p + 1) * m];
+                    for (o, &b) in out_row.iter_mut().zip(bt_row) {
+                        *o += a * b;
+                    }
                 }
             }
-            jb = j_end;
+            pool::recycle_vec(bt);
         }
         Tensor::from_vec(n, m, out)
     }

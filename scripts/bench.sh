@@ -3,11 +3,14 @@
 # BENCH_<timestamp>.json at the repo root, and gate it against the most
 # recent previous BENCH_*.json (if any) with bench_gate.
 #
-#   scripts/bench.sh [--max-regress-pct N] [-- extra bench args]
+#   scripts/bench.sh [--max-regress-pct N | --min-improve-pct N] \
+#                    [-- extra bench args]
 #
 # Examples:
 #   scripts/bench.sh                       # default threshold (25%)
 #   scripts/bench.sh --max-regress-pct 10
+#   scripts/bench.sh --min-improve-pct 25  # optimization PR: every workload
+#                                          # must gain >=25% windows_per_sec
 #   scripts/bench.sh -- --epochs 8 --scenes 12
 #   scripts/bench.sh -- --workers 4        # data-parallel training run
 #
@@ -18,11 +21,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 max_regress_pct=25
+min_improve_pct=""
 extra_args=()
 while [ $# -gt 0 ]; do
     case "$1" in
         --max-regress-pct)
             max_regress_pct="$2"
+            shift 2
+            ;;
+        --min-improve-pct)
+            min_improve_pct="$2"
             shift 2
             ;;
         --)
@@ -31,7 +39,7 @@ while [ $# -gt 0 ]; do
             break
             ;;
         *)
-            echo "usage: scripts/bench.sh [--max-regress-pct N] [-- extra bench args]" >&2
+            echo "usage: scripts/bench.sh [--max-regress-pct N | --min-improve-pct N] [-- extra bench args]" >&2
             exit 2
             ;;
     esac
@@ -51,6 +59,12 @@ if [ -z "$baseline" ]; then
 fi
 
 echo
-echo "=== bench_gate: $baseline -> $out (threshold ${max_regress_pct}%) ==="
-cargo run --release --offline -p adaptraj-bench --bin bench_gate -- \
-    --baseline "$baseline" --candidate "$out" --max-regress-pct "$max_regress_pct"
+if [ -n "$min_improve_pct" ]; then
+    echo "=== bench_gate: $baseline -> $out (require +${min_improve_pct}%) ==="
+    cargo run --release --offline -p adaptraj-bench --bin bench_gate -- \
+        --baseline "$baseline" --candidate "$out" --min-improve-pct "$min_improve_pct"
+else
+    echo "=== bench_gate: $baseline -> $out (threshold ${max_regress_pct}%) ==="
+    cargo run --release --offline -p adaptraj-bench --bin bench_gate -- \
+        --baseline "$baseline" --candidate "$out" --max-regress-pct "$max_regress_pct"
+fi
