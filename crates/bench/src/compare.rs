@@ -12,6 +12,9 @@ pub struct WorkloadMetrics {
     pub backward_ns_per_node: f64,
     pub infer_p50_ms: f64,
     pub infer_p99_ms: f64,
+    /// NaN when the document predates the p999 field (pre-PR-6 baselines)
+    /// — the comparator then skips it, same as any other NaN metric.
+    pub infer_p999_ms: f64,
 }
 
 /// A parsed (and schema-validated) bench document.
@@ -56,6 +59,7 @@ pub fn parse_doc(json: &str) -> Result<BenchDoc, String> {
             backward_ns_per_node: field_f64(w, "backward_ns_per_node"),
             infer_p50_ms: field_f64(w, "infer_p50_ms"),
             infer_p99_ms: field_f64(w, "infer_p99_ms"),
+            infer_p999_ms: field_f64(w, "infer_p999_ms"),
         });
     }
     if workloads.is_empty() {
@@ -125,11 +129,12 @@ impl Comparison {
 }
 
 /// `(metric name, lower is better)` — for throughput, lower is worse.
-const METRICS: [(&str, bool); 4] = [
+const METRICS: [(&str, bool); 5] = [
     ("windows_per_sec", false),
     ("backward_ns_per_node", true),
     ("infer_p50_ms", true),
     ("infer_p99_ms", true),
+    ("infer_p999_ms", true),
 ];
 
 fn metric_value(w: &WorkloadMetrics, name: &str) -> f64 {
@@ -138,6 +143,7 @@ fn metric_value(w: &WorkloadMetrics, name: &str) -> f64 {
         "backward_ns_per_node" => w.backward_ns_per_node,
         "infer_p50_ms" => w.infer_p50_ms,
         "infer_p99_ms" => w.infer_p99_ms,
+        "infer_p999_ms" => w.infer_p999_ms,
         _ => unreachable!("unknown metric {name}"),
     }
 }
@@ -317,6 +323,7 @@ mod tests {
                 backward_ns_per_node: nspn,
                 infer_p50_ms: p50,
                 infer_p99_ms: p99,
+                infer_p999_ms: p99 * 1.2,
             }],
         }
     }
@@ -326,7 +333,7 @@ mod tests {
         let d = doc(100.0, 500.0, 2.0, 5.0);
         let cmp = compare(&d, &d, 10.0);
         assert!(cmp.ok());
-        assert_eq!(cmp.diffs.len(), 4);
+        assert_eq!(cmp.diffs.len(), 5);
     }
 
     #[test]
@@ -360,6 +367,7 @@ mod tests {
                 backward_ns_per_node: 500.0,
                 infer_p50_ms: 2.0,
                 infer_p99_ms: 5.0,
+                infer_p999_ms: 6.0,
             }],
         };
         let cmp = compare(&base, &cand, 25.0);
@@ -373,7 +381,28 @@ mod tests {
         let cand = doc(100.0, 9999.0, 2.0, 5.0);
         let cmp = compare(&base, &cand, 25.0);
         assert!(cmp.ok());
-        assert_eq!(cmp.diffs.len(), 3);
+        assert_eq!(cmp.diffs.len(), 4);
+    }
+
+    #[test]
+    fn baseline_without_p999_parses_and_compares() {
+        // A pre-p999 baseline document: the field parses to NaN and the
+        // comparator skips it instead of failing.
+        let old = parse_doc(
+            "{\"schema\":\"adaptraj-bench/v1\",\"created_unix\":1,\
+             \"workloads\":[{\"name\":\"w\",\"windows_per_sec\":100.0,\
+             \"backward_ns_per_node\":500.0,\"infer_p50_ms\":2.0,\
+             \"infer_p99_ms\":5.0}]}",
+        )
+        .unwrap();
+        assert!(old.workloads[0].infer_p999_ms.is_nan());
+        let cand = doc(100.0, 500.0, 2.0, 5.0);
+        let cmp = compare(&old, &cand, 10.0);
+        assert!(cmp.ok());
+        assert!(cmp.diffs.iter().all(|d| d.metric != "infer_p999_ms"));
+        // New-vs-new compares it.
+        let cmp2 = compare(&cand, &cand, 10.0);
+        assert!(cmp2.diffs.iter().any(|d| d.metric == "infer_p999_ms"));
     }
 
     #[test]
@@ -412,6 +441,7 @@ mod tests {
                 backward_ns_per_node: 100.0,
                 infer_p50_ms: 1.0,
                 infer_p99_ms: 2.0,
+                infer_p999_ms: 2.5,
             }],
         };
         assert!(!improvement(&base, &cand, 25.0).ok());

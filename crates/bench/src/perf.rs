@@ -82,6 +82,7 @@ pub struct WorkloadResult {
     pub infer_mean_ms: f64,
     pub infer_p50_ms: f64,
     pub infer_p99_ms: f64,
+    pub infer_p999_ms: f64,
 }
 
 impl WorkloadResult {
@@ -97,6 +98,7 @@ impl WorkloadResult {
             .f64("infer_mean_ms", self.infer_mean_ms)
             .f64("infer_p50_ms", self.infer_p50_ms)
             .f64("infer_p99_ms", self.infer_p99_ms)
+            .f64("infer_p999_ms", self.infer_p999_ms)
             .finish()
     }
 }
@@ -230,6 +232,7 @@ fn run_workload(
         infer_mean_ms,
         infer_p50_ms: pctl(&latencies_ms, 0.50),
         infer_p99_ms: pctl(&latencies_ms, 0.99),
+        infer_p999_ms: pctl(&latencies_ms, 0.999),
     }
 }
 
@@ -299,18 +302,19 @@ impl PerfReport {
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<18} {:>10} {:>12} {:>14} {:>12} {:>12}\n",
-            "workload", "train_s", "windows/s", "bwd ns/node", "p50 ms", "p99 ms"
+            "{:<18} {:>10} {:>12} {:>14} {:>12} {:>12} {:>12}\n",
+            "workload", "train_s", "windows/s", "bwd ns/node", "p50 ms", "p99 ms", "p999 ms"
         ));
         for w in &self.workloads {
             out.push_str(&format!(
-                "{:<18} {:>10.2} {:>12.1} {:>14.0} {:>12.3} {:>12.3}\n",
+                "{:<18} {:>10.2} {:>12.1} {:>14.0} {:>12.3} {:>12.3} {:>12.3}\n",
                 w.name,
                 w.train_s,
                 w.windows_per_sec,
                 w.backward_ns_per_node,
                 w.infer_p50_ms,
-                w.infer_p99_ms
+                w.infer_p99_ms,
+                w.infer_p999_ms
             ));
         }
         out.push('\n');

@@ -12,7 +12,9 @@ use adaptraj_exec::{window_seed, WorkerPool};
 use adaptraj_models::backbone::{base_loss, tensor_to_points, EncodedScene};
 use adaptraj_models::predictor::{cap_per_domain, group_norms, Predictor, TrainReport};
 use adaptraj_models::traits::{Backbone, ForwardCtx, GenMode};
-use adaptraj_obs::{obs_info, obs_warn, profile, EpochRecord, LossComponents, PhaseTiming, Span};
+use adaptraj_obs::{
+    obs_info, obs_warn, profile, timeline, EpochRecord, LossComponents, PhaseTiming, Span,
+};
 use adaptraj_tensor::optim::Adam;
 use adaptraj_tensor::{GradBuffer, ParamStore, Rng, Tape, Tensor, Var};
 use std::time::Instant;
@@ -450,6 +452,7 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
             let mut span = Span::enter("core.fit", "epoch")
                 .with("epoch", epoch)
                 .with("step", step);
+            let _tl_epoch = timeline::span_with_arg("epoch", "train", ("epoch", epoch as u64));
             // Profiler attribution for the three-step schedule: every op in
             // this epoch lands under "step1" | "step2" | "step3" (with the
             // window_loss sub-phases nested below, e.g. "step2/aux_loss").
@@ -494,6 +497,10 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
                         })
                     })
                     .unwrap_or_else(|e| panic!("training worker panicked: {e}"));
+                // The flight recorder puts the whole reduction — absorb,
+                // clip, optimizer step, recycle — on one dispatcher-lane
+                // span, matching `models::trainer`'s `grad_reduce`.
+                let tl_reduce = timeline::span("grad_reduce", "train");
                 // Reduce in batch-position order: bit-identical for any
                 // worker count.
                 for (pos, (val, values, pairs)) in results.iter().enumerate() {
@@ -528,6 +535,7 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
                 rec.group_norms = group_norms(&self.store, &buf);
                 opt.step(&mut self.store, &buf);
                 buf.recycle();
+                drop(tl_reduce);
             }
             let mean_loss = (epoch_loss / seen.max(1) as f64) as f32;
             rec.loss = mean_loss as f64;

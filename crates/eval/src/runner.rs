@@ -267,6 +267,9 @@ pub fn evaluate(
     workers: usize,
 ) -> (EvalResult, f64) {
     assert!(!test.is_empty(), "empty test set");
+    // Flight-recorder lane: each window additionally records its own
+    // queue_wait/job_run spans via the pool's instrumentation.
+    let _tl = adaptraj_obs::timeline::span("evaluate", "eval");
     let pool = WorkerPool::new(workers);
     let results = pool
         .map(test, |i, w| {

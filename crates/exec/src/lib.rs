@@ -8,7 +8,8 @@
 //!
 //! Design constraints (see DESIGN.md, "Execution model"):
 //!
-//! - **Zero dependencies.** std threads + mpsc channels only; the
+//! - **Zero external dependencies.** std threads + mpsc channels only
+//!   (plus the workspace's own `adaptraj-obs` for instrumentation); the
 //!   workspace stays registry-free.
 //! - **Deterministic reduction.** `map` returns outputs in item order, so
 //!   callers can fold results (gradients, losses, metrics) in exactly the
@@ -25,8 +26,18 @@
 //! The pool is intentionally oblivious to tensors, tapes, and profilers:
 //! callers own per-item state (a fresh `Tape`, a seeded `Rng`, a profiler
 //! phase re-entered inside the closure) and the pool only moves closures.
+//! The one observability hook the pool itself owns is the flight-recorder
+//! instrumentation around each job: when `obs::timeline` capture is on,
+//! every item records a `queue_wait` span (enqueue → start) and a
+//! `job_run` span (start → finish) on its worker's lane, and the pool
+//! publishes `exec.queue_depth` / `exec.worker_utilization` gauges into
+//! the global metrics registry. All of it is off-path: one relaxed atomic
+//! load per job when the timeline is disabled, and never any effect on
+//! dispatch order or result order.
 
+use adaptraj_obs::{metrics, timeline};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -64,6 +75,51 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Pool-load bookkeeping published as global gauges. The raw counts are
+/// per-pool atomics; the gauge handles point into the process-global
+/// metrics registry, so `/metrics` scrapes see the live queue depth and
+/// busy fraction of whichever pool is running.
+struct PoolGauges {
+    queued: AtomicI64,
+    busy: AtomicI64,
+    workers: f64,
+    queue_depth: metrics::GaugeHandle,
+    utilization: metrics::GaugeHandle,
+}
+
+impl PoolGauges {
+    fn new(workers: usize) -> PoolGauges {
+        let queue_depth = metrics::global().gauge("exec.queue_depth");
+        let utilization = metrics::global().gauge("exec.worker_utilization");
+        queue_depth.set(0.0);
+        utilization.set(0.0);
+        PoolGauges {
+            queued: AtomicI64::new(0),
+            busy: AtomicI64::new(0),
+            workers: workers.max(1) as f64,
+            queue_depth,
+            utilization,
+        }
+    }
+
+    fn enqueued(&self) {
+        let q = self.queued.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_depth.set(q.max(0) as f64);
+    }
+
+    fn started(&self) {
+        let q = self.queued.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.queue_depth.set(q.max(0) as f64);
+        let b = self.busy.fetch_add(1, Ordering::Relaxed) + 1;
+        self.utilization.set(b.max(0) as f64 / self.workers);
+    }
+
+    fn finished(&self) {
+        let b = self.busy.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.utilization.set(b.max(0) as f64 / self.workers);
+    }
+}
+
 /// A fixed-size pool of persistent worker threads sharing one job queue.
 ///
 /// Threads are spawned once at construction and live until the pool is
@@ -73,6 +129,7 @@ pub struct WorkerPool {
     workers: usize,
     tx: Option<mpsc::Sender<Job>>,
     handles: Vec<JoinHandle<()>>,
+    gauges: PoolGauges,
 }
 
 impl WorkerPool {
@@ -84,6 +141,7 @@ impl WorkerPool {
                 workers: 1,
                 tx: None,
                 handles: Vec::new(),
+                gauges: PoolGauges::new(1),
             };
         }
         let (tx, rx) = mpsc::channel::<Job>();
@@ -112,6 +170,7 @@ impl WorkerPool {
             workers,
             tx: Some(tx),
             handles,
+            gauges: PoolGauges::new(workers),
         }
     }
 
@@ -135,10 +194,23 @@ impl WorkerPool {
     {
         // Inline path: no threads, no channels — structurally the
         // sequential loop (used for `--workers 1` determinism baselines).
+        // It still records the same span *set* as the channel path (the
+        // queue_wait spans just have ~zero duration), so a 1-worker trace
+        // is comparable with a 4-worker one.
         let Some(tx) = &self.tx else {
             let mut out = Vec::with_capacity(items.len());
             for (i, item) in items.iter().enumerate() {
-                match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                let enqueue_us = timeline::timeline_enabled().then(timeline::now_us);
+                self.gauges.enqueued();
+                self.gauges.started();
+                if let Some(t0) = enqueue_us {
+                    timeline::record_span_since("queue_wait", "exec", t0, Some(("item", i as u64)));
+                }
+                let span = timeline::span_with_arg("job_run", "exec", ("item", i as u64));
+                let r = catch_unwind(AssertUnwindSafe(|| f(i, item)));
+                drop(span);
+                self.gauges.finished();
+                match r {
                     Ok(v) => out.push(v),
                     Err(p) => {
                         return Err(ExecError::JobPanicked {
@@ -155,18 +227,29 @@ impl WorkerPool {
         for (i, item) in items.iter().enumerate() {
             let res_tx = res_tx.clone();
             let f = &f;
+            let gauges = &self.gauges;
+            let enqueue_us = timeline::timeline_enabled().then(timeline::now_us);
+            gauges.enqueued();
             let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                gauges.started();
+                if let Some(t0) = enqueue_us {
+                    timeline::record_span_since("queue_wait", "exec", t0, Some(("item", i as u64)));
+                }
+                let span = timeline::span_with_arg("job_run", "exec", ("item", i as u64));
                 let r = catch_unwind(AssertUnwindSafe(|| f(i, item)));
+                drop(span);
+                gauges.finished();
                 // The receiver outlives the dispatch loop; a send failure
                 // is impossible while `map` is still draining.
                 let _ = res_tx.send((i, r));
             });
-            // SAFETY: the job borrows `items`, `f`, and `res_tx`, all of
-            // which outlive this call — `map` does not return until one
-            // result per dispatched job has been received below, and every
-            // job sends exactly one result (the panic path included, via
-            // catch_unwind). Erasing the lifetime to ship the closure
-            // through the 'static channel is therefore sound.
+            // SAFETY: the job borrows `items`, `f`, `gauges` (a field of
+            // `self`), and `res_tx`, all of which outlive this call — `map`
+            // does not return until one result per dispatched job has been
+            // received below, and every job sends exactly one result (the
+            // panic path included, via catch_unwind). Erasing the lifetime
+            // to ship the closure through the 'static channel is therefore
+            // sound.
             let job: Job =
                 unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
             tx.send(job).expect("worker pool shut down mid-map");
@@ -343,5 +426,61 @@ mod tests {
         let items: Vec<usize> = (0..8).collect();
         let _ = pool.map(&items, |_, &x| x).unwrap();
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn pool_load_counters_return_to_zero_after_map() {
+        for workers in [1, 4] {
+            let pool = WorkerPool::new(workers);
+            let items: Vec<usize> = (0..24).collect();
+            let _ = pool.map(&items, |_, &x| x + 1).unwrap();
+            // `map` blocks until every job has reported, and each job
+            // decrements before reporting, so the pool is quiescent here.
+            assert_eq!(pool.gauges.queued.load(Ordering::Relaxed), 0);
+            assert_eq!(pool.gauges.busy.load(Ordering::Relaxed), 0);
+            // The global gauges exist (values race with other tests'
+            // pools, so only registration is asserted).
+            let snap = metrics::global().snapshot();
+            assert!(snap.gauge("exec.queue_depth").is_some());
+            assert!(snap.gauge("exec.worker_utilization").is_some());
+        }
+    }
+
+    /// The timeline enable flag is process-global, so the two tests that
+    /// flip it serialize against each other.
+    static TIMELINE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn map_records_queue_wait_and_job_run_spans_when_enabled() {
+        let _guard = TIMELINE_LOCK.lock().unwrap();
+        // Concurrent tests in this binary may add spans while capture is
+        // on, but every job records exactly one queue_wait and one
+        // job_run, so the counts stay paired.
+        timeline::set_enabled(true);
+        timeline::reset();
+        let items: Vec<usize> = (0..6).collect();
+        for workers in [1, 3] {
+            let pool = WorkerPool::new(workers);
+            let _ = pool.map(&items, |_, &x| x * 2).unwrap();
+        }
+        timeline::set_enabled(false);
+        let counts = timeline::snapshot().span_counts();
+        timeline::reset();
+        let job_run = counts.get("job_run").copied().unwrap_or(0);
+        let queue_wait = counts.get("queue_wait").copied().unwrap_or(0);
+        assert!(job_run >= 12, "job_run spans: {counts:?}");
+        assert_eq!(job_run, queue_wait, "paired spans: {counts:?}");
+    }
+
+    #[test]
+    fn disabled_timeline_records_nothing_from_map() {
+        let _guard = TIMELINE_LOCK.lock().unwrap();
+        timeline::set_enabled(false);
+        timeline::reset();
+        let pool = WorkerPool::new(2);
+        let items: Vec<usize> = (0..8).collect();
+        let _ = pool.map(&items, |_, &x| x).unwrap();
+        let counts = timeline::snapshot().span_counts();
+        assert_eq!(counts.get("job_run"), None, "{counts:?}");
     }
 }

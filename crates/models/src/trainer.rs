@@ -20,7 +20,7 @@ use crate::predictor::{group_norms, TrainReport};
 use adaptraj_data::batch::shuffled_batches;
 use adaptraj_data::trajectory::TrajWindow;
 use adaptraj_exec::{window_seed, WorkerPool};
-use adaptraj_obs::{obs_info, obs_warn, profile, EpochRecord, PhaseTiming, Span};
+use adaptraj_obs::{obs_info, obs_warn, profile, timeline, EpochRecord, PhaseTiming, Span};
 use adaptraj_tensor::optim::Adam;
 use adaptraj_tensor::param::ParamId;
 use adaptraj_tensor::{GradBuffer, ParamStore, Rng, Tape, Tensor, Var};
@@ -125,6 +125,8 @@ impl<'a> Trainer<'a> {
         for epoch in 0..cfg.epochs {
             let global_epoch = epoch + self.epoch_offset;
             let mut span = Span::enter("models.fit", "epoch").with("epoch", global_epoch);
+            let _tl_epoch =
+                timeline::span_with_arg("epoch", "train", ("epoch", global_epoch as u64));
             // Profiler attribution: ops in this epoch land under the
             // loop's phase label; workers re-enter the same path.
             let _profile_phase = profile::phase(self.phase);
@@ -147,7 +149,10 @@ impl<'a> Trainer<'a> {
                     &per_window,
                 );
                 // Reduce in batch-position order — bit-identical to the
-                // sequential loop for every worker count.
+                // sequential loop for every worker count. The whole
+                // serialized section (absorb → clip → step) is one
+                // `grad_reduce` span on the dispatcher's timeline lane.
+                let tl_reduce = timeline::span("grad_reduce", "train");
                 let mut buf = GradBuffer::new();
                 let inv = 1.0 / batch.len() as f32;
                 for (&i, r) in batch.iter().zip(&results) {
@@ -180,6 +185,7 @@ impl<'a> Trainer<'a> {
                 rec.group_norms = group_norms(store, &buf);
                 opt.step(store, &buf);
                 buf.recycle();
+                drop(tl_reduce);
             }
             let mean_loss = (epoch_loss / seen.max(1) as f64) as f32;
             rec.loss = mean_loss as f64;

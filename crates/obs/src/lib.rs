@@ -20,6 +20,15 @@
 //!   decomposed losses, per-group gradient/parameter norms, non-finite
 //!   guards, and per-phase wall-clock, serialized as a run-manifest
 //!   JSON document.
+//! - [`timeline`]: the execution flight recorder — per-thread span
+//!   buffers (`queue_wait` / `job_run` / `grad_reduce` / profiler
+//!   phases) exported as Chrome trace-event JSON for Perfetto and as
+//!   folded stacks for flamegraphs. Disabled capture costs one relaxed
+//!   atomic load per span site.
+//! - [`serve`]: the live telemetry endpoint — a std-`TcpListener`
+//!   background thread serving `GET /metrics` (Prometheus text
+//!   exposition with p50/p90/p99/p999 quantiles), `GET /healthz`, and
+//!   `GET /profile`.
 //!
 //! The crate sits below every other workspace crate (even
 //! `adaptraj-tensor` instruments its tape with it) and therefore
@@ -28,7 +37,9 @@
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod serve;
 pub mod telemetry;
+pub mod timeline;
 pub mod trace;
 
 pub use metrics::{
@@ -36,9 +47,11 @@ pub use metrics::{
     RegistrySnapshot,
 };
 pub use profile::{ProfileSnapshot, PROFILE_SCHEMA};
+pub use serve::TelemetryServer;
 pub use telemetry::{
     EpochRecord, EvalSummary, GroupNorm, LossComponents, PhaseTiming, RunTelemetry, MANIFEST_SCHEMA,
 };
+pub use timeline::{SpanHandle, TimelineEvent, TimelineLane, TimelineSnapshot};
 pub use trace::{
     add_sink, clear_sinks, emit, enabled, flush_sinks, max_level, set_max_level, CaptureSink,
     Event, FieldValue, JsonlSink, Level, Sink, Span, StderrSink,

@@ -77,6 +77,7 @@ pub struct HistSnapshot {
     pub p50: f64,
     pub p90: f64,
     pub p99: f64,
+    pub p999: f64,
     pub non_finite: u64,
 }
 
@@ -148,6 +149,7 @@ impl HistogramHandle {
             p50: Self::quantile_locked(&st, 0.50),
             p90: Self::quantile_locked(&st, 0.90),
             p99: Self::quantile_locked(&st, 0.99),
+            p999: Self::quantile_locked(&st, 0.999),
             non_finite: st.non_finite,
         }
     }
@@ -171,6 +173,7 @@ impl HistogramHandle {
             .f64("p50", s.p50)
             .f64("p90", s.p90)
             .f64("p99", s.p99)
+            .f64("p999", s.p999)
             .u64("non_finite", s.non_finite)
             .finish()
     }
@@ -310,6 +313,21 @@ impl RegistrySnapshot {
     /// Histogram summary at snapshot time, if registered.
     pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
         self.histograms.get(name)
+    }
+
+    /// All counters, name-sorted (used by the Prometheus renderer).
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(n, &v)| (n.as_str(), v))
+    }
+
+    /// All gauges, name-sorted.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(n, &v)| (n.as_str(), v))
+    }
+
+    /// All histogram summaries, name-sorted.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &HistSnapshot)> {
+        self.histograms.iter().map(|(n, s)| (n.as_str(), s))
     }
 
     /// Delta of this (later) snapshot against an `earlier` one: counter

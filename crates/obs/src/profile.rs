@@ -131,8 +131,18 @@ pub fn current_path() -> Option<String> {
 /// the dispatching thread's phase. Free (and untracked) while profiling
 /// is disabled or when `path` is empty.
 pub fn phase_at(path: &str) -> PhaseGuard {
+    // The phase doubles as a timeline span (named by its last segment so
+    // worker lanes show the same label the dispatcher's `phase` used).
+    let timeline = if path.is_empty() {
+        None
+    } else {
+        crate::timeline::phase_span(path.rsplit('/').next().unwrap_or(path))
+    };
     if !profiling_enabled() || path.is_empty() {
-        return PhaseGuard { pushed: false };
+        return PhaseGuard {
+            pushed: false,
+            _timeline: timeline,
+        };
     }
     let id = {
         let mut st = state().lock().expect("profiler poisoned");
@@ -147,7 +157,10 @@ pub fn phase_at(path: &str) -> PhaseGuard {
         }
     };
     PHASE_STACK.with(|s| s.borrow_mut().push(id));
-    PhaseGuard { pushed: true }
+    PhaseGuard {
+        pushed: true,
+        _timeline: timeline,
+    }
 }
 
 /// The choke point every instrumented op reports through. A no-op when the
@@ -165,18 +178,24 @@ pub fn record_op(kind: &'static str, dir: Dir, timer: OpTimer, bytes: u64) {
 }
 
 /// Scope guard labelling all ops recorded on this thread until drop.
-/// Nested guards produce `parent/child` paths.
+/// Nested guards produce `parent/child` paths. When timeline capture is
+/// on, the guard also records the phase as a span on this thread's lane.
 #[must_use = "the phase ends when the guard drops"]
 #[derive(Debug)]
 pub struct PhaseGuard {
     pushed: bool,
+    _timeline: Option<crate::timeline::SpanHandle>,
 }
 
 /// Enters a profiling phase. Free (and untracked) while profiling is
 /// disabled.
 pub fn phase(label: &str) -> PhaseGuard {
+    let timeline = crate::timeline::phase_span(label);
     if !profiling_enabled() {
-        return PhaseGuard { pushed: false };
+        return PhaseGuard {
+            pushed: false,
+            _timeline: timeline,
+        };
     }
     let parent = current_phase();
     let id = {
@@ -197,7 +216,10 @@ pub fn phase(label: &str) -> PhaseGuard {
         }
     };
     PHASE_STACK.with(|s| s.borrow_mut().push(id));
-    PhaseGuard { pushed: true }
+    PhaseGuard {
+        pushed: true,
+        _timeline: timeline,
+    }
 }
 
 impl Drop for PhaseGuard {

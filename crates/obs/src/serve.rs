@@ -1,0 +1,358 @@
+//! Live telemetry endpoint: a `std::net::TcpListener` background thread
+//! serving the process's observability surfaces over minimal HTTP/1.1.
+//!
+//! Routes:
+//!
+//! * `GET /metrics` — Prometheus text exposition (version 0.0.4) of the
+//!   global [`metrics`] registry: counters, gauges, and histograms as
+//!   summaries with `quantile="0.5|0.9|0.99|0.999"` labels plus `_sum` /
+//!   `_count`.
+//! * `GET /healthz` — liveness probe, always `ok`.
+//! * `GET /profile` — the op/phase profiler's [`ProfileSnapshot`] as JSON
+//!   (same document `--profile-out` writes).
+//!
+//! The server is intentionally tiny (one thread, `Connection: close`, no
+//! keep-alive, no TLS): it exists so a human or a Prometheus scraper can
+//! watch a training/bench run live, and is the skeleton `adaptraj-serve`
+//! (ROADMAP item 3) will mount its predict routes on. Binding port 0
+//! picks a free port; [`TelemetryServer::local_addr`] reports it.
+//!
+//! [`ProfileSnapshot`]: crate::profile::ProfileSnapshot
+
+use crate::metrics::{HistSnapshot, Registry, RegistrySnapshot};
+use crate::profile;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to the background telemetry listener. Dropping it (or calling
+/// [`stop`](TelemetryServer::stop)) shuts the thread down.
+#[derive(Debug)]
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9898`, or `:0` for an ephemeral
+    /// port) and starts serving on a background thread.
+    pub fn start(addr: &str) -> std::io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("adaptraj-telemetry".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        handle_conn(stream);
+                    }
+                }
+            })?;
+        Ok(TelemetryServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and waits for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::Relaxed);
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Reads one request (headers only — no routes take bodies), routes it,
+/// writes one response, closes.
+fn handle_conn(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 64 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request_line = match std::str::from_utf8(&buf) {
+        Ok(text) => text.lines().next().unwrap_or("").to_string(),
+        Err(_) => String::new(),
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                render_prometheus(crate::metrics::global()),
+            ),
+            "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+            "/profile" => (
+                "200 OK",
+                "application/json; charset=utf-8",
+                format!("{}\n", profile::snapshot().to_json()),
+            ),
+            "/" => (
+                "200 OK",
+                "text/plain; charset=utf-8",
+                "adaptraj telemetry\nroutes: /metrics /healthz /profile\n".to_string(),
+            ),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found\n".to_string(),
+            ),
+        }
+    };
+
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Renders the registry as Prometheus text exposition format 0.0.4.
+pub fn render_prometheus(registry: &Registry) -> String {
+    render_snapshot(&registry.snapshot())
+}
+
+/// Renders a registry snapshot: counters and gauges as single samples,
+/// histograms as summaries with p50/p90/p99/p999 quantile labels.
+pub fn render_snapshot(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in snap.counters() {
+        let name = sanitize(name);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    }
+    for (name, value) in snap.gauges() {
+        let name = sanitize(name);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", fmt_val(value)));
+    }
+    for (name, hist) in snap.histograms() {
+        let name = sanitize(name);
+        out.push_str(&format!("# TYPE {name} summary\n"));
+        render_quantiles(&mut out, &name, hist);
+    }
+    out
+}
+
+fn render_quantiles(out: &mut String, name: &str, hist: &HistSnapshot) {
+    for (q, v) in [
+        ("0.5", hist.p50),
+        ("0.9", hist.p90),
+        ("0.99", hist.p99),
+        ("0.999", hist.p999),
+    ] {
+        out.push_str(&format!("{name}{{quantile=\"{q}\"}} {}\n", fmt_val(v)));
+    }
+    out.push_str(&format!("{name}_sum {}\n", fmt_val(hist.sum)));
+    out.push_str(&format!("{name}_count {}\n", hist.count));
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]` and must not start with
+/// a digit; the registry uses dotted names (`exec.queue_depth`), which
+/// map to underscores.
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, '_');
+    }
+    s
+}
+
+/// Prometheus renders non-finite samples as the literals `NaN` / `+Inf` /
+/// `-Inf`.
+fn fmt_val(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+        )
+        .expect("send request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        response
+    }
+
+    #[test]
+    fn sanitize_maps_dots_and_leading_digits() {
+        assert_eq!(sanitize("exec.queue_depth"), "exec_queue_depth");
+        assert_eq!(sanitize("span.fit_ms"), "span_fit_ms");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize("a:b_c1"), "a:b_c1");
+    }
+
+    #[test]
+    fn fmt_val_renders_non_finite_literals() {
+        assert_eq!(fmt_val(f64::NAN), "NaN");
+        assert_eq!(fmt_val(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_val(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(fmt_val(1.5), "1.5");
+    }
+
+    #[test]
+    fn renders_all_metric_kinds_in_exposition_format() {
+        let reg = Registry::new();
+        reg.counter("serve.test_count").add(7);
+        reg.gauge("serve.test_gauge").set(2.5);
+        let h = reg.histogram("serve.test_ms");
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        let text = render_prometheus(&reg);
+        assert!(text.contains("# TYPE serve_test_count counter\nserve_test_count 7\n"));
+        assert!(text.contains("# TYPE serve_test_gauge gauge\nserve_test_gauge 2.5\n"));
+        assert!(text.contains("# TYPE serve_test_ms summary\n"));
+        for q in ["0.5", "0.9", "0.99", "0.999"] {
+            assert!(
+                text.contains(&format!("serve_test_ms{{quantile=\"{q}\"}} ")),
+                "missing quantile {q} in:\n{text}"
+            );
+        }
+        assert!(text.contains("serve_test_ms_sum 5050\n"));
+        assert!(text.contains("serve_test_ms_count 100\n"));
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_render_as_nan() {
+        let reg = Registry::new();
+        let _ = reg.histogram("serve.empty_ms");
+        let text = render_prometheus(&reg);
+        assert!(text.contains("serve_empty_ms{quantile=\"0.5\"} NaN\n"));
+        assert!(text.contains("serve_empty_ms_count 0\n"));
+    }
+
+    #[test]
+    fn server_serves_healthz_metrics_and_errors() {
+        let server = TelemetryServer::start("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
+        assert!(health.ends_with("ok\n"), "{health}");
+
+        // A metric recorded mid-run is visible on the next scrape.
+        metrics::global().counter("serve.live_probe_total").add(3);
+        let metrics_resp = get(addr, "/metrics");
+        assert!(metrics_resp.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(
+            metrics_resp.contains("text/plain; version=0.0.4"),
+            "{metrics_resp}"
+        );
+        assert!(metrics_resp.contains("serve_live_probe_total"));
+
+        let profile_resp = get(addr, "/profile");
+        assert!(profile_resp.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(profile_resp.contains("application/json"));
+        assert!(profile_resp.contains('{'), "{profile_resp}");
+
+        let index = get(addr, "/");
+        assert!(index.contains("/metrics"));
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404 Not Found\r\n"));
+
+        // Non-GET is rejected.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405 "), "{response}");
+
+        server.stop();
+    }
+
+    #[test]
+    fn stop_does_not_hang_and_port_is_released() {
+        let server = TelemetryServer::start("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        server.stop();
+        // After stop, new requests are refused (or reset) — the thread is
+        // gone and the listener closed.
+        assert!(
+            TcpStream::connect(addr).is_err() || get_safe(addr).is_none(),
+            "listener still serving after stop"
+        );
+    }
+
+    fn get_safe(addr: SocketAddr) -> Option<String> {
+        let mut stream = TcpStream::connect(addr).ok()?;
+        write!(stream, "GET /healthz HTTP/1.1\r\n\r\n").ok()?;
+        let mut response = String::new();
+        stream.read_to_string(&mut response).ok()?;
+        if response.is_empty() {
+            None
+        } else {
+            Some(response)
+        }
+    }
+}

@@ -342,6 +342,12 @@ impl Sink for StderrSink {
 
 /// JSONL file sink: one [`Event::to_json`] line per record. Also accepts
 /// raw pre-serialized lines so the final metrics dump can share the file.
+///
+/// Writes are line-atomic: each record is assembled into one buffer
+/// (line + `\n`) and written with a single `write_all` under the writer
+/// mutex, so concurrent worker threads can never interleave partial
+/// lines. The sink also flushes on drop, so records survive even when
+/// [`flush_sinks`] is not reached (e.g. a panicking run).
 pub struct JsonlSink {
     writer: Mutex<std::io::BufWriter<std::fs::File>>,
 }
@@ -361,9 +367,22 @@ impl JsonlSink {
     }
 
     /// Appends one pre-serialized JSON line (no trailing newline needed).
+    /// The full line lands in one `write_all` call under the lock, so
+    /// lines from concurrent threads never tear.
     pub fn write_raw_line(&self, json: &str) {
+        let mut line = String::with_capacity(json.len() + 1);
+        line.push_str(json);
+        line.push('\n');
         let mut w = self.writer.lock().expect("jsonl writer poisoned");
-        let _ = writeln!(w, "{json}");
+        let _ = w.write_all(line.as_bytes());
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if let Ok(w) = self.writer.get_mut() {
+            let _ = w.flush();
+        }
     }
 }
 

@@ -50,7 +50,12 @@ fn histogram_quantiles_match_sorted_sample_oracle() {
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let snap = h.snapshot();
     assert_eq!(snap.count, 5000);
-    for (q, got) in [(0.5, snap.p50), (0.9, snap.p90), (0.99, snap.p99)] {
+    for (q, got) in [
+        (0.5, snap.p50),
+        (0.9, snap.p90),
+        (0.99, snap.p99),
+        (0.999, snap.p999),
+    ] {
         let want = oracle_quantile(&samples, q);
         let rel = (got - want).abs() / want;
         assert!(rel < 0.025, "p{q}: got {got}, oracle {want}, rel err {rel}");
@@ -140,4 +145,56 @@ fn jsonl_sink_writes_the_documented_schema() {
 
     // Line 3: raw metric lines pass through verbatim.
     assert_eq!(lines[2], r#"{"type":"counter","name":"demo","value":1}"#);
+}
+
+/// Concurrent writers must never tear lines: each line plus its newline
+/// goes through one locked `write_all`, so every line in the file is a
+/// complete record from exactly one writer.
+#[test]
+fn jsonl_sink_lines_are_atomic_under_concurrent_writers() {
+    const THREADS: usize = 8;
+    const LINES_PER_THREAD: usize = 250;
+
+    let path =
+        std::env::temp_dir().join(format!("adaptraj_obs_stress_{}.jsonl", std::process::id()));
+    let path_str = path.to_str().expect("temp path is utf-8");
+    let sink = Arc::new(JsonlSink::create(path_str).expect("create jsonl"));
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let sink = Arc::clone(&sink);
+            s.spawn(move || {
+                for i in 0..LINES_PER_THREAD {
+                    // Long enough payload that a torn write would split it
+                    // across a flush boundary.
+                    sink.write_raw_line(&format!(
+                        r#"{{"type":"stress","thread":{t},"index":{i},"pad":"{}"}}"#,
+                        "x".repeat(200)
+                    ));
+                }
+            });
+        }
+    });
+    sink.flush();
+
+    let text = std::fs::read_to_string(&path).expect("read stress file back");
+    std::fs::remove_file(&path).ok();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), THREADS * LINES_PER_THREAD);
+
+    // Every (thread, index) pair appears exactly once and every line is
+    // intact, well-formed JSON.
+    let mut seen = std::collections::BTreeSet::new();
+    for line in lines {
+        let v = adaptraj_obs::json::Value::parse(line)
+            .unwrap_or_else(|e| panic!("torn or invalid line {line:?}: {e}"));
+        let t = v.get("thread").and_then(|x| x.as_u64()).expect("thread id");
+        let i = v.get("index").and_then(|x| x.as_u64()).expect("index");
+        assert_eq!(
+            v.get("pad").and_then(|x| x.as_str()).map(str::len),
+            Some(200)
+        );
+        assert!(seen.insert((t, i)), "duplicate line for ({t},{i})");
+    }
+    assert_eq!(seen.len(), THREADS * LINES_PER_THREAD);
 }

@@ -70,6 +70,22 @@ cargo run --release --offline -p adaptraj-bench --bin bench_gate -- \
     --baseline results/BENCH_baseline.json --candidate target/BENCH_ci.json \
     --check || fail=1
 
+step "flight-recorder smoke (run --trace-out + Chrome trace validation)"
+# Tiny training run with the execution timeline enabled, then validate
+# the emitted Chrome trace document: required keys (ph/ts/pid/tid/name),
+# non-negative timestamps/durations, and the executor + trainer span set.
+cargo run --release --offline --bin adaptraj -- \
+    run --backbone pecnet --method vanilla --sources eth_ucy --target l_cas \
+    --epochs 1 --workers 2 --trace-out target/trace_ci.json || fail=1
+cargo run --release --offline -p adaptraj-bench --bin trace_check -- \
+    target/trace_ci.json \
+    --require queue_wait --require job_run --require grad_reduce || fail=1
+
+step "telemetry endpoint smoke (/metrics + /healthz scrape)"
+# Binds port 0, scrapes /metrics (Prometheus text incl. p999 quantiles),
+# /healthz, and /profile through a real TCP round trip.
+cargo test -q --offline --test telemetry serve_ || fail=1
+
 echo
 if [ "$fail" -ne 0 ]; then
     echo "CI: FAILED"

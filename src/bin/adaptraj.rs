@@ -18,7 +18,8 @@ use adaptraj::eval::viz::{render_window, VizOptions};
 use adaptraj::eval::{run_cell, CellSpec, RunnerConfig, TextTable};
 use adaptraj::models::predictor::TrainReport;
 use adaptraj::models::{BackboneConfig, PecNet, Predictor, TrainerConfig, Vanilla};
-use adaptraj::obs::profile;
+use adaptraj::obs::serve::TelemetryServer;
+use adaptraj::obs::{profile, timeline};
 use adaptraj::obs::{EvalSummary, JsonlSink, RunTelemetry, StderrSink};
 use adaptraj::tensor::serialize::save_params_to_file;
 use adaptraj::tensor::Rng;
@@ -66,6 +67,37 @@ fn ensure_clean_tree_for_golden_update() -> Result<(), Box<dyn std::error::Error
                 .into(),
         );
     }
+    Ok(())
+}
+
+/// Binds the live telemetry endpoint when `--telemetry-addr` was given.
+/// The returned server keeps serving until dropped.
+fn start_telemetry(
+    addr: &Option<String>,
+) -> Result<Option<TelemetryServer>, Box<dyn std::error::Error>> {
+    let Some(addr) = addr else { return Ok(None) };
+    let server =
+        TelemetryServer::start(addr).map_err(|e| format!("--telemetry-addr {addr}: {e}"))?;
+    println!(
+        "telemetry endpoint on http://{} (GET /metrics /healthz /profile)",
+        server.local_addr()
+    );
+    Ok(Some(server))
+}
+
+/// Writes the flight-recorder capture: Chrome trace JSON at `path` plus
+/// profiler-derived folded stacks at `path.folded`.
+fn write_trace(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let snap = timeline::snapshot();
+    std::fs::write(path, snap.to_chrome_trace())?;
+    let folded_path = format!("{path}.folded");
+    std::fs::write(&folded_path, timeline::folded_stacks(&profile::snapshot()))?;
+    println!(
+        "flight-recorder trace written to {path} ({} spans across {} lanes; \
+         folded stacks in {folded_path})",
+        snap.len(),
+        snap.lanes.len()
+    );
     Ok(())
 }
 
@@ -133,14 +165,25 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             metrics_out,
             manifest,
             profile_out,
+            trace_out,
+            telemetry_addr,
         } => {
             if let Some(level) = log_level {
                 adaptraj::obs::set_max_level(level);
                 adaptraj::obs::add_sink(Arc::new(StderrSink));
             }
-            if profile_out.is_some() {
+            // Held for the duration of the arm; dropping it stops the
+            // listener thread.
+            let _telemetry_server = start_telemetry(&telemetry_addr)?;
+            // The timeline's folded-stacks export derives from the phase
+            // profiler, so --trace-out implies profiling too.
+            if profile_out.is_some() || trace_out.is_some() {
                 profile::reset();
                 profile::set_enabled(true);
+            }
+            if trace_out.is_some() {
+                timeline::reset();
+                timeline::set_enabled(true);
             }
             let metrics_sink = match &metrics_out {
                 Some(path) => {
@@ -243,6 +286,10 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 telemetry.write_to_file(std::path::Path::new(&path))?;
                 println!("run manifest written to {path}");
             }
+            if let Some(path) = trace_out {
+                timeline::set_enabled(false);
+                write_trace(&path)?;
+            }
             if let Some(path) = profile_out {
                 profile::set_enabled(false);
                 let snap = profile::snapshot();
@@ -266,6 +313,8 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             workers,
             seed,
             profile_out,
+            trace_out,
+            telemetry_addr,
         } => {
             let cfg = PerfConfig {
                 epochs,
@@ -278,10 +327,21 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 "bench: {} epochs, {} scenes, {} inference windows, {} workers, seed {} ...",
                 cfg.epochs, cfg.scenes, cfg.eval_windows, cfg.workers, cfg.seed
             );
+            let _telemetry_server = start_telemetry(&telemetry_addr)?;
+            // `run_perf` manages the profiler itself (reset + enable +
+            // restore); only the timeline needs arming here.
+            if trace_out.is_some() {
+                timeline::reset();
+                timeline::set_enabled(true);
+            }
             let report = run_perf(&cfg);
             print!("{}", report.render_text());
             std::fs::write(&out, report.to_json())?;
             println!("bench document written to {out}");
+            if let Some(path) = trace_out {
+                timeline::set_enabled(false);
+                write_trace(&path)?;
+            }
             if let Some(path) = profile_out {
                 std::fs::write(&path, report.profile.to_json())?;
                 println!("op-level profile written to {path}");

@@ -39,10 +39,13 @@ pub enum Command {
         metrics_out: Option<String>,
         manifest: Option<String>,
         profile_out: Option<String>,
+        trace_out: Option<String>,
+        telemetry_addr: Option<String>,
     },
     /// `bench [--out FILE.json] [--epochs N] [--scenes N]
     ///  [--eval-windows N] [--workers N] [--seed S]
-    ///  [--profile-out FILE.json]` — run the fixed-seed perf workloads
+    ///  [--profile-out FILE.json] [--trace-out FILE.json]
+    ///  [--telemetry-addr HOST:PORT]` — run the fixed-seed perf workloads
     /// under the op-level profiler and write an `adaptraj-bench/v1`
     /// document (see EXPERIMENTS.md).
     Bench {
@@ -53,6 +56,8 @@ pub enum Command {
         workers: usize,
         seed: Option<u64>,
         profile_out: Option<String>,
+        trace_out: Option<String>,
+        telemetry_addr: Option<String>,
     },
     /// `visualize --target <d> [--out DIR] [--count N]` — train a quick
     /// model and render SVG predictions.
@@ -259,6 +264,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "metrics-out",
                     "manifest",
                     "profile-out",
+                    "trace-out",
+                    "telemetry-addr",
                 ],
             )?;
             let backbone = parse_backbone(
@@ -307,6 +314,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 metrics_out: flags.get("metrics-out").map(|s| s.to_string()),
                 manifest: flags.get("manifest").map(|s| s.to_string()),
                 profile_out: flags.get("profile-out").map(|s| s.to_string()),
+                trace_out: flags.get("trace-out").map(|s| s.to_string()),
+                telemetry_addr: flags.get("telemetry-addr").map(|s| s.to_string()),
             })
         }
         "bench" => {
@@ -320,6 +329,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "workers",
                     "seed",
                     "profile-out",
+                    "trace-out",
+                    "telemetry-addr",
                 ],
             )?;
             Ok(Command::Bench {
@@ -330,6 +341,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 workers: parse_usize(&flags, "workers", 1)?,
                 seed: parse_seed(&flags)?,
                 profile_out: flags.get("profile-out").map(|s| s.to_string()),
+                trace_out: flags.get("trace-out").map(|s| s.to_string()),
+                telemetry_addr: flags.get("telemetry-addr").map(|s| s.to_string()),
             })
         }
         "visualize" => {
@@ -374,9 +387,11 @@ USAGE:
                [--ckpt FILE.atps]
                [--seed S] [--log-level <error|warn|info|debug|trace>]
                [--metrics-out FILE.jsonl] [--manifest FILE.json]
-               [--profile-out FILE.json]
+               [--profile-out FILE.json] [--trace-out FILE.json]
+               [--telemetry-addr HOST:PORT]
   adaptraj bench [--out FILE.json] [--epochs N] [--scenes N] [--eval-windows N]
                  [--workers N] [--seed S] [--profile-out FILE.json]
+                 [--trace-out FILE.json] [--telemetry-addr HOST:PORT]
   adaptraj visualize --target <d> [--out DIR] [--count N]
   adaptraj check [--golden-dir DIR] [--out-dir DIR] [--metric-tol-pct N]
                  [--update-golden]
@@ -397,6 +412,15 @@ OBSERVABILITY (run):
                       gradient norms, phase timings, eval summary)
   --profile-out FILE  enable the op-level profiler and write a per-op/per-phase
                       breakdown JSON (adaptraj-profile/v1)
+  --trace-out FILE    enable the flight-recorder timeline and write a Chrome
+                      trace-event JSON (open in Perfetto / chrome://tracing;
+                      one lane per worker with queue_wait / job_run /
+                      grad_reduce / phase spans) plus FILE.folded with
+                      flamegraph folded stacks from the phase profiler
+  --telemetry-addr A  serve live telemetry over HTTP while the command runs:
+                      GET /metrics (Prometheus text, p50/p90/p99/p999),
+                      /healthz, /profile; A is HOST:PORT (port 0 = ephemeral)
+                      — both flags also apply to bench
 
 BENCH:
   runs fixed-seed training + inference workloads (PECNet/LBEBM vanilla and
@@ -449,7 +473,8 @@ mod tests {
             "run --backbone lbebm --method adaptraj --sources eth_ucy,l_cas,syi \
              --target sdd --epochs 30 --workers 4 --ckpt model.atps --seed 42 \
              --log-level debug --metrics-out m.jsonl --manifest run.json \
-             --profile-out prof.json",
+             --profile-out prof.json --trace-out t.json \
+             --telemetry-addr 127.0.0.1:9898",
         ))
         .unwrap();
         assert_eq!(
@@ -467,6 +492,8 @@ mod tests {
                 metrics_out: Some("m.jsonl".into()),
                 manifest: Some("run.json".into()),
                 profile_out: Some("prof.json".into()),
+                trace_out: Some("t.json".into()),
+                telemetry_addr: Some("127.0.0.1:9898".into()),
             }
         );
     }
@@ -483,12 +510,15 @@ mod tests {
                 workers: 1,
                 seed: None,
                 profile_out: None,
+                trace_out: None,
+                telemetry_addr: None,
             }
         );
         assert_eq!(
             parse(&args(
                 "bench --out BENCH_1.json --epochs 2 --scenes 3 --eval-windows 50 \
-                 --workers 4 --seed 9 --profile-out prof.json"
+                 --workers 4 --seed 9 --profile-out prof.json --trace-out t.json \
+                 --telemetry-addr 0.0.0.0:0"
             ))
             .unwrap(),
             Command::Bench {
@@ -499,6 +529,8 @@ mod tests {
                 workers: 4,
                 seed: Some(9),
                 profile_out: Some("prof.json".into()),
+                trace_out: Some("t.json".into()),
+                telemetry_addr: Some("0.0.0.0:0".into()),
             }
         );
     }
@@ -524,6 +556,8 @@ mod tests {
             metrics_out,
             manifest,
             profile_out,
+            trace_out,
+            telemetry_addr,
             ..
         } = cmd
         else {
@@ -535,6 +569,27 @@ mod tests {
         assert_eq!(metrics_out, None);
         assert_eq!(manifest, None);
         assert_eq!(profile_out, None);
+        assert_eq!(trace_out, None);
+        assert_eq!(telemetry_addr, None);
+    }
+
+    #[test]
+    fn run_flight_recorder_flags_parse() {
+        let cmd = parse(&args(
+            "run --backbone pecnet --method vanilla --sources sdd --target syi \
+             --trace-out trace.json --telemetry-addr 127.0.0.1:0",
+        ))
+        .unwrap();
+        let Command::Run {
+            trace_out,
+            telemetry_addr,
+            ..
+        } = cmd
+        else {
+            panic!("expected Run, got {cmd:?}");
+        };
+        assert_eq!(trace_out, Some("trace.json".into()));
+        assert_eq!(telemetry_addr, Some("127.0.0.1:0".into()));
     }
 
     #[test]

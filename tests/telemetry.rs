@@ -1,12 +1,27 @@
 //! Cross-crate observability tests: training produces a manifest with one
-//! record per epoch, finite decomposed losses, and phase timings, and the
-//! whole thing serializes as the documented JSON schema.
+//! record per epoch, finite decomposed losses, and phase timings, the
+//! whole thing serializes as the documented JSON schema, the flight
+//! recorder captures the same span set regardless of worker count, and
+//! the telemetry endpoint serves scrapeable text.
+//!
+//! The profiler, timeline, and metrics registry are process-global, so
+//! every test here serializes on [`test_lock`].
 
 use adaptraj::core::{AdapTraj, AdapTrajConfig};
 use adaptraj::data::dataset::{synthesize_domain, SynthesisConfig};
 use adaptraj::data::domain::DomainId;
 use adaptraj::models::{BackboneConfig, PecNet, Predictor, TrainerConfig};
+use adaptraj::obs::serve::TelemetryServer;
+use adaptraj::obs::{profile, timeline};
 use adaptraj::obs::{EvalSummary, RunTelemetry, MANIFEST_SCHEMA};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn test_lock() -> MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn tiny_synth() -> SynthesisConfig {
     SynthesisConfig {
@@ -16,7 +31,7 @@ fn tiny_synth() -> SynthesisConfig {
     }
 }
 
-fn train_report() -> adaptraj::models::predictor::TrainReport {
+fn train_report_with_workers(workers: usize) -> adaptraj::models::predictor::TrainReport {
     let sources = [DomainId::EthUcy, DomainId::LCas];
     let synth = tiny_synth();
     let mut train = Vec::new();
@@ -28,6 +43,7 @@ fn train_report() -> adaptraj::models::predictor::TrainReport {
             epochs: 3,
             batch_size: 8,
             max_train_windows: 16,
+            workers,
             ..TrainerConfig::default()
         },
         e_start: 1,
@@ -40,8 +56,13 @@ fn train_report() -> adaptraj::models::predictor::TrainReport {
     model.fit(&train)
 }
 
+fn train_report() -> adaptraj::models::predictor::TrainReport {
+    train_report_with_workers(1)
+}
+
 #[test]
 fn manifest_has_one_finite_record_per_epoch() {
+    let _g = test_lock();
     let report = train_report();
     let mut telemetry = RunTelemetry::new();
     telemetry.config("backbone", "PecNet");
@@ -89,6 +110,7 @@ fn manifest_has_one_finite_record_per_epoch() {
 
 #[test]
 fn manifest_round_trips_through_a_file() {
+    let _g = test_lock();
     let report = train_report();
     let mut telemetry = RunTelemetry::new();
     for rec in report.epochs {
@@ -100,4 +122,103 @@ fn manifest_round_trips_through_a_file() {
     std::fs::remove_file(&path).ok();
     assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
     assert_eq!(text, format!("{}\n", telemetry.to_json()));
+}
+
+/// Trains once under the profiler + flight recorder and returns the
+/// per-phase call rollup and per-name span counts. Durations are
+/// wall-clock and vary run to run; call counts must not.
+fn capture_rollups(workers: usize) -> (BTreeMap<String, u64>, BTreeMap<String, usize>) {
+    profile::reset();
+    profile::set_enabled(true);
+    timeline::reset();
+    timeline::set_enabled(true);
+    let report = train_report_with_workers(workers);
+    timeline::set_enabled(false);
+    profile::set_enabled(false);
+    assert_eq!(report.epochs.len(), 3);
+    let phases = profile::snapshot()
+        .by_phase()
+        .into_iter()
+        .map(|row| (row.phase, row.calls))
+        .collect();
+    (phases, timeline::snapshot().span_counts())
+}
+
+/// The same training run must produce the same profiler phase rollup and
+/// the same timeline span *set* whether jobs run inline (1 worker) or
+/// across the thread pool (4 workers) — only timings and lane assignment
+/// may differ.
+#[test]
+fn timeline_span_set_invariant_across_worker_counts() {
+    let _g = test_lock();
+    let (phases_1, spans_1) = capture_rollups(1);
+    let (phases_4, spans_4) = capture_rollups(4);
+
+    assert!(!spans_1.is_empty(), "flight recorder captured nothing");
+    for required in ["queue_wait", "job_run", "grad_reduce", "epoch"] {
+        assert!(spans_1.contains_key(required), "missing span '{required}'");
+    }
+    assert_eq!(spans_1, spans_4, "span set depends on worker count");
+    assert_eq!(phases_1, phases_4, "phase rollup depends on worker count");
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect telemetry endpoint");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read response");
+    out
+}
+
+/// Endpoint smoke (`serve_` prefix is what CI filters on): /metrics
+/// exposes histogram quantiles including p999, /healthz answers, and
+/// /profile returns the profiler JSON document.
+#[test]
+fn serve_endpoint_scrapes_metrics_healthz_and_profile() {
+    let _g = test_lock();
+    let registry = adaptraj::obs::global();
+    let hist = registry.histogram("serve_test.latency_ms");
+    for i in 0..100 {
+        hist.record(1.0 + i as f64);
+    }
+    registry.counter("serve_test.requests").add(3);
+
+    let server = TelemetryServer::start("127.0.0.1:0").expect("bind telemetry endpoint");
+    let addr = server.local_addr();
+
+    let metrics = http_get(addr, "/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
+    assert!(
+        metrics.contains("# TYPE serve_test_latency_ms summary"),
+        "{metrics}"
+    );
+    for q in ["0.5", "0.9", "0.99", "0.999"] {
+        assert!(
+            metrics.contains(&format!("serve_test_latency_ms{{quantile=\"{q}\"}}")),
+            "missing quantile {q} in:\n{metrics}"
+        );
+    }
+    assert!(metrics.contains("serve_test_latency_ms_count"), "{metrics}");
+    assert!(metrics.contains("serve_test_requests 3"), "{metrics}");
+
+    let health = http_get(addr, "/healthz");
+    assert!(
+        health.starts_with("HTTP/1.1 200") && health.ends_with("ok\n"),
+        "{health}"
+    );
+
+    let prof = http_get(addr, "/profile");
+    assert!(prof.starts_with("HTTP/1.1 200"), "{prof}");
+    let body = prof.split("\r\n\r\n").nth(1).unwrap_or("");
+    assert!(
+        body.trim_start().starts_with('{'),
+        "profile body not JSON: {body}"
+    );
+
+    server.stop();
 }
