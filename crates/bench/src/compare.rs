@@ -15,6 +15,16 @@ pub struct WorkloadMetrics {
     /// NaN when the document predates the p999 field (pre-PR-6 baselines)
     /// — the comparator then skips it, same as any other NaN metric.
     pub infer_p999_ms: f64,
+    /// Tape nodes pushed during training — the graph-size baseline for
+    /// ROADMAP item 1 (batched execution). Tracked, not regression-gated:
+    /// a model change legitimately moves it. NaN in pre-PR-7 documents.
+    pub tape_nodes: f64,
+    /// Buffer-pool bytes served from reuse during training. Tracked, not
+    /// gated. NaN in pre-PR-7 documents.
+    pub bytes_reused: f64,
+    /// Bytes freshly heap-allocated during training. Tracked, not gated.
+    /// NaN in pre-PR-7 documents.
+    pub bytes_allocated: f64,
 }
 
 /// A parsed (and schema-validated) bench document.
@@ -60,6 +70,9 @@ pub fn parse_doc(json: &str) -> Result<BenchDoc, String> {
             infer_p50_ms: field_f64(w, "infer_p50_ms"),
             infer_p99_ms: field_f64(w, "infer_p99_ms"),
             infer_p999_ms: field_f64(w, "infer_p999_ms"),
+            tape_nodes: field_f64(w, "tape_nodes"),
+            bytes_reused: field_f64(w, "bytes_reused"),
+            bytes_allocated: field_f64(w, "bytes_allocated"),
         });
     }
     if workloads.is_empty() {
@@ -324,6 +337,9 @@ mod tests {
                 infer_p50_ms: p50,
                 infer_p99_ms: p99,
                 infer_p999_ms: p99 * 1.2,
+                tape_nodes: 1000.0,
+                bytes_reused: 4096.0,
+                bytes_allocated: 8192.0,
             }],
         }
     }
@@ -368,6 +384,9 @@ mod tests {
                 infer_p50_ms: 2.0,
                 infer_p99_ms: 5.0,
                 infer_p999_ms: 6.0,
+                tape_nodes: 1000.0,
+                bytes_reused: 4096.0,
+                bytes_allocated: 8192.0,
             }],
         };
         let cmp = compare(&base, &cand, 25.0);
@@ -403,6 +422,27 @@ mod tests {
         // New-vs-new compares it.
         let cmp2 = compare(&cand, &cand, 10.0);
         assert!(cmp2.diffs.iter().any(|d| d.metric == "infer_p999_ms"));
+    }
+
+    #[test]
+    fn baseline_without_graph_counters_parses_and_compares() {
+        // A pre-PR-7 baseline document has no tape_nodes / pool counters:
+        // they parse to NaN and, being informational (never gated), the
+        // comparison result is unchanged.
+        let old = parse_doc(
+            "{\"schema\":\"adaptraj-bench/v1\",\"created_unix\":1,\
+             \"workloads\":[{\"name\":\"w\",\"windows_per_sec\":100.0,\
+             \"backward_ns_per_node\":500.0,\"infer_p50_ms\":2.0,\
+             \"infer_p99_ms\":5.0,\"infer_p999_ms\":6.0}]}",
+        )
+        .unwrap();
+        assert!(old.workloads[0].tape_nodes.is_nan());
+        assert!(old.workloads[0].bytes_reused.is_nan());
+        assert!(old.workloads[0].bytes_allocated.is_nan());
+        let cand = doc(100.0, 500.0, 2.0, 5.0);
+        let cmp = compare(&old, &cand, 10.0);
+        assert!(cmp.ok());
+        assert!(cmp.diffs.iter().all(|d| d.metric != "tape_nodes"));
     }
 
     #[test]
@@ -442,6 +482,9 @@ mod tests {
                 infer_p50_ms: 1.0,
                 infer_p99_ms: 2.0,
                 infer_p999_ms: 2.5,
+                tape_nodes: 1000.0,
+                bytes_reused: 4096.0,
+                bytes_allocated: 8192.0,
             }],
         };
         assert!(!improvement(&base, &cand, 25.0).ok());

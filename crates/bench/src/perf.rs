@@ -77,6 +77,10 @@ pub struct WorkloadResult {
     pub backward_ns_per_node: f64,
     /// Tape nodes pushed during training.
     pub tape_nodes: u64,
+    /// Bytes served from the buffer pool during training (reuse hits).
+    pub bytes_reused: u64,
+    /// Bytes freshly heap-allocated during training (pool misses).
+    pub bytes_allocated: u64,
     /// Timed single-sample inference passes.
     pub infer_windows: u64,
     pub infer_mean_ms: f64,
@@ -94,6 +98,8 @@ impl WorkloadResult {
             .f64("windows_per_sec", self.windows_per_sec)
             .f64("backward_ns_per_node", self.backward_ns_per_node)
             .u64("tape_nodes", self.tape_nodes)
+            .u64("bytes_reused", self.bytes_reused)
+            .u64("bytes_allocated", self.bytes_allocated)
             .u64("infer_windows", self.infer_windows)
             .f64("infer_mean_ms", self.infer_mean_ms)
             .f64("infer_p50_ms", self.infer_p50_ms)
@@ -228,6 +234,8 @@ fn run_workload(
         },
         backward_ns_per_node,
         tape_nodes,
+        bytes_reused: delta.counter("tensor.bytes_reused"),
+        bytes_allocated: delta.counter("tensor.bytes_allocated"),
         infer_windows: latencies_ms.len() as u64,
         infer_mean_ms,
         infer_p50_ms: pctl(&latencies_ms, 0.50),

@@ -1,0 +1,91 @@
+//! Regression tests pinning `bench_gate`'s behavior on malformed input:
+//! a one-line schema error on stderr and exit code 2 — never a panic.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bench_gate() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bench_gate"))
+}
+
+fn write_tmp(name: &str, text: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("adaptraj_gate_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+const GOOD_DOC: &str = "{\"schema\":\"adaptraj-bench/v1\",\"created_unix\":1,\
+     \"workloads\":[{\"name\":\"w\",\"windows_per_sec\":100.0,\
+     \"backward_ns_per_node\":500.0,\"infer_p50_ms\":2.0,\"infer_p99_ms\":5.0}]}";
+
+fn assert_schema_error(out: std::process::Output, needle: &str) {
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "expected exit 2, got {:?}",
+        out.status
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(needle),
+        "stderr missing '{needle}': {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "gate panicked instead of reporting: {stderr}"
+    );
+    // One-line diagnosis, not a backtrace.
+    assert_eq!(stderr.trim_end().lines().count(), 1, "stderr: {stderr}");
+}
+
+#[test]
+fn malformed_baseline_is_a_one_line_error() {
+    let bad = write_tmp("malformed.json", "{\"schema\":\"adaptraj-bench/v1\",");
+    let good = write_tmp("good.json", GOOD_DOC);
+    let out = bench_gate()
+        .args([
+            "--baseline",
+            bad.to_str().unwrap(),
+            "--candidate",
+            good.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_schema_error(out, "bench_gate: baseline");
+}
+
+#[test]
+fn wrong_schema_version_is_a_one_line_error() {
+    let good = write_tmp("good2.json", GOOD_DOC);
+    let wrong = write_tmp(
+        "wrong_schema.json",
+        "{\"schema\":\"adaptraj-bench/v999\",\"created_unix\":1,\"workloads\":[]}",
+    );
+    let out = bench_gate()
+        .args([
+            "--baseline",
+            good.to_str().unwrap(),
+            "--candidate",
+            wrong.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_schema_error(out, "bench_gate: candidate");
+}
+
+#[test]
+fn missing_file_is_a_one_line_error() {
+    let good = write_tmp("good3.json", GOOD_DOC);
+    let out = bench_gate()
+        .args([
+            "--baseline",
+            "/nonexistent/BENCH.json",
+            "--candidate",
+            good.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_schema_error(out, "bench_gate: baseline");
+}

@@ -1,0 +1,87 @@
+//! Regression tests pinning `golden_gate`'s behavior on malformed input:
+//! a one-line schema error on stderr and exit code 2 — never a panic.
+
+use adaptraj_check::golden::{golden_path, GOLDEN_NAMES};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn golden_gate() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_golden_gate"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("adaptraj_golden_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn assert_schema_error(out: std::process::Output, needle: &str) {
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "expected exit 2, got {:?}",
+        out.status
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(needle),
+        "stderr missing '{needle}': {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "gate panicked instead of reporting: {stderr}"
+    );
+    assert_eq!(stderr.trim_end().lines().count(), 1, "stderr: {stderr}");
+}
+
+#[test]
+fn malformed_baseline_json_is_a_one_line_error() {
+    let base = tmp_dir("malformed");
+    std::fs::write(golden_path(&base, GOLDEN_NAMES[0]), "{\"schema\":").unwrap();
+    let out = golden_gate()
+        .args([
+            "--baseline-dir",
+            base.to_str().unwrap(),
+            "--candidate-dir",
+            base.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_schema_error(out, "golden_gate: baseline");
+}
+
+#[test]
+fn wrong_schema_version_is_a_one_line_error() {
+    let base = tmp_dir("wrong_schema");
+    std::fs::write(
+        golden_path(&base, GOLDEN_NAMES[0]),
+        "{\"schema\":\"adaptraj-golden/v999\",\"name\":\"x\"}",
+    )
+    .unwrap();
+    let out = golden_gate()
+        .args([
+            "--baseline-dir",
+            base.to_str().unwrap(),
+            "--candidate-dir",
+            base.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_schema_error(out, "golden_gate: baseline");
+}
+
+#[test]
+fn missing_baseline_file_is_a_one_line_error() {
+    let empty = tmp_dir("empty");
+    let out = golden_gate()
+        .args([
+            "--baseline-dir",
+            empty.to_str().unwrap(),
+            "--candidate-dir",
+            empty.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_schema_error(out, "golden_gate: baseline");
+}

@@ -10,10 +10,11 @@ use adaptraj_data::domain::DomainId;
 use adaptraj_data::trajectory::{Point, TrajWindow};
 use adaptraj_exec::{window_seed, WorkerPool};
 use adaptraj_models::backbone::{base_loss, tensor_to_points, EncodedScene};
+use adaptraj_models::diagnostics::HealthAccum;
 use adaptraj_models::predictor::{cap_per_domain, group_norms, Predictor, TrainReport};
 use adaptraj_models::traits::{Backbone, ForwardCtx, GenMode};
 use adaptraj_obs::{
-    obs_info, obs_warn, profile, timeline, EpochRecord, LossComponents, PhaseTiming, Span,
+    health, obs_info, obs_warn, profile, timeline, EpochRecord, LossComponents, PhaseTiming, Span,
 };
 use adaptraj_tensor::optim::Adam;
 use adaptraj_tensor::{GradBuffer, ParamStore, Rng, Tape, Tensor, Var};
@@ -467,7 +468,14 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
             // Profiler path the worker threads re-enter, so their records
             // roll up under the same "stepN" phase as the dispatcher's.
             let profile_path = profile::current_path().unwrap_or_default();
-            for batch in shuffled_batches(windows.len(), self.cfg.trainer.batch_size, &mut rng) {
+            // Per-source-domain gradient accumulation for the health
+            // observatory (inert unless health capture is enabled).
+            let mut diag =
+                HealthAccum::new(epoch as u64, phase, self.sources.iter().map(|d| d.name()));
+            let mut halted = false;
+            let batch_list = shuffled_batches(windows.len(), self.cfg.trainer.batch_size, &mut rng);
+            let n_batches = batch_list.len();
+            for (batch_idx, batch) in batch_list.into_iter().enumerate() {
                 let mut buf = GradBuffer::new();
                 let inv = 1.0 / batch.len() as f32;
                 // Masked flags come off the main-thread rng in batch order,
@@ -481,6 +489,7 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
                 let results = pool
                     .map(&jobs, |_, &(i, masked)| {
                         let _p = profile::phase_at(&profile_path);
+                        let _h = health::window_scope(epoch as u64, i as u64);
                         adaptraj_tensor::with_pooled(|tape| {
                             let mut wrng =
                                 Rng::seed_from(window_seed(seed, epoch as u64, i as u64));
@@ -490,6 +499,12 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
                             let val = tape.value(loss).item();
                             if !val.is_finite() {
                                 return (val, values, Vec::new());
+                            }
+                            // `skip-window` policy: a tripped window drops
+                            // its gradient contribution via the existing
+                            // non-finite skip path.
+                            if health::should_skip_window() {
+                                return (f32::NAN, values, Vec::new());
                             }
                             let grads = tape.backward(loss);
                             let pairs = tape.take_param_grads(grads);
@@ -514,6 +529,7 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
                         continue;
                     }
                     buf.absorb_pairs_scaled(pairs, inv);
+                    diag.absorb(windows[jobs[pos].0].domain.name(), pairs, inv);
                     epoch_loss += *val as f64;
                     means.add(values);
                     seen += 1;
@@ -533,10 +549,21 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
                 grad_norm_sum += norm as f64;
                 batches += 1;
                 rec.group_norms = group_norms(&self.store, &buf);
+                let before = diag.pre_step(&self.store, batch_idx + 1 == n_batches);
                 opt.step(&mut self.store, &buf);
+                diag.post_step(&self.store, before);
                 buf.recycle();
                 drop(tl_reduce);
+                if health::halt_requested() {
+                    obs_warn!(
+                        "core.fit",
+                        "health tripwire requested halt at epoch {epoch}; stopping training"
+                    );
+                    halted = true;
+                    break;
+                }
             }
+            diag.finish();
             let mean_loss = (epoch_loss / seen.max(1) as f64) as f32;
             rec.loss = mean_loss as f64;
             rec.components = means.components();
@@ -547,6 +574,9 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
             span.record("grad_norm", rec.grad_norm);
             report.epoch_losses.push(mean_loss);
             report.epochs.push(rec);
+            if halted {
+                break;
+            }
         }
         for (i, &secs) in step_seconds.iter().enumerate() {
             if secs > 0.0 {

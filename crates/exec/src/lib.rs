@@ -35,7 +35,7 @@
 //! load per job when the timeline is disabled, and never any effect on
 //! dispatch order or result order.
 
-use adaptraj_obs::{metrics, timeline};
+use adaptraj_obs::{health, metrics, timeline};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::mpsc;
@@ -210,6 +210,10 @@ impl WorkerPool {
                 let r = catch_unwind(AssertUnwindSafe(|| f(i, item)));
                 drop(span);
                 self.gauges.finished();
+                // Inline jobs run in item order, so their health records
+                // can be absorbed directly — same sequence the channel
+                // path reconstructs from its per-item buffers.
+                health::absorb_records(health::take_thread_records());
                 match r {
                     Ok(v) => out.push(v),
                     Err(p) => {
@@ -223,7 +227,8 @@ impl WorkerPool {
             return Ok(out);
         };
 
-        let (res_tx, res_rx) = mpsc::channel::<(usize, std::thread::Result<O>)>();
+        let (res_tx, res_rx) =
+            mpsc::channel::<(usize, std::thread::Result<O>, Vec<health::HealthRecord>)>();
         for (i, item) in items.iter().enumerate() {
             let res_tx = res_tx.clone();
             let f = &f;
@@ -239,9 +244,14 @@ impl WorkerPool {
                 let r = catch_unwind(AssertUnwindSafe(|| f(i, item)));
                 drop(span);
                 gauges.finished();
+                // Health incidents buffered on this worker thread during
+                // the job travel back with the result, so the dispatcher
+                // can absorb them in item order (deterministic for any
+                // worker count). Empty (no allocation) while disabled.
+                let health_records = health::take_thread_records();
                 // The receiver outlives the dispatch loop; a send failure
                 // is impossible while `map` is still draining.
-                let _ = res_tx.send((i, r));
+                let _ = res_tx.send((i, r, health_records));
             });
             // SAFETY: the job borrows `items`, `f`, `gauges` (a field of
             // `self`), and `res_tx`, all of which outlive this call — `map`
@@ -257,11 +267,14 @@ impl WorkerPool {
         drop(res_tx);
 
         let mut slots: Vec<Option<O>> = (0..items.len()).map(|_| None).collect();
+        let mut record_slots: Vec<Vec<health::HealthRecord>> =
+            (0..items.len()).map(|_| Vec::new()).collect();
         let mut first_panic: Option<(usize, String)> = None;
         for _ in 0..items.len() {
-            let (i, r) = res_rx
+            let (i, r, health_records) = res_rx
                 .recv()
                 .expect("worker exited without reporting a result");
+            record_slots[i] = health_records;
             match r {
                 Ok(v) => slots[i] = Some(v),
                 Err(p) => {
@@ -271,6 +284,11 @@ impl WorkerPool {
                     }
                 }
             }
+        }
+        // Flush worker health buffers in item order — the global record
+        // sequence is then independent of dispatch interleaving.
+        for records in record_slots {
+            health::absorb_records(records);
         }
         if let Some((index, message)) = first_panic {
             return Err(ExecError::JobPanicked { index, message });

@@ -25,6 +25,7 @@ pub mod backbone;
 pub mod causal_motion;
 pub mod config;
 pub mod counter;
+pub mod diagnostics;
 pub mod lbebm;
 pub mod pecnet;
 pub mod predictor;

@@ -16,11 +16,12 @@
 //! never on which worker picks up the job or how jobs interleave.
 
 use crate::config::TrainerConfig;
+use crate::diagnostics::HealthAccum;
 use crate::predictor::{group_norms, TrainReport};
 use adaptraj_data::batch::shuffled_batches;
 use adaptraj_data::trajectory::TrajWindow;
 use adaptraj_exec::{window_seed, WorkerPool};
-use adaptraj_obs::{obs_info, obs_warn, profile, timeline, EpochRecord, PhaseTiming, Span};
+use adaptraj_obs::{health, obs_info, obs_warn, profile, timeline, EpochRecord, PhaseTiming, Span};
 use adaptraj_tensor::optim::Adam;
 use adaptraj_tensor::param::ParamId;
 use adaptraj_tensor::{GradBuffer, ParamStore, Rng, Tape, Tensor, Var};
@@ -122,6 +123,15 @@ impl<'a> Trainer<'a> {
         let phase_start = Instant::now();
         let mut best_loss = f32::INFINITY;
         let mut stale_epochs = 0usize;
+        // Source domains in first-appearance order, for the health
+        // observatory's per-domain gradient diagnostics.
+        let mut domain_names: Vec<&'static str> = Vec::new();
+        for w in windows {
+            let n = w.domain.name();
+            if !domain_names.contains(&n) {
+                domain_names.push(n);
+            }
+        }
         for epoch in 0..cfg.epochs {
             let global_epoch = epoch + self.epoch_offset;
             let mut span = Span::enter("models.fit", "epoch").with("epoch", global_epoch);
@@ -137,7 +147,15 @@ impl<'a> Trainer<'a> {
             let mut seen = 0usize;
             let mut grad_norm_sum = 0.0f64;
             let mut batches = 0usize;
-            for batch in shuffled_batches(windows.len(), cfg.batch_size, rng) {
+            let mut diag = HealthAccum::new(
+                global_epoch as u64,
+                self.phase,
+                domain_names.iter().copied(),
+            );
+            let mut halted = false;
+            let batch_list = shuffled_batches(windows.len(), cfg.batch_size, rng);
+            let n_batches = batch_list.len();
+            for (batch_idx, batch) in batch_list.into_iter().enumerate() {
                 let results = run_batch(
                     &pool,
                     store,
@@ -165,6 +183,7 @@ impl<'a> Trainer<'a> {
                         continue;
                     }
                     buf.absorb_pairs_scaled(&r.pairs, inv);
+                    diag.absorb(windows[i].domain.name(), &r.pairs, inv);
                     epoch_loss += r.val as f64;
                     seen += 1;
                 }
@@ -183,10 +202,21 @@ impl<'a> Trainer<'a> {
                 grad_norm_sum += norm as f64;
                 batches += 1;
                 rec.group_norms = group_norms(store, &buf);
+                let before = diag.pre_step(store, batch_idx + 1 == n_batches);
                 opt.step(store, &buf);
+                diag.post_step(store, before);
                 buf.recycle();
                 drop(tl_reduce);
+                if health::halt_requested() {
+                    obs_warn!(
+                        "models.fit",
+                        "health tripwire requested halt at epoch {global_epoch}; stopping training"
+                    );
+                    halted = true;
+                    break;
+                }
             }
+            diag.finish();
             let mean_loss = (epoch_loss / seen.max(1) as f64) as f32;
             rec.loss = mean_loss as f64;
             rec.grad_norm = grad_norm_sum / batches.max(1) as f64;
@@ -217,7 +247,7 @@ impl<'a> Trainer<'a> {
             if let Some(cb) = self.on_epoch.as_mut() {
                 cb(report.epochs.last().expect("just pushed"));
             }
-            if stop {
+            if stop || halted {
                 break;
             }
         }
@@ -248,6 +278,7 @@ where
 {
     match pool.map(batch, |_, &i| {
         let _p = profile::phase_at(profile_path);
+        let _h = health::window_scope(global_epoch, i as u64);
         worker_tape(|tape| {
             let mut wrng = Rng::seed_from(window_seed(seed, global_epoch, i as u64));
             let loss = per_window(store, tape, windows[i], &mut wrng);
@@ -255,6 +286,14 @@ where
             if !val.is_finite() {
                 return WindowResult {
                     val,
+                    pairs: Vec::new(),
+                };
+            }
+            // `skip-window` policy: a tripped window drops its gradient
+            // contribution via the existing non-finite skip path.
+            if health::should_skip_window() {
+                return WindowResult {
+                    val: f32::NAN,
                     pairs: Vec::new(),
                 };
             }

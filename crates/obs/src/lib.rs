@@ -25,15 +25,21 @@
 //!   phases) exported as Chrome trace-event JSON for Perfetto and as
 //!   folded stacks for flamegraphs. Disabled capture costs one relaxed
 //!   atomic load per span site.
+//! - [`health`]: the training-health observatory — tape-level numerics
+//!   tripwires (NaN/Inf/exploding, with warn / skip-window /
+//!   halt-and-dump policies), per-source-domain gradient diagnostics
+//!   (norms, pairwise cosines, update-to-weight ratios), and the
+//!   `adaptraj-health/v1` record stream consumed by the `doctor` CLI.
 //! - [`serve`]: the live telemetry endpoint — a std-`TcpListener`
 //!   background thread serving `GET /metrics` (Prometheus text
-//!   exposition with p50/p90/p99/p999 quantiles), `GET /healthz`, and
-//!   `GET /profile`.
+//!   exposition with p50/p90/p99/p999 quantiles), `GET /healthz`,
+//!   `GET /profile`, and `GET /timeline`.
 //!
 //! The crate sits below every other workspace crate (even
 //! `adaptraj-tensor` instruments its tape with it) and therefore
 //! depends on nothing.
 
+pub mod health;
 pub mod json;
 pub mod metrics;
 pub mod profile;
@@ -42,6 +48,10 @@ pub mod telemetry;
 pub mod timeline;
 pub mod trace;
 
+pub use health::{
+    DomainCosine, DomainNorm, EpochHealth, GroupRatio, HealthRecord, Incident, Policy,
+    BUNDLE_SCHEMA, HEALTH_SCHEMA,
+};
 pub use metrics::{
     global, CounterHandle, GaugeHandle, HistSnapshot, HistogramHandle, Registry, RegistryDelta,
     RegistrySnapshot,

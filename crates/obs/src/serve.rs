@@ -10,6 +10,11 @@
 //! * `GET /healthz` — liveness probe, always `ok`.
 //! * `GET /profile` — the op/phase profiler's [`ProfileSnapshot`] as JSON
 //!   (same document `--profile-out` writes).
+//! * `GET /timeline` — the execution flight recorder's current
+//!   [`TimelineSnapshot`](crate::timeline::TimelineSnapshot) as Chrome
+//!   trace-event JSON (same document `--trace-out` writes and
+//!   `trace_check` validates), so a live run can be inspected in
+//!   Perfetto without restarting it with `--trace-out`.
 //!
 //! The server is intentionally tiny (one thread, `Connection: close`, no
 //! keep-alive, no TLS): it exists so a human or a Prometheus scraper can
@@ -135,10 +140,15 @@ fn handle_conn(mut stream: TcpStream) {
                 "application/json; charset=utf-8",
                 format!("{}\n", profile::snapshot().to_json()),
             ),
+            "/timeline" => (
+                "200 OK",
+                "application/json; charset=utf-8",
+                format!("{}\n", crate::timeline::snapshot().to_chrome_trace()),
+            ),
             "/" => (
                 "200 OK",
                 "text/plain; charset=utf-8",
-                "adaptraj telemetry\nroutes: /metrics /healthz /profile\n".to_string(),
+                "adaptraj telemetry\nroutes: /metrics /healthz /profile /timeline\n".to_string(),
             ),
             _ => (
                 "404 Not Found",
@@ -314,6 +324,13 @@ mod tests {
         assert!(profile_resp.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(profile_resp.contains("application/json"));
         assert!(profile_resp.contains('{'), "{profile_resp}");
+
+        // /timeline serves the flight recorder as a Chrome trace document
+        // (same shape trace_check validates: top-level traceEvents array).
+        let timeline_resp = get(addr, "/timeline");
+        assert!(timeline_resp.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(timeline_resp.contains("application/json"));
+        assert!(timeline_resp.contains("\"traceEvents\""), "{timeline_resp}");
 
         let index = get(addr, "/");
         assert!(index.contains("/metrics"));

@@ -12,6 +12,7 @@
 use crate::param::{ParamId, ParamStore};
 use crate::pool;
 use crate::tensor::Tensor;
+use adaptraj_obs::health;
 use adaptraj_obs::profile::{self, OpTimer};
 use std::sync::OnceLock;
 
@@ -409,8 +410,25 @@ impl Tape {
     /// `Arc`-shared parameter leaves count as zero — only genuine heap
     /// allocations show up in profile byte lines. With profiling disabled
     /// the timer is inert and `record_op` returns immediately.
-    fn push(&mut self, timer: OpTimer, value: Tensor, op: Op, needs_grad: bool) -> Var {
-        debug_assert!(value.all_finite(), "non-finite value from {op:?}");
+    ///
+    /// The health tripwire probes every value here too ([`health::check_tensor`]),
+    /// one relaxed atomic load when disabled. An armed tripwire supersedes the
+    /// `all_finite` debug assert: non-finite values are then observed and
+    /// policed by the configured policy instead of aborting debug builds.
+    fn push(&mut self, timer: OpTimer, mut value: Tensor, op: Op, needs_grad: bool) -> Var {
+        if health::should_inject() {
+            // Fault-injection hook (ADAPTRAJ_HEALTH_INJECT_NAN=<op-index>):
+            // poison this op's output so the tripwire→policy→doctor path can
+            // be exercised end to end on an otherwise healthy model.
+            if let Some(x) = value.data_mut().first_mut() {
+                *x = f32::NAN;
+            }
+        }
+        health::check_tensor(op.kind(), value.data());
+        debug_assert!(
+            health::tripwire_enabled() || value.all_finite(),
+            "non-finite value from {op:?}"
+        );
         profile::record_op(
             op.kind(),
             profile::Dir::Forward,

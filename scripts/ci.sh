@@ -86,6 +86,43 @@ step "telemetry endpoint smoke (/metrics + /healthz scrape)"
 # /healthz, and /profile through a real TCP round trip.
 cargo test -q --offline --test telemetry serve_ || fail=1
 
+step "health observatory smoke (clean run -> doctor exits zero)"
+# Fixed-seed run with the observatory armed: per-domain gradient norms,
+# pairwise cosines, and update ratios stream to health JSONL; the doctor
+# must find nothing fatal and exit zero.
+cargo run --release --offline --bin adaptraj -- \
+    run --backbone pecnet --method adaptraj --sources eth_ucy,l_cas,syi \
+    --target sdd --epochs 2 --workers 2 --seed 7 \
+    --manifest target/health_ci_run.json \
+    --health-out target/health_ci.jsonl || fail=1
+cargo run --release --offline --bin adaptraj -- \
+    doctor --manifest target/health_ci_run.json \
+    --health target/health_ci.jsonl || fail=1
+
+step "health observatory smoke (injected NaN -> tripwire -> doctor exits nonzero)"
+# Poisons every op of window 3 in epoch 0 (the worker-count-deterministic
+# E:W injection form) under halt-and-dump: training must halt, the run
+# must exit nonzero with a diagnostic bundle, and the doctor must report
+# the NaN incident (with op + phase attribution) and exit nonzero too.
+rm -rf target/health_ci_dump
+if ADAPTRAJ_HEALTH_INJECT_NAN=0:3 cargo run --release --offline --bin adaptraj -- \
+    run --backbone pecnet --method adaptraj --sources eth_ucy,l_cas,syi \
+    --target sdd --epochs 2 --workers 2 --seed 7 \
+    --manifest target/health_ci_bad.json \
+    --health-out target/health_ci_bad.jsonl \
+    --health-policy halt-and-dump --health-dump target/health_ci_dump; then
+    echo "expected the injected-NaN run to exit nonzero"; fail=1
+fi
+test -f target/health_ci_dump/bundle.json || { echo "missing bundle.json"; fail=1; }
+doctor_out=$(cargo run --release --offline --bin adaptraj -- \
+    doctor --manifest target/health_ci_bad.json \
+    --health target/health_ci_bad.jsonl 2>&1) && {
+    echo "expected doctor to exit nonzero on the injected-NaN run"; fail=1; }
+echo "$doctor_out" | grep -q "first unhealthy op: '" || {
+    echo "doctor did not attribute the first unhealthy op"; fail=1; }
+echo "$doctor_out" | grep -q "(nan)" || {
+    echo "doctor did not report the NaN fault"; fail=1; }
+
 echo
 if [ "$fail" -ne 0 ]; then
     echo "CI: FAILED"

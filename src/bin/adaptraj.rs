@@ -14,12 +14,13 @@ use adaptraj::data::dataset::{synthesize_all, synthesize_domain, SynthesisConfig
 use adaptraj::data::domain::DomainId;
 use adaptraj::data::io::write_csv;
 use adaptraj::data::stats::table_one;
+use adaptraj::doctor::{run_doctor, DoctorArgs};
 use adaptraj::eval::viz::{render_window, VizOptions};
 use adaptraj::eval::{run_cell, CellSpec, RunnerConfig, TextTable};
 use adaptraj::models::predictor::TrainReport;
 use adaptraj::models::{BackboneConfig, PecNet, Predictor, TrainerConfig, Vanilla};
 use adaptraj::obs::serve::TelemetryServer;
-use adaptraj::obs::{profile, timeline};
+use adaptraj::obs::{health, profile, timeline};
 use adaptraj::obs::{EvalSummary, JsonlSink, RunTelemetry, StderrSink};
 use adaptraj::tensor::serialize::save_params_to_file;
 use adaptraj::tensor::Rng;
@@ -167,6 +168,9 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             profile_out,
             trace_out,
             telemetry_addr,
+            health_out,
+            health_policy,
+            health_dump,
         } => {
             if let Some(level) = log_level {
                 adaptraj::obs::set_max_level(level);
@@ -175,11 +179,20 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             // Held for the duration of the arm; dropping it stops the
             // listener thread.
             let _telemetry_server = start_telemetry(&telemetry_addr)?;
+            let health_armed =
+                health_out.is_some() || health_policy.is_some() || health_dump.is_some();
             // The timeline's folded-stacks export derives from the phase
-            // profiler, so --trace-out implies profiling too.
-            if profile_out.is_some() || trace_out.is_some() {
+            // profiler, so --trace-out implies profiling too; incident
+            // phase attribution needs it as well, so arming the health
+            // observatory arms the profiler.
+            if profile_out.is_some() || trace_out.is_some() || health_armed {
                 profile::reset();
                 profile::set_enabled(true);
+            }
+            if health_armed {
+                health::reset();
+                health::set_enabled(true);
+                health::set_policy(health_policy.unwrap_or_default());
             }
             if trace_out.is_some() {
                 timeline::reset();
@@ -303,7 +316,24 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                     sink.write_raw_line(&line);
                 }
             }
+            if let Some(path) = &health_out {
+                health::write_jsonl(std::path::Path::new(path))?;
+                println!(
+                    "health stream written to {path} ({} record(s), {} incident(s))",
+                    health::records().len(),
+                    health::incident_count()
+                );
+            }
             adaptraj::obs::flush_sinks();
+            if health_armed && health::halt_requested() {
+                let dir = health_dump.unwrap_or_else(|| "health_dump".into());
+                health::write_bundle(std::path::Path::new(&dir), Some(&telemetry.to_json()), 200)?;
+                return Err(format!(
+                    "training halted by health tripwire (policy halt-and-dump); \
+                     diagnostic bundle written to {dir}"
+                )
+                .into());
+            }
         }
         Command::Bench {
             out,
@@ -391,6 +421,32 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                     cmp.missing.len()
                 )
                 .into());
+            }
+        }
+        Command::Doctor {
+            manifest,
+            health,
+            bench_baseline,
+            bench_candidate,
+            golden_dir,
+            golden_candidate,
+            json,
+        } => {
+            let diag = run_doctor(&DoctorArgs {
+                manifest,
+                health,
+                bench_baseline,
+                bench_candidate,
+                golden_dir,
+                golden_candidate,
+            })?;
+            if json {
+                println!("{}", diag.to_json());
+            } else {
+                print!("{}", diag.render_text());
+            }
+            if diag.fatal() {
+                return Err("doctor: run is UNHEALTHY (see findings above)".into());
             }
         }
         Command::Visualize { target, out, count } => {

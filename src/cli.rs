@@ -5,6 +5,7 @@
 
 use adaptraj_data::domain::DomainId;
 use adaptraj_eval::{BackboneKind, MethodKind};
+use adaptraj_obs::health::Policy;
 use adaptraj_obs::Level;
 use std::collections::HashMap;
 
@@ -41,6 +42,9 @@ pub enum Command {
         profile_out: Option<String>,
         trace_out: Option<String>,
         telemetry_addr: Option<String>,
+        health_out: Option<String>,
+        health_policy: Option<Policy>,
+        health_dump: Option<String>,
     },
     /// `bench [--out FILE.json] [--epochs N] [--scenes N]
     ///  [--eval-windows N] [--workers N] [--seed S]
@@ -77,6 +81,22 @@ pub enum Command {
         out_dir: Option<String>,
         metric_tol_pct: f64,
         update_golden: bool,
+    },
+    /// `doctor [--manifest FILE.json] [--health FILE.jsonl]
+    ///  [--bench-baseline FILE --bench-candidate FILE]
+    ///  [--golden-dir DIR --golden-candidate DIR] [--json]` — diagnose a
+    /// finished run from its observability artifacts: first unhealthy
+    /// op, domain-conflict ranking, loss plateau/divergence, and
+    /// optional golden/bench regression summaries. Exits nonzero on any
+    /// fatal finding.
+    Doctor {
+        manifest: Option<String>,
+        health: Option<String>,
+        bench_baseline: Option<String>,
+        bench_candidate: Option<String>,
+        golden_dir: Option<String>,
+        golden_candidate: Option<String>,
+        json: bool,
     },
     /// `help`
     Help,
@@ -266,6 +286,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "profile-out",
                     "trace-out",
                     "telemetry-addr",
+                    "health-out",
+                    "health-policy",
+                    "health-dump",
                 ],
             )?;
             let backbone = parse_backbone(
@@ -316,6 +339,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 profile_out: flags.get("profile-out").map(|s| s.to_string()),
                 trace_out: flags.get("trace-out").map(|s| s.to_string()),
                 telemetry_addr: flags.get("telemetry-addr").map(|s| s.to_string()),
+                health_out: flags.get("health-out").map(|s| s.to_string()),
+                health_policy: flags
+                    .get("health-policy")
+                    .map(|v| Policy::parse(v).map_err(err))
+                    .transpose()?,
+                health_dump: flags.get("health-dump").map(|s| s.to_string()),
             })
         }
         "bench" => {
@@ -369,6 +398,43 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 update_golden,
             })
         }
+        "doctor" => {
+            let mut rest = rest.to_vec();
+            let json = take_switch(&mut rest, "json")?;
+            let flags = parse_flags(
+                &rest,
+                &[
+                    "manifest",
+                    "health",
+                    "bench-baseline",
+                    "bench-candidate",
+                    "golden-dir",
+                    "golden-candidate",
+                ],
+            )?;
+            if !flags.contains_key("manifest") && !flags.contains_key("health") {
+                return Err(err(
+                    "doctor needs at least one of --manifest FILE.json / --health FILE.jsonl",
+                ));
+            }
+            for (a, b) in [
+                ("bench-baseline", "bench-candidate"),
+                ("golden-dir", "golden-candidate"),
+            ] {
+                if flags.contains_key(a) != flags.contains_key(b) {
+                    return Err(err(format!("--{a} and --{b} must be given together")));
+                }
+            }
+            Ok(Command::Doctor {
+                manifest: flags.get("manifest").map(|s| s.to_string()),
+                health: flags.get("health").map(|s| s.to_string()),
+                bench_baseline: flags.get("bench-baseline").map(|s| s.to_string()),
+                bench_candidate: flags.get("bench-candidate").map(|s| s.to_string()),
+                golden_dir: flags.get("golden-dir").map(|s| s.to_string()),
+                golden_candidate: flags.get("golden-candidate").map(|s| s.to_string()),
+                json,
+            })
+        }
         other => Err(err(format!(
             "unknown command '{other}' (try: adaptraj help)"
         ))),
@@ -389,12 +455,18 @@ USAGE:
                [--metrics-out FILE.jsonl] [--manifest FILE.json]
                [--profile-out FILE.json] [--trace-out FILE.json]
                [--telemetry-addr HOST:PORT]
+               [--health-out FILE.jsonl]
+               [--health-policy <warn|skip-window|halt-and-dump>]
+               [--health-dump DIR]
   adaptraj bench [--out FILE.json] [--epochs N] [--scenes N] [--eval-windows N]
                  [--workers N] [--seed S] [--profile-out FILE.json]
                  [--trace-out FILE.json] [--telemetry-addr HOST:PORT]
   adaptraj visualize --target <d> [--out DIR] [--count N]
   adaptraj check [--golden-dir DIR] [--out-dir DIR] [--metric-tol-pct N]
                  [--update-golden]
+  adaptraj doctor [--manifest FILE.json] [--health FILE.jsonl]
+                  [--bench-baseline FILE --bench-candidate FILE]
+                  [--golden-dir DIR --golden-candidate DIR] [--json]
   adaptraj help
 
 DOMAINS: eth_ucy | l_cas | syi | sdd
@@ -419,8 +491,21 @@ OBSERVABILITY (run):
                       flamegraph folded stacks from the phase profiler
   --telemetry-addr A  serve live telemetry over HTTP while the command runs:
                       GET /metrics (Prometheus text, p50/p90/p99/p999),
-                      /healthz, /profile; A is HOST:PORT (port 0 = ephemeral)
+                      /healthz, /profile, /timeline (Chrome trace JSON);
+                      A is HOST:PORT (port 0 = ephemeral)
                       — both flags also apply to bench
+  --health-out FILE   arm the training-health observatory and stream
+                      adaptraj-health/v1 JSONL: per-op numerics tripwires
+                      (NaN/Inf/exploding) plus per-epoch per-source-domain
+                      gradient norms, pairwise gradient cosines, and
+                      update-to-weight ratios (observation-only: results
+                      stay bit-identical for every worker count)
+  --health-policy P   what a tripwire does: warn (log and continue,
+                      default), skip-window (drop the offending window's
+                      gradient), halt-and-dump (stop training and write a
+                      diagnostic bundle to --health-dump)
+  --health-dump DIR   bundle directory for halt-and-dump
+                      (default health_dump/)
 
 BENCH:
   runs fixed-seed training + inference workloads (PECNet/LBEBM vanilla and
@@ -437,6 +522,16 @@ CHECK:
   rewrites the baselines instead of comparing; it refuses to run with a
   dirty working tree (set ADAPTRAJ_UPDATE_GOLDEN_ALLOW_DIRTY=1 to
   override, e.g. when bootstrapping the very first baselines).
+
+DOCTOR:
+  diagnoses a finished run from its artifacts: the first unhealthy op
+  (earliest tripwire incident with op kind + phase path), a ranking of
+  source-domain pairs by mean pairwise gradient cosine (negative values
+  signal conflicting domains), loss plateau/divergence detection over
+  the manifest's per-epoch losses, and optional golden-drift / bench
+  regression summaries. --json prints an adaptraj-doctor/v1 document
+  instead of text. Exits nonzero on any fatal finding (incidents, loss
+  divergence, golden drift, bench regression).
 ";
 
 #[cfg(test)]
@@ -474,7 +569,8 @@ mod tests {
              --target sdd --epochs 30 --workers 4 --ckpt model.atps --seed 42 \
              --log-level debug --metrics-out m.jsonl --manifest run.json \
              --profile-out prof.json --trace-out t.json \
-             --telemetry-addr 127.0.0.1:9898",
+             --telemetry-addr 127.0.0.1:9898 --health-out h.jsonl \
+             --health-policy halt-and-dump --health-dump dump_dir",
         ))
         .unwrap();
         assert_eq!(
@@ -494,6 +590,9 @@ mod tests {
                 profile_out: Some("prof.json".into()),
                 trace_out: Some("t.json".into()),
                 telemetry_addr: Some("127.0.0.1:9898".into()),
+                health_out: Some("h.jsonl".into()),
+                health_policy: Some(Policy::HaltAndDump),
+                health_dump: Some("dump_dir".into()),
             }
         );
     }
@@ -558,6 +657,9 @@ mod tests {
             profile_out,
             trace_out,
             telemetry_addr,
+            health_out,
+            health_policy,
+            health_dump,
             ..
         } = cmd
         else {
@@ -571,6 +673,9 @@ mod tests {
         assert_eq!(profile_out, None);
         assert_eq!(trace_out, None);
         assert_eq!(telemetry_addr, None);
+        assert_eq!(health_out, None);
+        assert_eq!(health_policy, None);
+        assert_eq!(health_dump, None);
     }
 
     #[test]
@@ -695,6 +800,48 @@ mod tests {
         assert!(e.0.contains("twice"), "{e}");
         let e = parse(&args("check --epochs 3")).unwrap_err();
         assert!(e.0.contains("unknown flag"), "{e}");
+    }
+
+    #[test]
+    fn health_policy_parses_and_rejects_unknown() {
+        let cmd = parse(&args(
+            "run --backbone pecnet --method vanilla --sources sdd --target syi \
+             --health-policy skip-window",
+        ))
+        .unwrap();
+        let Command::Run { health_policy, .. } = cmd else {
+            panic!("expected Run, got {cmd:?}");
+        };
+        assert_eq!(health_policy, Some(Policy::SkipWindow));
+
+        let e = parse(&args(
+            "run --backbone pecnet --method vanilla --sources sdd --target syi \
+             --health-policy explode",
+        ))
+        .unwrap_err();
+        assert!(e.0.contains("unknown health policy"), "{e}");
+    }
+
+    #[test]
+    fn doctor_parses_and_validates() {
+        assert_eq!(
+            parse(&args("doctor --manifest run.json --health h.jsonl --json")).unwrap(),
+            Command::Doctor {
+                manifest: Some("run.json".into()),
+                health: Some("h.jsonl".into()),
+                bench_baseline: None,
+                bench_candidate: None,
+                golden_dir: None,
+                golden_candidate: None,
+                json: true,
+            }
+        );
+        let e = parse(&args("doctor --json")).unwrap_err();
+        assert!(e.0.contains("at least one"), "{e}");
+        let e = parse(&args("doctor --health h.jsonl --bench-baseline b.json")).unwrap_err();
+        assert!(e.0.contains("given together"), "{e}");
+        let e = parse(&args("doctor --health h.jsonl --golden-candidate cand")).unwrap_err();
+        assert!(e.0.contains("given together"), "{e}");
     }
 
     #[test]

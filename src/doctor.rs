@@ -1,0 +1,721 @@
+//! `adaptraj doctor` — offline diagnosis of a training run from its
+//! observability artifacts.
+//!
+//! Ingests a run manifest (`adaptraj-run-manifest/v1`), a health stream
+//! (`adaptraj-health/v1` JSONL from `--health-out`), and optionally a
+//! BENCH baseline/candidate pair and a GOLDEN baseline/candidate
+//! directory pair, and produces a structured [`Diagnosis`]:
+//!
+//! - **first unhealthy op** — the earliest numerics-tripwire incident,
+//!   with the op kind and profiler phase path that produced it,
+//! - **domain-conflict ranking** — source-domain pairs ordered by mean
+//!   pairwise gradient cosine (most negative first: the paper's
+//!   negative-transfer signal),
+//! - **loss trajectory** — divergence (fatal) and plateau (warning)
+//!   detection over the manifest's per-epoch losses,
+//! - **regression summaries** — golden drift and bench regressions via
+//!   the same comparators the CI gates use.
+//!
+//! The diagnosis renders as text or JSON (`adaptraj-doctor/v1`); any
+//! fatal finding makes the CLI exit nonzero.
+
+use adaptraj_obs::health::{self, HealthRecord, Incident};
+use adaptraj_obs::json::{Arr, Obj, Value};
+use adaptraj_obs::telemetry::MANIFEST_SCHEMA;
+
+/// Schema tag of the `doctor --json` output document.
+pub const DOCTOR_SCHEMA: &str = "adaptraj-doctor/v1";
+
+/// How many trailing epochs the plateau detector inspects.
+const PLATEAU_WINDOW: usize = 4;
+/// Relative improvement below which the trailing window counts as flat.
+const PLATEAU_REL_TOL: f64 = 1e-3;
+/// A phase whose last loss exceeds its minimum by this factor diverged.
+const DIVERGENCE_FACTOR: f64 = 5.0;
+
+/// Severity of one diagnosis finding. Fatal findings make the doctor
+/// exit nonzero; warnings and infos do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Info,
+    Warning,
+    Fatal,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Fatal => "fatal",
+        }
+    }
+}
+
+/// One diagnosis finding: a stable machine-readable code plus a
+/// human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    pub severity: Severity,
+    /// Stable code (`numerics-incident`, `loss-divergence`,
+    /// `loss-plateau`, `domain-conflict`, `golden-drift`,
+    /// `bench-regression`, ...).
+    pub code: &'static str,
+    pub message: String,
+}
+
+/// A source-domain pair ranked by mean pairwise gradient cosine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairConflict {
+    pub a: String,
+    pub b: String,
+    /// Mean cosine over all epochs that reported the pair.
+    pub mean_cosine: f64,
+    pub epochs: u64,
+}
+
+/// The full structured diagnosis.
+#[derive(Debug, Clone, Default)]
+pub struct Diagnosis {
+    pub findings: Vec<Finding>,
+    /// Earliest tripwire incident in the health stream.
+    pub first_unhealthy_op: Option<Incident>,
+    pub incident_count: usize,
+    pub epoch_records: usize,
+    /// Pairs ordered most-conflicting (lowest mean cosine) first.
+    pub conflicts: Vec<PairConflict>,
+    pub divergence: bool,
+    pub plateau: bool,
+    /// `Some(summary)` when a golden comparison ran.
+    pub golden_summary: Option<String>,
+    pub golden_ok: Option<bool>,
+    /// `Some(summary)` when a bench comparison ran.
+    pub bench_summary: Option<String>,
+    pub bench_ok: Option<bool>,
+}
+
+impl Diagnosis {
+    /// True when any finding is fatal — the CLI then exits nonzero.
+    pub fn fatal(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Fatal)
+    }
+
+    fn push(&mut self, severity: Severity, code: &'static str, message: impl Into<String>) {
+        self.findings.push(Finding {
+            severity,
+            code,
+            message: message.into(),
+        });
+    }
+
+    pub fn render_text(&self) -> String {
+        let mut out = String::from("adaptraj doctor — diagnosis\n");
+        out.push_str(&format!(
+            "  health records: {} epoch, {} incident(s)\n",
+            self.epoch_records, self.incident_count
+        ));
+        match &self.first_unhealthy_op {
+            Some(i) => out.push_str(&format!(
+                "  first unhealthy op: '{}' ({}) in phase '{}' at epoch {}, window {} \
+                 [{} NaN / {} Inf of {} values, max |x| {:.3e}]\n",
+                i.op,
+                i.fault.as_str(),
+                if i.phase.is_empty() {
+                    "<none>"
+                } else {
+                    &i.phase
+                },
+                i.epoch,
+                i.window,
+                i.stats.nan_count,
+                i.stats.inf_count,
+                i.stats.len,
+                i.stats.max_abs,
+            )),
+            None => out.push_str("  first unhealthy op: none\n"),
+        }
+        if self.conflicts.is_empty() {
+            out.push_str("  domain conflicts: no pairwise gradient data\n");
+        } else {
+            out.push_str("  domain conflict ranking (mean grad cosine, most conflicting first):\n");
+            for c in &self.conflicts {
+                out.push_str(&format!(
+                    "    {:<24} {:+.4}{}\n",
+                    format!("{}__{}", c.a, c.b),
+                    c.mean_cosine,
+                    if c.mean_cosine < 0.0 {
+                        "  <- negative transfer"
+                    } else {
+                        ""
+                    }
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "  loss trajectory: {}\n",
+            if self.divergence {
+                "DIVERGED"
+            } else if self.plateau {
+                "plateaued"
+            } else {
+                "healthy"
+            }
+        ));
+        if let Some(s) = &self.golden_summary {
+            out.push_str(&format!("  golden: {s}\n"));
+        }
+        if let Some(s) = &self.bench_summary {
+            out.push_str(&format!("  bench: {s}\n"));
+        }
+        for f in &self.findings {
+            out.push_str(&format!(
+                "  [{}] {}: {}\n",
+                f.severity.as_str(),
+                f.code,
+                f.message
+            ));
+        }
+        let fatals = self
+            .findings
+            .iter()
+            .filter(|f| f.severity == Severity::Fatal)
+            .count();
+        out.push_str(&format!(
+            "verdict: {}\n",
+            if fatals > 0 {
+                format!("UNHEALTHY ({fatals} fatal finding(s))")
+            } else {
+                "HEALTHY".to_string()
+            }
+        ));
+        out
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut findings = Arr::new();
+        for f in &self.findings {
+            findings = findings.push_raw(
+                &Obj::new()
+                    .str("severity", f.severity.as_str())
+                    .str("code", f.code)
+                    .str("message", &f.message)
+                    .finish(),
+            );
+        }
+        let mut conflicts = Arr::new();
+        for c in &self.conflicts {
+            conflicts = conflicts.push_raw(
+                &Obj::new()
+                    .str("a", &c.a)
+                    .str("b", &c.b)
+                    .f64("mean_cosine", c.mean_cosine)
+                    .u64("epochs", c.epochs)
+                    .finish(),
+            );
+        }
+        let mut obj = Obj::new()
+            .str("schema", DOCTOR_SCHEMA)
+            .bool("healthy", !self.fatal())
+            .u64("epoch_records", self.epoch_records as u64)
+            .u64("incidents", self.incident_count as u64)
+            .bool("divergence", self.divergence)
+            .bool("plateau", self.plateau)
+            .raw("conflicts", &conflicts.finish())
+            .raw("findings", &findings.finish());
+        if let Some(i) = &self.first_unhealthy_op {
+            obj = obj.raw("first_unhealthy_op", &i.to_json());
+        }
+        if let Some(ok) = self.golden_ok {
+            obj = obj.bool("golden_ok", ok);
+        }
+        if let Some(ok) = self.bench_ok {
+            obj = obj.bool("bench_ok", ok);
+        }
+        obj.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Input parsing
+// ---------------------------------------------------------------------------
+
+/// Parses an `adaptraj-health/v1` JSONL document: schema-checked header
+/// line, then one record per line (unknown record types are skipped).
+pub fn parse_health_jsonl(text: &str) -> Result<Vec<HealthRecord>, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("empty health stream")?;
+    let v = Value::parse(header).map_err(|e| format!("health header: {e}"))?;
+    match v.get("schema").and_then(Value::as_str) {
+        Some(s) if s == health::HEALTH_SCHEMA => {}
+        Some(s) => {
+            return Err(format!(
+                "health schema '{s}', expected '{}'",
+                health::HEALTH_SCHEMA
+            ))
+        }
+        None => return Err("health header missing 'schema'".into()),
+    }
+    let mut records = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let v = Value::parse(line).map_err(|e| format!("health line {}: {e}", i + 2))?;
+        if let Some(r) = health::parse_record(&v) {
+            records.push(r);
+        }
+    }
+    Ok(records)
+}
+
+/// Parses and schema-checks an `adaptraj-run-manifest/v1` document.
+pub fn parse_manifest(text: &str) -> Result<Value, String> {
+    let v = Value::parse(text).map_err(|e| format!("manifest: {e}"))?;
+    match v.get("schema").and_then(Value::as_str) {
+        Some(s) if s == MANIFEST_SCHEMA => Ok(v),
+        Some(s) => Err(format!(
+            "manifest schema '{s}', expected '{MANIFEST_SCHEMA}'"
+        )),
+        None => Err("manifest missing 'schema'".into()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Diagnosis
+// ---------------------------------------------------------------------------
+
+/// Per-epoch loss point pulled from the manifest.
+#[derive(Debug, Clone)]
+struct LossPoint {
+    phase: String,
+    loss: f64,
+}
+
+fn manifest_losses(manifest: &Value) -> Vec<LossPoint> {
+    manifest
+        .get("epochs")
+        .and_then(Value::as_array)
+        .map(|epochs| {
+            epochs
+                .iter()
+                .map(|e| LossPoint {
+                    phase: e
+                        .get("phase")
+                        .and_then(Value::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    loss: e.get("loss").and_then(Value::as_f64).unwrap_or(f64::NAN),
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Diagnoses the loss trajectory: divergence when any epoch loss is
+/// non-finite or a phase's final loss blew past `DIVERGENCE_FACTOR`
+/// times its own minimum; plateau when the final phase's trailing
+/// window improved by less than `PLATEAU_REL_TOL` relative.
+fn diagnose_losses(d: &mut Diagnosis, points: &[LossPoint]) {
+    if points.is_empty() {
+        return;
+    }
+    if let Some(p) = points.iter().find(|p| !p.loss.is_finite()) {
+        d.divergence = true;
+        d.push(
+            Severity::Fatal,
+            "loss-divergence",
+            format!("non-finite epoch loss in phase '{}'", p.phase),
+        );
+        return;
+    }
+    // Per-phase blow-up check: compare each phase's last loss to the
+    // minimum it reached earlier in that phase.
+    let mut phases: Vec<&str> = Vec::new();
+    for p in points {
+        if !phases.contains(&p.phase.as_str()) {
+            phases.push(&p.phase);
+        }
+    }
+    for phase in &phases {
+        let losses: Vec<f64> = points
+            .iter()
+            .filter(|p| p.phase == *phase)
+            .map(|p| p.loss)
+            .collect();
+        let min = losses.iter().cloned().fold(f64::INFINITY, f64::min);
+        let last = *losses.last().unwrap();
+        if min > 0.0 && last > min * DIVERGENCE_FACTOR {
+            d.divergence = true;
+            d.push(
+                Severity::Fatal,
+                "loss-divergence",
+                format!(
+                    "phase '{phase}' loss rose to {last:.4} from a minimum of {min:.4} \
+                     ({:.1}x)",
+                    last / min
+                ),
+            );
+        }
+    }
+    if d.divergence {
+        return;
+    }
+    // Plateau over the final phase's trailing window (warning only, so a
+    // short healthy run still exits zero).
+    let final_phase = phases.last().unwrap();
+    let losses: Vec<f64> = points
+        .iter()
+        .filter(|p| p.phase == *final_phase)
+        .map(|p| p.loss)
+        .collect();
+    if losses.len() >= PLATEAU_WINDOW {
+        let start = losses[losses.len() - PLATEAU_WINDOW];
+        let end = *losses.last().unwrap();
+        let rel = (start - end).abs() / start.abs().max(1e-12);
+        if rel < PLATEAU_REL_TOL {
+            d.plateau = true;
+            d.push(
+                Severity::Warning,
+                "loss-plateau",
+                format!(
+                    "phase '{final_phase}' loss flat over the last {PLATEAU_WINDOW} \
+                     epochs ({start:.6} -> {end:.6})"
+                ),
+            );
+        }
+    }
+}
+
+/// Ranks source-domain pairs by mean pairwise gradient cosine across
+/// all epoch records, most conflicting (lowest) first.
+fn rank_conflicts(records: &[HealthRecord]) -> Vec<PairConflict> {
+    let mut pairs: Vec<(String, String, f64, u64)> = Vec::new();
+    for r in records {
+        let HealthRecord::Epoch(e) = r else { continue };
+        for c in &e.cosines {
+            if !c.cosine.is_finite() {
+                continue;
+            }
+            match pairs.iter_mut().find(|(a, b, ..)| *a == c.a && *b == c.b) {
+                Some((_, _, sum, n)) => {
+                    *sum += c.cosine;
+                    *n += 1;
+                }
+                None => pairs.push((c.a.clone(), c.b.clone(), c.cosine, 1)),
+            }
+        }
+    }
+    let mut out: Vec<PairConflict> = pairs
+        .into_iter()
+        .map(|(a, b, sum, n)| PairConflict {
+            a,
+            b,
+            mean_cosine: sum / n as f64,
+            epochs: n,
+        })
+        .collect();
+    out.sort_by(|x, y| {
+        x.mean_cosine
+            .partial_cmp(&y.mean_cosine)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (x.a.as_str(), x.b.as_str()).cmp(&(y.a.as_str(), y.b.as_str())))
+    });
+    out
+}
+
+/// Builds the diagnosis from pre-parsed inputs. Pure — file ingestion
+/// and the gate comparators are layered on top in [`run_doctor`].
+pub fn diagnose(manifest: Option<&Value>, records: &[HealthRecord]) -> Diagnosis {
+    let mut d = Diagnosis {
+        epoch_records: records
+            .iter()
+            .filter(|r| matches!(r, HealthRecord::Epoch(_)))
+            .count(),
+        ..Diagnosis::default()
+    };
+    let incidents: Vec<&Incident> = records
+        .iter()
+        .filter_map(|r| match r {
+            HealthRecord::Incident(i) => Some(i),
+            HealthRecord::Epoch(_) => None,
+        })
+        .collect();
+    d.incident_count = incidents.len();
+    d.first_unhealthy_op = incidents.first().cloned().cloned();
+    if let Some(i) = d.first_unhealthy_op.clone() {
+        d.push(
+            Severity::Fatal,
+            "numerics-incident",
+            format!(
+                "{} incident(s); first: {} in op '{}' (phase '{}', epoch {}, window {})",
+                d.incident_count,
+                i.fault.as_str(),
+                i.op,
+                if i.phase.is_empty() {
+                    "<none>"
+                } else {
+                    &i.phase
+                },
+                i.epoch,
+                i.window
+            ),
+        );
+    }
+    d.conflicts = rank_conflicts(records);
+    let conflict_findings: Vec<String> = d
+        .conflicts
+        .iter()
+        .filter(|c| c.mean_cosine < 0.0)
+        .map(|c| {
+            format!(
+                "sources '{}' and '{}' pull in conflicting directions \
+                 (mean grad cosine {:+.4} over {} epoch(s))",
+                c.a, c.b, c.mean_cosine, c.epochs
+            )
+        })
+        .collect();
+    for msg in conflict_findings {
+        d.push(Severity::Warning, "domain-conflict", msg);
+    }
+    if let Some(m) = manifest {
+        diagnose_losses(&mut d, &manifest_losses(m));
+        let skipped = m
+            .get("non_finite_batches_total")
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        if skipped > 0 {
+            d.push(
+                Severity::Warning,
+                "non-finite-batches",
+                format!("{skipped} batch(es) skipped for non-finite losses"),
+            );
+        }
+    }
+    d
+}
+
+// ---------------------------------------------------------------------------
+// File-level driver
+// ---------------------------------------------------------------------------
+
+/// File paths for one doctor invocation; every input is optional but at
+/// least one of `manifest`/`health` must be given.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DoctorArgs {
+    pub manifest: Option<String>,
+    pub health: Option<String>,
+    pub bench_baseline: Option<String>,
+    pub bench_candidate: Option<String>,
+    pub golden_dir: Option<String>,
+    pub golden_candidate: Option<String>,
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Ingests the artifact files and produces the diagnosis.
+pub fn run_doctor(args: &DoctorArgs) -> Result<Diagnosis, String> {
+    if args.manifest.is_none() && args.health.is_none() {
+        return Err("doctor needs at least one of --manifest / --health".into());
+    }
+    let manifest = match &args.manifest {
+        Some(p) => Some(parse_manifest(&read(p)?)?),
+        None => None,
+    };
+    let records = match &args.health {
+        Some(p) => parse_health_jsonl(&read(p)?)?,
+        None => Vec::new(),
+    };
+    let mut d = diagnose(manifest.as_ref(), &records);
+
+    if let (Some(base), Some(cand)) = (&args.golden_dir, &args.golden_candidate) {
+        use adaptraj_check::golden::{compare, load_baselines};
+        let b = load_baselines(std::path::Path::new(base)).map_err(|e| format!("{base}: {e}"))?;
+        let c = load_baselines(std::path::Path::new(cand)).map_err(|e| format!("{cand}: {e}"))?;
+        let cmp = compare(&b, &c, 0.1);
+        d.golden_ok = Some(cmp.ok());
+        if cmp.ok() {
+            d.golden_summary = Some(format!("OK ({} run(s) bit-identical)", cmp.compared));
+        } else {
+            d.golden_summary = Some(format!(
+                "DRIFT ({} divergence(s), {} missing run(s))",
+                cmp.diffs.len(),
+                cmp.missing.len()
+            ));
+            d.push(
+                Severity::Fatal,
+                "golden-drift",
+                format!(
+                    "{} divergence(s) from the golden baselines in {base}",
+                    cmp.diffs.len() + cmp.missing.len()
+                ),
+            );
+        }
+    }
+    if let (Some(base), Some(cand)) = (&args.bench_baseline, &args.bench_candidate) {
+        use adaptraj_bench::compare::{compare, parse_doc};
+        let b = parse_doc(&read(base)?).map_err(|e| format!("{base}: {e}"))?;
+        let c = parse_doc(&read(cand)?).map_err(|e| format!("{cand}: {e}"))?;
+        let cmp = compare(&b, &c, 25.0);
+        d.bench_ok = Some(cmp.ok());
+        if cmp.ok() {
+            d.bench_summary = Some("OK (no regression past 25%)".into());
+        } else {
+            d.bench_summary = Some(format!(
+                "REGRESSED ({} metric(s) past 25%, {} missing workload(s))",
+                cmp.regressions().len(),
+                cmp.missing.len()
+            ));
+            d.push(
+                Severity::Fatal,
+                "bench-regression",
+                format!(
+                    "{} bench metric(s) regressed past 25% vs {base}",
+                    cmp.regressions().len() + cmp.missing.len()
+                ),
+            );
+        }
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptraj_obs::health::{DomainCosine, DomainNorm, EpochHealth, FaultKind, TensorStats};
+
+    fn epoch_rec(epoch: u64, cosine: f64) -> HealthRecord {
+        HealthRecord::Epoch(EpochHealth {
+            epoch,
+            phase: "step1".into(),
+            domains: vec![
+                DomainNorm {
+                    domain: "ETH&UCY".into(),
+                    grad_norm: 1.0,
+                },
+                DomainNorm {
+                    domain: "L-CAS".into(),
+                    grad_norm: 2.0,
+                },
+            ],
+            cosines: vec![DomainCosine {
+                a: "ETH&UCY".into(),
+                b: "L-CAS".into(),
+                cosine,
+            }],
+            update_ratios: Vec::new(),
+        })
+    }
+
+    fn incident_rec() -> HealthRecord {
+        HealthRecord::Incident(Incident {
+            epoch: 2,
+            window: 17,
+            op: "mul".into(),
+            phase: "train/step1".into(),
+            fault: FaultKind::Nan,
+            stats: TensorStats {
+                len: 128,
+                nan_count: 3,
+                inf_count: 0,
+                max_abs: 1.5,
+                mean_abs: 0.2,
+            },
+        })
+    }
+
+    #[test]
+    fn incident_is_fatal_and_surfaces_first_unhealthy_op() {
+        let d = diagnose(None, &[incident_rec(), epoch_rec(0, 0.5)]);
+        assert!(d.fatal());
+        let i = d.first_unhealthy_op.as_ref().unwrap();
+        assert_eq!(i.op, "mul");
+        assert_eq!(i.phase, "train/step1");
+        assert!(d.render_text().contains("first unhealthy op: 'mul' (nan)"));
+        assert!(d.to_json().contains("\"healthy\":false"));
+    }
+
+    #[test]
+    fn negative_mean_cosine_ranks_first_and_warns() {
+        let recs = vec![epoch_rec(0, -0.4), epoch_rec(1, -0.2), epoch_rec(2, 0.1)];
+        let d = diagnose(None, &recs);
+        assert!(!d.fatal());
+        assert_eq!(d.conflicts.len(), 1);
+        let c = &d.conflicts[0];
+        assert_eq!((c.a.as_str(), c.b.as_str()), ("ETH&UCY", "L-CAS"));
+        assert!((c.mean_cosine - (-0.5 / 3.0)).abs() < 1e-12);
+        assert!(d
+            .findings
+            .iter()
+            .any(|f| f.code == "domain-conflict" && f.severity == Severity::Warning));
+    }
+
+    fn manifest_with_losses(losses: &[(&str, f64)]) -> Value {
+        let mut epochs = Arr::new();
+        for (i, (phase, loss)) in losses.iter().enumerate() {
+            epochs = epochs.push_raw(
+                &Obj::new()
+                    .u64("epoch", i as u64)
+                    .str("phase", phase)
+                    .f64("loss", *loss)
+                    .finish(),
+            );
+        }
+        let text = Obj::new()
+            .str("schema", MANIFEST_SCHEMA)
+            .u64("non_finite_batches_total", 0)
+            .raw("epochs", &epochs.finish())
+            .finish();
+        parse_manifest(&text).unwrap()
+    }
+
+    #[test]
+    fn divergence_is_fatal() {
+        let m = manifest_with_losses(&[("train", 1.0), ("train", 0.5), ("train", 40.0)]);
+        let d = diagnose(Some(&m), &[]);
+        assert!(d.divergence);
+        assert!(d.fatal());
+
+        let m = manifest_with_losses(&[("train", 1.0), ("train", f64::NAN)]);
+        let d = diagnose(Some(&m), &[]);
+        assert!(d.divergence && d.fatal());
+    }
+
+    #[test]
+    fn plateau_is_a_warning_not_fatal() {
+        let m = manifest_with_losses(&[
+            ("train", 1.0),
+            ("train", 0.5),
+            ("train", 0.5),
+            ("train", 0.5),
+            ("train", 0.5),
+        ]);
+        let d = diagnose(Some(&m), &[]);
+        assert!(d.plateau);
+        assert!(!d.fatal());
+        assert!(d.render_text().contains("plateaued"));
+    }
+
+    #[test]
+    fn healthy_run_is_healthy() {
+        let m = manifest_with_losses(&[("train", 1.0), ("train", 0.8), ("train", 0.6)]);
+        let d = diagnose(Some(&m), &[epoch_rec(0, 0.3)]);
+        assert!(!d.fatal());
+        assert!(d.render_text().contains("verdict: HEALTHY"));
+        assert!(d.to_json().contains("\"healthy\":true"));
+    }
+
+    #[test]
+    fn health_jsonl_round_trips_through_the_parser() {
+        let recs = vec![incident_rec(), epoch_rec(0, -0.25)];
+        let text = health::render_jsonl(&recs, 123);
+        let back = parse_health_jsonl(&text).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn wrong_schemas_are_rejected() {
+        assert!(parse_health_jsonl("{\"schema\":\"nope/v1\"}\n").is_err());
+        assert!(parse_manifest("{\"schema\":\"nope/v1\"}").is_err());
+        let e = run_doctor(&DoctorArgs::default()).unwrap_err();
+        assert!(e.contains("at least one"));
+    }
+}

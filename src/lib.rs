@@ -16,6 +16,7 @@
 //! * [`check`] — gradient verification, property harness, golden regression
 
 pub mod cli;
+pub mod doctor;
 
 pub use adaptraj_bench as bench;
 pub use adaptraj_check as check;
