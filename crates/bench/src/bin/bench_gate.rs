@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! bench_gate --baseline BENCH_old.json --candidate BENCH_new.json \
-//!            [--max-regress-pct 25 | --min-improve-pct 25] [--check]
+//!            [--max-regress-pct 25 | --min-improve-pct 25] \
+//!            [--max-tape-nodes-ratio R] [--check]
 //! ```
 //!
 //! `--max-regress-pct` (the default mode) fails if any metric got worse
@@ -11,17 +12,24 @@
 //! every workload must IMPROVE `windows_per_sec` by at least N% with
 //! `infer_p99_ms` no worse — the mode used to land an optimization PR.
 //!
+//! `--max-tape-nodes-ratio R` adds a structural assertion on top of
+//! either mode: every workload's training `tape_nodes` must be at most
+//! R x the baseline's (0.2 asserts a >= 5x graph shrink). Workloads
+//! where either document lacks the counter are skipped; timing noise
+//! cannot rescue a graph that did not actually shrink.
+//!
 //! `--check` validates and reports but never fails on threshold misses
 //! (schema/parse errors still fail) — the CI smoke mode, where absolute
 //! timings on shared runners are too noisy to gate on.
 
-use adaptraj_bench::compare::{compare, improvement, parse_doc};
+use adaptraj_bench::compare::{compare, improvement, parse_doc, tape_nodes_ratio};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_gate --baseline FILE --candidate FILE \
-         [--max-regress-pct N | --min-improve-pct N] [--check]"
+         [--max-regress-pct N | --min-improve-pct N] \
+         [--max-tape-nodes-ratio R] [--check]"
     );
     std::process::exit(2);
 }
@@ -37,6 +45,7 @@ fn main() -> ExitCode {
     let mut candidate = None;
     let mut max_regress_pct = 25.0f64;
     let mut min_improve_pct: Option<f64> = None;
+    let mut max_tape_nodes_ratio: Option<f64> = None;
     let mut check_only = false;
     let mut i = 0;
     while i < args.len() {
@@ -61,6 +70,13 @@ fn main() -> ExitCode {
                     usage();
                 };
                 min_improve_pct = Some(v);
+                i += 2;
+            }
+            "--max-tape-nodes-ratio" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) else {
+                    usage();
+                };
+                max_tape_nodes_ratio = Some(v);
                 i += 2;
             }
             "--check" => {
@@ -93,10 +109,37 @@ fn main() -> ExitCode {
         }
     };
 
+    let mut tape_fail = false;
+    if let Some(max_ratio) = max_tape_nodes_ratio {
+        let diffs = tape_nodes_ratio(&base, &cand, max_ratio);
+        println!(
+            "{:<18} {:>14} {:>14} {:>8}  status",
+            "workload", "base nodes", "cand nodes", "ratio"
+        );
+        for d in &diffs {
+            let status = if d.over_limit {
+                "OVER LIMIT"
+            } else if d.ratio.is_nan() {
+                "skipped (counter absent)"
+            } else {
+                "ok"
+            };
+            println!(
+                "{:<18} {:>14.0} {:>14.0} {:>8.3}  {status}",
+                d.workload, d.baseline_nodes, d.candidate_nodes, d.ratio
+            );
+        }
+        tape_fail = diffs.iter().any(|d| d.over_limit);
+        if tape_fail {
+            eprintln!("bench_gate: tape_nodes above {max_ratio}x baseline on some workload(s)");
+        }
+        println!();
+    }
+
     if let Some(min_improve_pct) = min_improve_pct {
         let rep = improvement(&base, &cand, min_improve_pct);
         print!("{}", rep.render_text());
-        return if rep.ok() {
+        return if rep.ok() && !tape_fail {
             println!("bench_gate: OK (every workload improved >= {min_improve_pct}%)");
             ExitCode::SUCCESS
         } else if check_only {
@@ -116,7 +159,7 @@ fn main() -> ExitCode {
 
     let cmp = compare(&base, &cand, max_regress_pct);
     print!("{}", cmp.render_text());
-    if cmp.ok() {
+    if cmp.ok() && !tape_fail {
         println!("bench_gate: OK (threshold {max_regress_pct}%)");
         ExitCode::SUCCESS
     } else if check_only {

@@ -34,6 +34,10 @@ pub struct PerfConfig {
     /// timed inference loop stays single-threaded so latency percentiles
     /// remain comparable across configs.
     pub workers: usize,
+    /// Optimizer mini-batch size (windows per parameter update). Recorded
+    /// in the bench document so batched-execution changes stay auditable;
+    /// pre-PR-8 documents lack the field and the comparator tolerates it.
+    pub batch_size: usize,
     /// Seed for synthesis, training, and inference sampling.
     pub seed: u64,
 }
@@ -45,6 +49,7 @@ impl Default for PerfConfig {
             scenes: 6,
             eval_windows: 120,
             workers: 1,
+            batch_size: TrainerConfig::default().batch_size,
             seed: 7,
         }
     }
@@ -58,6 +63,7 @@ impl PerfConfig {
             scenes: 3,
             eval_windows: 20,
             workers: 1,
+            batch_size: TrainerConfig::default().batch_size,
             seed: 7,
         }
     }
@@ -69,9 +75,11 @@ pub struct WorkloadResult {
     pub name: String,
     /// Training wall-clock.
     pub train_s: f64,
-    /// Backward passes executed during training (= window passes).
-    pub window_passes: u64,
-    /// Training throughput: window passes per second.
+    /// Windows dispatched to training jobs (the `exec.windows_trained`
+    /// counter). Since batched execution a single backward pass covers a
+    /// whole job, so `tensor.backward_calls` counts jobs, not windows.
+    pub windows_trained: u64,
+    /// Training throughput: windows trained per second.
     pub windows_per_sec: f64,
     /// Mean backward-pass cost per tape node over training.
     pub backward_ns_per_node: f64,
@@ -94,7 +102,7 @@ impl WorkloadResult {
         Obj::new()
             .str("name", &self.name)
             .f64("train_s", self.train_s)
-            .u64("window_passes", self.window_passes)
+            .u64("windows_trained", self.windows_trained)
             .f64("windows_per_sec", self.windows_per_sec)
             .f64("backward_ns_per_node", self.backward_ns_per_node)
             .u64("tape_nodes", self.tape_nodes)
@@ -178,6 +186,7 @@ fn run_workload(
             seed: cfg.seed,
             patience: 0,
             workers: cfg.workers,
+            batch_size: cfg.batch_size,
             ..TrainerConfig::default()
         },
         ..RunnerConfig::default()
@@ -196,7 +205,7 @@ fn run_workload(
     }
     let train_s = t0.elapsed().as_secs_f64();
     let delta = registry.snapshot().since(&before);
-    let window_passes = delta.counter("tensor.backward_calls");
+    let windows_trained = delta.counter("exec.windows_trained");
     let tape_nodes = delta.counter("tensor.tape_nodes_total");
     let backward_ms = delta.hist_sum("tensor.backward_ms");
     let backward_ns_per_node = if tape_nodes > 0 {
@@ -226,9 +235,9 @@ fn run_workload(
     WorkloadResult {
         name: name.to_string(),
         train_s,
-        window_passes,
+        windows_trained,
         windows_per_sec: if train_s > 0.0 {
-            window_passes as f64 / train_s
+            windows_trained as f64 / train_s
         } else {
             f64::NAN
         },
@@ -293,6 +302,7 @@ impl PerfReport {
             .u64("scenes", self.config.scenes as u64)
             .u64("eval_windows", self.config.eval_windows as u64)
             .u64("workers", self.config.workers as u64)
+            .u64("batch_size", self.config.batch_size as u64)
             .u64("seed", self.config.seed)
             .finish();
         Obj::new()
@@ -350,12 +360,13 @@ mod tests {
             scenes: 2,
             eval_windows: 4,
             workers: 2,
+            batch_size: 8,
             seed: 3,
         };
         let report = run_perf(&cfg);
         assert_eq!(report.workloads.len(), 3);
         for w in &report.workloads {
-            assert!(w.window_passes > 0, "{} trained no windows", w.name);
+            assert!(w.windows_trained > 0, "{} trained no windows", w.name);
             assert!(w.windows_per_sec > 0.0);
             assert!(w.infer_p50_ms > 0.0);
         }
@@ -364,5 +375,6 @@ mod tests {
         assert_eq!(doc.workloads.len(), 3);
         assert_eq!(doc.workloads[2].name, "pecnet_adaptraj");
         assert!(doc.workloads[0].windows_per_sec > 0.0);
+        assert_eq!(doc.batch_size, 8.0);
     }
 }

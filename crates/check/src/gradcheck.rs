@@ -38,7 +38,7 @@ use adaptraj_tensor::{ParamId, ParamStore, Tape, Tensor, Var};
 /// `tests/op_grads.rs` machine-checks that the per-op fixtures exercise
 /// all of these in both directions; if a new op is added to the tape this
 /// list (and a fixture) must grow with it.
-pub const OP_KINDS: [&str; 32] = [
+pub const OP_KINDS: [&str; 34] = [
     "leaf",
     "add",
     "sub",
@@ -67,6 +67,8 @@ pub const OP_KINDS: [&str; 32] = [
     "mean_all",
     "sum_all",
     "hadamard_const",
+    "reshape",
+    "sum_row_groups",
     "softmax_cross_entropy",
     "grad_reverse",
     "fused_affine",

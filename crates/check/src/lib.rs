@@ -5,7 +5,7 @@
 //!
 //! * [`gradcheck`] — central-finite-difference verification of
 //!   [`adaptraj_tensor::Tape::backward`]. Per-op fixtures
-//!   (`tests/op_grads.rs`) cover every one of the 28 `Op` kinds plus the
+//!   (`tests/op_grads.rs`) cover every one of the 34 `Op` kinds plus the
 //!   LSTM/MLP layers at tight tolerance; end-to-end checks
 //!   (`tests/model_grads.rs`) differentiate each backbone's full training
 //!   loss and AdapTraj's three-step objective on fixed-seed windows.

@@ -24,8 +24,9 @@ use adaptraj_core::losses::similarity_loss;
 use adaptraj_core::{AdapTraj, AdapTrajConfig, DomainClassifier, Features};
 use adaptraj_data::domain::DomainId;
 use adaptraj_data::trajectory::{Point, TrajWindow, T_OBS, T_TOTAL};
+use adaptraj_data::WindowBatch;
 use adaptraj_models::{
-    train_forward, BackboneConfig, ForwardCtx, Lbebm, PecNet, SocialLstm, BACKBONE_GROUP,
+    Backbone, BackboneConfig, ForwardCtx, Lbebm, PecNet, SocialLstm, BACKBONE_GROUP,
 };
 use adaptraj_tensor::nn::{Activation, Mlp};
 use adaptraj_tensor::optim::Adam;
@@ -95,8 +96,9 @@ fn backbone_eval<'a, B: adaptraj_models::Backbone>(
     move |s| {
         let mut tape = Tape::new();
         let mut wrng = Rng::seed_from(seed);
-        let mut ctx = ForwardCtx::train(s, &mut tape, &mut wrng);
-        let (_, loss) = train_forward(model, &mut ctx, &w, None);
+        let batch = WindowBatch::single(&w, 0);
+        let mut ctx = ForwardCtx::train(s, &mut tape, std::slice::from_mut(&mut wrng));
+        let (_, loss) = model.train_forward(&mut ctx, &batch, None);
         let v = tape.value(loss).item() as f64;
         let g = tape.backward(loss);
         (v, tape.param_grads(&g))
@@ -177,8 +179,9 @@ fn causal_motion_vrex_gradient_assembly_matches_fd() {
     let risk = |s: &ParamStore, w: &TrajWindow, seed: u64| {
         let mut tape = Tape::new();
         let mut wrng = Rng::seed_from(seed);
-        let mut ctx = ForwardCtx::train(s, &mut tape, &mut wrng);
-        let (_, loss) = train_forward(&model, &mut ctx, w, None);
+        let batch = WindowBatch::single(w, 0);
+        let mut ctx = ForwardCtx::train(s, &mut tape, std::slice::from_mut(&mut wrng));
+        let (_, loss) = model.train_forward(&mut ctx, &batch, None);
         let v = tape.value(loss).item() as f64;
         let g = tape.backward(loss);
         (v, tape.param_grads(&g))
@@ -251,8 +254,10 @@ fn adaptraj_step_losses_match_fd_with_asymmetries_disabled() {
             |m| {
                 let mut tape = Tape::new();
                 let mut wrng = Rng::seed_from(701);
-                let mut ctx = ForwardCtx::train(m.store(), &mut tape, &mut wrng);
-                let loss = m.window_training_loss(&mut ctx, &w, masked, d);
+                let batch = WindowBatch::single(&w, 0);
+                let mut ctx =
+                    ForwardCtx::train(m.store(), &mut tape, std::slice::from_mut(&mut wrng));
+                let loss = m.batch_training_loss(&mut ctx, &batch, masked, d);
                 let v = tape.value(loss).item() as f64;
                 let g = tape.backward(loss);
                 (v, tape.param_grads(&g))
@@ -283,8 +288,9 @@ fn adaptraj_full_objective_matches_fd_on_clean_params() {
         |m| {
             let mut tape = Tape::new();
             let mut wrng = Rng::seed_from(702);
-            let mut ctx = ForwardCtx::train(m.store(), &mut tape, &mut wrng);
-            let loss = m.window_training_loss(&mut ctx, &w, true, delta_prime);
+            let batch = WindowBatch::single(&w, 0);
+            let mut ctx = ForwardCtx::train(m.store(), &mut tape, std::slice::from_mut(&mut wrng));
+            let loss = m.batch_training_loss(&mut ctx, &batch, true, delta_prime);
             let v = tape.value(loss).item() as f64;
             let g = tape.backward(loss);
             (v, tape.param_grads(&g))

@@ -1,4 +1,4 @@
-//! Per-op finite-difference fixtures: every one of the 32 tape `Op`
+//! Per-op finite-difference fixtures: every one of the 34 tape `Op`
 //! kinds, plus the LSTM and MLP layers, must match central differences at
 //! rel-err ≤ 1e-2. Coverage is machine-checked through the op profiler —
 //! a new tape op that lands without a fixture here fails the coverage
@@ -512,6 +512,43 @@ fn fixtures() -> Vec<Fixture> {
                 &cfg(),
             )
             .assert_ok("hadamard_const");
+        }),
+    );
+    fixture(
+        "reshape",
+        Box::new(|| {
+            let c = randn(3, 2, 122);
+            grad_check_input(
+                &randn(2, 3, 55),
+                move |t, x| {
+                    let r = t.reshape(x, 3, 2);
+                    let cv = t.constant(c.clone());
+                    let y = t.mul(r, cv);
+                    let sq = t.mul(y, y);
+                    t.sum_all(sq)
+                },
+                &cfg(),
+            )
+            .assert_ok("reshape");
+        }),
+    );
+    fixture(
+        "sum_row_groups",
+        Box::new(|| {
+            let c = randn(2, 3, 123);
+            grad_check_input(
+                &randn(6, 3, 56),
+                move |t, x| {
+                    // Each gradient element repeats over its k-row group.
+                    let s = t.sum_row_groups(x, 3);
+                    let cv = t.constant(c.clone());
+                    let y = t.mul(s, cv);
+                    let sq = t.mul(y, y);
+                    t.sum_all(sq)
+                },
+                &cfg(),
+            )
+            .assert_ok("sum_row_groups");
         }),
     );
     fixture(

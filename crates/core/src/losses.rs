@@ -3,22 +3,38 @@
 use crate::config::AdapTrajConfig;
 use crate::extractors::Features;
 use crate::heads::{DomainClassifier, ReconDecoder};
-use adaptraj_data::trajectory::TrajWindow;
-use adaptraj_models::backbone::obs_flat_tensor;
-use adaptraj_tensor::{ParamStore, Tape, Var};
+use adaptraj_data::WindowBatch;
+use adaptraj_models::backbone::batch_obs_flat_tensor;
+use adaptraj_tensor::{ParamStore, Tape, Tensor, Var};
 
 /// `L_recon` (Eqs. 12–14): scale-invariant MSE between the observed focal
-/// track and its reconstruction from `[H_i^i | H_i^s]`.
+/// tracks and their reconstruction from `[H_i^i | H_i^s]`, averaged over
+/// the batch.
+///
+/// SIMSE is a *per-window* quantity — `(1/m)‖d_b‖² − (1/m²)(Σd_b)²` with
+/// `m = T_OBS·2` — so the batched form computes each row's SIMSE and takes
+/// the batch mean, rather than applying whole-tensor SIMSE to the `[B, m]`
+/// stack (which would couple the rows through the shared-mean term).
 pub fn recon_loss(
     store: &ParamStore,
     tape: &mut Tape,
     recon: &ReconDecoder,
     feats: &Features,
-    w: &TrajWindow,
+    batch: &WindowBatch<'_>,
 ) -> Var {
     let x_hat = recon.forward(store, tape, feats.inv_ind, feats.spec_ind);
-    let target = obs_flat_tensor(w);
-    tape.simse_to(x_hat, &target)
+    let target = tape.constant(batch_obs_flat_tensor(batch));
+    let m = tape.value(x_hat).cols();
+    let d = tape.sub(x_hat, target);
+    let ones = tape.constant(Tensor::ones(m, 1));
+    let d_sq = tape.mul(d, d);
+    let row_l2 = tape.matmul(d_sq, ones); // [B,1] Σ d²
+    let term1 = tape.scale(row_l2, 1.0 / m as f32);
+    let row_sum = tape.matmul(d, ones); // [B,1] Σ d
+    let row_sum_sq = tape.mul(row_sum, row_sum);
+    let term2 = tape.scale(row_sum_sq, 1.0 / (m * m) as f32);
+    let per_row = tape.sub(term1, term2);
+    tape.mean_rows(per_row)
 }
 
 /// Strength of the gradient reversal applied to the invariant features in
@@ -51,25 +67,35 @@ pub fn similarity_loss(
         feats.spec_ind,
         feats.spec_nei,
     );
-    tape.softmax_cross_entropy(logits, &[domain_idx])
+    // Jobs are domain-homogeneous, so one label covers every batched row;
+    // `softmax_cross_entropy` is the mean over rows.
+    let b = tape.value(logits).rows();
+    tape.softmax_cross_entropy(logits, &vec![domain_idx; b])
 }
 
 /// `L_diff` (Eq. 20): soft subspace orthogonality between invariant and
-/// specific features, for both the focal agent and the neighbors.
+/// specific features, for both the focal agent and the neighbors,
+/// averaged over the batch.
 ///
 /// The paper states the constraint as `‖H^{iᵀ} H^s‖_F²` over feature
 /// matrices; for the per-window `[1, d]` feature rows used here that Gram
 /// reduces to the squared inner product `(H^i · H^s)²` — zero exactly when
 /// the two features are orthogonal (the outer-product Frobenius norm
-/// would instead penalize feature magnitude).
+/// would instead penalize feature magnitude). For a `[B, d]` batch the
+/// constraint is per-window: row-wise dots (never `H^i H^{sᵀ}`, whose
+/// off-diagonals would couple different windows), squared, batch-meaned.
 pub fn difference_loss(tape: &mut Tape, feats: &Features) -> Var {
+    let d = tape.value(feats.inv_ind).cols();
+    let ones = tape.constant(Tensor::ones(d, 1));
     let dot_sq = |tape: &mut Tape, a: Var, b: Var| {
-        let dot = tape.matmul_nt(a, b);
+        let prod = tape.mul(a, b);
+        let dot = tape.matmul(prod, ones); // [B,1] row-wise inner products
         tape.mul(dot, dot)
     };
     let ind = dot_sq(tape, feats.inv_ind, feats.spec_ind);
     let nei = dot_sq(tape, feats.inv_nei, feats.spec_nei);
-    tape.add(ind, nei)
+    let sum = tape.add(ind, nei);
+    tape.mean_rows(sum)
 }
 
 /// `L_ours` decomposed into its terms: the weighted total plus the raw
@@ -96,10 +122,13 @@ pub fn ours_loss(
     recon: &ReconDecoder,
     classifier: &DomainClassifier,
     feats: &Features,
-    w: &TrajWindow,
+    batch: &WindowBatch<'_>,
     domain_idx: usize,
 ) -> Var {
-    ours_loss_parts(store, tape, cfg, recon, classifier, feats, w, domain_idx).total
+    ours_loss_parts(
+        store, tape, cfg, recon, classifier, feats, batch, domain_idx,
+    )
+    .total
 }
 
 /// [`ours_loss`] returning the individual terms alongside the total.
@@ -111,10 +140,10 @@ pub fn ours_loss_parts(
     recon: &ReconDecoder,
     classifier: &DomainClassifier,
     feats: &Features,
-    w: &TrajWindow,
+    batch: &WindowBatch<'_>,
     domain_idx: usize,
 ) -> OursLossParts {
-    let l_recon = recon_loss(store, tape, recon, feats, w);
+    let l_recon = recon_loss(store, tape, recon, feats, batch);
     let mut total = tape.scale(l_recon, cfg.alpha);
     let l_diff = if cfg.ablation.use_invariant && cfg.ablation.use_specific {
         let l_diff = difference_loss(tape, feats);
@@ -138,8 +167,8 @@ pub fn ours_loss_parts(
 mod tests {
     use super::*;
     use adaptraj_data::domain::DomainId;
-    use adaptraj_data::trajectory::{Point, T_TOTAL};
-    use adaptraj_tensor::{Rng, Tensor};
+    use adaptraj_data::trajectory::{Point, TrajWindow, T_TOTAL};
+    use adaptraj_tensor::Rng;
 
     const F: usize = 8;
 
@@ -220,20 +249,21 @@ mod tests {
         let clf = DomainClassifier::new(&mut store, &mut rng, F, 3);
         let w = toy_window();
 
+        let batch = WindowBatch::single(&w, 0);
         let full_cfg = AdapTrajConfig::smoke();
         let mut no_spec = AdapTrajConfig::smoke();
         no_spec.ablation.use_specific = false;
 
         let mut t1 = Tape::new();
         let f1 = toy_features(&mut t1, &mut rng);
-        let l_full = ours_loss(&store, &mut t1, &full_cfg, &recon, &clf, &f1, &w, 0);
+        let l_full = ours_loss(&store, &mut t1, &full_cfg, &recon, &clf, &f1, &batch, 0);
         assert!(t1.value(l_full).item().is_finite());
 
         // Without the specific family, the orthogonality term is dropped;
         // the loss composition differs.
         let mut t2 = Tape::new();
         let f2 = toy_features(&mut t2, &mut rng);
-        let l_ablate = ours_loss(&store, &mut t2, &no_spec, &recon, &clf, &f2, &w, 0);
+        let l_ablate = ours_loss(&store, &mut t2, &no_spec, &recon, &clf, &f2, &batch, 0);
         assert!(t2.value(l_ablate).item().is_finite());
     }
 
@@ -244,10 +274,11 @@ mod tests {
         let recon = ReconDecoder::new(&mut store, &mut rng, F);
         let clf = DomainClassifier::new(&mut store, &mut rng, F, 3);
         let w = toy_window();
+        let batch = WindowBatch::single(&w, 0);
         let cfg = AdapTrajConfig::smoke();
         let mut tape = Tape::new();
         let feats = toy_features(&mut tape, &mut rng);
-        let parts = ours_loss_parts(&store, &mut tape, &cfg, &recon, &clf, &feats, &w, 1);
+        let parts = ours_loss_parts(&store, &mut tape, &cfg, &recon, &clf, &feats, &batch, 1);
         let total = tape.value(parts.total).item();
         let recomposed = cfg.alpha * tape.value(parts.recon).item()
             + cfg.beta
@@ -262,6 +293,57 @@ mod tests {
     }
 
     #[test]
+    fn batched_losses_equal_mean_of_per_window_losses() {
+        // The per-row SIMSE / row-dot orthogonality / batched CE forms
+        // must reduce to the mean of the corresponding per-window values.
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(9);
+        let recon = ReconDecoder::new(&mut store, &mut rng, F);
+        let clf = DomainClassifier::new(&mut store, &mut rng, F, 3);
+        let cfg = AdapTrajConfig::smoke();
+        let w1 = toy_window();
+        let focal2: Vec<Point> = (0..T_TOTAL).map(|t| [0.1 * t as f32, 0.3]).collect();
+        let w2 = TrajWindow::from_world(&focal2, &[], DomainId::EthUcy);
+        let rows: Vec<Tensor> = (0..8)
+            .map(|_| Tensor::randn(1, F, 0.0, 1.0, &mut rng))
+            .collect();
+        let stack = |offset: usize, idx: &[usize]| {
+            let parts: Vec<&Tensor> = idx.iter().map(|&i| &rows[i + offset]).collect();
+            Tensor::concat_rows(&parts)
+        };
+        let feats_of = |tape: &mut Tape, idx: &[usize]| Features {
+            inv_ind: tape.input(stack(0, idx)),
+            inv_nei: tape.input(stack(2, idx)),
+            spec_ind: tape.input(stack(4, idx)),
+            spec_nei: tape.input(stack(6, idx)),
+        };
+        let single = |w: &TrajWindow, id: usize| -> (f32, f32, f32) {
+            let mut tape = Tape::new();
+            let feats = feats_of(&mut tape, &[id]);
+            let batch = WindowBatch::single(w, id as u64);
+            let parts = ours_loss_parts(&store, &mut tape, &cfg, &recon, &clf, &feats, &batch, 1);
+            (
+                tape.value(parts.recon).item(),
+                tape.value(parts.diff.unwrap()).item(),
+                tape.value(parts.similar).item(),
+            )
+        };
+        let (r1, d1, s1) = single(&w1, 0);
+        let (r2, d2, s2) = single(&w2, 1);
+        let mut tape = Tape::new();
+        let feats = feats_of(&mut tape, &[0, 1]);
+        let batch = WindowBatch::new(vec![&w1, &w2], vec![0, 1]);
+        let parts = ours_loss_parts(&store, &mut tape, &cfg, &recon, &clf, &feats, &batch, 1);
+        let close = |a: f32, b: f32| (a - b).abs() < 1e-5 * (1.0 + a.abs());
+        assert!(close(tape.value(parts.recon).item(), (r1 + r2) / 2.0));
+        assert!(close(
+            tape.value(parts.diff.unwrap()).item(),
+            (d1 + d2) / 2.0
+        ));
+        assert!(close(tape.value(parts.similar).item(), (s1 + s2) / 2.0));
+    }
+
+    #[test]
     fn recon_loss_trainable_to_near_zero() {
         use adaptraj_tensor::optim::Adam;
         use adaptraj_tensor::GradBuffer;
@@ -269,6 +351,7 @@ mod tests {
         let mut rng = Rng::seed_from(2);
         let recon = ReconDecoder::new(&mut store, &mut rng, F);
         let w = toy_window();
+        let batch = WindowBatch::single(&w, 0);
         let fixed_inv = Tensor::randn(1, F, 0.0, 1.0, &mut rng);
         let fixed_spec = Tensor::randn(1, F, 0.0, 1.0, &mut rng);
         let mut opt = Adam::new(0.01);
@@ -281,7 +364,7 @@ mod tests {
                 inv_nei: tape.constant(Tensor::zeros(1, F)),
                 spec_nei: tape.constant(Tensor::zeros(1, F)),
             };
-            let l = recon_loss(&store, &mut tape, &recon, &feats, &w);
+            let l = recon_loss(&store, &mut tape, &recon, &feats, &batch);
             let grads = tape.backward(l);
             let mut buf = GradBuffer::new();
             buf.absorb(&tape, &grads);

@@ -5,7 +5,7 @@ use crate::config::{AdapTrajConfig, AGGREGATOR_GROUP, SPECIFIC_GROUP};
 use crate::extractors::{Aggregator, Features, InvariantExtractor, SpecificExtractor};
 use crate::heads::{DomainClassifier, ReconDecoder};
 use crate::losses::ours_loss_parts;
-use adaptraj_data::batch::shuffled_batches;
+use adaptraj_data::batch::{keyed_jobs, shuffled_batches, WindowBatch, MAX_WINDOWS_PER_JOB};
 use adaptraj_data::domain::DomainId;
 use adaptraj_data::trajectory::{Point, TrajWindow};
 use adaptraj_exec::{window_seed, WorkerPool};
@@ -20,12 +20,12 @@ use adaptraj_tensor::optim::Adam;
 use adaptraj_tensor::{GradBuffer, ParamStore, Rng, Tape, Tensor, Var};
 use std::time::Instant;
 
-/// Raw (unweighted) loss-term values read off one window's tape; `NaN`
-/// marks a term this pass did not compute (e.g. `distill` on unmasked
-/// windows). Used only for telemetry — the gradient flows through the
-/// weighted total.
+/// Raw (unweighted) loss-term values read off one job's tape — batch
+/// means over the job's windows; `NaN` marks a term this pass did not
+/// compute (e.g. `distill` on unmasked jobs). Used only for telemetry —
+/// the gradient flows through the weighted total.
 #[derive(Debug, Clone, Copy)]
-struct WindowLossValues {
+struct BatchLossValues {
     backbone: f32,
     recon: f32,
     diff: f32,
@@ -33,8 +33,9 @@ struct WindowLossValues {
     distill: f32,
 }
 
-/// Accumulates per-window loss terms into per-epoch means, skipping the
-/// NaN placeholders so a term's mean covers only passes that computed it.
+/// Accumulates per-job loss-term means (weighted by job size) into
+/// per-epoch means, skipping the NaN placeholders so a term's mean covers
+/// only passes that computed it.
 #[derive(Debug, Default)]
 struct ComponentMeans {
     sums: [f64; 5],
@@ -42,14 +43,14 @@ struct ComponentMeans {
 }
 
 impl ComponentMeans {
-    fn add(&mut self, v: &WindowLossValues) {
+    fn add(&mut self, v: &BatchLossValues, n_windows: u64) {
         for (i, x) in [v.backbone, v.recon, v.diff, v.similar, v.distill]
             .into_iter()
             .enumerate()
         {
             if x.is_finite() {
-                self.sums[i] += x as f64;
-                self.counts[i] += 1;
+                self.sums[i] += x as f64 * n_windows as f64;
+                self.counts[i] += n_windows;
             }
         }
     }
@@ -191,46 +192,54 @@ impl<B: Backbone> AdapTraj<B> {
 
     /// Assembles the `extra` conditioning `[H^i | H^s]` (fused invariant +
     /// fused specific), honoring the ablation switches by zeroing the
-    /// removed family (the backbone width stays fixed).
+    /// removed family (the backbone width stays fixed). Shapes follow the
+    /// batch: `[B, 2·fused_dim]` for `[B, feat_dim]` features.
     pub fn extra_features(&self, tape: &mut Tape, feats: &Features) -> Var {
+        let b = tape.value(feats.inv_ind).rows();
         let h_inv = if self.cfg.ablation.use_invariant {
             self.invariant
                 .fuse(&self.store, tape, feats.inv_ind, feats.inv_nei)
         } else {
-            tape.constant(Tensor::zeros(1, self.cfg.fused_dim))
+            tape.constant(Tensor::zeros(b, self.cfg.fused_dim))
         };
         let h_spec = if self.cfg.ablation.use_specific {
             self.specific
                 .fuse(&self.store, tape, feats.spec_ind, feats.spec_nei)
         } else {
-            tape.constant(Tensor::zeros(1, self.cfg.fused_dim))
+            tape.constant(Tensor::zeros(b, self.cfg.fused_dim))
         };
         tape.concat_cols(&[h_inv, h_spec])
     }
 
-    /// One training forward pass for a window: `L_total = L_base +
-    /// δ·L_ours` (Eqs. 23/25). `masked` selects the teacher–student path:
+    /// One training forward pass for a **domain-homogeneous** batch of
+    /// windows: the batch-mean `L_total = L_base + δ·L_ours` (Eqs. 23/25)
+    /// in a single tape pass. `masked` selects the teacher–student path:
     /// the specific features come from the aggregator, and an explicit
     /// distillation term pulls the student's (aggregator's) output toward
     /// the *teacher's* — the true domain's expert, detached (Sec. III-D,
     /// Fig. 2 labels `M` as the teacher of `A`). Without this term the
     /// aggregator only receives indirect task-loss signal and needs far
     /// more epochs to stop degrading the decoder's conditioning.
-    fn window_loss(
+    fn batch_loss(
         &self,
         ctx: &mut ForwardCtx<'_>,
-        w: &TrajWindow,
+        batch: &WindowBatch<'_>,
         masked: bool,
         delta: f32,
-    ) -> (Var, WindowLossValues) {
+    ) -> (Var, BatchLossValues) {
         ctx.mode = GenMode::Train;
+        let domain = batch.windows()[0].domain;
+        debug_assert!(
+            batch.windows().iter().all(|w| w.domain == domain),
+            "batch_loss requires a domain-homogeneous batch"
+        );
         let domain_idx = self
             .specific
-            .expert_of(w.domain)
+            .expert_of(domain)
             .expect("training window from a non-source domain");
         let enc = {
             let _p = profile::phase("encode");
-            self.backbone.encode(ctx.store, ctx.tape, w)
+            self.backbone.encode(ctx.store, ctx.tape, batch)
         };
         let expert = if masked { None } else { Some(domain_idx) };
         let (feats, distill, extra) = {
@@ -258,9 +267,9 @@ impl<B: Backbone> AdapTraj<B> {
         };
         let (mut loss, backbone_val) = {
             let _p = profile::phase("generate");
-            let gen = self.backbone.generate(ctx, w, &enc, Some(extra));
+            let gen = self.backbone.generate(ctx, batch, &enc, Some(extra));
             let tape = &mut *ctx.tape;
-            let mut loss = base_loss(tape, gen.pred, w);
+            let mut loss = base_loss(tape, gen.pred, batch);
             if let Some(aux) = gen.aux_loss {
                 loss = tape.add(loss, aux);
             }
@@ -277,7 +286,7 @@ impl<B: Backbone> AdapTraj<B> {
                 &self.recon,
                 &self.classifier,
                 &feats,
-                w,
+                batch,
                 domain_idx,
             )
         };
@@ -287,7 +296,7 @@ impl<B: Backbone> AdapTraj<B> {
             let weighted = tape.scale(d, self.cfg.distill_weight);
             loss = tape.add(loss, weighted);
         }
-        let values = WindowLossValues {
+        let values = BatchLossValues {
             backbone: backbone_val,
             recon: tape.value(parts.recon).item(),
             diff: parts.diff.map_or(f32::NAN, |d| tape.value(d).item()),
@@ -297,21 +306,23 @@ impl<B: Backbone> AdapTraj<B> {
         (loss, values)
     }
 
-    /// The full per-window training loss `L_total = L_base + δ·L_ours`
+    /// The full batch-mean training loss `L_total = L_base + δ·L_ours`
     /// (+ distillation when `masked`) as a single tape node, exposed for
     /// the gradient-verification suite in `adaptraj-check`: `backward` on
     /// the returned node must match central finite differences over the
     /// store (modulo the intentional gradient-reversal and teacher-detach
-    /// asymmetries documented there). `ctx.store` must be this model's own
-    /// store — the extractor/head parameters are always read from `self`.
-    pub fn window_training_loss(
+    /// asymmetries documented there). The batch must be domain-homogeneous
+    /// (as produced by [`keyed_jobs`]); `ctx.store` must be this model's
+    /// own store — the extractor/head parameters are always read from
+    /// `self`, and `ctx.rngs` must hold one rng per batched window.
+    pub fn batch_training_loss(
         &self,
         ctx: &mut ForwardCtx<'_>,
-        w: &TrajWindow,
+        batch: &WindowBatch<'_>,
         masked: bool,
         delta: f32,
     ) -> Var {
-        self.window_loss(ctx, w, masked, delta).0
+        self.batch_loss(ctx, batch, masked, delta).0
     }
 
     /// Applies the per-step optimizer schedule of Alg. 1. Public so the
@@ -385,7 +396,8 @@ impl<B: Backbone> AdapTraj<B> {
     /// invariant on trained models.
     pub fn diagnostics(&self, w: &TrajWindow) -> FeatureDiagnostics {
         let mut tape = Tape::new();
-        let enc = self.backbone.encode(&self.store, &mut tape, w);
+        let batch = WindowBatch::single(w, 0);
+        let enc = self.backbone.encode(&self.store, &mut tape, &batch);
         let feats = self.features(&mut tape, &enc, None);
         let h_inv = self
             .invariant
@@ -439,6 +451,7 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
         let mut step_seconds = [0.0f64; 3];
         let pool = WorkerPool::new(self.cfg.trainer.workers);
         let seed = self.cfg.trainer.seed;
+        let windows_trained = adaptraj_obs::global().counter("exec.windows_trained");
         for epoch in 0..self.cfg.e_total() {
             let step = self.cfg.step_of_epoch(epoch);
             Self::configure_schedule(&mut opt, &self.cfg, step);
@@ -477,30 +490,46 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
             let n_batches = batch_list.len();
             for (batch_idx, batch) in batch_list.into_iter().enumerate() {
                 let mut buf = GradBuffer::new();
-                let inv = 1.0 / batch.len() as f32;
+                let inv_total = 1.0 / batch.len() as f32;
                 // Masked flags come off the main-thread rng in batch order,
                 // *before* dispatch, so the draw sequence is independent of
                 // worker interleaving (and of worker count).
-                let jobs: Vec<(usize, bool)> = batch
+                let flags: Vec<(usize, bool)> = batch
                     .iter()
                     .map(|&i| (i, masking && rng.chance(self.cfg.sigma)))
                     .collect();
+                // Jobs are homogeneous in (domain, masked): `batch_loss`
+                // needs one expert per batch and one teacher/student path;
+                // `keyed_jobs` depends only on these keys, so the split is
+                // worker-count independent.
+                let keys: Vec<(DomainId, bool)> =
+                    flags.iter().map(|&(i, m)| (windows[i].domain, m)).collect();
+                let jobs: Vec<(WindowBatch<'_>, bool)> = keyed_jobs(&keys, MAX_WINDOWS_PER_JOB)
+                    .into_iter()
+                    .map(|pos| {
+                        let ws = pos.iter().map(|&p| windows[flags[p].0]).collect();
+                        let ids = pos.iter().map(|&p| flags[p].0 as u64).collect();
+                        (WindowBatch::new(ws, ids), flags[pos[0]].1)
+                    })
+                    .collect();
                 let this = &*self;
                 let results = pool
-                    .map(&jobs, |_, &(i, masked)| {
+                    .map(&jobs, |_, (wb, masked)| {
                         let _p = profile::phase_at(&profile_path);
-                        let _h = health::window_scope(epoch as u64, i as u64);
+                        let _h = health::batch_scope(epoch as u64, wb.ids());
                         adaptraj_tensor::with_pooled(|tape| {
-                            let mut wrng =
-                                Rng::seed_from(window_seed(seed, epoch as u64, i as u64));
-                            let mut ctx = ForwardCtx::train(&this.store, tape, &mut wrng);
-                            let (loss, values) =
-                                this.window_loss(&mut ctx, windows[i], masked, delta);
+                            let mut rngs: Vec<Rng> = wb
+                                .ids()
+                                .iter()
+                                .map(|&id| Rng::seed_from(window_seed(seed, epoch as u64, id)))
+                                .collect();
+                            let mut ctx = ForwardCtx::train(&this.store, tape, &mut rngs);
+                            let (loss, values) = this.batch_loss(&mut ctx, wb, *masked, delta);
                             let val = tape.value(loss).item();
                             if !val.is_finite() {
                                 return (val, values, Vec::new());
                             }
-                            // `skip-window` policy: a tripped window drops
+                            // `skip-window` policy: a tripped job drops
                             // its gradient contribution via the existing
                             // non-finite skip path.
                             if health::should_skip_window() {
@@ -516,24 +545,26 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
                 // clip, optimizer step, recycle — on one dispatcher-lane
                 // span, matching `models::trainer`'s `grad_reduce`.
                 let tl_reduce = timeline::span("grad_reduce", "train");
-                // Reduce in batch-position order: bit-identical for any
-                // worker count.
-                for (pos, (val, values, pairs)) in results.iter().enumerate() {
+                // Reduce in job order (weighted by job size): bit-identical
+                // for any worker count.
+                for ((wb, _), (val, values, pairs)) in jobs.iter().zip(results.iter()) {
                     if !val.is_finite() {
-                        let i = jobs[pos].0;
-                        rec.non_finite_batches += 1;
+                        rec.non_finite_batches += wb.len() as u64;
                         obs_warn!(
                             "core.fit",
-                            "non-finite loss at epoch {epoch}, window {i}; skipping"
+                            "non-finite loss at epoch {epoch}, windows {:?}; skipping job",
+                            wb.ids()
                         );
                         continue;
                     }
-                    buf.absorb_pairs_scaled(pairs, inv);
-                    diag.absorb(windows[jobs[pos].0].domain.name(), pairs, inv);
-                    epoch_loss += *val as f64;
-                    means.add(values);
-                    seen += 1;
+                    let weight = wb.len() as f32 * inv_total;
+                    buf.absorb_pairs_scaled(pairs, weight);
+                    diag.absorb(wb.windows()[0].domain.name(), pairs, weight);
+                    epoch_loss += *val as f64 * wb.len() as f64;
+                    means.add(values, wb.len() as u64);
+                    seen += wb.len();
                 }
+                windows_trained.add(batch.len() as u64);
                 // Retire the shipped gradient buffers into this thread's
                 // pool so the next batch's reduction reuses them.
                 for (_, _, pairs) in results {
@@ -601,9 +632,10 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
 
     fn predict(&self, w: &TrajWindow, rng: &mut Rng) -> Vec<Point> {
         adaptraj_tensor::with_pooled(|tape| {
+            let batch = WindowBatch::single(w, 0);
             let enc = {
                 let _p = profile::phase("encode");
-                self.backbone.encode(&self.store, tape, w)
+                self.backbone.encode(&self.store, tape, &batch)
             };
             let extra = {
                 let _p = profile::phase("features");
@@ -611,8 +643,8 @@ impl<B: Backbone> Predictor for AdapTraj<B> {
                 self.extra_features(tape, &feats)
             };
             let _p = profile::phase("generate");
-            let mut ctx = ForwardCtx::sample(&self.store, tape, rng);
-            let gen = self.backbone.generate(&mut ctx, w, &enc, Some(extra));
+            let mut ctx = ForwardCtx::sample(&self.store, tape, std::slice::from_mut(rng));
+            let gen = self.backbone.generate(&mut ctx, &batch, &enc, Some(extra));
             tensor_to_points(ctx.tape.value(gen.pred))
         })
     }
@@ -812,10 +844,12 @@ mod tests {
         let mut w2 = w1.clone();
         w2.domain = DomainId::LCas;
         let mut t1 = Tape::new();
-        let e1 = model.backbone.encode(&model.store, &mut t1, &w1);
+        let b1 = WindowBatch::single(&w1, 0);
+        let e1 = model.backbone.encode(&model.store, &mut t1, &b1);
         let f1 = model.features(&mut t1, &e1, None);
         let mut t2 = Tape::new();
-        let e2 = model.backbone.encode(&model.store, &mut t2, &w2);
+        let b2 = WindowBatch::single(&w2, 0);
+        let e2 = model.backbone.encode(&model.store, &mut t2, &b2);
         let f2 = model.features(&mut t2, &e2, None);
         assert_eq!(
             t1.value(f1.spec_ind).data(),
@@ -872,7 +906,8 @@ mod tests {
             let model = make_model(cfg);
             let w = window(DomainId::EthUcy, 0.3, 0.0);
             let mut tape = Tape::new();
-            let enc = model.backbone.encode(&model.store, &mut tape, &w);
+            let batch = WindowBatch::single(&w, 0);
+            let enc = model.backbone.encode(&model.store, &mut tape, &batch);
             let feats = model.features(&mut tape, &enc, Some(0));
             let extra = model.extra_features(&mut tape, &feats);
             let v = tape.value(extra);

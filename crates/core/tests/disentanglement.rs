@@ -81,7 +81,8 @@ fn invariant_separation_with_gamma(gamma: f32) -> f32 {
         let d = SOURCES[i % 2];
         let w = window(d, i);
         let mut tape = Tape::new();
-        let enc = model.backbone().encode(model.store(), &mut tape, &w);
+        let batch = adaptraj_data::WindowBatch::single(&w, 0);
+        let enc = model.backbone().encode(model.store(), &mut tape, &batch);
         let expert = if d == SOURCES[0] { 0 } else { 1 };
         let feats = model.features(&mut tape, &enc, Some(expert));
         inv_feats.push((d, tape.value(feats.inv_ind).clone()));

@@ -34,6 +34,7 @@ pub mod preprocess;
 pub mod stats;
 pub mod trajectory;
 
+pub use batch::{keyed_jobs, WindowBatch, MAX_WINDOWS_PER_JOB};
 pub use dataset::{synthesize_all, synthesize_domain, DomainDataset, SynthesisConfig};
 pub use domain::DomainId;
 pub use trajectory::{Point, TrajWindow, FRAME_DT, T_OBS, T_PRED, T_TOTAL};

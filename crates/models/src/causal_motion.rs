@@ -13,8 +13,8 @@
 
 use crate::config::TrainerConfig;
 use crate::predictor::{cap_per_domain, Predictor, TrainReport};
-use crate::traits::{sample_forward, train_forward, Backbone, ForwardCtx};
-use adaptraj_data::batch::shuffled_batches;
+use crate::traits::{Backbone, ForwardCtx};
+use adaptraj_data::batch::{keyed_jobs, shuffled_batches, WindowBatch, MAX_WINDOWS_PER_JOB};
 use adaptraj_data::trajectory::{Point, TrajWindow};
 use adaptraj_exec::{window_seed, WorkerPool};
 use adaptraj_obs::{EpochRecord, PhaseTiming};
@@ -69,6 +69,7 @@ impl<B: Backbone> Predictor for CausalMotion<B> {
 
         let pool = WorkerPool::new(self.cfg.workers);
         let seed = self.cfg.seed;
+        let windows_trained = adaptraj_obs::global().counter("exec.windows_trained");
         let fit_start = std::time::Instant::now();
         for epoch in 0..self.cfg.epochs {
             let epoch_start = std::time::Instant::now();
@@ -78,19 +79,36 @@ impl<B: Backbone> Predictor for CausalMotion<B> {
                 // Two pseudo-environments: the batch halves. Per-half
                 // gradient buffers let us assemble the exact gradient of
                 //   L = (r1 + r2)/2 + λ (r1 − r2)²
-                // without a cross-window tape:
+                // without a cross-environment tape:
                 //   dL/dθ = (g1 + g2)/2 + 2λ (r1 − r2)(g1 − g2)
                 // where r_k are mean half risks and g_k their gradients.
+                // Each half is split into domain-homogeneous batched jobs
+                // (the split depends only on the half's domain keys, so
+                // job formation is worker-count independent).
                 let mid = batch.len().div_ceil(2);
                 let store = &self.store;
                 let backbone = &self.backbone;
+                let halves = [&batch[..mid], &batch[mid..]];
+                let mut jobs: Vec<(usize, WindowBatch<'_>)> = Vec::new();
+                for (half, span) in halves.iter().enumerate() {
+                    let keys: Vec<_> = span.iter().map(|&i| windows[i].domain).collect();
+                    for pos in keyed_jobs(&keys, MAX_WINDOWS_PER_JOB) {
+                        let ws = pos.iter().map(|&p| windows[span[p]]).collect();
+                        let ids = pos.iter().map(|&p| span[p] as u64).collect();
+                        jobs.push((half, WindowBatch::new(ws, ids)));
+                    }
+                }
                 let results = pool
-                    .map(&batch, |_, &i| {
-                        adaptraj_tensor::with_pooled(|tape| {
-                            let mut wrng =
-                                Rng::seed_from(window_seed(seed, epoch as u64, i as u64));
-                            let mut ctx = ForwardCtx::train(store, tape, &mut wrng);
-                            let (_, loss) = train_forward(backbone, &mut ctx, windows[i], None);
+                    .map(&jobs, |_, (_, wb)| {
+                        crate::trainer::worker_tape(|tape| {
+                            let mut rngs: Vec<Rng> = wb
+                                .ids()
+                                .iter()
+                                .map(|&id| Rng::seed_from(window_seed(seed, epoch as u64, id)))
+                                .collect();
+                            let mut ctx = ForwardCtx::train(store, tape, &mut rngs);
+                            let (_, loss) = backbone.train_forward(&mut ctx, wb, None);
+                            let tape = ctx.tape;
                             let val = tape.value(loss).item();
                             let grads = tape.backward(loss);
                             let pairs = tape.take_param_grads(grads);
@@ -100,16 +118,17 @@ impl<B: Backbone> Predictor for CausalMotion<B> {
                     .unwrap_or_else(|e| panic!("training worker panicked: {e}"));
                 let mut bufs = [GradBuffer::new(), GradBuffer::new()];
                 let mut risks = [0.0f32; 2];
-                // Reduce in batch-position order: bit-identical for any
-                // worker count.
-                for (pos, (val, pairs)) in results.iter().enumerate() {
-                    let half = usize::from(pos >= mid);
-                    let n_half = if half == 0 { mid } else { batch.len() - mid };
-                    bufs[half].absorb_pairs_scaled(pairs, 1.0 / n_half.max(1) as f32);
-                    risks[half] += val / n_half.max(1) as f32;
-                    epoch_loss += val;
-                    seen += 1;
+                // Reduce in job order (half 0's jobs then half 1's):
+                // bit-identical for any worker count.
+                for ((half, wb), (val, pairs)) in jobs.iter().zip(&results) {
+                    let n_half = halves[*half].len();
+                    let weight = wb.len() as f32 / n_half.max(1) as f32;
+                    bufs[*half].absorb_pairs_scaled(pairs, weight);
+                    risks[*half] += val * weight;
+                    epoch_loss += val * wb.len() as f32;
+                    seen += wb.len();
                 }
+                windows_trained.add(batch.len() as u64);
                 let mut total = GradBuffer::new();
                 total.scaled_add(&bufs[0], 0.5);
                 total.scaled_add(&bufs[1], 0.5);
@@ -165,8 +184,9 @@ impl<B: Backbone> Predictor for CausalMotion<B> {
         // Inference is architecturally identical to vanilla (the paper
         // notes near-identical inference time for CausalMotion).
         adaptraj_tensor::with_pooled(|tape| {
-            let mut ctx = ForwardCtx::sample(&self.store, tape, rng);
-            let pred = sample_forward(&self.backbone, &mut ctx, w, None);
+            let batch = WindowBatch::single(w, 0);
+            let mut ctx = ForwardCtx::sample(&self.store, tape, std::slice::from_mut(rng));
+            let pred = self.backbone.sample_forward(&mut ctx, &batch, None);
             crate::backbone::tensor_to_points(ctx.tape.value(pred))
         })
     }

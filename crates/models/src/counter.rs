@@ -15,8 +15,9 @@
 use crate::config::TrainerConfig;
 use crate::predictor::{cap_per_domain, Predictor, TrainReport};
 use crate::trainer::Trainer;
-use crate::traits::{sample_forward, train_forward, Backbone, ForwardCtx};
+use crate::traits::{Backbone, ForwardCtx};
 use adaptraj_data::trajectory::{Point, TrajWindow};
+use adaptraj_data::WindowBatch;
 use adaptraj_tensor::optim::Adam;
 use adaptraj_tensor::{ParamStore, Rng};
 
@@ -78,13 +79,18 @@ impl<B: Backbone> Predictor for Counter<B> {
             &mut opt,
             &windows,
             &mut rng,
-            |store, tape, w, r| {
-                let mut ctx = ForwardCtx::train(store, tape, r);
-                let (_, l_fact) = train_forward(backbone, &mut ctx, w, None);
-                let cf = counterfactual_of(w);
-                let (_, l_cf) = train_forward(backbone, &mut ctx, &cf, None);
-                let sum = tape.add(l_fact, l_cf);
-                tape.scale(sum, 0.5)
+            |store, tape, wb, rngs| {
+                let mut ctx = ForwardCtx::train(store, tape, rngs);
+                let (_, l_fact) = backbone.train_forward(&mut ctx, wb, None);
+                // Same batch with every neighborhood replaced by the
+                // reference; each window's rng stream simply continues
+                // into its counterfactual pass.
+                let cf: Vec<TrajWindow> =
+                    wb.windows().iter().map(|w| counterfactual_of(w)).collect();
+                let cf_batch = WindowBatch::new(cf.iter().collect(), wb.ids().to_vec());
+                let (_, l_cf) = backbone.train_forward(&mut ctx, &cf_batch, None);
+                let sum = ctx.tape.add(l_fact, l_cf);
+                ctx.tape.scale(sum, 0.5)
             },
         )
     }
@@ -103,14 +109,17 @@ impl<B: Backbone> Predictor for Counter<B> {
         // than sampling noise.
         let seed = ((rng.unit().to_bits() as u64) << 32) | rng.unit().to_bits() as u64;
         adaptraj_tensor::with_pooled(|tape| {
+            let batch = WindowBatch::single(w, 0);
             let mut r1 = Rng::seed_from(seed);
-            let mut ctx1 = ForwardCtx::sample(&self.store, tape, &mut r1);
-            let y_fact = sample_forward(&self.backbone, &mut ctx1, w, None);
+            let mut ctx1 = ForwardCtx::sample(&self.store, tape, std::slice::from_mut(&mut r1));
+            let y_fact = self.backbone.sample_forward(&mut ctx1, &batch, None);
 
             let cf = counterfactual_of(w);
+            let cf_batch = WindowBatch::single(&cf, 0);
             let mut r2 = Rng::seed_from(seed);
-            let mut ctx2 = ForwardCtx::sample(&self.store, ctx1.tape, &mut r2);
-            let y_cf = sample_forward(&self.backbone, &mut ctx2, &cf, None);
+            let mut ctx2 =
+                ForwardCtx::sample(&self.store, ctx1.tape, std::slice::from_mut(&mut r2));
+            let y_cf = self.backbone.sample_forward(&mut ctx2, &cf_batch, None);
             let tape = ctx2.tape;
 
             // Y_final = Y(X,E) − β·(Y(X,E) − Y(X,∅)): subtract the

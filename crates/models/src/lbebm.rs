@@ -10,13 +10,20 @@
 //! inference is measurably slower than PECNet's in Table VIII, an effect
 //! this implementation reproduces (each Langevin step is an extra
 //! energy-network forward/backward).
+//!
+//! Batched: the posterior, the Langevin chains, and the energy head all
+//! run over `[B, ·]` rows at once. Per-row energies are independent, so
+//! one `sum_all` backward on the inner tape yields every chain's
+//! `∂E/∂z` in a single pass.
 
 use crate::backbone::{
-    fut_flat_tensor, EncodedScene, InteractionKind, RolloutDecoder, SceneEncoder, BACKBONE_GROUP,
+    batch_fut_flat_tensor, EncodedScene, InteractionKind, RolloutDecoder, SceneEncoder,
+    BACKBONE_GROUP,
 };
 use crate::config::BackboneConfig;
-use crate::traits::{Backbone, ForwardCtx, GenMode, Generation};
-use adaptraj_data::trajectory::{TrajWindow, T_PRED};
+use crate::traits::{randn_per_window, Backbone, ForwardCtx, GenMode, Generation};
+use adaptraj_data::trajectory::T_PRED;
+use adaptraj_data::WindowBatch;
 use adaptraj_tensor::nn::{Activation, Mlp};
 use adaptraj_tensor::{ParamStore, Rng, Tape, Tensor, Var};
 
@@ -39,7 +46,7 @@ pub struct Lbebm {
     scene: SceneEncoder,
     /// Amortized posterior: `[h_focal | future_flat] -> [mu | logvar]`.
     posterior: Mlp,
-    /// Energy head: `[z | h_focal | P_i] -> scalar energy`.
+    /// Energy head: `[z | h_focal | P_i] -> scalar energy per row`.
     energy: Mlp,
     rollout: RolloutDecoder,
 }
@@ -79,10 +86,11 @@ impl Lbebm {
         }
     }
 
-    /// Energy of a latent given frozen context values, on a private tape;
-    /// returns the gradient w.r.t. `z` (for Langevin) and the energy value.
+    /// Energy of a batch of latents `[B, z]` given frozen context values,
+    /// on a private tape; returns the gradient w.r.t. `z` (for Langevin,
+    /// `[B, z]` — rows are independent) and the total energy value.
     fn energy_grad(&self, store: &ParamStore, z: &Tensor, h: &Tensor, p: &Tensor) -> (Tensor, f32) {
-        // `with_pooled` is re-entrant: during training the outer window job
+        // `with_pooled` is re-entrant: during training the outer job
         // already holds the thread's pooled tape, so this inner Langevin
         // tape runs as a temporary that still retires its buffers.
         adaptraj_tensor::with_pooled(|tape| {
@@ -100,16 +108,23 @@ impl Lbebm {
     }
 
     /// Short-run Langevin MCMC from a standard-normal initialization:
-    /// `z ← z − s/2 · ∂E/∂z + √s · ε`.
-    fn langevin_sample(&self, store: &ParamStore, h: &Tensor, p: &Tensor, rng: &mut Rng) -> Tensor {
-        let mut z = Tensor::randn(1, self.cfg.z_dim, 0.0, 1.0, rng);
+    /// `z ← z − s/2 · ∂E/∂z + √s · ε`, all chains stepped jointly with
+    /// noise row `b` drawn from window `b`'s rng stream.
+    fn langevin_sample(
+        &self,
+        store: &ParamStore,
+        h: &Tensor,
+        p: &Tensor,
+        rngs: &mut [Rng],
+    ) -> Tensor {
+        let mut z = randn_per_window(rngs, self.cfg.z_dim, 0.0, 1.0);
         let s = LANGEVIN_STEP_SIZE;
         for _ in 0..LANGEVIN_STEPS {
             let (grad, _) = self.energy_grad(store, &z, h, p);
             z.axpy(-s / 2.0, &grad);
-            let noise = Tensor::randn(1, self.cfg.z_dim, 0.0, s.sqrt(), rng);
+            let noise = randn_per_window(rngs, self.cfg.z_dim, 0.0, s.sqrt());
             z.axpy(1.0, &noise);
-            // Keep the chain in a sane region early in training.
+            // Keep the chains in a sane region early in training.
             for v in z.data_mut() {
                 *v = v.clamp(-4.0, 4.0);
             }
@@ -127,14 +142,14 @@ impl Backbone for Lbebm {
         &self.cfg
     }
 
-    fn encode(&self, store: &ParamStore, tape: &mut Tape, w: &TrajWindow) -> EncodedScene {
-        self.scene.encode(store, tape, w)
+    fn encode(&self, store: &ParamStore, tape: &mut Tape, batch: &WindowBatch<'_>) -> EncodedScene {
+        self.scene.encode(store, tape, batch)
     }
 
     fn generate(
         &self,
         ctx: &mut ForwardCtx<'_>,
-        w: &TrajWindow,
+        batch: &WindowBatch<'_>,
         enc: &EncodedScene,
         extra: Option<Var>,
     ) -> Generation {
@@ -145,11 +160,11 @@ impl Backbone for Lbebm {
         );
         let zd = self.cfg.z_dim;
         let store = ctx.store;
-        let tape = &mut *ctx.tape;
         let (z, aux_loss) = match ctx.mode {
             GenMode::Train => {
-                // Posterior sample.
-                let fut = tape.constant(fut_flat_tensor(w));
+                // Posterior samples, one per window row.
+                let tape = &mut *ctx.tape;
+                let fut = tape.constant(batch_fut_flat_tensor(batch));
                 let joint = tape.concat_cols(&[enc.h_focal, fut]);
                 let stats = self.posterior.forward(store, tape, joint);
                 let mu = tape.slice_cols(stats, 0, zd);
@@ -158,23 +173,23 @@ impl Backbone for Lbebm {
                 let logvar = tape.scale(logvar_t, 3.0);
                 let half = tape.scale(logvar, 0.5);
                 let std = tape.exp(half);
-                let eps = tape.constant(Tensor::randn(1, zd, 0.0, 1.0, ctx.rng));
+                let eps = tape.constant(randn_per_window(ctx.rngs, zd, 0.0, 1.0));
                 let noise = tape.mul(std, eps);
                 let z_pos = tape.add(mu, noise);
 
                 // Contrastive energy: posterior latents low, short-run
-                // prior samples high. The negative sample is detached
-                // (a constant) — only the energy head learns from it.
+                // prior samples high. The negative samples are detached
+                // (constants) — only the energy head learns from them.
+                // Everything is kept per-row (`[B, 1]`) until the final
+                // mean so per-window squares regularize correctly.
                 let h_val = tape.value(enc.h_focal).clone();
                 let p_val = tape.value(enc.p_i).clone();
-                let z_neg = self.langevin_sample(store, &h_val, &p_val, ctx.rng);
+                let z_neg = self.langevin_sample(store, &h_val, &p_val, ctx.rngs);
                 let joint_pos = tape.concat_cols(&[z_pos, enc.h_focal, enc.p_i]);
-                let e_pos = self.energy.forward(store, tape, joint_pos);
-                let e_pos = tape.sum_all(e_pos);
+                let e_pos = self.energy.forward(store, tape, joint_pos); // [B, 1]
                 let z_neg_var = tape.constant(z_neg);
                 let joint_neg = tape.concat_cols(&[z_neg_var, enc.h_focal, enc.p_i]);
-                let e_neg = self.energy.forward(store, tape, joint_neg);
-                let e_neg = tape.sum_all(e_neg);
+                let e_neg = self.energy.forward(store, tape, joint_neg); // [B, 1]
                 let contrast = tape.sub(e_pos, e_neg);
                 // Bound energies so the contrastive objective cannot run
                 // away (standard magnitude regularization).
@@ -183,28 +198,34 @@ impl Backbone for Lbebm {
                 let reg = tape.add(ep2, en2);
                 let reg = tape.scale(reg, 0.01);
                 let energy_term = tape.add(contrast, reg);
-                let energy_loss = tape.scale(energy_term, ENERGY_WEIGHT);
+                let energy_rows = tape.scale(energy_term, ENERGY_WEIGHT); // [B, 1]
 
-                // Weak Gaussian prior regularization on the posterior.
+                // Weak Gaussian prior regularization on the posterior,
+                // summed over z per window.
                 let mu2 = tape.mul(mu, mu);
                 let var = tape.exp(logvar);
                 let one_plus = tape.add_scalar(logvar, 1.0);
                 let inner = tape.sub(one_plus, mu2);
-                let inner = tape.sub(inner, var);
-                let kl_sum = tape.sum_all(inner);
-                let kl = tape.scale(kl_sum, -0.5 * KL_WEIGHT);
+                let inner = tape.sub(inner, var); // [B, z]
+                let ones_z = tape.constant(Tensor::ones(zd, 1));
+                let kl_rows_raw = tape.matmul(inner, ones_z); // [B, 1]
+                let kl_rows = tape.scale(kl_rows_raw, -0.5 * KL_WEIGHT);
 
-                let aux = tape.add(energy_loss, kl);
+                let aux_rows = tape.add(energy_rows, kl_rows); // [B, 1]
+                let aux = tape.mean_rows(aux_rows); // batch mean, [1, 1]
                 (z_pos, Some(aux))
             }
             GenMode::Sample => {
-                let h_val = tape.value(enc.h_focal).clone();
-                let p_val = tape.value(enc.p_i).clone();
-                let z = self.langevin_sample(store, &h_val, &p_val, ctx.rng);
-                (tape.constant(z), None)
+                let (h_val, p_val) = {
+                    let tape = &*ctx.tape;
+                    (tape.value(enc.h_focal).clone(), tape.value(enc.p_i).clone())
+                };
+                let z = self.langevin_sample(store, &h_val, &p_val, ctx.rngs);
+                (ctx.tape.constant(z), None)
             }
         };
 
+        let tape = &mut *ctx.tape;
         let mut parts = vec![enc.h_focal, enc.p_i, z];
         if let Some(e) = extra {
             parts.push(e);
@@ -218,9 +239,8 @@ impl Backbone for Lbebm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::{sample_forward, train_forward};
     use adaptraj_data::domain::DomainId;
-    use adaptraj_data::trajectory::{Point, T_OBS, T_TOTAL};
+    use adaptraj_data::trajectory::{Point, TrajWindow, T_OBS, T_TOTAL};
     use adaptraj_tensor::optim::Adam;
     use adaptraj_tensor::param::GradBuffer;
 
@@ -236,15 +256,37 @@ mod tests {
         let mut rng = Rng::seed_from(0);
         let model = Lbebm::new(&mut store, &mut rng, BackboneConfig::default());
         let w = toy_window(0.4);
+        let batch = WindowBatch::single(&w, 0);
         let mut tape = Tape::new();
-        let mut ctx = ForwardCtx::train(&store, &mut tape, &mut rng);
-        let (pred, loss) = train_forward(&model, &mut ctx, &w, None);
+        let mut ctx = ForwardCtx::train(&store, &mut tape, std::slice::from_mut(&mut rng));
+        let (pred, loss) = model.train_forward(&mut ctx, &batch, None);
         assert_eq!(tape.value(pred).shape(), (T_PRED, 2));
         assert!(tape.value(loss).item().is_finite());
         let mut t2 = Tape::new();
-        let mut c2 = ForwardCtx::sample(&store, &mut t2, &mut rng);
-        let s = sample_forward(&model, &mut c2, &w, None);
+        let mut c2 = ForwardCtx::sample(&store, &mut t2, std::slice::from_mut(&mut rng));
+        let s = model.sample_forward(&mut c2, &batch, None);
         assert_eq!(t2.value(s).shape(), (T_PRED, 2));
+    }
+
+    #[test]
+    fn batched_pass_covers_ragged_windows() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(8);
+        let model = Lbebm::new(&mut store, &mut rng, BackboneConfig::default());
+        let solo: Vec<Point> = (0..T_TOTAL).map(|t| [0.1 * t as f32, -0.2]).collect();
+        let ws = [
+            toy_window(0.4),
+            TrajWindow::from_world(&solo, &[], DomainId::Sdd),
+        ];
+        let batch = WindowBatch::new(ws.iter().collect(), vec![0, 1]);
+        let mut rngs: Vec<Rng> = (0..2).map(|i| Rng::seed_from(100 + i as u64)).collect();
+        let mut tape = Tape::new();
+        let mut ctx = ForwardCtx::train(&store, &mut tape, &mut rngs);
+        let (pred, loss) = model.train_forward(&mut ctx, &batch, None);
+        assert_eq!(tape.value(pred).shape(), (T_PRED * 2, 2));
+        assert!(tape.value(loss).item().is_finite());
+        let grads = tape.backward(loss);
+        assert!(tape.param_grads(&grads).iter().all(|(_, g)| g.all_finite()));
     }
 
     #[test]
@@ -256,9 +298,10 @@ mod tests {
         let mut opt = Adam::new(3e-3);
         let (mut first, mut last) = (0.0, 0.0);
         for it in 0..120 {
+            let batch = WindowBatch::single(&w, 0);
             let mut tape = Tape::new();
-            let mut ctx = ForwardCtx::train(&store, &mut tape, &mut rng);
-            let (_, loss) = train_forward(&model, &mut ctx, &w, None);
+            let mut ctx = ForwardCtx::train(&store, &mut tape, std::slice::from_mut(&mut rng));
+            let (_, loss) = model.train_forward(&mut ctx, &batch, None);
             let grads = tape.backward(loss);
             let mut buf = GradBuffer::new();
             buf.absorb(&tape, &grads);
@@ -287,7 +330,7 @@ mod tests {
         for _ in 0..16 {
             let z0 = Tensor::randn(1, model.cfg.z_dim, 0.0, 1.0, &mut rng);
             let (_, e0) = model.energy_grad(&store, &z0, &h, &p);
-            let z1 = model.langevin_sample(&store, &h, &p, &mut rng);
+            let z1 = model.langevin_sample(&store, &h, &p, std::slice::from_mut(&mut rng));
             let (_, e1) = model.energy_grad(&store, &z1, &h, &p);
             e0_sum += e0;
             e1_sum += e1;
@@ -304,12 +347,13 @@ mod tests {
         let mut rng = Rng::seed_from(3);
         let model = Lbebm::new(&mut store, &mut rng, BackboneConfig::default());
         let w = toy_window(0.2);
+        let batch = WindowBatch::single(&w, 0);
         let mut t1 = Tape::new();
-        let mut c1 = ForwardCtx::sample(&store, &mut t1, &mut rng);
-        let s1 = sample_forward(&model, &mut c1, &w, None);
+        let mut c1 = ForwardCtx::sample(&store, &mut t1, std::slice::from_mut(&mut rng));
+        let s1 = model.sample_forward(&mut c1, &batch, None);
         let mut t2 = Tape::new();
-        let mut c2 = ForwardCtx::sample(&store, &mut t2, &mut rng);
-        let s2 = sample_forward(&model, &mut c2, &w, None);
+        let mut c2 = ForwardCtx::sample(&store, &mut t2, std::slice::from_mut(&mut rng));
+        let s2 = model.sample_forward(&mut c2, &batch, None);
         assert_ne!(t1.value(s1).data(), t2.value(s2).data());
     }
 
@@ -320,13 +364,14 @@ mod tests {
         let cfg = BackboneConfig::default().with_extra(5);
         let model = Lbebm::new(&mut store, &mut rng, cfg);
         let w = toy_window(0.4);
+        let batch = WindowBatch::single(&w, 0);
         let mut tape = Tape::new();
-        let enc = model.encode(&store, &mut tape, &w);
+        let enc = model.encode(&store, &mut tape, &batch);
         let e1 = tape.constant(Tensor::zeros(1, 5));
         let e2 = tape.constant(Tensor::full(1, 5, 3.0));
-        let mut ctx = ForwardCtx::sample(&store, &mut tape, &mut rng);
-        let g1 = model.generate(&mut ctx, &w, &enc, Some(e1));
-        let g2 = model.generate(&mut ctx, &w, &enc, Some(e2));
+        let mut ctx = ForwardCtx::sample(&store, &mut tape, std::slice::from_mut(&mut rng));
+        let g1 = model.generate(&mut ctx, &batch, &enc, Some(e1));
+        let g2 = model.generate(&mut ctx, &batch, &enc, Some(e2));
         assert_ne!(tape.value(g1.pred).data(), tape.value(g2.pred).data());
     }
 }

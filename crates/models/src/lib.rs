@@ -15,11 +15,14 @@
 //! * [`traits::Backbone`] — the encode/generate split that makes AdapTraj
 //!   (in `adaptraj-core`) plug-and-play: it taps `h_ei` and `P_i` and
 //!   feeds its fused features back as `extra` conditioning. Forward passes
-//!   thread a [`traits::ForwardCtx`] (store + tape + rng + mode) so they
-//!   cross worker-thread boundaries cleanly.
+//!   run over a whole `WindowBatch` at once — one tape pass with batched
+//!   `GEMM`/`FusedAffine`/`LstmCell` nodes, ragged neighbor counts handled
+//!   by masking — and thread a [`traits::ForwardCtx`] (store + tape + one
+//!   rng per window + mode) so they cross worker-thread boundaries cleanly.
 //! * [`trainer::Trainer`] — the shared mini-batch loop behind the
-//!   `adaptraj-exec` worker pool; `--workers N` data-parallelism with
-//!   bit-identical results for every worker count.
+//!   `adaptraj-exec` worker pool: batches split into domain-homogeneous
+//!   jobs, `--workers N` data-parallelism with bit-identical results for
+//!   every worker count.
 
 pub mod backbone;
 pub mod causal_motion;
@@ -43,5 +46,5 @@ pub use pecnet::PecNet;
 pub use predictor::{Predictor, TrainReport};
 pub use social_lstm::SocialLstm;
 pub use trainer::Trainer;
-pub use traits::{sample_forward, train_forward, Backbone, ForwardCtx, GenMode, Generation};
+pub use traits::{randn_per_window, Backbone, ForwardCtx, GenMode, Generation};
 pub use vanilla::Vanilla;

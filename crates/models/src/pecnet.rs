@@ -6,16 +6,19 @@
 //! providing neighbor context. This implementation keeps that structure —
 //! endpoint CVAE (train: posterior over ground-truth endpoints + KL;
 //! inference: truncated prior sampling), attention interaction, and an
-//! endpoint-conditioned rollout — at CPU-friendly widths.
+//! endpoint-conditioned rollout — at CPU-friendly widths, batched over
+//! all windows of a job (`[B, ·]` rows; latent row `b` is drawn from
+//! window `b`'s rng stream).
 
 use crate::backbone::{
-    EncodedScene, InteractionKind, RolloutDecoder, SceneEncoder, BACKBONE_GROUP,
+    batch_endpoint_tensor, EncodedScene, InteractionKind, RolloutDecoder, SceneEncoder,
+    BACKBONE_GROUP,
 };
 use crate::config::BackboneConfig;
-use crate::traits::{Backbone, ForwardCtx, GenMode, Generation};
-use adaptraj_data::trajectory::TrajWindow;
+use crate::traits::{randn_per_window, Backbone, ForwardCtx, GenMode, Generation};
+use adaptraj_data::WindowBatch;
 use adaptraj_tensor::nn::{Activation, Mlp};
-use adaptraj_tensor::{ParamStore, Rng, Tape, Tensor, Var};
+use adaptraj_tensor::{ParamStore, Rng, Tape, Var};
 
 /// Weight of the endpoint reconstruction loss.
 const ENDPOINT_WEIGHT: f32 = 1.0;
@@ -80,58 +83,62 @@ impl PecNet {
         }
     }
 
-    /// Infers the endpoint. In train mode returns the CVAE auxiliary loss
-    /// (endpoint MSE + KL) alongside; in sample mode draws a truncated
-    /// prior latent.
+    /// Infers the endpoints `[B, 2]`. In train mode returns the CVAE
+    /// auxiliary loss (endpoint MSE + KL, both batch means) alongside; in
+    /// sample mode draws truncated prior latents, one per window.
     fn infer_endpoint(
         &self,
         ctx: &mut ForwardCtx<'_>,
-        w: &TrajWindow,
+        batch: &WindowBatch<'_>,
         enc: &EncodedScene,
     ) -> (Var, Option<Var>) {
         let zd = self.cfg.z_dim;
+        let b = batch.len();
         let store = ctx.store;
-        let tape = &mut *ctx.tape;
         match ctx.mode {
             GenMode::Train => {
-                let gt_ep = Tensor::row(w.fut.last().expect("future non-empty"));
+                let tape = &mut *ctx.tape;
+                let gt_ep = batch_endpoint_tensor(batch);
                 let gt_var = tape.constant(gt_ep.clone());
                 let ep_feat = self.endpoint_enc.forward(store, tape, gt_var);
                 let joint = tape.concat_cols(&[enc.h_focal, ep_feat]);
-                let stats = self.latent.forward(store, tape, joint);
+                let stats = self.latent.forward(store, tape, joint); // [B, 2z]
                 let mu = tape.slice_cols(stats, 0, zd);
                 let logvar_raw = tape.slice_cols(stats, zd, 2 * zd);
                 // Bound logvar to keep exp() well-behaved on a small tape.
                 let logvar_t = tape.tanh(logvar_raw);
                 let logvar = tape.scale(logvar_t, 3.0);
-                // Reparameterized sample.
+                // Reparameterized sample, row b from window b's rng.
                 let half_logvar = tape.scale(logvar, 0.5);
                 let std = tape.exp(half_logvar);
-                let eps = tape.constant(Tensor::randn(1, zd, 0.0, 1.0, ctx.rng));
+                let eps = tape.constant(randn_per_window(ctx.rngs, zd, 0.0, 1.0));
                 let noise = tape.mul(std, eps);
                 let z = tape.add(mu, noise);
-                // Endpoint reconstruction.
+                // Endpoint reconstruction (mse_to's mean over B·2 elements
+                // is the batch mean of the per-window endpoint MSE).
                 let dec_in = tape.concat_cols(&[enc.h_focal, z]);
                 let ep_hat = self.endpoint_dec.forward(store, tape, dec_in);
                 let ep_mse = tape.mse_to(ep_hat, &gt_ep);
-                // KL(q || N(0, I)) = -0.5 Σ (1 + logσ² − μ² − σ²).
+                // KL(q || N(0, I)) = -0.5 Σ (1 + logσ² − μ² − σ²), summed
+                // per window then averaged over the batch.
                 let mu2 = tape.mul(mu, mu);
                 let var = tape.exp(logvar);
                 let one_plus = tape.add_scalar(logvar, 1.0);
                 let inner = tape.sub(one_plus, mu2);
                 let inner = tape.sub(inner, var);
                 let kl_sum = tape.sum_all(inner);
-                let kl = tape.scale(kl_sum, -0.5);
+                let kl = tape.scale(kl_sum, -0.5 / b as f32);
                 let weighted_mse = tape.scale(ep_mse, ENDPOINT_WEIGHT);
                 let weighted_kl = tape.scale(kl, KL_WEIGHT);
                 let aux = tape.add(weighted_mse, weighted_kl);
                 (ep_hat, Some(aux))
             }
             GenMode::Sample => {
-                let mut z = Tensor::randn(1, zd, 0.0, 1.0, ctx.rng);
+                let mut z = randn_per_window(ctx.rngs, zd, 0.0, 1.0);
                 for v in z.data_mut() {
                     *v = v.clamp(-TRUNCATION, TRUNCATION);
                 }
+                let tape = &mut *ctx.tape;
                 let zv = tape.constant(z);
                 let dec_in = tape.concat_cols(&[enc.h_focal, zv]);
                 let ep_hat = self.endpoint_dec.forward(store, tape, dec_in);
@@ -150,14 +157,14 @@ impl Backbone for PecNet {
         &self.cfg
     }
 
-    fn encode(&self, store: &ParamStore, tape: &mut Tape, w: &TrajWindow) -> EncodedScene {
-        self.scene.encode(store, tape, w)
+    fn encode(&self, store: &ParamStore, tape: &mut Tape, batch: &WindowBatch<'_>) -> EncodedScene {
+        self.scene.encode(store, tape, batch)
     }
 
     fn generate(
         &self,
         ctx: &mut ForwardCtx<'_>,
-        w: &TrajWindow,
+        batch: &WindowBatch<'_>,
         enc: &EncodedScene,
         extra: Option<Var>,
     ) -> Generation {
@@ -166,7 +173,7 @@ impl Backbone for PecNet {
             self.cfg.extra_dim > 0,
             "extra conditioning must match the configured extra_dim"
         );
-        let (endpoint, aux_loss) = self.infer_endpoint(ctx, w, enc);
+        let (endpoint, aux_loss) = self.infer_endpoint(ctx, batch, enc);
         let mut parts = vec![enc.h_focal, enc.p_i, endpoint];
         if let Some(e) = extra {
             parts.push(e);
@@ -180,11 +187,11 @@ impl Backbone for PecNet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::{sample_forward, train_forward};
     use adaptraj_data::domain::DomainId;
-    use adaptraj_data::trajectory::{Point, T_OBS, T_PRED, T_TOTAL};
+    use adaptraj_data::trajectory::{Point, TrajWindow, T_OBS, T_PRED, T_TOTAL};
     use adaptraj_tensor::optim::Adam;
     use adaptraj_tensor::param::GradBuffer;
+    use adaptraj_tensor::Tensor;
 
     fn toy_window(vx: f32) -> TrajWindow {
         let focal: Vec<Point> = (0..T_TOTAL).map(|t| [vx * t as f32, 0.0]).collect();
@@ -198,16 +205,39 @@ mod tests {
         let mut rng = Rng::seed_from(0);
         let model = PecNet::new(&mut store, &mut rng, BackboneConfig::default());
         let w = toy_window(0.4);
+        let batch = WindowBatch::single(&w, 0);
         let mut tape = Tape::new();
-        let mut ctx = ForwardCtx::train(&store, &mut tape, &mut rng);
-        let (pred, loss) = train_forward(&model, &mut ctx, &w, None);
+        let mut ctx = ForwardCtx::train(&store, &mut tape, std::slice::from_mut(&mut rng));
+        let (pred, loss) = model.train_forward(&mut ctx, &batch, None);
         assert_eq!(tape.value(pred).shape(), (T_PRED, 2));
         assert!(tape.value(loss).item().is_finite());
 
         let mut tape2 = Tape::new();
-        let mut ctx2 = ForwardCtx::sample(&store, &mut tape2, &mut rng);
-        let sample = sample_forward(&model, &mut ctx2, &w, None);
+        let mut ctx2 = ForwardCtx::sample(&store, &mut tape2, std::slice::from_mut(&mut rng));
+        let sample = model.sample_forward(&mut ctx2, &batch, None);
         assert_eq!(tape2.value(sample).shape(), (T_PRED, 2));
+    }
+
+    #[test]
+    fn batched_pass_covers_ragged_windows() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(9);
+        let model = PecNet::new(&mut store, &mut rng, BackboneConfig::default());
+        let solo: Vec<Point> = (0..T_TOTAL).map(|t| [0.2 * t as f32, 0.5]).collect();
+        let ws = [
+            toy_window(0.4),
+            TrajWindow::from_world(&solo, &[], DomainId::Sdd),
+            toy_window(0.1),
+        ];
+        let batch = WindowBatch::new(ws.iter().collect(), vec![0, 1, 2]);
+        let mut rngs: Vec<Rng> = (0..3).map(|i| Rng::seed_from(i as u64)).collect();
+        let mut tape = Tape::new();
+        let mut ctx = ForwardCtx::train(&store, &mut tape, &mut rngs);
+        let (pred, loss) = model.train_forward(&mut ctx, &batch, None);
+        assert_eq!(tape.value(pred).shape(), (T_PRED * 3, 2));
+        assert!(tape.value(loss).item().is_finite());
+        let grads = tape.backward(loss);
+        assert!(tape.param_grads(&grads).iter().all(|(_, g)| g.all_finite()));
     }
 
     #[test]
@@ -220,9 +250,10 @@ mod tests {
         let mut first = 0.0;
         let mut last = 0.0;
         for it in 0..120 {
+            let batch = WindowBatch::single(&w, 0);
             let mut tape = Tape::new();
-            let mut ctx = ForwardCtx::train(&store, &mut tape, &mut rng);
-            let (_, loss) = train_forward(&model, &mut ctx, &w, None);
+            let mut ctx = ForwardCtx::train(&store, &mut tape, std::slice::from_mut(&mut rng));
+            let (_, loss) = model.train_forward(&mut ctx, &batch, None);
             let grads = tape.backward(loss);
             let mut buf = GradBuffer::new();
             buf.absorb(&tape, &grads);
@@ -243,12 +274,13 @@ mod tests {
         let mut rng = Rng::seed_from(2);
         let model = PecNet::new(&mut store, &mut rng, BackboneConfig::default());
         let w = toy_window(0.3);
+        let batch = WindowBatch::single(&w, 0);
         let mut t1 = Tape::new();
-        let mut c1 = ForwardCtx::sample(&store, &mut t1, &mut rng);
-        let s1 = sample_forward(&model, &mut c1, &w, None);
+        let mut c1 = ForwardCtx::sample(&store, &mut t1, std::slice::from_mut(&mut rng));
+        let s1 = model.sample_forward(&mut c1, &batch, None);
         let mut t2 = Tape::new();
-        let mut c2 = ForwardCtx::sample(&store, &mut t2, &mut rng);
-        let s2 = sample_forward(&model, &mut c2, &w, None);
+        let mut c2 = ForwardCtx::sample(&store, &mut t2, std::slice::from_mut(&mut rng));
+        let s2 = model.sample_forward(&mut c2, &batch, None);
         assert_ne!(
             t1.value(s1).data(),
             t2.value(s2).data(),
@@ -263,13 +295,14 @@ mod tests {
         let cfg = BackboneConfig::default().with_extra(6);
         let model = PecNet::new(&mut store, &mut rng, cfg);
         let w = toy_window(0.4);
+        let batch = WindowBatch::single(&w, 0);
         let mut tape = Tape::new();
-        let enc = model.encode(&store, &mut tape, &w);
+        let enc = model.encode(&store, &mut tape, &batch);
         let e1 = tape.constant(Tensor::zeros(1, 6));
         let e2 = tape.constant(Tensor::full(1, 6, 2.0));
-        let mut ctx = ForwardCtx::sample(&store, &mut tape, &mut rng);
-        let g1 = model.generate(&mut ctx, &w, &enc, Some(e1));
-        let g2 = model.generate(&mut ctx, &w, &enc, Some(e2));
+        let mut ctx = ForwardCtx::sample(&store, &mut tape, std::slice::from_mut(&mut rng));
+        let g1 = model.generate(&mut ctx, &batch, &enc, Some(e1));
+        let g2 = model.generate(&mut ctx, &batch, &enc, Some(e2));
         assert_ne!(
             tape.value(g1.pred).data(),
             tape.value(g2.pred).data(),
@@ -285,9 +318,10 @@ mod tests {
         let cfg = BackboneConfig::default().with_extra(6);
         let model = PecNet::new(&mut store, &mut rng, cfg);
         let w = toy_window(0.4);
+        let batch = WindowBatch::single(&w, 0);
         let mut tape = Tape::new();
-        let enc = model.encode(&store, &mut tape, &w);
-        let mut ctx = ForwardCtx::sample(&store, &mut tape, &mut rng);
-        model.generate(&mut ctx, &w, &enc, None);
+        let enc = model.encode(&store, &mut tape, &batch);
+        let mut ctx = ForwardCtx::sample(&store, &mut tape, std::slice::from_mut(&mut rng));
+        model.generate(&mut ctx, &batch, &enc, None);
     }
 }

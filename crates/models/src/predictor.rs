@@ -1,14 +1,11 @@
 //! The user-facing predictor abstraction and shared training-report
-//! plumbing. The training loop itself lives in [`crate::trainer::Trainer`];
-//! the free functions here are deprecated shims over it.
+//! plumbing. The training loop itself lives in [`crate::trainer::Trainer`].
 
 use crate::config::TrainerConfig;
-use crate::trainer::Trainer;
 use adaptraj_data::domain::DomainId;
 use adaptraj_data::trajectory::{Point, TrajWindow};
 use adaptraj_obs::{EpochRecord, GroupNorm, PhaseTiming};
-use adaptraj_tensor::optim::Adam;
-use adaptraj_tensor::{GradBuffer, GroupId, ParamStore, Rng, Tape, Var};
+use adaptraj_tensor::{GradBuffer, GroupId, ParamStore, Rng};
 
 /// Per-epoch training telemetry: the legacy mean-loss curve plus the full
 /// per-epoch records and per-phase wall-clock consumed by the run
@@ -144,53 +141,12 @@ pub fn cap_per_domain<'a>(train: &'a [TrajWindow], cfg: &TrainerConfig) -> Vec<&
     keep.into_iter().map(|i| &train[i]).collect()
 }
 
-/// The shared mini-batch training loop: per window, `per_window` builds a
-/// scalar loss on a fresh tape; gradients are averaged over the batch,
-/// clipped, and applied with the provided Adam optimizer.
-#[deprecated(note = "use `Trainer::new(cfg).fit(..)` instead")]
-pub fn fit_loop<F>(
-    store: &mut ParamStore,
-    opt: &mut Adam,
-    cfg: &TrainerConfig,
-    windows: &[&TrajWindow],
-    rng: &mut Rng,
-    per_window: F,
-) -> TrainReport
-where
-    F: Fn(&ParamStore, &mut Tape, &TrajWindow, &mut Rng) -> Var + Sync,
-{
-    Trainer::new(cfg).fit(store, opt, windows, rng, per_window)
-}
-
-/// [`fit_loop`] with explicit telemetry labeling: `phase` names this run
-/// of the loop in epoch records and phase timings and `epoch_offset`
-/// keeps epoch numbering global when a schedule invokes the loop
-/// repeatedly.
-#[deprecated(note = "use `Trainer::new(cfg).phase(..).epoch_offset(..).fit(..)` instead")]
-#[allow(clippy::too_many_arguments)]
-pub fn fit_loop_phase<F>(
-    store: &mut ParamStore,
-    opt: &mut Adam,
-    cfg: &TrainerConfig,
-    windows: &[&TrajWindow],
-    rng: &mut Rng,
-    phase: &str,
-    epoch_offset: usize,
-    per_window: F,
-) -> TrainReport
-where
-    F: Fn(&ParamStore, &mut Tape, &TrajWindow, &mut Rng) -> Var + Sync,
-{
-    Trainer::new(cfg)
-        .phase(phase)
-        .epoch_offset(epoch_offset)
-        .fit(store, opt, windows, rng, per_window)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trainer::Trainer;
     use adaptraj_data::trajectory::T_TOTAL;
+    use adaptraj_tensor::optim::Adam;
 
     fn window_for(domain: DomainId, v: f32) -> TrajWindow {
         let focal: Vec<Point> = (0..T_TOTAL).map(|t| [v * t as f32, 0.0]).collect();
@@ -256,10 +212,8 @@ mod tests {
         assert_eq!(cap_per_domain(&train, &cfg).len(), 5);
     }
 
-    // The deprecated shim must keep working for one release.
     #[test]
-    #[allow(deprecated)]
-    fn fit_loop_shim_descends_a_trivial_objective() {
+    fn trainer_descends_a_trivial_objective() {
         use adaptraj_tensor::{GroupId, Tensor};
         let mut store = ParamStore::new();
         let p = store.register("p", Tensor::row(&[5.0]), GroupId::DEFAULT);
@@ -272,13 +226,12 @@ mod tests {
         let train: Vec<TrajWindow> = (0..4).map(|_| window_for(DomainId::LCas, 0.1)).collect();
         let windows: Vec<&TrajWindow> = train.iter().collect();
         let mut rng = Rng::seed_from(0);
-        let report = fit_loop(
+        let report = Trainer::new(&cfg).fit(
             &mut store,
             &mut opt,
-            &cfg,
             &windows,
             &mut rng,
-            |s, tape, _w, _r| {
+            |s, tape, _wb, _rngs| {
                 let pv = tape.param(s, p);
                 let sq = tape.mul(pv, pv);
                 tape.sum_all(sq)
@@ -324,7 +277,7 @@ mod tests {
     }
 
     #[test]
-    fn fit_loop_records_epoch_telemetry() {
+    fn trainer_records_epoch_telemetry() {
         use adaptraj_tensor::{GroupId, Tensor};
         let mut store = ParamStore::new();
         let p = store.register("p", Tensor::row(&[2.0]), GroupId::DEFAULT);
@@ -373,7 +326,7 @@ mod tests {
     }
 
     // Debug builds reject non-finite tensors at op-creation time
-    // (`debug_assert` in `Tape::push`), so the runtime guard in `fit_loop`
+    // (`debug_assert` in `Tape::push`), so the runtime guard in `Trainer::fit`
     // is release-path behavior and can only be exercised there.
     #[cfg(not(debug_assertions))]
     #[test]

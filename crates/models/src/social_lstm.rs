@@ -9,9 +9,9 @@
 
 use crate::backbone::{EncodedScene, InteractionKind, RolloutDecoder, SceneEncoder};
 use crate::config::BackboneConfig;
-use crate::traits::{Backbone, ForwardCtx, Generation};
-use adaptraj_data::trajectory::TrajWindow;
-use adaptraj_tensor::{ParamStore, Rng, Tape, Tensor, Var};
+use crate::traits::{randn_per_window, Backbone, ForwardCtx, Generation};
+use adaptraj_data::WindowBatch;
+use adaptraj_tensor::{ParamStore, Rng, Tape, Var};
 
 /// The Social-LSTM-style backbone.
 #[derive(Debug, Clone)]
@@ -44,14 +44,14 @@ impl Backbone for SocialLstm {
         &self.cfg
     }
 
-    fn encode(&self, store: &ParamStore, tape: &mut Tape, w: &TrajWindow) -> EncodedScene {
-        self.scene.encode(store, tape, w)
+    fn encode(&self, store: &ParamStore, tape: &mut Tape, batch: &WindowBatch<'_>) -> EncodedScene {
+        self.scene.encode(store, tape, batch)
     }
 
     fn generate(
         &self,
         ctx: &mut ForwardCtx<'_>,
-        _w: &TrajWindow,
+        _batch: &WindowBatch<'_>,
         enc: &EncodedScene,
         extra: Option<Var>,
     ) -> Generation {
@@ -62,8 +62,10 @@ impl Backbone for SocialLstm {
         );
         // A plain Gaussian latent in both modes: Social-LSTM has no
         // learned latent space; diversity comes from input noise (Eq. 5).
+        // Row b is drawn from window b's rng stream.
+        let z_rows = randn_per_window(ctx.rngs, self.cfg.z_dim, 0.0, 1.0);
         let tape = &mut *ctx.tape;
-        let z = tape.constant(Tensor::randn(1, self.cfg.z_dim, 0.0, 1.0, ctx.rng));
+        let z = tape.constant(z_rows);
         let mut parts = vec![enc.h_focal, enc.p_i, z];
         if let Some(e) = extra {
             parts.push(e);
@@ -81,13 +83,12 @@ impl Backbone for SocialLstm {
 mod tests {
     use super::*;
     use crate::predictor::Predictor;
-    use crate::traits::{sample_forward, train_forward};
     use crate::vanilla::Vanilla;
     use crate::TrainerConfig;
     use adaptraj_data::domain::DomainId;
-    use adaptraj_data::trajectory::{Point, T_PRED, T_TOTAL};
+    use adaptraj_data::trajectory::{Point, TrajWindow, T_PRED, T_TOTAL};
     use adaptraj_tensor::optim::Adam;
-    use adaptraj_tensor::GradBuffer;
+    use adaptraj_tensor::{GradBuffer, Tensor};
 
     fn toy_window(v: f32) -> TrajWindow {
         let focal: Vec<Point> = (0..T_TOTAL).map(|t| [v * t as f32, 0.0]).collect();
@@ -103,9 +104,10 @@ mod tests {
         let mut opt = Adam::new(3e-3);
         let (mut first, mut last) = (0.0, 0.0);
         for it in 0..100 {
+            let batch = WindowBatch::single(&w, 0);
             let mut tape = Tape::new();
-            let mut ctx = ForwardCtx::train(&store, &mut tape, &mut rng);
-            let (pred, loss) = train_forward(&model, &mut ctx, &w, None);
+            let mut ctx = ForwardCtx::train(&store, &mut tape, std::slice::from_mut(&mut rng));
+            let (pred, loss) = model.train_forward(&mut ctx, &batch, None);
             assert_eq!(tape.value(pred).shape(), (T_PRED, 2));
             let grads = tape.backward(loss);
             let mut buf = GradBuffer::new();
@@ -119,6 +121,21 @@ mod tests {
             last = v;
         }
         assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn batched_training_pass_works() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(5);
+        let model = SocialLstm::new(&mut store, &mut rng, BackboneConfig::default());
+        let ws: Vec<TrajWindow> = (0..4).map(|i| toy_window(0.1 + 0.1 * i as f32)).collect();
+        let batch = WindowBatch::new(ws.iter().collect(), vec![0, 1, 2, 3]);
+        let mut rngs: Vec<Rng> = (0..4).map(|i| Rng::seed_from(i as u64)).collect();
+        let mut tape = Tape::new();
+        let mut ctx = ForwardCtx::train(&store, &mut tape, &mut rngs);
+        let (pred, loss) = model.train_forward(&mut ctx, &batch, None);
+        assert_eq!(tape.value(pred).shape(), (T_PRED * 4, 2));
+        assert!(tape.value(loss).item().is_finite());
     }
 
     #[test]
@@ -140,12 +157,13 @@ mod tests {
         let mut rng = Rng::seed_from(2);
         let model = SocialLstm::new(&mut store, &mut rng, BackboneConfig::default());
         let w = toy_window(0.3);
+        let batch = WindowBatch::single(&w, 0);
         let mut t1 = Tape::new();
-        let mut c1 = ForwardCtx::sample(&store, &mut t1, &mut rng);
-        let a = sample_forward(&model, &mut c1, &w, None);
+        let mut c1 = ForwardCtx::sample(&store, &mut t1, std::slice::from_mut(&mut rng));
+        let a = model.sample_forward(&mut c1, &batch, None);
         let mut t2 = Tape::new();
-        let mut c2 = ForwardCtx::sample(&store, &mut t2, &mut rng);
-        let b = sample_forward(&model, &mut c2, &w, None);
+        let mut c2 = ForwardCtx::sample(&store, &mut t2, std::slice::from_mut(&mut rng));
+        let b = model.sample_forward(&mut c2, &batch, None);
         assert_ne!(t1.value(a).data(), t2.value(b).data());
     }
 
@@ -158,13 +176,14 @@ mod tests {
         let cfg = BackboneConfig::default().with_extra(6);
         let model = SocialLstm::new(&mut store, &mut rng, cfg);
         let w = toy_window(0.4);
+        let batch = WindowBatch::single(&w, 0);
         let mut tape = Tape::new();
-        let enc = model.encode(&store, &mut tape, &w);
+        let enc = model.encode(&store, &mut tape, &batch);
         let e1 = tape.constant(Tensor::zeros(1, 6));
         let e2 = tape.constant(Tensor::full(1, 6, 2.0));
-        let mut ctx = ForwardCtx::sample(&store, &mut tape, &mut rng);
-        let g1 = model.generate(&mut ctx, &w, &enc, Some(e1));
-        let g2 = model.generate(&mut ctx, &w, &enc, Some(e2));
+        let mut ctx = ForwardCtx::sample(&store, &mut tape, std::slice::from_mut(&mut rng));
+        let g1 = model.generate(&mut ctx, &batch, &enc, Some(e1));
+        let g2 = model.generate(&mut ctx, &batch, &enc, Some(e2));
         assert_ne!(tape.value(g1.pred).data(), tape.value(g2.pred).data());
     }
 }

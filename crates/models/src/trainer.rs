@@ -1,24 +1,29 @@
 //! The `Trainer` builder: the shared mini-batch training loop behind a
-//! data-parallel worker-pool executor.
+//! data-parallel worker-pool executor, batched per job.
 //!
-//! Replaces the free-function `fit_loop`/`fit_loop_phase` pair (kept as
-//! deprecated shims in `predictor`). Per window, `per_window` builds a
-//! scalar loss on a fresh tape owned by the worker that runs it; per-window
-//! gradients are shipped back to the dispatching thread and reduced into
-//! one [`GradBuffer`] **in batch-position order**, so the accumulated sum —
-//! and therefore every optimizer step — is bit-identical for any worker
-//! count.
+//! Each shuffled mini-batch is split into **domain-homogeneous jobs** of
+//! at most [`MAX_WINDOWS_PER_JOB`] windows ([`keyed_jobs`] — the split
+//! depends only on the batch's domain keys, never on the worker count).
+//! Per job, `per_batch` builds one batch-mean scalar loss on a fresh tape
+//! owned by the worker that runs it — one tape pass with batched
+//! `GEMM`/`FusedAffine`/`LstmCell` nodes for the whole job; job gradients
+//! are shipped back to the dispatching thread and reduced into one
+//! [`GradBuffer`] **in job order, weighted by job size**, so the
+//! accumulated sum — and therefore every optimizer step — is bit-identical
+//! for any worker count.
 //!
 //! Determinism contract: the caller's `rng` is consumed only for batch
 //! shuffling, in epoch order. Each window's latent draws come from a
-//! private `Rng` seeded with [`window_seed`]`(cfg.seed, epoch, window)`,
-//! which depends on the run seed and the window's position in `windows` —
-//! never on which worker picks up the job or how jobs interleave.
+//! private `Rng` seeded with [`window_seed`]`(cfg.seed, epoch, window)` —
+//! handed to `per_batch` as one rng per window in batch order — which
+//! depends on the run seed and the window's position in `windows`, never
+//! on job formation, which worker picks up the job, or how jobs
+//! interleave.
 
 use crate::config::TrainerConfig;
 use crate::diagnostics::HealthAccum;
 use crate::predictor::{group_norms, TrainReport};
-use adaptraj_data::batch::shuffled_batches;
+use adaptraj_data::batch::{keyed_jobs, shuffled_batches, WindowBatch, MAX_WINDOWS_PER_JOB};
 use adaptraj_data::trajectory::TrajWindow;
 use adaptraj_exec::{window_seed, WorkerPool};
 use adaptraj_obs::{health, obs_info, obs_warn, profile, timeline, EpochRecord, PhaseTiming, Span};
@@ -27,11 +32,11 @@ use adaptraj_tensor::param::ParamId;
 use adaptraj_tensor::{GradBuffer, ParamStore, Rng, Tape, Tensor, Var};
 use std::time::Instant;
 
-/// What one worker sends back for one window: the loss value and the
-/// already-extracted parameter gradients (empty when the loss came back
-/// non-finite — the guard runs on the worker so a NaN backward pass is
-/// never even attempted).
-struct WindowResult {
+/// What one worker sends back for one job: the mean loss value over the
+/// job's windows and the already-extracted parameter gradients (empty
+/// when the loss came back non-finite — the guard runs on the worker so a
+/// NaN backward pass is never even attempted).
+struct JobResult {
     val: f32,
     pairs: Vec<(ParamId, Tensor)>,
 }
@@ -43,7 +48,7 @@ struct WindowResult {
 ///     .workers(4)
 ///     .phase("step1")
 ///     .on_epoch(|rec| eprintln!("epoch {} loss {}", rec.epoch, rec.loss))
-///     .fit(&mut store, &mut opt, &windows, &mut rng, per_window);
+///     .fit(&mut store, &mut opt, &windows, &mut rng, per_batch);
 /// ```
 pub struct Trainer<'a> {
     cfg: &'a TrainerConfig,
@@ -95,24 +100,27 @@ impl<'a> Trainer<'a> {
         self
     }
 
-    /// Runs the loop: per epoch, shuffled mini-batches; per window, a
-    /// fresh tape + private rng on a worker thread; gradients averaged
-    /// over the batch, clipped, and applied with `opt`.
+    /// Runs the loop: per epoch, shuffled mini-batches split into
+    /// domain-homogeneous jobs; per job, a fresh tape + one private rng
+    /// per window on a worker thread; gradients averaged over the batch
+    /// (job weight = job size / batch size), clipped, and applied with
+    /// `opt`.
     ///
     /// Telemetry per epoch: an `epoch` span (debug level), mean loss over
     /// *finite* windows, the batch-averaged pre-clip global gradient norm,
     /// per-group gradient/parameter norms from the final batch, and a
-    /// count of windows skipped because their loss came back non-finite.
+    /// count of windows skipped because their job's loss came back
+    /// non-finite.
     pub fn fit<F>(
         mut self,
         store: &mut ParamStore,
         opt: &mut Adam,
         windows: &[&TrajWindow],
         rng: &mut Rng,
-        per_window: F,
+        per_batch: F,
     ) -> TrainReport
     where
-        F: Fn(&ParamStore, &mut Tape, &TrajWindow, &mut Rng) -> Var + Sync,
+        F: Fn(&ParamStore, &mut Tape, &WindowBatch<'_>, &mut [Rng]) -> Var + Sync,
     {
         let mut report = TrainReport::default();
         if windows.is_empty() {
@@ -120,6 +128,7 @@ impl<'a> Trainer<'a> {
         }
         let pool = WorkerPool::new(self.workers);
         let cfg = self.cfg;
+        let windows_trained = adaptraj_obs::global().counter("exec.windows_trained");
         let phase_start = Instant::now();
         let mut best_loss = f32::INFINITY;
         let mut stale_epochs = 0usize;
@@ -156,37 +165,53 @@ impl<'a> Trainer<'a> {
             let batch_list = shuffled_batches(windows.len(), cfg.batch_size, rng);
             let n_batches = batch_list.len();
             for (batch_idx, batch) in batch_list.into_iter().enumerate() {
-                let results = run_batch(
+                // Domain-homogeneous jobs; the split depends only on the
+                // batch's domain keys, so it is worker-count independent.
+                let keys: Vec<_> = batch.iter().map(|&i| windows[i].domain).collect();
+                let jobs: Vec<WindowBatch<'_>> = keyed_jobs(&keys, MAX_WINDOWS_PER_JOB)
+                    .into_iter()
+                    .map(|pos| {
+                        let ws = pos.iter().map(|&p| windows[batch[p]]).collect();
+                        let ids = pos.iter().map(|&p| batch[p] as u64).collect();
+                        WindowBatch::new(ws, ids)
+                    })
+                    .collect();
+                let results = run_jobs(
                     &pool,
                     store,
-                    windows,
-                    &batch,
+                    &jobs,
                     cfg.seed,
                     global_epoch as u64,
                     &profile_path,
-                    &per_window,
+                    &per_batch,
                 );
-                // Reduce in batch-position order — bit-identical to the
-                // sequential loop for every worker count. The whole
-                // serialized section (absorb → clip → step) is one
-                // `grad_reduce` span on the dispatcher's timeline lane.
+                // Reduce in job order — bit-identical to the sequential
+                // loop for every worker count. The whole serialized
+                // section (absorb → clip → step) is one `grad_reduce`
+                // span on the dispatcher's timeline lane.
                 let tl_reduce = timeline::span("grad_reduce", "train");
                 let mut buf = GradBuffer::new();
-                let inv = 1.0 / batch.len() as f32;
-                for (&i, r) in batch.iter().zip(&results) {
+                let inv_total = 1.0 / batch.len() as f32;
+                for (wb, r) in jobs.iter().zip(&results) {
                     if !r.val.is_finite() {
-                        rec.non_finite_batches += 1;
+                        rec.non_finite_batches += wb.len() as u64;
                         obs_warn!(
                             "models.fit",
-                            "non-finite loss at epoch {global_epoch}, window {i}; skipping"
+                            "non-finite loss at epoch {global_epoch}, windows {:?}; skipping job",
+                            wb.ids()
                         );
                         continue;
                     }
-                    buf.absorb_pairs_scaled(&r.pairs, inv);
-                    diag.absorb(windows[i].domain.name(), &r.pairs, inv);
-                    epoch_loss += r.val as f64;
-                    seen += 1;
+                    let weight = wb.len() as f32 * inv_total;
+                    buf.absorb_pairs_scaled(&r.pairs, weight);
+                    diag.absorb(wb.windows()[0].domain.name(), &r.pairs, weight);
+                    epoch_loss += r.val as f64 * wb.len() as f64;
+                    seen += wb.len();
                 }
+                // Batched jobs make `tensor.backward_calls` a job count,
+                // not a window count; this counter keeps the true
+                // windows-trained number observable (bench throughput).
+                windows_trained.add(batch.len() as u64);
                 // Retire the shipped gradient buffers into this thread's
                 // pool so the next batch's reduction reuses them.
                 for r in results {
@@ -259,47 +284,49 @@ impl<'a> Trainer<'a> {
     }
 }
 
-/// Dispatches one batch to the pool and blocks for the ordered results.
-/// A worker panic is re-raised here, matching the sequential loop where a
-/// panicking `per_window` unwinds through `fit`.
-#[allow(clippy::too_many_arguments)]
-fn run_batch<F>(
+/// Dispatches one mini-batch's jobs to the pool and blocks for the
+/// ordered results. A worker panic is re-raised here, matching the
+/// sequential loop where a panicking `per_batch` unwinds through `fit`.
+fn run_jobs<F>(
     pool: &WorkerPool,
     store: &ParamStore,
-    windows: &[&TrajWindow],
-    batch: &[usize],
+    jobs: &[WindowBatch<'_>],
     seed: u64,
     global_epoch: u64,
     profile_path: &str,
-    per_window: &F,
-) -> Vec<WindowResult>
+    per_batch: &F,
+) -> Vec<JobResult>
 where
-    F: Fn(&ParamStore, &mut Tape, &TrajWindow, &mut Rng) -> Var + Sync,
+    F: Fn(&ParamStore, &mut Tape, &WindowBatch<'_>, &mut [Rng]) -> Var + Sync,
 {
-    match pool.map(batch, |_, &i| {
+    match pool.map(jobs, |_, wb| {
         let _p = profile::phase_at(profile_path);
-        let _h = health::window_scope(global_epoch, i as u64);
+        let _h = health::batch_scope(global_epoch, wb.ids());
         worker_tape(|tape| {
-            let mut wrng = Rng::seed_from(window_seed(seed, global_epoch, i as u64));
-            let loss = per_window(store, tape, windows[i], &mut wrng);
+            let mut rngs: Vec<Rng> = wb
+                .ids()
+                .iter()
+                .map(|&id| Rng::seed_from(window_seed(seed, global_epoch, id)))
+                .collect();
+            let loss = per_batch(store, tape, wb, &mut rngs);
             let val = tape.value(loss).item();
             if !val.is_finite() {
-                return WindowResult {
+                return JobResult {
                     val,
                     pairs: Vec::new(),
                 };
             }
-            // `skip-window` policy: a tripped window drops its gradient
+            // `skip-window` policy: a tripped job drops its gradient
             // contribution via the existing non-finite skip path.
             if health::should_skip_window() {
-                return WindowResult {
+                return JobResult {
                     val: f32::NAN,
                     pairs: Vec::new(),
                 };
             }
             let grads = tape.backward(loss);
             let pairs = tape.take_param_grads(grads);
-            WindowResult { val, pairs }
+            JobResult { val, pairs }
         })
     }) {
         Ok(results) => results,
@@ -309,10 +336,10 @@ where
 
 /// Runs `f` on the calling worker thread's reusable pooled tape (see
 /// `adaptraj_tensor::with_pooled`). The worker pool keeps its threads
-/// alive across batches, so in steady state every window job replays onto
-/// a tape whose node vector — and, via `Tape::reset`, whose retired value
-/// buffers — carry over from the previous window: the forward/backward
-/// hot path stops touching the allocator.
+/// alive across batches, so in steady state every job replays onto a
+/// tape whose node vector — and, via `Tape::reset`, whose retired value
+/// buffers — carry over from the previous job: the forward/backward hot
+/// path stops touching the allocator.
 pub(crate) fn worker_tape<R>(f: impl FnOnce(&mut Tape) -> R) -> R {
     adaptraj_tensor::with_pooled(f)
 }
@@ -329,9 +356,27 @@ mod tests {
         TrajWindow::from_world(&focal, &[], domain)
     }
 
-    /// A stochastic objective: `(p * g)^2` with `g` drawn from the
-    /// per-window rng, so any divergence in the seed-splitting scheme
-    /// between worker counts shows up in the loss curve.
+    /// A stochastic objective: the job mean of `(p * g_b)^2` with `g_b`
+    /// drawn from window `b`'s rng, so any divergence in the
+    /// seed-splitting scheme between worker counts or job formations
+    /// shows up in the loss curve.
+    fn stochastic_loss(s: &ParamStore, tape: &mut Tape, p: ParamId, rngs: &mut [Rng]) -> Var {
+        let pv = tape.param(s, p);
+        let mut acc: Option<Var> = None;
+        for r in rngs.iter_mut() {
+            let g = tape.constant(Tensor::scalar(1.0 + r.unit()));
+            let scaled = tape.mul(pv, g);
+            let sq = tape.mul(scaled, scaled);
+            acc = Some(match acc {
+                Some(a) => tape.add(a, sq),
+                None => sq,
+            });
+        }
+        let sum = acc.expect("jobs are non-empty");
+        let n = rngs.len() as f32;
+        tape.scale(sum, 1.0 / n)
+    }
+
     fn run(workers: usize, epochs: usize) -> TrainReport {
         let mut store = ParamStore::new();
         let p = store.register("p", Tensor::row(&[5.0]), GroupId::DEFAULT);
@@ -342,7 +387,17 @@ mod tests {
             workers,
             ..TrainerConfig::smoke()
         };
-        let train: Vec<TrajWindow> = (0..7).map(|_| window_for(DomainId::LCas, 0.1)).collect();
+        // Two domains so the keyed job split is exercised.
+        let train: Vec<TrajWindow> = (0..7)
+            .map(|i| {
+                let d = if i % 2 == 0 {
+                    DomainId::LCas
+                } else {
+                    DomainId::Syi
+                };
+                window_for(d, 0.1)
+            })
+            .collect();
         let windows: Vec<&TrajWindow> = train.iter().collect();
         let mut rng = Rng::seed_from(11);
         Trainer::new(&cfg).fit(
@@ -350,13 +405,7 @@ mod tests {
             &mut opt,
             &windows,
             &mut rng,
-            |s, tape, _w, r| {
-                let pv = tape.param(s, p);
-                let g = tape.constant(Tensor::scalar(1.0 + r.unit()));
-                let scaled = tape.mul(pv, g);
-                let sq = tape.mul(scaled, scaled);
-                tape.sum_all(sq)
-            },
+            |s, tape, _wb, rngs| stochastic_loss(s, tape, p, rngs),
         )
     }
 
@@ -368,6 +417,46 @@ mod tests {
             |r: &TrainReport| -> Vec<u32> { r.epoch_losses.iter().map(|l| l.to_bits()).collect() };
         assert_eq!(bits(&seq), bits(&par), "{seq:?} vs {par:?}");
         assert_eq!(run(0, 4).epoch_losses, run(2, 4).epoch_losses);
+    }
+
+    #[test]
+    fn jobs_are_domain_homogeneous() {
+        let mut store = ParamStore::new();
+        let p = store.register("p", Tensor::row(&[1.0]), GroupId::DEFAULT);
+        let mut opt = Adam::new(0.05);
+        let cfg = TrainerConfig {
+            epochs: 1,
+            batch_size: 8,
+            ..TrainerConfig::smoke()
+        };
+        let train: Vec<TrajWindow> = (0..8)
+            .map(|i| {
+                let d = if i < 5 {
+                    DomainId::EthUcy
+                } else {
+                    DomainId::Sdd
+                };
+                window_for(d, 0.1)
+            })
+            .collect();
+        let windows: Vec<&TrajWindow> = train.iter().collect();
+        let mut rng = Rng::seed_from(3);
+        Trainer::new(&cfg).fit(
+            &mut store,
+            &mut opt,
+            &windows,
+            &mut rng,
+            |s, tape, wb, rngs| {
+                let first = wb.windows()[0].domain;
+                assert!(
+                    wb.windows().iter().all(|w| w.domain == first),
+                    "every job must hold a single domain"
+                );
+                assert!(wb.len() <= MAX_WINDOWS_PER_JOB);
+                assert_eq!(wb.len(), rngs.len(), "one rng per batched window");
+                stochastic_loss(s, tape, p, rngs)
+            },
+        );
     }
 
     #[test]
@@ -407,7 +496,7 @@ mod tests {
                 &mut opt,
                 &windows,
                 &mut rng,
-                |s, tape, _w, _r| {
+                |s, tape, _wb, _rngs| {
                     let pv = tape.param(s, p);
                     let sq = tape.mul(pv, pv);
                     tape.sum_all(sq)
@@ -420,7 +509,7 @@ mod tests {
     }
 
     #[test]
-    fn panicking_per_window_unwinds_cleanly() {
+    fn panicking_per_batch_unwinds_cleanly() {
         let result = std::panic::catch_unwind(|| {
             let mut store = ParamStore::new();
             let _p = store.register("p", Tensor::row(&[1.0]), GroupId::DEFAULT);
@@ -439,14 +528,14 @@ mod tests {
                 &mut opt,
                 &windows,
                 &mut rng,
-                |s, tape, _w, _r| {
+                |s, tape, _wb, _rngs| {
                     let _ = (s, &tape);
-                    panic!("boom in per_window");
+                    panic!("boom in per_batch");
                 },
             )
         });
         let err = result.expect_err("must propagate the worker panic");
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
-        assert!(msg.contains("boom in per_window"), "{msg}");
+        assert!(msg.contains("boom in per_batch"), "{msg}");
     }
 }

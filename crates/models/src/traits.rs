@@ -1,11 +1,17 @@
 //! The backbone abstraction that learning methods (vanilla, Counter,
 //! CausalMotion, AdapTraj) plug into.
+//!
+//! Since the batched-execution redesign every forward pass operates on a
+//! [`WindowBatch`]: one tape pass encodes and generates for all windows of
+//! a job at once, with batched `GEMM`/`FusedAffine`/`LstmCell` nodes.
+//! The per-window path is the batch-of-one special case
+//! ([`WindowBatch::single`]).
 
 use crate::backbone::{base_loss, EncodedScene};
 use crate::config::BackboneConfig;
-use adaptraj_data::trajectory::TrajWindow;
+use adaptraj_data::WindowBatch;
 use adaptraj_obs::profile;
-use adaptraj_tensor::{ParamStore, Rng, Tape, Var};
+use adaptraj_tensor::{ParamStore, Rng, Tape, Tensor, Var};
 
 /// Whether a generation pass is a training pass (posterior latents,
 /// teacher signals available) or an inference sample.
@@ -16,21 +22,23 @@ pub enum GenMode {
 }
 
 /// Everything a forward pass threads through the model stack: the shared
-/// (read-only) parameter store, this window's tape, the stream of latent
-/// draws, and the train/sample mode. Bundling these lets the worker-pool
-/// executor hand one value across a thread boundary and keeps backbone
-/// signatures to `(ctx, w, enc, extra)`.
+/// (read-only) parameter store, this job's tape, the per-window streams of
+/// latent draws, and the train/sample mode. Bundling these lets the
+/// worker-pool executor hand one value across a thread boundary and keeps
+/// backbone signatures to `(ctx, batch, enc, extra)`.
 #[derive(Debug)]
 pub struct ForwardCtx<'a> {
     /// Parameters, shared read-only across worker threads; writes happen
     /// only at optimizer-step barriers on the dispatching thread.
     pub store: &'a ParamStore,
-    /// The autodiff tape owned by this window's forward pass.
+    /// The autodiff tape owned by this job's forward pass.
     pub tape: &'a mut Tape,
-    /// Latent-draw stream. Under the executor this is a per-window rng
-    /// seeded from `window_seed(run_seed, epoch, window)` so results do
-    /// not depend on the worker count.
-    pub rng: &'a mut Rng,
+    /// Latent-draw streams, one rng per batched window in batch order.
+    /// Under the executor rng `b` is seeded from
+    /// `window_seed(run_seed, epoch, ids[b])`, so each window's draws are
+    /// identical whether it runs in a batch of one or of eight, and do not
+    /// depend on the worker count.
+    pub rngs: &'a mut [Rng],
     /// Training pass (posterior latents, teacher signals) or inference
     /// sample.
     pub mode: GenMode,
@@ -38,33 +46,49 @@ pub struct ForwardCtx<'a> {
 
 impl<'a> ForwardCtx<'a> {
     /// Context for a training pass ([`GenMode::Train`]).
-    pub fn train(store: &'a ParamStore, tape: &'a mut Tape, rng: &'a mut Rng) -> Self {
+    pub fn train(store: &'a ParamStore, tape: &'a mut Tape, rngs: &'a mut [Rng]) -> Self {
         Self {
             store,
             tape,
-            rng,
+            rngs,
             mode: GenMode::Train,
         }
     }
 
     /// Context for an inference sample ([`GenMode::Sample`]).
-    pub fn sample(store: &'a ParamStore, tape: &'a mut Tape, rng: &'a mut Rng) -> Self {
+    pub fn sample(store: &'a ParamStore, tape: &'a mut Tape, rngs: &'a mut [Rng]) -> Self {
         Self {
             store,
             tape,
-            rng,
+            rngs,
             mode: GenMode::Sample,
         }
     }
 }
 
+/// One `[1, cols]` Gaussian draw per window, stacked into `[B, cols]` with
+/// row `b` drawn from `rngs[b]`. Keeping every window on its own rng
+/// stream is what makes a batched pass draw-for-draw identical to `B`
+/// batch-of-one passes, independent of job formation.
+pub fn randn_per_window(rngs: &mut [Rng], cols: usize, mean: f32, std: f32) -> Tensor {
+    let rows: Vec<Tensor> = rngs
+        .iter_mut()
+        .map(|r| Tensor::randn(1, cols, mean, std, r))
+        .collect();
+    let refs: Vec<&Tensor> = rows.iter().collect();
+    Tensor::concat_rows(&refs)
+}
+
 /// Result of one generation pass.
 #[derive(Debug, Clone, Copy)]
 pub struct Generation {
-    /// Predicted future positions `[T_PRED, 2]` in the normalized frame.
+    /// Predicted future positions `[T_PRED·B, 2]` in the normalized frame,
+    /// time-major: window `b`'s position at step `t` is row `t·B + b`. A
+    /// batch of one reproduces the historical `[T_PRED, 2]` layout.
     pub pred: Var,
-    /// Backbone-specific auxiliary loss (CVAE KL + endpoint loss for
-    /// PECNet; energy contrast for LBEBM). `None` in sample mode.
+    /// Backbone-specific auxiliary loss, averaged over the batch (CVAE
+    /// KL plus endpoint loss for PECNet; energy contrast for LBEBM).
+    /// `None` in sample mode.
     pub aux_loss: Option<Var>,
 }
 
@@ -75,6 +99,13 @@ pub struct Generation {
 /// [`EncodedScene`], derives its four feature types, and passes the fused
 /// `[H^i | H^s]` back as `extra` conditioning for generation.
 ///
+/// Both stages take a [`WindowBatch`] and batch along rows: `encode`
+/// stacks all windows' agents ([`WindowBatch`]'s layout contract),
+/// `generate` works on `[B, ·]` per-window rows. `train_forward` and
+/// `sample_forward` are provided methods — the single entry points that
+/// wire encode → generate → loss with the profiling phases the
+/// observatory expects.
+///
 /// `Send + Sync` is a supertrait so the worker-pool executor can share
 /// `&dyn Backbone` across threads; backbones are plain configuration data
 /// (all learned state lives in the [`ParamStore`]), so every impl
@@ -84,58 +115,79 @@ pub trait Backbone: Send + Sync {
 
     fn config(&self) -> &BackboneConfig;
 
-    /// Stages 1–2: individual mobility + neighbor interaction.
-    fn encode(&self, store: &ParamStore, tape: &mut Tape, w: &TrajWindow) -> EncodedScene;
+    /// Stages 1–2: individual mobility + neighbor interaction, over all
+    /// windows of the batch in one pass.
+    fn encode(&self, store: &ParamStore, tape: &mut Tape, batch: &WindowBatch<'_>) -> EncodedScene;
 
     /// Stage 3: future-trajectory generation conditioned on the encoded
-    /// scene and an optional `extra` vector of width
-    /// [`BackboneConfig::extra_dim`] (must be `Some` iff `extra_dim > 0`).
+    /// scene and an optional `extra` matrix of width
+    /// [`BackboneConfig::extra_dim`] (must be `Some` iff `extra_dim > 0`),
+    /// one row per window.
     fn generate(
         &self,
         ctx: &mut ForwardCtx<'_>,
-        w: &TrajWindow,
+        batch: &WindowBatch<'_>,
         enc: &EncodedScene,
         extra: Option<Var>,
     ) -> Generation;
-}
 
-/// One full training forward pass: encode, generate in train mode, and
-/// combine `L_base` (Eq. 8) with the backbone's auxiliary loss. Returns
-/// `(prediction, loss)`. Forces [`GenMode::Train`] regardless of the mode
-/// the context was built with.
-pub fn train_forward<B: Backbone + ?Sized>(
-    backbone: &B,
-    ctx: &mut ForwardCtx<'_>,
-    w: &TrajWindow,
-    extra: Option<Var>,
-) -> (Var, Var) {
-    ctx.mode = GenMode::Train;
-    let enc = {
-        let _p = profile::phase("encode");
-        backbone.encode(ctx.store, ctx.tape, w)
-    };
-    let _p = profile::phase("generate");
-    let gen = backbone.generate(ctx, w, &enc, extra);
-    let mut loss = base_loss(ctx.tape, gen.pred, w);
-    if let Some(aux) = gen.aux_loss {
-        loss = ctx.tape.add(loss, aux);
+    /// One full training forward pass: encode, generate in train mode, and
+    /// combine `L_base` (Eq. 8, averaged over the batch) with the
+    /// backbone's auxiliary loss. Returns `(prediction, loss)` where the
+    /// loss is the batch-mean training objective. Forces [`GenMode::Train`]
+    /// regardless of the mode the context was built with.
+    fn train_forward(
+        &self,
+        ctx: &mut ForwardCtx<'_>,
+        batch: &WindowBatch<'_>,
+        extra: Option<Var>,
+    ) -> (Var, Var) {
+        ctx.mode = GenMode::Train;
+        let enc = {
+            let _p = profile::phase("encode");
+            self.encode(ctx.store, ctx.tape, batch)
+        };
+        let _p = profile::phase("generate");
+        let gen = self.generate(ctx, batch, &enc, extra);
+        let mut loss = base_loss(ctx.tape, gen.pred, batch);
+        if let Some(aux) = gen.aux_loss {
+            loss = ctx.tape.add(loss, aux);
+        }
+        (gen.pred, loss)
     }
-    (gen.pred, loss)
+
+    /// One inference pass returning the predicted future positions
+    /// (`[T_PRED·B, 2]`, time-major). Forces [`GenMode::Sample`].
+    fn sample_forward(
+        &self,
+        ctx: &mut ForwardCtx<'_>,
+        batch: &WindowBatch<'_>,
+        extra: Option<Var>,
+    ) -> Var {
+        ctx.mode = GenMode::Sample;
+        let enc = {
+            let _p = profile::phase("encode");
+            self.encode(ctx.store, ctx.tape, batch)
+        };
+        let _p = profile::phase("generate");
+        self.generate(ctx, batch, &enc, extra).pred
+    }
 }
 
-/// One inference pass returning the predicted future positions. Forces
-/// [`GenMode::Sample`].
-pub fn sample_forward<B: Backbone + ?Sized>(
-    backbone: &B,
-    ctx: &mut ForwardCtx<'_>,
-    w: &TrajWindow,
-    extra: Option<Var>,
-) -> Var {
-    ctx.mode = GenMode::Sample;
-    let enc = {
-        let _p = profile::phase("encode");
-        backbone.encode(ctx.store, ctx.tape, w)
-    };
-    let _p = profile::phase("generate");
-    backbone.generate(ctx, w, &enc, extra).pred
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn randn_per_window_rows_match_independent_draws() {
+        let mut rngs = vec![Rng::seed_from(7), Rng::seed_from(99)];
+        let stacked = randn_per_window(&mut rngs, 4, 0.0, 1.0);
+        assert_eq!(stacked.shape(), (2, 4));
+        let mut r0 = Rng::seed_from(7);
+        let mut r1 = Rng::seed_from(99);
+        let a = Tensor::randn(1, 4, 0.0, 1.0, &mut r0);
+        let b = Tensor::randn(1, 4, 0.0, 1.0, &mut r1);
+        assert_eq!(&stacked.data()[..4], a.data());
+        assert_eq!(&stacked.data()[4..], b.data());
+    }
 }

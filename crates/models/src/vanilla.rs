@@ -3,8 +3,9 @@
 use crate::config::TrainerConfig;
 use crate::predictor::{cap_per_domain, Predictor, TrainReport};
 use crate::trainer::Trainer;
-use crate::traits::{sample_forward, train_forward, Backbone, ForwardCtx};
+use crate::traits::{Backbone, ForwardCtx};
 use adaptraj_data::trajectory::{Point, TrajWindow};
+use adaptraj_data::WindowBatch;
 use adaptraj_tensor::optim::Adam;
 use adaptraj_tensor::{ParamStore, Rng};
 
@@ -59,9 +60,9 @@ impl<B: Backbone> Predictor for Vanilla<B> {
             &mut opt,
             &windows,
             &mut rng,
-            |store, tape, w, r| {
-                let mut ctx = ForwardCtx::train(store, tape, r);
-                train_forward(backbone, &mut ctx, w, None).1
+            |store, tape, wb, rngs| {
+                let mut ctx = ForwardCtx::train(store, tape, rngs);
+                backbone.train_forward(&mut ctx, wb, None).1
             },
         )
     }
@@ -76,8 +77,9 @@ impl<B: Backbone> Predictor for Vanilla<B> {
 
     fn predict(&self, w: &TrajWindow, rng: &mut Rng) -> Vec<Point> {
         adaptraj_tensor::with_pooled(|tape| {
-            let mut ctx = ForwardCtx::sample(&self.store, tape, rng);
-            let pred = sample_forward(&self.backbone, &mut ctx, w, None);
+            let batch = WindowBatch::single(w, 0);
+            let mut ctx = ForwardCtx::sample(&self.store, tape, std::slice::from_mut(rng));
+            let pred = self.backbone.sample_forward(&mut ctx, &batch, None);
             crate::backbone::tensor_to_points(ctx.tape.value(pred))
         })
     }

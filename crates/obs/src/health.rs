@@ -220,7 +220,20 @@ pub fn should_inject() -> bool {
     let wt = INJECT_WINDOW.load(Ordering::Relaxed);
     if wt != INJ_WINDOW_OFF {
         let ctx = CTX.with(|c| c.get());
-        if ((ctx.epoch << 32) | ctx.window) == wt {
+        let (te, tw) = (wt >> 32, wt & 0xFFFF_FFFF);
+        // Under batched execution a job covers several windows; the
+        // injection fires when the target window is any of them, so the
+        // `E:W` form stays deterministic regardless of job formation.
+        let hit = ctx.epoch == te
+            && BATCH_IDS.with(|b| {
+                let ids = b.borrow();
+                if ids.is_empty() {
+                    ctx.window == tw
+                } else {
+                    ids.contains(&tw)
+                }
+            });
+        if hit {
             return true;
         }
     }
@@ -242,6 +255,7 @@ struct Ctx {
 
 thread_local! {
     static CTX: Cell<Ctx> = const { Cell::new(Ctx { epoch: 0, window: 0 }) };
+    static BATCH_IDS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
     static TRIPPED: Cell<bool> = const { Cell::new(false) };
     static PENDING: RefCell<Vec<HealthRecord>> = const { RefCell::new(Vec::new()) };
 }
@@ -254,12 +268,25 @@ thread_local! {
 pub struct WindowScope {
     entered: bool,
     prev: Ctx,
+    prev_ids: Vec<u64>,
 }
 
 /// Enters a window context: subsequent tripwire incidents on this thread
 /// attribute to `(epoch, window)`, and the per-window tripped flag is
-/// cleared so [`should_skip_window`] reflects only this window.
+/// cleared so [`should_skip_window`] reflects only this window. The
+/// batch-of-one form of [`batch_scope`].
 pub fn window_scope(epoch: u64, window: u64) -> WindowScope {
+    batch_scope(epoch, std::slice::from_ref(&window))
+}
+
+/// Enters a batch context covering all windows of one job: tripwire
+/// incidents on this thread attribute to `(epoch, ids[0])` — the job's
+/// first window in batch order — and window-targeted NaN injection
+/// (`E:W`) fires when window `W` is *any* window of the job, keeping the
+/// injection deterministic under batched execution. The tripped flag is
+/// per job: under the `skip-window` policy a tripped job drops the
+/// gradient contribution of all its windows.
+pub fn batch_scope(epoch: u64, ids: &[u64]) -> WindowScope {
     if !health_enabled() {
         return WindowScope {
             entered: false,
@@ -267,13 +294,17 @@ pub fn window_scope(epoch: u64, window: u64) -> WindowScope {
                 epoch: 0,
                 window: 0,
             },
+            prev_ids: Vec::new(),
         };
     }
+    let window = ids.first().copied().unwrap_or(0);
     let prev = CTX.with(|c| c.replace(Ctx { epoch, window }));
+    let prev_ids = BATCH_IDS.with(|b| std::mem::replace(&mut *b.borrow_mut(), ids.to_vec()));
     TRIPPED.with(|t| t.set(false));
     WindowScope {
         entered: true,
         prev,
+        prev_ids,
     }
 }
 
@@ -281,13 +312,15 @@ impl Drop for WindowScope {
     fn drop(&mut self) {
         if self.entered {
             CTX.with(|c| c.set(self.prev));
+            BATCH_IDS.with(|b| *b.borrow_mut() = std::mem::take(&mut self.prev_ids));
         }
     }
 }
 
-/// Whether the current window tripped a wire under the `skip-window`
-/// policy; training loops drop the window's gradient contribution when
-/// true. Read before the [`WindowScope`] guard drops.
+/// Whether the current window (or any window of the current job's batch)
+/// tripped a wire under the `skip-window` policy; training loops drop the
+/// job's gradient contribution when true. Read before the
+/// [`WindowScope`] guard drops.
 pub fn should_skip_window() -> bool {
     health_enabled() && policy() == Policy::SkipWindow && TRIPPED.with(|t| t.get())
 }
@@ -642,6 +675,7 @@ pub fn reset() {
     INJECT_COUNTER.store(0, Ordering::Relaxed);
     PENDING.with(|p| p.borrow_mut().clear());
     TRIPPED.with(|t| t.set(false));
+    BATCH_IDS.with(|b| b.borrow_mut().clear());
 }
 
 // ---------------------------------------------------------------------------
@@ -1051,6 +1085,59 @@ mod tests {
         assert!(!should_inject());
         set_inject_nan(None);
         assert!(!should_inject());
+        set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn batch_scope_matches_injection_on_any_window_of_the_job() {
+        let _g = test_lock();
+        fresh();
+        set_inject_window(Some((3, 7)));
+        {
+            let _b = batch_scope(3, &[5, 7, 9]);
+            assert!(should_inject(), "target window 7 is in the job");
+        }
+        {
+            let _b = batch_scope(3, &[5, 6, 9]);
+            assert!(!should_inject(), "target window 7 is not in the job");
+        }
+        {
+            let _b = batch_scope(2, &[7]);
+            assert!(!should_inject(), "epoch must match too");
+        }
+        // The batch-of-one form behaves like the historical window scope.
+        {
+            let _w = window_scope(3, 7);
+            assert!(should_inject());
+        }
+        set_inject_window(None);
+        set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn batch_scope_attributes_incidents_to_the_first_window() {
+        let _g = test_lock();
+        fresh();
+        {
+            let _b = batch_scope(4, &[11, 12, 13]);
+            check_tensor("gemm", &[f32::NAN]);
+        }
+        absorb_records(take_thread_records());
+        let recs = records();
+        let inc = recs
+            .iter()
+            .find_map(|r| match r {
+                HealthRecord::Incident(i) => Some(i.clone()),
+                _ => None,
+            })
+            .expect("one incident recorded");
+        assert_eq!(inc.epoch, 4);
+        assert_eq!(
+            inc.window, 11,
+            "incidents attribute to the job's first window"
+        );
         set_enabled(false);
         reset();
     }

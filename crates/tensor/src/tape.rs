@@ -195,6 +195,13 @@ enum Op {
     MeanAll(Var),
     SumAll(Var),
     HadamardConst(Var, Tensor),
+    /// Row-major reinterpretation under a new shape (element-count
+    /// conserving); the backward pass reshapes the gradient back.
+    Reshape(Var),
+    /// `[g*k, m] -> [g, m]`, summing each consecutive group of `k` rows —
+    /// the reduction that collapses per-slot batched scene rows back to
+    /// one row per window.
+    SumRowGroups(Var, usize),
     SoftmaxCrossEntropy(Var, Vec<usize>),
     GradReverse(Var, f32),
     /// `act(x·W + b)` as one node: matmul, broadcast bias, and activation
@@ -254,6 +261,8 @@ impl Op {
             Op::MeanAll(..) => "mean_all",
             Op::SumAll(..) => "sum_all",
             Op::HadamardConst(..) => "hadamard_const",
+            Op::Reshape(..) => "reshape",
+            Op::SumRowGroups(..) => "sum_row_groups",
             Op::SoftmaxCrossEntropy(..) => "softmax_cross_entropy",
             Op::GradReverse(..) => "grad_reverse",
             Op::FusedAffine(..) => "fused_affine",
@@ -393,6 +402,8 @@ impl Tape {
             | Op::MeanAll(a)
             | Op::SumAll(a)
             | Op::HadamardConst(a, _)
+            | Op::Reshape(a)
+            | Op::SumRowGroups(a, _)
             | Op::SoftmaxCrossEntropy(a, _)
             | Op::GradReverse(a, _) => vec![*a],
             Op::ConcatCols(parts) | Op::ConcatRows(parts) => parts.clone(),
@@ -697,6 +708,24 @@ impl Tape {
         let v = self.value(a).mul(&mask);
         let ng = self.needs(a);
         self.push(t, v, Op::HadamardConst(a, mask), ng)
+    }
+
+    /// Row-major reinterpretation under a new shape; must conserve the
+    /// element count. Backward reshapes the gradient back.
+    pub fn reshape(&mut self, a: Var, rows: usize, cols: usize) -> Var {
+        let t = profile::op_timer();
+        let v = self.value(a).reshape(rows, cols);
+        let ng = self.needs(a);
+        self.push(t, v, Op::Reshape(a), ng)
+    }
+
+    /// Sums each consecutive group of `k` rows: `[g*k, m] -> [g, m]`.
+    /// Backward repeats each output row's gradient over its `k` inputs.
+    pub fn sum_row_groups(&mut self, a: Var, k: usize) -> Var {
+        let t = profile::op_timer();
+        let v = self.value(a).sum_row_groups(k);
+        let ng = self.needs(a);
+        self.push(t, v, Op::SumRowGroups(a, k), ng)
     }
 
     /// Fused softmax + cross-entropy over class-index targets, averaged over
@@ -1054,6 +1083,13 @@ impl Tape {
                 self.add_grad(grads, *a, Tensor::full(av.rows(), av.cols(), g.item()));
             }
             Op::HadamardConst(a, mask) => self.add_grad(grads, *a, g.mul(mask)),
+            Op::Reshape(a) => {
+                let (r, c) = self.value(*a).shape();
+                self.add_grad(grads, *a, g.reshape(r, c));
+            }
+            Op::SumRowGroups(a, k) => {
+                self.add_grad(grads, *a, g.repeat_rows_each(*k));
+            }
             Op::GradReverse(a, lambda) => {
                 self.add_grad(grads, *a, g.scale(-lambda));
             }
@@ -1660,6 +1696,57 @@ mod tests {
             },
             1e-2,
         );
+    }
+
+    #[test]
+    fn grad_reshape_fd() {
+        let c = rand_t(3, 2, 40);
+        check_grad(
+            rand_t(2, 3, 41),
+            move |t, x| {
+                let r = t.reshape(x, 3, 2);
+                let cv = t.constant(c.clone());
+                let y = t.mul(r, cv);
+                t.sum_all(y)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_sum_row_groups_fd() {
+        let c = rand_t(2, 3, 42);
+        check_grad(
+            rand_t(6, 3, 43),
+            move |t, x| {
+                let s = t.sum_row_groups(x, 3);
+                let cv = t.constant(c.clone());
+                let y = t.mul(s, cv);
+                let sq = t.mul(y, y);
+                t.sum_all(sq)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn sum_row_groups_matches_per_group_sum_rows_bitwise() {
+        // The batched reduction must produce exactly what per-window
+        // `sum_rows` over each group produces — the accumulation order
+        // that keeps batched and per-window losses comparable.
+        let x = rand_t(6, 4, 44);
+        let mut tape = Tape::new();
+        let xv = tape.input(x.clone());
+        let grouped = tape.sum_row_groups(xv, 2);
+        for g in 0..3 {
+            let rows = tape.gather_rows(xv, &[2 * g, 2 * g + 1]);
+            let summed = tape.sum_rows(rows);
+            assert_eq!(
+                tape.value(grouped).row_slice(g),
+                tape.value(summed).data(),
+                "group {g} drifted"
+            );
+        }
     }
 
     #[test]

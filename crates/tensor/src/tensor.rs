@@ -559,6 +559,55 @@ impl Tensor {
         Tensor::from_vec(n, self.cols, out)
     }
 
+    /// Reinterprets the row-major buffer under a new shape with the same
+    /// element count — a view-style copy, no data movement beyond the copy.
+    pub fn reshape(&self, rows: usize, cols: usize) -> Tensor {
+        assert_eq!(
+            rows * cols,
+            self.len(),
+            "reshape {rows}x{cols} must conserve {} elements",
+            self.len()
+        );
+        Tensor::from_vec(rows, cols, pool::alloc_copy(self.data.as_slice()))
+    }
+
+    /// Sums each consecutive group of `k` rows: `[g*k, m] -> [g, m]`.
+    /// Rows within a group accumulate in row order, matching what a
+    /// per-group `sum_rows` would produce.
+    pub fn sum_row_groups(&self, k: usize) -> Tensor {
+        assert!(k > 0, "sum_row_groups needs k > 0");
+        assert_eq!(
+            self.rows % k,
+            0,
+            "sum_row_groups: {} rows not divisible by group size {k}",
+            self.rows
+        );
+        let groups = self.rows / k;
+        let mut out = pool::alloc_zeroed(groups * self.cols);
+        for g in 0..groups {
+            let orow = &mut out[g * self.cols..(g + 1) * self.cols];
+            for r in g * k..(g + 1) * k {
+                for (o, &x) in orow.iter_mut().zip(self.row_slice(r)) {
+                    *o += x;
+                }
+            }
+        }
+        Tensor::from_vec(groups, self.cols, out)
+    }
+
+    /// Repeats every row `k` times consecutively: `[g, m] -> [g*k, m]` —
+    /// the adjoint data movement of [`Tensor::sum_row_groups`].
+    pub fn repeat_rows_each(&self, k: usize) -> Tensor {
+        assert!(k > 0, "repeat_rows_each needs k > 0");
+        let mut out = pool::alloc_empty(self.rows * k * self.cols);
+        for r in 0..self.rows {
+            for _ in 0..k {
+                out.extend_from_slice(self.row_slice(r));
+            }
+        }
+        Tensor::from_vec(self.rows * k, self.cols, out)
+    }
+
     /// Row-wise softmax.
     pub fn softmax_rows(&self) -> Tensor {
         let mut out = pool::alloc_copy(self.data.as_slice());
@@ -597,6 +646,40 @@ mod tests {
 
     fn t(rows: usize, cols: usize, v: &[f32]) -> Tensor {
         Tensor::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn reshape_preserves_row_major_order() {
+        let x = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = x.reshape(3, 2);
+        assert_eq!(y.shape(), (3, 2));
+        assert_eq!(y.data(), x.data());
+        assert_eq!(y.at(1, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "conserve")]
+    fn reshape_rejects_element_count_change() {
+        t(2, 3, &[0.0; 6]).reshape(2, 2);
+    }
+
+    #[test]
+    fn sum_row_groups_sums_consecutive_rows() {
+        let x = t(4, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let y = x.sum_row_groups(2);
+        assert_eq!(y.shape(), (2, 2));
+        assert_eq!(y.data(), &[4.0, 6.0, 12.0, 14.0]);
+        // k == rows degenerates to sum_rows.
+        assert_eq!(x.sum_row_groups(4).data(), x.sum_rows().data());
+    }
+
+    #[test]
+    fn repeat_rows_each_is_sum_row_groups_adjoint_movement() {
+        let x = t(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let y = x.repeat_rows_each(3);
+        assert_eq!(y.shape(), (6, 2));
+        assert_eq!(y.row_slice(0), y.row_slice(2));
+        assert_eq!(y.row_slice(3), &[3.0, 4.0]);
     }
 
     #[test]

@@ -4,13 +4,15 @@
 # recent previous BENCH_*.json (if any) with bench_gate.
 #
 #   scripts/bench.sh [--max-regress-pct N | --min-improve-pct N] \
-#                    [-- extra bench args]
+#                    [--max-tape-nodes-ratio R] [-- extra bench args]
 #
 # Examples:
 #   scripts/bench.sh                       # default threshold (25%)
 #   scripts/bench.sh --max-regress-pct 10
 #   scripts/bench.sh --min-improve-pct 25  # optimization PR: every workload
 #                                          # must gain >=25% windows_per_sec
+#   scripts/bench.sh --min-improve-pct 25 --max-tape-nodes-ratio 0.2
+#                                          # ... and tape_nodes must shrink >=5x
 #   scripts/bench.sh -- --epochs 8 --scenes 12
 #   scripts/bench.sh -- --workers 4        # data-parallel training run
 #
@@ -22,6 +24,7 @@ cd "$(dirname "$0")/.."
 
 max_regress_pct=25
 min_improve_pct=""
+tape_nodes_args=()
 extra_args=()
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -33,20 +36,29 @@ while [ $# -gt 0 ]; do
             min_improve_pct="$2"
             shift 2
             ;;
+        --max-tape-nodes-ratio)
+            tape_nodes_args=(--max-tape-nodes-ratio "$2")
+            shift 2
+            ;;
         --)
             shift
             extra_args=("$@")
             break
             ;;
         *)
-            echo "usage: scripts/bench.sh [--max-regress-pct N | --min-improve-pct N] [-- extra bench args]" >&2
+            echo "usage: scripts/bench.sh [--max-regress-pct N | --min-improve-pct N] [--max-tape-nodes-ratio R] [-- extra bench args]" >&2
             exit 2
             ;;
     esac
 done
 
-# Most recent previous bench document (by mtime) becomes the baseline.
+# Most recent previous bench document (by mtime) becomes the baseline;
+# a fresh clone falls back to the committed results/BENCH_3.json so the
+# gate always has something real to diff against.
 baseline=$(ls -1t BENCH_*.json 2>/dev/null | head -n 1 || true)
+if [ -z "$baseline" ] && [ -f results/BENCH_3.json ]; then
+    baseline=results/BENCH_3.json
+fi
 
 out="BENCH_$(date +%Y%m%d_%H%M%S).json"
 echo "=== bench -> $out ==="
@@ -62,9 +74,11 @@ echo
 if [ -n "$min_improve_pct" ]; then
     echo "=== bench_gate: $baseline -> $out (require +${min_improve_pct}%) ==="
     cargo run --release --offline -p adaptraj-bench --bin bench_gate -- \
-        --baseline "$baseline" --candidate "$out" --min-improve-pct "$min_improve_pct"
+        --baseline "$baseline" --candidate "$out" --min-improve-pct "$min_improve_pct" \
+        "${tape_nodes_args[@]}"
 else
     echo "=== bench_gate: $baseline -> $out (threshold ${max_regress_pct}%) ==="
     cargo run --release --offline -p adaptraj-bench --bin bench_gate -- \
-        --baseline "$baseline" --candidate "$out" --max-regress-pct "$max_regress_pct"
+        --baseline "$baseline" --candidate "$out" --max-regress-pct "$max_regress_pct" \
+        "${tape_nodes_args[@]}"
 fi

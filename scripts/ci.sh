@@ -36,7 +36,10 @@ cargo test -q --offline || fail=1
 step "cargo test --workspace"
 cargo test -q --workspace --offline || fail=1
 
-step "determinism suite (workers 1 vs 4 bit-identity)"
+step "determinism suite (workers 1 vs 4 bit-identity, batched jobs)"
+# Exercises the batched execution path end to end: keyed multi-window
+# jobs, batch-position-order gradient reduction, and the
+# exec.windows_trained counter must all be worker-count independent.
 cargo test -q --offline --test determinism || fail=1
 
 step "gradient verification + property harness (adaptraj-check)"

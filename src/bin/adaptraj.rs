@@ -241,6 +241,7 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             telemetry.config("target", target.name());
             telemetry.config("epochs", epochs);
             telemetry.config("workers", workers);
+            telemetry.config("batch_size", cfg.trainer.batch_size);
             telemetry.config("seed", cfg.trainer.seed);
 
             println!("training {} ...", spec.label());
@@ -341,6 +342,7 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             scenes,
             eval_windows,
             workers,
+            batch_size,
             seed,
             profile_out,
             trace_out,
@@ -351,11 +353,13 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 scenes,
                 eval_windows,
                 workers,
+                batch_size: batch_size.unwrap_or(PerfConfig::default().batch_size),
                 seed: seed.unwrap_or(PerfConfig::default().seed),
             };
             println!(
-                "bench: {} epochs, {} scenes, {} inference windows, {} workers, seed {} ...",
-                cfg.epochs, cfg.scenes, cfg.eval_windows, cfg.workers, cfg.seed
+                "bench: {} epochs, {} scenes, {} inference windows, {} workers, \
+                 batch size {}, seed {} ...",
+                cfg.epochs, cfg.scenes, cfg.eval_windows, cfg.workers, cfg.batch_size, cfg.seed
             );
             let _telemetry_server = start_telemetry(&telemetry_addr)?;
             // `run_perf` manages the profiler itself (reset + enable +

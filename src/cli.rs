@@ -47,7 +47,7 @@ pub enum Command {
         health_dump: Option<String>,
     },
     /// `bench [--out FILE.json] [--epochs N] [--scenes N]
-    ///  [--eval-windows N] [--workers N] [--seed S]
+    ///  [--eval-windows N] [--workers N] [--batch-size N] [--seed S]
     ///  [--profile-out FILE.json] [--trace-out FILE.json]
     ///  [--telemetry-addr HOST:PORT]` — run the fixed-seed perf workloads
     /// under the op-level profiler and write an `adaptraj-bench/v1`
@@ -58,6 +58,8 @@ pub enum Command {
         scenes: usize,
         eval_windows: usize,
         workers: usize,
+        /// None defers to `PerfConfig::default()` (the trainer default).
+        batch_size: Option<usize>,
         seed: Option<u64>,
         profile_out: Option<String>,
         trace_out: Option<String>,
@@ -356,6 +358,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "scenes",
                     "eval-windows",
                     "workers",
+                    "batch-size",
                     "seed",
                     "profile-out",
                     "trace-out",
@@ -368,6 +371,13 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 scenes: parse_usize(&flags, "scenes", 6)?,
                 eval_windows: parse_usize(&flags, "eval-windows", 120)?,
                 workers: parse_usize(&flags, "workers", 1)?,
+                batch_size: flags
+                    .get("batch-size")
+                    .map(|v| {
+                        v.parse()
+                            .map_err(|_| err(format!("--batch-size expects an integer, got '{v}'")))
+                    })
+                    .transpose()?,
                 seed: parse_seed(&flags)?,
                 profile_out: flags.get("profile-out").map(|s| s.to_string()),
                 trace_out: flags.get("trace-out").map(|s| s.to_string()),
@@ -459,8 +469,9 @@ USAGE:
                [--health-policy <warn|skip-window|halt-and-dump>]
                [--health-dump DIR]
   adaptraj bench [--out FILE.json] [--epochs N] [--scenes N] [--eval-windows N]
-                 [--workers N] [--seed S] [--profile-out FILE.json]
-                 [--trace-out FILE.json] [--telemetry-addr HOST:PORT]
+                 [--workers N] [--batch-size N] [--seed S]
+                 [--profile-out FILE.json] [--trace-out FILE.json]
+                 [--telemetry-addr HOST:PORT]
   adaptraj visualize --target <d> [--out DIR] [--count N]
   adaptraj check [--golden-dir DIR] [--out-dir DIR] [--metric-tol-pct N]
                  [--update-golden]
@@ -607,6 +618,7 @@ mod tests {
                 scenes: 6,
                 eval_windows: 120,
                 workers: 1,
+                batch_size: None,
                 seed: None,
                 profile_out: None,
                 trace_out: None,
@@ -616,8 +628,8 @@ mod tests {
         assert_eq!(
             parse(&args(
                 "bench --out BENCH_1.json --epochs 2 --scenes 3 --eval-windows 50 \
-                 --workers 4 --seed 9 --profile-out prof.json --trace-out t.json \
-                 --telemetry-addr 0.0.0.0:0"
+                 --workers 4 --batch-size 16 --seed 9 --profile-out prof.json \
+                 --trace-out t.json --telemetry-addr 0.0.0.0:0"
             ))
             .unwrap(),
             Command::Bench {
@@ -626,6 +638,7 @@ mod tests {
                 scenes: 3,
                 eval_windows: 50,
                 workers: 4,
+                batch_size: Some(16),
                 seed: Some(9),
                 profile_out: Some("prof.json".into()),
                 trace_out: Some("t.json".into()),

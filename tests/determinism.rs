@@ -62,10 +62,15 @@ fn workers_1_and_4_are_bit_identical() {
         );
     }
 
-    // The same tape work happened: identical backward passes and identical
-    // node counts (the counters the bench throughput metrics derive from).
-    // Histogram *counts* must match too; sums are wall-clock and may not.
-    for counter in ["tensor.backward_calls", "tensor.tape_nodes_total"] {
+    // The same tape work happened: identical backward passes (one per
+    // batched job), identical node counts, and identical windows
+    // dispatched (the counter bench throughput derives from). Histogram
+    // *counts* must match too; sums are wall-clock and may not.
+    for counter in [
+        "tensor.backward_calls",
+        "tensor.tape_nodes_total",
+        "exec.windows_trained",
+    ] {
         assert_eq!(
             delta_1.counter(counter),
             delta_4.counter(counter),
