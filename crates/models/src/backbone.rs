@@ -17,8 +17,8 @@
 //! batched matmul/LSTM-step per layer instead of one per window. Ragged
 //! per-window agent counts are handled with a padded `[B·A_max]` slot
 //! grid: pad slots re-gather the window's focal row and are masked to
-//! exact zeros (an additive `−1e9` softmax bias, or a `0/1` mean-pool
-//! mask), so a padded slot provably contributes zero value *and* zero
+//! exact zeros (an additive [`PAD_BIAS`] softmax bias, or a `0/1`
+//! mean-pool mask), so a padded slot provably contributes zero value *and* zero
 //! gradient — see the padded-slot property tests in `adaptraj-check`.
 //!
 //! The concrete backbones (PECNet, LBEBM) compose these parts and differ
@@ -34,11 +34,15 @@ use adaptraj_tensor::{FusedAct, GroupId, ParamStore, Rng, Tape, Tensor, Var};
 /// addresses modules by group).
 pub const BACKBONE_GROUP: GroupId = GroupId(0);
 
-/// Additive attention bias at padded slots. After the row-max subtraction
-/// inside the softmax, `exp(−1e9 − max)` underflows to exactly `0.0` in
-/// f32, so pad weights — and through `y ⊙ (g − y·g)` their gradients —
-/// are exact zeros, not merely small.
-pub const PAD_BIAS: f32 = -1e9;
+/// Additive attention bias at padded slots. A pad slot re-gathers the
+/// focal row, so its raw score never exceeds the row max; after the
+/// row-max subtraction inside the softmax the pad exponent is at most
+/// `−1e5`, and `exp(−1e5)` underflows to exactly `0.0` in f32 (anything
+/// below ≈ `−104` does). Pad weights — and through `y ⊙ (g − y·g)`
+/// their gradients — are therefore exact zeros, not merely small. The
+/// magnitude is kept under the health tripwire's 1e6 explosion
+/// threshold so a masked clean run records zero incidents.
+pub const PAD_BIAS: f32 = -1e5;
 
 /// Output of the encoding stages, on a tape.
 #[derive(Debug, Clone, Copy)]
@@ -278,7 +282,7 @@ impl SceneEncoder {
                 let scores_col = tape.matmul(prod, ones_col); // [B·A_max, 1]
                 let scores = tape.reshape(scores_col, b, a_max);
                 let scaled = tape.scale(scores, 1.0 / (d as f32).sqrt());
-                // Pad slots get an additive −1e9 bias: their softmax
+                // Pad slots get an additive PAD_BIAS: their softmax
                 // weight underflows to exactly 0.0 (see [`PAD_BIAS`]).
                 let biased = if fully_packed {
                     scaled
