@@ -34,6 +34,20 @@ pub struct WorkloadMetrics {
     pub bytes_allocated: f64,
 }
 
+/// Serving-load summary distilled from a document's optional `load`
+/// section (`bench --load`). Latencies are taken from the FIRST sweep
+/// level — the lowest client count, i.e. unloaded service latency with
+/// no queueing on top — while `saturation_qps` summarizes the whole
+/// sweep. Any of these may be NaN (p99/p999 are null below their sample
+/// support); the comparator skips NaN per its usual policy.
+#[derive(Debug, Clone)]
+pub struct LoadSummary {
+    pub saturation_qps: f64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub p999_ms: f64,
+}
+
 /// A parsed (and schema-validated) bench document.
 #[derive(Debug, Clone)]
 pub struct BenchDoc {
@@ -43,6 +57,10 @@ pub struct BenchDoc {
     /// late-added fields.
     pub batch_size: f64,
     pub workloads: Vec<WorkloadMetrics>,
+    /// Present only in documents produced with `bench --load` (PR-9
+    /// onward); pre-PR-9 files parse with `None` and skip the serving
+    /// comparison entirely.
+    pub load: Option<LoadSummary>,
 }
 
 fn field_f64(v: &Value, key: &str) -> f64 {
@@ -95,10 +113,29 @@ pub fn parse_doc(json: &str) -> Result<BenchDoc, String> {
     if workloads.is_empty() {
         return Err("'workloads' array is empty".into());
     }
+    let load = v.get("load").map(|l| {
+        let first_level = l
+            .get("levels")
+            .and_then(Value::as_array)
+            .and_then(|a| a.first().cloned());
+        let lvl = |key: &str| {
+            first_level
+                .as_ref()
+                .map(|lv| field_f64(lv, key))
+                .unwrap_or(f64::NAN)
+        };
+        LoadSummary {
+            saturation_qps: field_f64(l, "saturation_qps"),
+            p50_ms: lvl("p50_ms"),
+            p99_ms: lvl("p99_ms"),
+            p999_ms: lvl("p999_ms"),
+        }
+    });
     Ok(BenchDoc {
         created_unix,
         batch_size,
         workloads,
+        load,
     })
 }
 
@@ -179,6 +216,25 @@ fn metric_value(w: &WorkloadMetrics, name: &str) -> f64 {
     }
 }
 
+/// Serving metrics from the optional `load` section, same shape as
+/// [`METRICS`]. Reported under the pseudo-workload name `serve`.
+const LOAD_METRICS: [(&str, bool); 4] = [
+    ("saturation_qps", false),
+    ("load_p50_ms", true),
+    ("load_p99_ms", true),
+    ("load_p999_ms", true),
+];
+
+fn load_metric_value(l: &LoadSummary, name: &str) -> f64 {
+    match name {
+        "saturation_qps" => l.saturation_qps,
+        "load_p50_ms" => l.p50_ms,
+        "load_p99_ms" => l.p99_ms,
+        "load_p999_ms" => l.p999_ms,
+        _ => unreachable!("unknown load metric {name}"),
+    }
+}
+
 /// Compares candidate against baseline, flagging any metric that moved
 /// more than `max_regress_pct` in the unfavorable direction. Metrics
 /// that are NaN or non-positive on either side are skipped (a tiny smoke
@@ -211,6 +267,37 @@ pub fn compare(baseline: &BenchDoc, candidate: &BenchDoc, max_regress_pct: f64) 
                 regress_pct,
                 regressed: regress_pct > max_regress_pct,
             });
+        }
+    }
+    // Serving metrics: gated only when the baseline has a `load` section
+    // (pre-PR-9 baselines skip the block entirely). A candidate that
+    // silently dropped the section fails, same rationale as a dropped
+    // workload.
+    if let Some(base_l) = &baseline.load {
+        match &candidate.load {
+            None => missing.push("serve (load section)".into()),
+            Some(cand_l) => {
+                for (metric, lower_is_better) in LOAD_METRICS {
+                    let b = load_metric_value(base_l, metric);
+                    let c = load_metric_value(cand_l, metric);
+                    if !(b.is_finite() && c.is_finite()) || b <= 0.0 || c <= 0.0 {
+                        continue;
+                    }
+                    let regress_pct = if lower_is_better {
+                        (c - b) / b * 100.0
+                    } else {
+                        (b - c) / b * 100.0
+                    };
+                    diffs.push(MetricDiff {
+                        workload: "serve".into(),
+                        metric,
+                        baseline: b,
+                        candidate: c,
+                        regress_pct,
+                        regressed: regress_pct > max_regress_pct,
+                    });
+                }
+            }
         }
     }
     Comparison {
@@ -439,6 +526,7 @@ mod tests {
                 bytes_reused: 4096.0,
                 bytes_allocated: 8192.0,
             }],
+            load: None,
         }
     }
 
@@ -489,6 +577,7 @@ mod tests {
                 bytes_reused: 4096.0,
                 bytes_allocated: 8192.0,
             }],
+            load: None,
         };
         let cmp = compare(&base, &cand, 25.0);
         assert!(!cmp.ok());
@@ -619,6 +708,7 @@ mod tests {
                 bytes_reused: 4096.0,
                 bytes_allocated: 8192.0,
             }],
+            load: None,
         };
         assert!(!improvement(&base, &cand, 25.0).ok());
     }
@@ -687,5 +777,87 @@ mod tests {
         assert_eq!(ok.created_unix, 5);
         assert_eq!(ok.workloads[0].name, "w");
         assert_eq!(ok.workloads[0].infer_p50_ms, 1.5);
+    }
+
+    fn load_doc(qps: f64, p50: f64) -> BenchDoc {
+        let mut d = doc(100.0, 500.0, 2.0, 5.0);
+        d.load = Some(LoadSummary {
+            saturation_qps: qps,
+            p50_ms: p50,
+            p99_ms: f64::NAN,
+            p999_ms: f64::NAN,
+        });
+        d
+    }
+
+    #[test]
+    fn legacy_doc_without_load_section_parses_and_compares() {
+        // Every BENCH file committed before `bench --load` existed lacks
+        // the `load` key: it must keep parsing, and comparing it (on
+        // either side, against old or new) must not fail on the absence.
+        let old = parse_doc(
+            "{\"schema\":\"adaptraj-bench/v1\",\"created_unix\":1,\
+             \"workloads\":[{\"name\":\"w\",\"windows_per_sec\":100.0,\
+             \"backward_ns_per_node\":500.0,\"infer_p50_ms\":2.0,\
+             \"infer_p99_ms\":5.0}]}",
+        )
+        .unwrap();
+        assert!(old.load.is_none());
+        // old baseline vs new candidate that HAS a load section: ok, the
+        // serving block is skipped (no baseline to compare against).
+        let new = load_doc(800.0, 1.2);
+        assert!(compare(&old, &new, 10.0).ok());
+        assert!(compare(&old, &new, 10.0)
+            .diffs
+            .iter()
+            .all(|d| d.workload != "serve"));
+    }
+
+    #[test]
+    fn load_section_parses_and_unsupported_percentiles_stay_nan() {
+        let d = parse_doc(
+            "{\"schema\":\"adaptraj-bench/v1\",\"created_unix\":1,\
+             \"workloads\":[{\"name\":\"w\",\"windows_per_sec\":100.0,\
+             \"backward_ns_per_node\":500.0,\"infer_p50_ms\":2.0,\
+             \"infer_p99_ms\":5.0}],\
+             \"load\":{\"config\":{\"workers\":2},\
+             \"levels\":[{\"clients\":1,\"requests\":64,\"qps\":310.5,\
+             \"p50_ms\":2.9,\"p99_ms\":null,\"p999_ms\":null},\
+             {\"clients\":8,\"requests\":512,\"qps\":820.0,\
+             \"p50_ms\":8.1,\"p99_ms\":14.0,\"p999_ms\":null}],\
+             \"saturation_qps\":820.0}}",
+        )
+        .unwrap();
+        let l = d.load.as_ref().expect("load section parsed");
+        assert_eq!(l.saturation_qps, 820.0);
+        assert_eq!(l.p50_ms, 2.9); // first (lowest-clients) level
+        assert!(l.p99_ms.is_nan() && l.p999_ms.is_nan());
+    }
+
+    #[test]
+    fn load_regressions_are_gated_and_dropped_section_fails() {
+        let base = load_doc(800.0, 2.0);
+        // Same numbers: ok, and the serve pseudo-workload is compared.
+        let cmp = compare(&base, &base, 10.0);
+        assert!(cmp.ok());
+        assert!(cmp
+            .diffs
+            .iter()
+            .any(|d| d.workload == "serve" && d.metric == "saturation_qps"));
+        // NaN percentiles on both sides are skipped, not compared.
+        assert!(cmp.diffs.iter().all(|d| d.metric != "load_p99_ms"));
+        // Saturation qps halved: regression.
+        let slow = load_doc(400.0, 2.0);
+        let regs = compare(&base, &slow, 10.0);
+        assert!(!regs.ok());
+        assert_eq!(regs.regressions()[0].metric, "saturation_qps");
+        // Unloaded p50 doubled: regression.
+        assert!(!compare(&base, &load_doc(800.0, 4.0), 10.0).ok());
+        // Candidate silently dropped the section: failure.
+        let mut dropped = base.clone();
+        dropped.load = None;
+        let cmp = compare(&base, &dropped, 10.0);
+        assert!(!cmp.ok());
+        assert_eq!(cmp.missing, vec!["serve (load section)".to_string()]);
     }
 }

@@ -31,6 +31,7 @@ use adaptraj_eval::RunnerConfig;
 use adaptraj_models::TrainerConfig;
 
 pub mod compare;
+pub mod load;
 pub mod perf;
 
 /// Experiment scale selected on the command line.

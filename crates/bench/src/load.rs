@@ -1,0 +1,302 @@
+//! Closed-loop serving load workload (`bench --load`): starts an
+//! in-process `adaptraj-serve` instance on an ephemeral port and sweeps
+//! client concurrency over real sockets, recording per-level latency
+//! percentiles, achieved qps, and the saturation qps (the best achieved
+//! qps across the sweep — the closed-loop throughput ceiling for this
+//! model/worker/batch-window configuration).
+//!
+//! Closed loop means each client thread sends its next request only
+//! after the previous response arrives, so the offered load adapts to
+//! the server instead of overrunning it: no 503s during measurement
+//! (the admission queue is sized above the client count), and achieved
+//! qps saturates instead of collapsing. Latency percentiles follow the
+//! same support rule as the eval workload
+//! ([`pctl_supported`](crate::perf::pctl_supported)): p999 is NaN (JSON
+//! `null`) unless a level collected at least 1000 samples.
+
+use crate::perf::{pctl, pctl_supported};
+use adaptraj_data::dataset::synthesize_domain;
+use adaptraj_data::dataset::SynthesisConfig;
+use adaptraj_data::domain::DomainId;
+use adaptraj_data::trajectory::TrajWindow;
+use adaptraj_eval::{build_predictor, BackboneKind, CellSpec, MethodKind, RunnerConfig};
+use adaptraj_models::TrainerConfig;
+use adaptraj_obs::json::{Arr, Obj};
+use adaptraj_serve::codec;
+use adaptraj_serve::{PredictServer, ServeConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Scale knobs for the load sweep.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Client-concurrency levels to sweep.
+    pub clients: Vec<usize>,
+    /// Closed-loop requests issued per client per level.
+    pub requests_per_client: usize,
+    /// Model-execution worker threads for the server.
+    pub workers: usize,
+    /// Micro-batcher coalescing window (µs).
+    pub batch_window_us: u64,
+    /// Seed for model init, scene selection, and request seeds.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            clients: vec![1, 2, 4, 8],
+            requests_per_client: 64,
+            workers: 2,
+            batch_window_us: 2000,
+            seed: 7,
+        }
+    }
+}
+
+/// Measured numbers for one concurrency level.
+#[derive(Debug, Clone)]
+pub struct LoadLevel {
+    pub clients: usize,
+    /// Requests completed (all of them — a failed request fails the run).
+    pub requests: u64,
+    /// Achieved closed-loop throughput over the level's wall-clock.
+    pub qps: f64,
+    pub p50_ms: f64,
+    /// NaN unless the level collected >= 100 samples.
+    pub p99_ms: f64,
+    /// NaN unless the level collected >= 1000 samples.
+    pub p999_ms: f64,
+}
+
+impl LoadLevel {
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .u64("clients", self.clients as u64)
+            .u64("requests", self.requests)
+            .f64("qps", self.qps)
+            .f64("p50_ms", self.p50_ms)
+            .f64("p99_ms", self.p99_ms)
+            .f64("p999_ms", self.p999_ms)
+            .finish()
+    }
+}
+
+/// The full sweep result, embedded as the bench document's `load` key.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    pub config: LoadConfig,
+    pub levels: Vec<LoadLevel>,
+    /// Best achieved qps across the sweep.
+    pub saturation_qps: f64,
+}
+
+impl LoadReport {
+    pub fn to_json(&self) -> String {
+        let mut levels = Arr::new();
+        for l in &self.levels {
+            levels = levels.push_raw(&l.to_json());
+        }
+        let config = Obj::new()
+            .raw("clients", &{
+                let mut a = Arr::new();
+                for &c in &self.config.clients {
+                    a = a.push_raw(&c.to_string());
+                }
+                a.finish()
+            })
+            .u64(
+                "requests_per_client",
+                self.config.requests_per_client as u64,
+            )
+            .u64("workers", self.config.workers as u64)
+            .u64("batch_window_us", self.config.batch_window_us)
+            .u64("seed", self.config.seed)
+            .finish();
+        Obj::new()
+            .raw("config", &config)
+            .raw("levels", &levels.finish())
+            .f64("saturation_qps", self.saturation_qps)
+            .finish()
+    }
+
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "clients", "requests", "qps", "p50 ms", "p99 ms", "p999 ms"
+        ));
+        for l in &self.levels {
+            out.push_str(&format!(
+                "{:<10} {:>10} {:>10.1} {:>10.3} {:>10.3} {:>10.3}\n",
+                l.clients, l.requests, l.qps, l.p50_ms, l.p99_ms, l.p999_ms
+            ));
+        }
+        out.push_str(&format!("saturation qps: {:.1}\n", self.saturation_qps));
+        out
+    }
+}
+
+/// One closed-loop request over a fresh connection; returns latency (ms).
+/// Any non-200 fails the workload loudly — the queue is sized so the
+/// closed loop never trips admission control.
+fn request(addr: &str, body: &str) -> f64 {
+    let t0 = Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("load client connect");
+    let req = format!(
+        "POST /v1/predict HTTP/1.1\r\nHost: load\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("load client send");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("load client read");
+    assert!(
+        response.starts_with("HTTP/1.1 200 "),
+        "load request failed: {:.200}",
+        response
+    );
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Builds a small fixed-seed model for serving. One quick epoch on a few
+/// windows: the forward-pass cost (which is what load latency measures)
+/// is identical to a fully trained model's.
+fn quick_model(cfg: &LoadConfig) -> (Box<dyn adaptraj_models::Predictor>, Vec<TrajWindow>) {
+    let synth = SynthesisConfig {
+        scenes: 3,
+        seed: cfg.seed,
+        ..SynthesisConfig::default()
+    };
+    let train_ds = synthesize_domain(DomainId::EthUcy, &synth);
+    let target_ds = synthesize_domain(DomainId::Sdd, &synth);
+    let spec = CellSpec {
+        backbone: BackboneKind::PecNet,
+        method: MethodKind::Vanilla,
+        sources: vec![DomainId::EthUcy],
+        target: DomainId::Sdd,
+    };
+    let runner = RunnerConfig {
+        trainer: TrainerConfig {
+            epochs: 1,
+            max_train_windows: 32,
+            seed: cfg.seed,
+            patience: 0,
+            ..TrainerConfig::default()
+        },
+        ..RunnerConfig::default()
+    };
+    let mut predictor = build_predictor(&spec, &runner);
+    predictor.fit(&train_ds.train);
+    let scenes: Vec<TrajWindow> = target_ds.test.into_iter().take(16).collect();
+    assert!(!scenes.is_empty(), "load workload synthesized no scenes");
+    (predictor, scenes)
+}
+
+/// Runs the sweep. Panics on any failed request (the bench must not
+/// silently produce numbers from a half-broken server).
+pub fn run_load(cfg: &LoadConfig) -> LoadReport {
+    let (predictor, scenes) = quick_model(cfg);
+    let max_clients = cfg.clients.iter().copied().max().unwrap_or(1);
+    let server = PredictServer::start(
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: cfg.workers,
+            batch_window_us: cfg.batch_window_us,
+            // Closed loop: at most `max_clients` requests are ever in
+            // flight, so this cap guarantees no 503 during measurement.
+            queue_cap: max_clients * 2 + 8,
+            deadline_ms: 30_000,
+            ..ServeConfig::default()
+        },
+        predictor,
+        None,
+        None,
+    )
+    .expect("load server start");
+    let addr = server.local_addr().to_string();
+
+    // Pre-encode one request body per scene; clients cycle through them.
+    let bodies: Vec<String> = scenes
+        .iter()
+        .enumerate()
+        .map(|(i, w)| codec::encode_request(w, cfg.seed.wrapping_add(i as u64), 1))
+        .collect();
+
+    let mut levels = Vec::new();
+    for &n in &cfg.clients {
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..n)
+            .map(|c| {
+                let addr = addr.clone();
+                let bodies = bodies.clone();
+                let reqs = cfg.requests_per_client;
+                std::thread::spawn(move || {
+                    let mut lat = Vec::with_capacity(reqs);
+                    for i in 0..reqs {
+                        let body = &bodies[(c + i * n) % bodies.len()];
+                        lat.push(request(&addr, body));
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let mut latencies: Vec<f64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("load client panicked"))
+            .collect();
+        let wall_s = t0.elapsed().as_secs_f64();
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        levels.push(LoadLevel {
+            clients: n,
+            requests: latencies.len() as u64,
+            qps: latencies.len() as f64 / wall_s,
+            p50_ms: pctl(&latencies, 0.50),
+            p99_ms: pctl_supported(&latencies, 0.99),
+            p999_ms: pctl_supported(&latencies, 0.999),
+        });
+    }
+    server.stop();
+
+    let saturation_qps = levels.iter().map(|l| l.qps).fold(f64::NAN, f64::max);
+    LoadReport {
+        config: cfg.clone(),
+        levels,
+        saturation_qps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_produces_sane_numbers_and_json() {
+        let cfg = LoadConfig {
+            clients: vec![1, 2],
+            requests_per_client: 4,
+            workers: 1,
+            batch_window_us: 200,
+            seed: 11,
+        };
+        let report = run_load(&cfg);
+        assert_eq!(report.levels.len(), 2);
+        for l in &report.levels {
+            assert_eq!(l.requests, (l.clients * 4) as u64);
+            assert!(l.qps > 0.0);
+            assert!(l.p50_ms > 0.0);
+            // 4 and 8 samples cannot support p99/p999.
+            assert!(l.p99_ms.is_nan() && l.p999_ms.is_nan());
+        }
+        assert!(report.saturation_qps > 0.0);
+        let json = report.to_json();
+        let v = adaptraj_obs::json::Value::parse(&json).expect("load json parses");
+        assert!(v.get("saturation_qps").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(v.get("levels").unwrap().as_array().unwrap().len(), 2);
+        // Unsupported percentiles serialize as null, not a bogus number.
+        let lvl0 = &v.get("levels").unwrap().as_array().unwrap()[0];
+        assert!(lvl0.get("p999_ms").unwrap().as_f64().is_none());
+    }
+}

@@ -28,8 +28,12 @@ pub struct PerfConfig {
     pub epochs: usize,
     /// Scenes synthesized per domain (drives window counts).
     pub scenes: usize,
-    /// Inference passes timed per workload (cycles over the test split).
-    pub eval_windows: usize,
+    /// Inference passes timed per workload (cycles over the test split
+    /// with repetition — samples, not distinct windows). Raised from the
+    /// original 120 because p99 on 120 samples is a single order
+    /// statistic: it swung up to +80% between identical runs. The CLI
+    /// still accepts `--eval-windows` as a legacy spelling.
+    pub eval_samples: usize,
     /// Worker threads for the training executor (`adaptraj-exec`); the
     /// timed inference loop stays single-threaded so latency percentiles
     /// remain comparable across configs.
@@ -47,7 +51,7 @@ impl Default for PerfConfig {
         Self {
             epochs: 4,
             scenes: 6,
-            eval_windows: 120,
+            eval_samples: 480,
             workers: 1,
             batch_size: TrainerConfig::default().batch_size,
             seed: 7,
@@ -61,7 +65,7 @@ impl PerfConfig {
         Self {
             epochs: 1,
             scenes: 3,
-            eval_windows: 20,
+            eval_samples: 20,
             workers: 1,
             batch_size: TrainerConfig::default().batch_size,
             seed: 7,
@@ -125,6 +129,10 @@ pub struct PerfReport {
     pub config: PerfConfig,
     pub workloads: Vec<WorkloadResult>,
     pub profile: ProfileSnapshot,
+    /// Closed-loop serving results (`bench --load`); absent documents
+    /// parse and compare fine — the load metrics are NaN-skipped like
+    /// every late-added field.
+    pub load: Option<crate::load::LoadReport>,
 }
 
 /// The fixed workload set: one plain backbone, one second backbone, and
@@ -165,12 +173,25 @@ fn workload_specs() -> Vec<(&'static str, CellSpec)> {
 }
 
 /// Nearest-rank quantile of a sorted sample.
-fn pctl(sorted: &[f64], q: f64) -> f64 {
+pub(crate) fn pctl(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return f64::NAN;
     }
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
+}
+
+/// Like [`pctl`], but NaN when the sample is too small to support the
+/// quantile — at least one observation must lie beyond it
+/// (`n * (1 - q) >= 1`, so p99 needs 100 samples and p999 needs 1000).
+/// Below that the "quantile" is just the sample maximum, the single
+/// order statistic whose run-to-run swings caused the PR 8 p99
+/// flakiness; emitting NaN makes the comparator skip it instead.
+pub(crate) fn pctl_supported(sorted: &[f64], q: f64) -> f64 {
+    if (sorted.len() as f64) * (1.0 - q) < 1.0 {
+        return f64::NAN;
+    }
+    pctl(sorted, q)
 }
 
 fn run_workload(
@@ -215,10 +236,10 @@ fn run_workload(
     };
 
     let mut rng = Rng::seed_from(cfg.seed ^ 0xBE7C);
-    let mut latencies_ms: Vec<f64> = Vec::with_capacity(cfg.eval_windows);
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(cfg.eval_samples);
     if !test.is_empty() {
         let _p = profile::phase("infer");
-        for i in 0..cfg.eval_windows {
+        for i in 0..cfg.eval_samples {
             let w = test[i % test.len()];
             let t = Instant::now();
             let _ = predictor.predict(w, &mut rng);
@@ -248,8 +269,8 @@ fn run_workload(
         infer_windows: latencies_ms.len() as u64,
         infer_mean_ms,
         infer_p50_ms: pctl(&latencies_ms, 0.50),
-        infer_p99_ms: pctl(&latencies_ms, 0.99),
-        infer_p999_ms: pctl(&latencies_ms, 0.999),
+        infer_p99_ms: pctl_supported(&latencies_ms, 0.99),
+        infer_p999_ms: pctl_supported(&latencies_ms, 0.999),
     }
 }
 
@@ -287,6 +308,7 @@ pub fn run_perf(cfg: &PerfConfig) -> PerfReport {
         config: cfg.clone(),
         workloads,
         profile: snapshot,
+        load: None,
     }
 }
 
@@ -300,17 +322,20 @@ impl PerfReport {
         let config = Obj::new()
             .u64("epochs", self.config.epochs as u64)
             .u64("scenes", self.config.scenes as u64)
-            .u64("eval_windows", self.config.eval_windows as u64)
+            .u64("eval_samples", self.config.eval_samples as u64)
             .u64("workers", self.config.workers as u64)
             .u64("batch_size", self.config.batch_size as u64)
             .u64("seed", self.config.seed)
             .finish();
-        Obj::new()
+        let mut doc = Obj::new()
             .str("schema", BENCH_SCHEMA)
             .u64("created_unix", self.created_unix)
             .raw("config", &config)
-            .raw("workloads", &wl.finish())
-            .raw("ops", &self.profile.ops_json())
+            .raw("workloads", &wl.finish());
+        if let Some(load) = &self.load {
+            doc = doc.raw("load", &load.to_json());
+        }
+        doc.raw("ops", &self.profile.ops_json())
             .raw("phases", &self.profile.phases_json())
             .finish()
     }
@@ -358,7 +383,7 @@ mod tests {
         let cfg = PerfConfig {
             epochs: 1,
             scenes: 2,
-            eval_windows: 4,
+            eval_samples: 4,
             workers: 2,
             batch_size: 8,
             seed: 3,

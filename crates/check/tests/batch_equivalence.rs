@@ -29,7 +29,11 @@ use adaptraj_data::domain::DomainId;
 use adaptraj_data::trajectory::{Point, TrajWindow, T_OBS, T_TOTAL};
 use adaptraj_data::WindowBatch;
 use adaptraj_models::backbone::{InteractionKind, SceneEncoder, PAD_BIAS};
-use adaptraj_models::{Backbone, BackboneConfig, ForwardCtx, Lbebm, PecNet, SocialLstm};
+use adaptraj_models::config::TrainerConfig;
+use adaptraj_models::{
+    Backbone, BackboneConfig, CausalMotion, Counter, ForwardCtx, Lbebm, PecNet, Predictor,
+    SocialLstm, Vanilla,
+};
 use adaptraj_tensor::{ParamId, ParamStore, Rng, Tape, Tensor};
 
 // ---------------------------------------------------------------------------
@@ -423,4 +427,109 @@ fn pecnet_adaptraj_batched_training_loss_matches_per_window_mean() {
             .collect();
         assert_equiv(label, batched, &singles);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Batched inference bit-identity: the serving contract.
+// ---------------------------------------------------------------------------
+//
+// `Predictor::predict_batch` over a coalesced batch must reproduce the
+// per-window `predict` calls *bit for bit* — this is what lets
+// `adaptraj-serve` micro-batch concurrent requests into one tape pass
+// while honoring the offline-eval bit-identity contract. Unlike the loss
+// equivalence above (batch-mean reductions re-associate), predictions are
+// per-window rows with no cross-window reduction, so exact equality is
+// required, not tolerance.
+
+/// Ragged, mixed-domain windows: 1-agent (maximally padded), and domains
+/// interleaved so a coalesced batch is domain-heterogeneous.
+fn serving_windows() -> Vec<TrajWindow> {
+    vec![
+        window(0.30, 2, DomainId::EthUcy),
+        window(0.45, 0, DomainId::LCas),
+        window(0.25, 3, DomainId::EthUcy),
+        window(0.35, 1, DomainId::Sdd),
+        window(0.40, 4, DomainId::LCas),
+    ]
+}
+
+fn assert_predict_batch_bit_identical(label: &str, model: &dyn Predictor) {
+    let ws = serving_windows();
+    let batch = WindowBatch::new(ws.iter().collect(), (0..ws.len() as u64).collect());
+    let mut batch_rngs: Vec<Rng> = (0..ws.len()).map(|i| Rng::seed_from(wseed(i))).collect();
+    // Two consecutive batched samples: streams must continue exactly as
+    // per-window `predict` continues them.
+    let got0 = model.predict_batch(&batch, &mut batch_rngs);
+    let got1 = model.predict_batch(&batch, &mut batch_rngs);
+    for (i, w) in ws.iter().enumerate() {
+        let mut rng = Rng::seed_from(wseed(i));
+        let want0 = model.predict(w, &mut rng);
+        let want1 = model.predict(w, &mut rng);
+        for (s, (got, want)) in [(&got0[i], &want0), (&got1[i], &want1)]
+            .into_iter()
+            .enumerate()
+        {
+            assert_eq!(
+                got.len(),
+                want.len(),
+                "{label}: window {i} sample {s} length"
+            );
+            for (t, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+                assert!(
+                    g[0].to_bits() == w[0].to_bits() && g[1].to_bits() == w[1].to_bits(),
+                    "{label}: window {i} sample {s} step {t}: batched {g:?} != single {w:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn predict_batch_bit_identical_vanilla_pecnet() {
+    let model = Vanilla::new(TrainerConfig::smoke(), |s, r| {
+        PecNet::new(s, r, BackboneConfig::default())
+    });
+    assert_predict_batch_bit_identical("pecnet-vanilla", &model);
+}
+
+#[test]
+fn predict_batch_bit_identical_vanilla_lbebm() {
+    let model = Vanilla::new(TrainerConfig::smoke(), |s, r| {
+        Lbebm::new(s, r, BackboneConfig::default())
+    });
+    assert_predict_batch_bit_identical("lbebm-vanilla", &model);
+}
+
+#[test]
+fn predict_batch_bit_identical_vanilla_sociallstm() {
+    let model = Vanilla::new(TrainerConfig::smoke(), |s, r| {
+        SocialLstm::new(s, r, BackboneConfig::default())
+    });
+    assert_predict_batch_bit_identical("sociallstm-vanilla", &model);
+}
+
+#[test]
+fn predict_batch_bit_identical_counter() {
+    let model = Counter::new(TrainerConfig::smoke(), |s, r| {
+        PecNet::new(s, r, BackboneConfig::default())
+    });
+    assert_predict_batch_bit_identical("pecnet-counter", &model);
+}
+
+#[test]
+fn predict_batch_bit_identical_causalmotion() {
+    let model = CausalMotion::new(TrainerConfig::smoke(), |s, r| {
+        PecNet::new(s, r, BackboneConfig::default())
+    });
+    assert_predict_batch_bit_identical("pecnet-causalmotion", &model);
+}
+
+#[test]
+fn predict_batch_bit_identical_adaptraj() {
+    let model = AdapTraj::new(
+        AdapTrajConfig::smoke(),
+        &[DomainId::EthUcy, DomainId::LCas],
+        |s, r, extra| PecNet::new(s, r, BackboneConfig::default().with_extra(extra)),
+    );
+    assert_predict_batch_bit_identical("pecnet-adaptraj", &model);
 }

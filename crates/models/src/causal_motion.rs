@@ -190,6 +190,15 @@ impl<B: Backbone> Predictor for CausalMotion<B> {
             crate::backbone::tensor_to_points(ctx.tape.value(pred))
         })
     }
+
+    fn predict_batch(&self, batch: &WindowBatch<'_>, rngs: &mut [Rng]) -> Vec<Vec<Point>> {
+        assert_eq!(batch.len(), rngs.len(), "one rng per batched window");
+        adaptraj_tensor::with_pooled(|tape| {
+            let mut ctx = ForwardCtx::sample(&self.store, tape, rngs);
+            let pred = self.backbone.sample_forward(&mut ctx, batch, None);
+            crate::backbone::batch_pred_points(ctx.tape.value(pred), batch.len())
+        })
+    }
 }
 
 #[cfg(test)]

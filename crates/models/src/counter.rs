@@ -130,6 +130,38 @@ impl<B: Backbone> Predictor for Counter<B> {
             crate::backbone::tensor_to_points(tape.value(y_final))
         })
     }
+
+    fn predict_batch(&self, batch: &WindowBatch<'_>, rngs: &mut [Rng]) -> Vec<Vec<Point>> {
+        assert_eq!(batch.len(), rngs.len(), "one rng per batched window");
+        // Derive each window's shared factual/counterfactual seed from its
+        // own rng exactly as the batch-of-one path does, so streams stay
+        // aligned with per-window `predict` calls.
+        let seeds: Vec<u64> = rngs
+            .iter_mut()
+            .map(|rng| ((rng.unit().to_bits() as u64) << 32) | rng.unit().to_bits() as u64)
+            .collect();
+        adaptraj_tensor::with_pooled(|tape| {
+            let mut r1: Vec<Rng> = seeds.iter().map(|&s| Rng::seed_from(s)).collect();
+            let mut ctx1 = ForwardCtx::sample(&self.store, tape, &mut r1);
+            let y_fact = self.backbone.sample_forward(&mut ctx1, batch, None);
+
+            let cf: Vec<TrajWindow> = batch
+                .windows()
+                .iter()
+                .map(|w| counterfactual_of(w))
+                .collect();
+            let cf_batch = WindowBatch::new(cf.iter().collect(), batch.ids().to_vec());
+            let mut r2: Vec<Rng> = seeds.iter().map(|&s| Rng::seed_from(s)).collect();
+            let mut ctx2 = ForwardCtx::sample(&self.store, ctx1.tape, &mut r2);
+            let y_cf = self.backbone.sample_forward(&mut ctx2, &cf_batch, None);
+            let tape = ctx2.tape;
+
+            let effect = tape.sub(y_fact, y_cf);
+            let scaled = tape.scale(effect, CF_STRENGTH);
+            let y_final = tape.sub(y_fact, scaled);
+            crate::backbone::batch_pred_points(tape.value(y_final), batch.len())
+        })
+    }
 }
 
 #[cfg(test)]

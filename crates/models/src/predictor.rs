@@ -4,6 +4,7 @@
 use crate::config::TrainerConfig;
 use adaptraj_data::domain::DomainId;
 use adaptraj_data::trajectory::{Point, TrajWindow};
+use adaptraj_data::WindowBatch;
 use adaptraj_obs::{EpochRecord, GroupNorm, PhaseTiming};
 use adaptraj_tensor::{GradBuffer, GroupId, ParamStore, Rng};
 
@@ -98,6 +99,31 @@ pub trait Predictor: Send + Sync {
     /// `k` independent future samples (for best-of-k evaluation).
     fn predict_k(&self, w: &TrajWindow, k: usize, rng: &mut Rng) -> Vec<Vec<Point>> {
         (0..k).map(|_| self.predict(w, rng)).collect()
+    }
+
+    /// One sampled future per window of a coalesced batch, with one rng
+    /// per window in batch order.
+    ///
+    /// Contract (the serving bit-identity contract, pinned by
+    /// `batch_equivalence.rs` and `tests/serve.rs`): window `b`'s points
+    /// are bit-identical to `predict(windows()[b], &mut rngs[b])`, no
+    /// matter how many other windows share the batch. Batched kernels are
+    /// row-wise over per-window rows, pad slots contribute exact zeros,
+    /// and each window draws latents from its own rng stream, so a batch
+    /// of B reproduces B batch-of-one passes bit for bit. Each `rngs[b]`
+    /// is advanced exactly as `predict` would advance it, so repeated
+    /// calls continue the per-window sample streams.
+    ///
+    /// The default runs per-window batch-of-one passes; method impls
+    /// override it with a single batched tape pass.
+    fn predict_batch(&self, batch: &WindowBatch<'_>, rngs: &mut [Rng]) -> Vec<Vec<Point>> {
+        assert_eq!(batch.len(), rngs.len(), "one rng per batched window");
+        batch
+            .windows()
+            .iter()
+            .zip(rngs.iter_mut())
+            .map(|(w, rng)| self.predict(w, rng))
+            .collect()
     }
 
     /// The model's parameters (for checkpointing via

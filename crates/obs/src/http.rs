@@ -1,0 +1,403 @@
+//! Minimal, robust HTTP/1.1 request handling shared by every listener in
+//! the workspace: the telemetry endpoint ([`crate::serve::TelemetryServer`])
+//! and the inference service (`adaptraj-serve`).
+//!
+//! The workspace is registry-free, so this is a hand-rolled reader — but a
+//! *bounded* one: every way an untrusted peer can misbehave maps to a
+//! typed [`HttpError`] instead of a panic or an unbounded read:
+//!
+//! * header section or declared body over the configured limits →
+//!   [`HttpError::PayloadTooLarge`] (`413`),
+//! * malformed request line / headers / `Content-Length` →
+//!   [`HttpError::BadRequest`] (`400`),
+//! * a peer that stalls mid-request (slow-loris style) →
+//!   [`HttpError::Timeout`] (`408`) once the per-request read deadline
+//!   lapses,
+//! * a peer that connects and closes without sending a full request →
+//!   [`HttpError::Disconnected`] (no response owed).
+//!
+//! Responses are always `Connection: close`; one request per connection.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Per-request resource limits for [`read_request`].
+#[derive(Debug, Clone)]
+pub struct HttpLimits {
+    /// Cap on the request line + header section, in bytes.
+    pub max_head_bytes: usize,
+    /// Cap on the declared (and read) request body, in bytes.
+    pub max_body_bytes: usize,
+    /// Wall-clock budget for reading the complete request; a peer that
+    /// has not delivered a full request by then gets `408`.
+    pub read_deadline: Duration,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+            read_deadline: Duration::from_secs(2),
+        }
+    }
+}
+
+/// One parsed request: method, path, and the (possibly empty) body.
+/// Headers are consumed during parsing; only `Content-Length` affects
+/// behavior, so they are not retained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: Vec<u8>,
+}
+
+/// Everything that can go wrong reading a request, mapped to the status
+/// code the caller should answer with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// `400` — syntactically broken request line, headers, or length.
+    BadRequest(String),
+    /// `413` — header section or declared body exceeds the limits.
+    PayloadTooLarge,
+    /// `408` — the read deadline lapsed before a complete request.
+    Timeout,
+    /// The peer closed (or reset) before sending a complete request; no
+    /// response can be delivered, just drop the connection.
+    Disconnected,
+}
+
+impl HttpError {
+    /// The HTTP status line this error maps to (`Disconnected` has none).
+    pub fn status(&self) -> &'static str {
+        match self {
+            HttpError::BadRequest(_) => "400 Bad Request",
+            HttpError::PayloadTooLarge => "413 Payload Too Large",
+            HttpError::Timeout => "408 Request Timeout",
+            HttpError::Disconnected => "000 Disconnected",
+        }
+    }
+
+    /// Short machine-readable error code for JSON error bodies.
+    pub fn code(&self) -> &'static str {
+        match self {
+            HttpError::BadRequest(_) => "bad_request",
+            HttpError::PayloadTooLarge => "payload_too_large",
+            HttpError::Timeout => "deadline_exceeded",
+            HttpError::Disconnected => "disconnected",
+        }
+    }
+
+    /// Human-readable detail line.
+    pub fn message(&self) -> String {
+        match self {
+            HttpError::BadRequest(msg) => msg.clone(),
+            HttpError::PayloadTooLarge => "request exceeds configured size limits".to_string(),
+            HttpError::Timeout => "request not received within the read deadline".to_string(),
+            HttpError::Disconnected => "peer disconnected".to_string(),
+        }
+    }
+}
+
+/// Reads from `stream` until `pred` says the buffer is complete, `cap`
+/// bytes arrive, the deadline lapses, or the peer closes. Returns whether
+/// the predicate was satisfied.
+fn read_until(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    cap: usize,
+    deadline: Instant,
+    mut done: impl FnMut(&[u8]) -> bool,
+) -> Result<(), HttpError> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        if done(buf) {
+            return Ok(());
+        }
+        if buf.len() > cap {
+            return Err(HttpError::PayloadTooLarge);
+        }
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .ok_or(HttpError::Timeout)?;
+        // A zero timeout would mean "block forever"; clamp up.
+        let _ = stream.set_read_timeout(Some(remaining.max(Duration::from_millis(1))));
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                // Peer closed. A clean close before any bytes is the
+                // wake-up/probe pattern; mid-request it is still a
+                // disconnect — either way no response is owed.
+                return Err(HttpError::Disconnected);
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(HttpError::Timeout);
+            }
+            Err(_) => return Err(HttpError::Disconnected),
+        }
+    }
+}
+
+/// Position one past the end of the `\r\n\r\n` header terminator, if
+/// present.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Reads and parses one complete HTTP/1.1 request within `limits`.
+pub fn read_request(stream: &mut TcpStream, limits: &HttpLimits) -> Result<Request, HttpError> {
+    let deadline = Instant::now() + limits.read_deadline;
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    read_until(stream, &mut buf, limits.max_head_bytes, deadline, |b| {
+        head_end(b).is_some()
+    })?;
+    let head_len = head_end(&buf).expect("read_until returned without terminator");
+    let head = std::str::from_utf8(&buf[..head_len])
+        .map_err(|_| HttpError::BadRequest("header section is not valid UTF-8".into()))?
+        .to_string();
+
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::BadRequest("empty request line".into()))?;
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("request line has no path".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("request line has no HTTP version".into()))?;
+    if !version.starts_with("HTTP/") {
+        return Err(HttpError::BadRequest(format!(
+            "bad HTTP version '{version}'"
+        )));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("malformed header '{line}'")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::BadRequest("bad Content-Length".into()))?;
+        }
+    }
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::PayloadTooLarge);
+    }
+
+    let want = head_len + content_length;
+    read_until(stream, &mut buf, want, deadline, |b| b.len() >= want)?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body: buf[head_len..want].to_vec(),
+    })
+}
+
+/// Writes one `Connection: close` response. Errors are deliberately
+/// swallowed: the peer may already be gone, and there is nothing useful
+/// to do about a failed error response.
+pub fn write_response(stream: &mut TcpStream, status: &str, content_type: &str, body: &[u8]) {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body);
+    let _ = stream.flush();
+}
+
+/// Writes a structured JSON error body:
+/// `{"error":{"code":"...","message":"..."}}`.
+pub fn write_json_error(stream: &mut TcpStream, status: &str, code: &str, message: &str) {
+    let body = crate::json::Obj::new()
+        .raw(
+            "error",
+            &crate::json::Obj::new()
+                .str("code", code)
+                .str("message", message)
+                .finish(),
+        )
+        .finish();
+    write_response(
+        stream,
+        status,
+        "application/json; charset=utf-8",
+        body.as_bytes(),
+    );
+}
+
+/// Maps a read failure to its error response (no-op for `Disconnected`).
+pub fn write_error(stream: &mut TcpStream, err: &HttpError) {
+    if *err == HttpError::Disconnected {
+        return;
+    }
+    write_json_error(stream, err.status(), err.code(), &err.message());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// One-shot echo server: accepts a single connection, reads a request
+    /// under `limits`, and reports the outcome through the returned
+    /// channel while answering the peer.
+    fn serve_once(
+        limits: HttpLimits,
+    ) -> (
+        std::net::SocketAddr,
+        std::sync::mpsc::Receiver<Result<Request, HttpError>>,
+    ) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let res = read_request(&mut stream, &limits);
+            match &res {
+                Ok(req) => write_response(&mut stream, "200 OK", "text/plain", &req.body),
+                Err(e) => write_error(&mut stream, e),
+            }
+            let _ = tx.send(res);
+        });
+        (addr, rx)
+    }
+
+    fn roundtrip(raw: &[u8], limits: HttpLimits) -> (Result<Request, HttpError>, String) {
+        let (addr, rx) = serve_once(limits);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw).unwrap();
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        (rx.recv().unwrap(), response)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /v1/predict HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\n\r\nhello";
+        let (res, response) = roundtrip(raw, HttpLimits::default());
+        let req = res.unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/predict");
+        assert_eq!(req.body, b"hello");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(response.ends_with("hello"));
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let raw = b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+        let (res, _) = roundtrip(raw, HttpLimits::default());
+        let req = res.unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413_without_reading_it() {
+        let raw = b"POST /v1/predict HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n";
+        let (res, response) = roundtrip(raw, HttpLimits::default());
+        assert_eq!(res, Err(HttpError::PayloadTooLarge));
+        assert!(response.starts_with("HTTP/1.1 413 "), "{response}");
+        assert!(response.contains("payload_too_large"), "{response}");
+    }
+
+    #[test]
+    fn oversized_header_section_is_413() {
+        let mut raw = b"GET /x HTTP/1.1\r\nX-Pad: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', 64 * 1024));
+        raw.extend_from_slice(b"\r\n\r\n");
+        let limits = HttpLimits {
+            max_head_bytes: 16 * 1024,
+            ..HttpLimits::default()
+        };
+        let (res, response) = roundtrip(&raw, limits);
+        assert_eq!(res, Err(HttpError::PayloadTooLarge));
+        assert!(response.starts_with("HTTP/1.1 413 "), "{response}");
+    }
+
+    #[test]
+    fn garbage_request_line_is_400() {
+        let raw = b"garbage\r\n\r\n";
+        let (res, response) = roundtrip(raw, HttpLimits::default());
+        assert!(matches!(res, Err(HttpError::BadRequest(_))), "{res:?}");
+        assert!(response.starts_with("HTTP/1.1 400 "), "{response}");
+        // The error body is parseable JSON with a code.
+        let body = response.split("\r\n\r\n").nth(1).unwrap();
+        let v = crate::json::Value::parse(body).expect("error body parses");
+        assert_eq!(
+            v.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("bad_request")
+        );
+    }
+
+    #[test]
+    fn bad_content_length_is_400() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n";
+        let (res, response) = roundtrip(raw, HttpLimits::default());
+        assert!(matches!(res, Err(HttpError::BadRequest(_))), "{res:?}");
+        assert!(response.starts_with("HTTP/1.1 400 "), "{response}");
+    }
+
+    #[test]
+    fn stalled_partial_request_times_out_with_408() {
+        let limits = HttpLimits {
+            read_deadline: Duration::from_millis(120),
+            ..HttpLimits::default()
+        };
+        let (addr, rx) = serve_once(limits);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Half a request line, then silence: the server must answer 408
+        // within the deadline rather than hang.
+        stream.write_all(b"GET /slow").unwrap();
+        let start = Instant::now();
+        let res = rx.recv().unwrap();
+        assert_eq!(res, Err(HttpError::Timeout));
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "deadline not enforced: {:?}",
+            start.elapsed()
+        );
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        assert!(response.starts_with("HTTP/1.1 408 "), "{response}");
+    }
+
+    #[test]
+    fn stalled_body_times_out_with_408() {
+        let limits = HttpLimits {
+            read_deadline: Duration::from_millis(120),
+            ..HttpLimits::default()
+        };
+        let (addr, rx) = serve_once(limits);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Headers promise 10 bytes; only 3 ever arrive.
+        stream
+            .write_all(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+            .unwrap();
+        assert_eq!(rx.recv().unwrap(), Err(HttpError::Timeout));
+    }
+
+    #[test]
+    fn immediate_close_is_disconnected_and_gets_no_response() {
+        let (addr, rx) = serve_once(HttpLimits::default());
+        drop(TcpStream::connect(addr).unwrap());
+        assert_eq!(rx.recv().unwrap(), Err(HttpError::Disconnected));
+    }
+}

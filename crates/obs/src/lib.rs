@@ -40,6 +40,7 @@
 //! depends on nothing.
 
 pub mod health;
+pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod profile;

@@ -24,14 +24,13 @@
 //!
 //! [`ProfileSnapshot`]: crate::profile::ProfileSnapshot
 
+use crate::http::{read_request, write_error, write_response, HttpLimits};
 use crate::metrics::{HistSnapshot, Registry, RegistrySnapshot};
 use crate::profile;
-use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
 
 /// Handle to the background telemetry listener. Dropping it (or calling
 /// [`stop`](TelemetryServer::stop)) shuts the thread down.
@@ -95,40 +94,32 @@ impl Drop for TelemetryServer {
     }
 }
 
-/// Reads one request (headers only — no routes take bodies), routes it,
-/// writes one response, closes.
+/// Reads one request through the shared bounded reader
+/// ([`crate::http`]), routes it, writes one response, closes. Oversized
+/// or malformed requests get the shared `413`/`400`/`408` error
+/// responses instead of being silently misrouted.
 fn handle_conn(mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
-    let mut buf = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 1024];
-    loop {
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 64 * 1024 {
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
-    }
-    let request_line = match std::str::from_utf8(&buf) {
-        Ok(text) => text.lines().next().unwrap_or("").to_string(),
-        Err(_) => String::new(),
+    let limits = HttpLimits {
+        // No telemetry route takes a body; anything substantial is junk.
+        max_body_bytes: 64 * 1024,
+        ..HttpLimits::default()
     };
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
+    let req = match read_request(&mut stream, &limits) {
+        Ok(req) => req,
+        Err(e) => {
+            write_error(&mut stream, &e);
+            return;
+        }
+    };
 
-    let (status, content_type, body) = if method != "GET" {
+    let (status, content_type, body) = if req.method != "GET" {
         (
             "405 Method Not Allowed",
             "text/plain; charset=utf-8",
             "method not allowed\n".to_string(),
         )
     } else {
-        match path {
+        match req.path.as_str() {
             "/metrics" => (
                 "200 OK",
                 "text/plain; version=0.0.4; charset=utf-8",
@@ -158,12 +149,7 @@ fn handle_conn(mut stream: TcpStream) {
         }
     };
 
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    let _ = stream.write_all(response.as_bytes());
-    let _ = stream.flush();
+    write_response(&mut stream, status, content_type, body.as_bytes());
 }
 
 /// Renders the registry as Prometheus text exposition format 0.0.4.
@@ -240,6 +226,7 @@ fn fmt_val(v: f64) -> String {
 mod tests {
     use super::*;
     use crate::metrics;
+    use std::io::{Read, Write};
 
     fn get(addr: SocketAddr, path: &str) -> String {
         let mut stream = TcpStream::connect(addr).expect("connect");

@@ -1,0 +1,154 @@
+//! Property tests for the predict-request wire codec: round-trip
+//! identity over ragged scenes (down to a lone agent and an absent
+//! future, up to the neighbor cap), and rejection of non-finite
+//! coordinates with a structured error. Driven by the shared shrinking
+//! harness in `adaptraj_check::prop`.
+
+use adaptraj_check::prop::{check, Gen};
+use adaptraj_data::domain::DomainId;
+use adaptraj_data::trajectory::{Point, TrajWindow, T_OBS, T_PRED};
+use adaptraj_obs::json::Value;
+use adaptraj_serve::codec;
+
+fn track(g: &mut Gen, len: usize) -> Vec<Point> {
+    (0..len).map(|_| [g.value(), g.value()]).collect()
+}
+
+/// A protocol-valid scene of generator-driven raggedness. `size` scales
+/// coordinate magnitude and neighbor count; boundary shapes (no
+/// neighbors, zero future) appear via the draws below.
+fn scene(g: &mut Gen) -> TrajWindow {
+    let neighbors = match g.int_in(0, 3) {
+        0 => 0,                       // lone agent
+        1 => g.int_in(1, 4),          // typical
+        _ => g.int_in(1, 2) * g.size, // crowded (scales up)
+    };
+    let fut = if g.int_in(0, 3) == 0 {
+        vec![[0.0, 0.0]; T_PRED] // what an absent future decodes to
+    } else {
+        track(g, T_PRED)
+    };
+    TrajWindow {
+        obs: track(g, T_OBS),
+        fut,
+        neighbors: (0..neighbors).map(|_| track(g, T_OBS)).collect(),
+        domain: match g.int_in(0, 3) {
+            0 => DomainId::EthUcy,
+            1 => DomainId::LCas,
+            2 => DomainId::Syi,
+            _ => DomainId::Sdd,
+        },
+        origin: [g.value(), g.value()],
+    }
+}
+
+fn bits(w: &TrajWindow) -> Vec<u32> {
+    w.obs
+        .iter()
+        .chain(w.fut.iter())
+        .chain(w.neighbors.iter().flatten())
+        .chain(std::iter::once(&w.origin))
+        .flat_map(|p| [p[0].to_bits(), p[1].to_bits()])
+        .collect()
+}
+
+#[test]
+fn scene_round_trip_is_bit_identical_over_ragged_shapes() {
+    check("codec_scene_round_trip", 300, |g| {
+        let w = scene(g);
+        let json = codec::encode_scene(&w);
+        let v = Value::parse(&json).map_err(|e| format!("encoded scene unparseable: {e}"))?;
+        let back = codec::decode_scene(&v).map_err(|e| format!("decode failed: {e:?}"))?;
+        if back.domain != w.domain {
+            return Err(format!(
+                "domain changed: {:?} -> {:?}",
+                w.domain, back.domain
+            ));
+        }
+        if back.neighbors.len() != w.neighbors.len() {
+            return Err(format!(
+                "neighbor count changed: {} -> {}",
+                w.neighbors.len(),
+                back.neighbors.len()
+            ));
+        }
+        if bits(&back) != bits(&w) {
+            return Err("coordinates not bit-identical after round trip".into());
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn full_request_round_trips_seed_and_k() {
+    check("codec_request_round_trip", 150, |g| {
+        let w = scene(g);
+        let seed = g.rng().below(1_000_000) as u64;
+        let k = g.int_in(1, codec::MAX_K);
+        let body = codec::encode_request(&w, seed, k);
+        let req = codec::decode_request(&body).map_err(|e| format!("decode: {e:?}"))?;
+        if req.seed != seed || req.k != k {
+            return Err(format!(
+                "seed/k changed: ({seed},{k}) -> ({},{})",
+                req.seed, req.k
+            ));
+        }
+        if bits(&req.window) != bits(&w) {
+            return Err("window not bit-identical through a full request".into());
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn non_finite_coordinates_are_rejected_with_a_structured_error() {
+    // Splice a non-finite literal into one coordinate of an otherwise
+    // valid encoded scene: `1e999` parses to +Inf at the JSON layer, and
+    // `1e60` overflows f32 — both must be refused as `non_finite`.
+    check("codec_rejects_non_finite", 150, |g| {
+        let w = scene(g);
+        let json = codec::encode_scene(&w);
+        let poison = if g.int_in(0, 1) == 0 { "1e999" } else { "1e60" };
+        // Positional splice: overwrite the first x-coordinate of the obs
+        // track, wherever the encoder put it and however it formatted it.
+        let start = json
+            .find("\"obs\":[[")
+            .ok_or("encoded scene has no obs array")?
+            + "\"obs\":[[".len();
+        let end = start
+            + json[start..]
+                .find(',')
+                .ok_or("obs coordinate has no terminator")?;
+        let poisoned = format!("{}{poison}{}", &json[..start], &json[end..]);
+        let v = Value::parse(&poisoned)
+            .map_err(|e| format!("poisoned scene should still be JSON: {e}"))?;
+        match codec::decode_scene(&v) {
+            Ok(_) => Err(format!("decode accepted a {poison} coordinate")),
+            Err(e) if e.code == "non_finite" => Ok(()),
+            Err(e) => Err(format!("wrong error code {:?} (want non_finite)", e.code)),
+        }
+    });
+}
+
+#[test]
+fn neighbor_cap_is_enforced_exactly_at_the_boundary() {
+    // MAX_NEIGHBORS agents decode; one more is a structured rejection.
+    let at_cap = TrajWindow {
+        obs: vec![[0.0, 0.0]; T_OBS],
+        fut: vec![[0.0, 0.0]; T_PRED],
+        neighbors: vec![vec![[1.0, 1.0]; T_OBS]; codec::MAX_NEIGHBORS],
+        domain: DomainId::EthUcy,
+        origin: [0.0, 0.0],
+    };
+    let v = Value::parse(&codec::encode_scene(&at_cap)).unwrap();
+    assert_eq!(
+        codec::decode_scene(&v).unwrap().neighbors.len(),
+        codec::MAX_NEIGHBORS
+    );
+
+    let mut over = at_cap;
+    over.neighbors.push(vec![[2.0, 2.0]; T_OBS]);
+    let v = Value::parse(&codec::encode_scene(&over)).unwrap();
+    let err = codec::decode_scene(&v).expect_err("over-cap scene must be rejected");
+    assert_eq!(err.code, "invalid_scene");
+}

@@ -73,6 +73,73 @@ cargo run --release --offline -p adaptraj-bench --bin bench_gate -- \
     --baseline results/BENCH_baseline.json --candidate target/BENCH_ci.json \
     --check || fail=1
 
+step "serve smoke (golden bit-exactness, /metrics, 503 backpressure, clean shutdown)"
+# Trains a tiny fixed-seed checkpoint, serves it on an ephemeral port, and
+# drives it from outside with serve_gate: the golden probe scene's served
+# predictions must match the committed results/SERVE_golden.json bit for
+# bit (regenerate with `serve_gate --write-golden` when the model
+# legitimately changes), /metrics must expose the serve counters, and
+# shutdown must be clean. A second instance with --queue-cap 1 proves the
+# bounded queue rejects a flood with structured 503s.
+cargo run --release --offline --bin adaptraj -- \
+    run --backbone pecnet --method vanilla --sources eth_ucy --target l_cas \
+    --epochs 1 --workers 2 --seed 7 --ckpt target/serve_ci.atps || fail=1
+rm -f target/serve_ci.log
+cargo run --release --offline --bin adaptraj -- \
+    serve --addr 127.0.0.1:0 --checkpoint target/serve_ci.atps \
+    --backbone pecnet --method vanilla --sources eth_ucy \
+    --workers 2 > target/serve_ci.log 2>&1 &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 100); do
+    serve_addr=$(grep -o 'http://[0-9.]*:[0-9]*' target/serve_ci.log | head -1 || true)
+    [ -n "$serve_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$serve_addr" ]; then
+    echo "serve never reported a bound address"; cat target/serve_ci.log; fail=1
+    kill "$serve_pid" 2>/dev/null || true
+else
+    cargo run --release --offline -p adaptraj-serve --bin serve_gate -- \
+        --addr "${serve_addr#http://}" --golden results/SERVE_golden.json \
+        --shutdown || fail=1
+fi
+wait "$serve_pid" || { echo "serve exited nonzero"; cat target/serve_ci.log; fail=1; }
+rm -f target/serve_flood_ci.log
+cargo run --release --offline --bin adaptraj -- \
+    serve --addr 127.0.0.1:0 --checkpoint target/serve_ci.atps \
+    --backbone pecnet --method vanilla --sources eth_ucy \
+    --workers 1 --queue-cap 1 --batch-window-us 200000 \
+    > target/serve_flood_ci.log 2>&1 &
+flood_pid=$!
+flood_addr=""
+for _ in $(seq 1 100); do
+    flood_addr=$(grep -o 'http://[0-9.]*:[0-9]*' target/serve_flood_ci.log | head -1 || true)
+    [ -n "$flood_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$flood_addr" ]; then
+    echo "flood serve never reported a bound address"; cat target/serve_flood_ci.log; fail=1
+    kill "$flood_pid" 2>/dev/null || true
+else
+    cargo run --release --offline -p adaptraj-serve --bin serve_gate -- \
+        --addr "${flood_addr#http://}" --flood 12 --shutdown || fail=1
+fi
+wait "$flood_pid" || { echo "flood serve exited nonzero"; cat target/serve_flood_ci.log; fail=1; }
+
+step "bench --load smoke + gate (check mode)"
+# Tiny closed-loop serving sweep through the in-process server; the gate
+# must accept the document against the committed serving baseline (check
+# mode: absolute qps/latency are machine-dependent, only schema and
+# structural errors fail).
+cargo run --release --offline --bin adaptraj -- \
+    bench --out target/BENCH_load_ci.json --epochs 1 --scenes 3 \
+    --eval-samples 20 --workers 2 \
+    --load --load-clients 1,2 --load-requests 8 || fail=1
+cargo run --release --offline -p adaptraj-bench --bin bench_gate -- \
+    --baseline results/BENCH_4.json --candidate target/BENCH_load_ci.json \
+    --check || fail=1
+
 step "flight-recorder smoke (run --trace-out + Chrome trace validation)"
 # Tiny training run with the execution timeline enabled, then validate
 # the emitted Chrome trace document: required keys (ph/ts/pid/tid/name),

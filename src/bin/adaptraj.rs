@@ -7,6 +7,7 @@
 //!     --sources eth_ucy,l_cas,syi --target sdd
 //! ```
 
+use adaptraj::bench::load::{run_load, LoadConfig};
 use adaptraj::bench::perf::{run_perf, PerfConfig};
 use adaptraj::check::{compare, load_baselines, run_all_goldens, write_doc};
 use adaptraj::cli::{parse, Command, USAGE};
@@ -22,7 +23,7 @@ use adaptraj::models::{BackboneConfig, PecNet, Predictor, TrainerConfig, Vanilla
 use adaptraj::obs::serve::TelemetryServer;
 use adaptraj::obs::{health, profile, timeline};
 use adaptraj::obs::{EvalSummary, JsonlSink, RunTelemetry, StderrSink};
-use adaptraj::tensor::serialize::save_params_to_file;
+use adaptraj::tensor::serialize::{load_params_from_file, save_params_to_file};
 use adaptraj::tensor::Rng;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -340,10 +341,13 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             out,
             epochs,
             scenes,
-            eval_windows,
+            eval_samples,
             workers,
             batch_size,
             seed,
+            load,
+            load_clients,
+            load_requests,
             profile_out,
             trace_out,
             telemetry_addr,
@@ -351,15 +355,15 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             let cfg = PerfConfig {
                 epochs,
                 scenes,
-                eval_windows,
+                eval_samples,
                 workers,
                 batch_size: batch_size.unwrap_or(PerfConfig::default().batch_size),
                 seed: seed.unwrap_or(PerfConfig::default().seed),
             };
             println!(
-                "bench: {} epochs, {} scenes, {} inference windows, {} workers, \
+                "bench: {} epochs, {} scenes, {} inference samples, {} workers, \
                  batch size {}, seed {} ...",
-                cfg.epochs, cfg.scenes, cfg.eval_windows, cfg.workers, cfg.batch_size, cfg.seed
+                cfg.epochs, cfg.scenes, cfg.eval_samples, cfg.workers, cfg.batch_size, cfg.seed
             );
             let _telemetry_server = start_telemetry(&telemetry_addr)?;
             // `run_perf` manages the profiler itself (reset + enable +
@@ -368,7 +372,27 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 timeline::reset();
                 timeline::set_enabled(true);
             }
-            let report = run_perf(&cfg);
+            let mut report = run_perf(&cfg);
+            if load {
+                let mut load_cfg = LoadConfig {
+                    workers: cfg.workers.max(2),
+                    seed: cfg.seed,
+                    ..LoadConfig::default()
+                };
+                if let Some(clients) = load_clients {
+                    load_cfg.clients = clients;
+                }
+                if let Some(requests) = load_requests {
+                    load_cfg.requests_per_client = requests;
+                }
+                println!(
+                    "load sweep: clients {:?}, {} requests/client, {} workers ...",
+                    load_cfg.clients, load_cfg.requests_per_client, load_cfg.workers
+                );
+                let load_report = run_load(&load_cfg);
+                print!("{}", load_report.render_text());
+                report.load = Some(load_report);
+            }
             print!("{}", report.render_text());
             std::fs::write(&out, report.to_json())?;
             println!("bench document written to {out}");
@@ -380,6 +404,75 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 std::fs::write(&path, report.profile.to_json())?;
                 println!("op-level profile written to {path}");
             }
+        }
+        Command::Serve {
+            addr,
+            workers,
+            accept_threads,
+            batch_window_us,
+            queue_cap,
+            deadline_ms,
+            checkpoint,
+            backbone,
+            method,
+            sources,
+        } => {
+            // The cell's target only selects an eval split, which serving
+            // never touches; any domain outside the source set works.
+            let target = DomainId::ALL
+                .iter()
+                .copied()
+                .find(|d| !sources.contains(d))
+                .unwrap_or(DomainId::Sdd);
+            let spec = CellSpec {
+                backbone,
+                method,
+                sources,
+                target,
+            };
+            let runner = RunnerConfig::default();
+            let mut predictor = adaptraj::eval::build_predictor(&spec, &runner);
+            if let Some(path) = &checkpoint {
+                load_params_from_file(predictor.store_mut(), path)
+                    .map_err(|e| format!("checkpoint '{path}': {e:?}"))?;
+                println!("loaded checkpoint {path} into {}", spec.label());
+            } else {
+                println!(
+                    "warning: no --checkpoint; serving {} with untrained init weights",
+                    spec.label()
+                );
+            }
+            // /reload rebuilds the same cell and loads the requested
+            // checkpoint into it; the spec must match the file's shapes.
+            let loader_spec = spec.clone();
+            let loader: adaptraj::serve::Loader = Box::new(move |path: &str| {
+                let mut p = adaptraj::eval::build_predictor(&loader_spec, &RunnerConfig::default());
+                load_params_from_file(p.store_mut(), path)
+                    .map_err(|e| format!("checkpoint '{path}': {e:?}"))?;
+                Ok(p)
+            });
+            let server = adaptraj::serve::PredictServer::start(
+                adaptraj::serve::ServeConfig {
+                    addr,
+                    workers,
+                    accept_threads,
+                    batch_window_us,
+                    queue_cap,
+                    deadline_ms,
+                    ..adaptraj::serve::ServeConfig::default()
+                },
+                predictor,
+                checkpoint,
+                Some(loader),
+            )?;
+            println!(
+                "serving {} on http://{} (POST /v1/predict, GET /healthz /metrics, \
+                 POST /reload /shutdown)",
+                spec.label(),
+                server.local_addr()
+            );
+            server.wait();
+            println!("server stopped");
         }
         Command::Check {
             golden_dir,

@@ -47,23 +47,46 @@ pub enum Command {
         health_dump: Option<String>,
     },
     /// `bench [--out FILE.json] [--epochs N] [--scenes N]
-    ///  [--eval-windows N] [--workers N] [--batch-size N] [--seed S]
+    ///  [--eval-samples N] [--workers N] [--batch-size N] [--seed S]
+    ///  [--load] [--load-clients a,b,c] [--load-requests N]
     ///  [--profile-out FILE.json] [--trace-out FILE.json]
     ///  [--telemetry-addr HOST:PORT]` — run the fixed-seed perf workloads
     /// under the op-level profiler and write an `adaptraj-bench/v1`
-    /// document (see EXPERIMENTS.md).
+    /// document (see EXPERIMENTS.md). `--load` adds the closed-loop
+    /// serving workload (in-process `adaptraj-serve`, concurrent-client
+    /// qps sweep).
     Bench {
         out: String,
         epochs: usize,
         scenes: usize,
-        eval_windows: usize,
+        eval_samples: usize,
         workers: usize,
         /// None defers to `PerfConfig::default()` (the trainer default).
         batch_size: Option<usize>,
         seed: Option<u64>,
+        load: bool,
+        load_clients: Option<Vec<usize>>,
+        load_requests: Option<usize>,
         profile_out: Option<String>,
         trace_out: Option<String>,
         telemetry_addr: Option<String>,
+    },
+    /// `serve --checkpoint FILE.atps [--addr HOST:PORT] [--workers N]
+    ///  [--accept-threads N] [--batch-window-us N] [--queue-cap N]
+    ///  [--deadline-ms N] [--backbone B] [--method M] [--sources a,b,c]`
+    /// — run the HTTP/JSON inference service (adaptraj-serve) for the
+    /// given model spec, loading parameters from the checkpoint.
+    Serve {
+        addr: String,
+        workers: usize,
+        accept_threads: usize,
+        batch_window_us: u64,
+        queue_cap: usize,
+        deadline_ms: u64,
+        checkpoint: Option<String>,
+        backbone: BackboneKind,
+        method: MethodKind,
+        sources: Vec<DomainId>,
     },
     /// `visualize --target <d> [--out DIR] [--count N]` — train a quick
     /// model and render SVG predictions.
@@ -350,26 +373,65 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             })
         }
         "bench" => {
+            let mut rest = rest.to_vec();
+            let load = take_switch(&mut rest, "load")?;
             let flags = parse_flags(
-                rest,
+                &rest,
                 &[
                     "out",
                     "epochs",
                     "scenes",
+                    "eval-samples",
                     "eval-windows",
                     "workers",
                     "batch-size",
                     "seed",
+                    "load-clients",
+                    "load-requests",
                     "profile-out",
                     "trace-out",
                     "telemetry-addr",
                 ],
             )?;
+            if flags.contains_key("eval-samples") && flags.contains_key("eval-windows") {
+                return Err(err(
+                    "--eval-samples and --eval-windows are the same knob; give only one",
+                ));
+            }
+            // `--eval-windows` is the legacy spelling; the latency loop
+            // samples windows with repetition, so "samples" is the honest
+            // name and gets the raised default (p99/p999 on 120 samples
+            // were single order statistics — see EXPERIMENTS.md).
+            let eval_samples = if flags.contains_key("eval-windows") {
+                parse_usize(&flags, "eval-windows", 480)?
+            } else {
+                parse_usize(&flags, "eval-samples", 480)?
+            };
+            let load_clients = flags
+                .get("load-clients")
+                .map(|v| {
+                    v.split(',')
+                        .map(|c| {
+                            c.parse::<usize>().map_err(|_| {
+                                err(format!("--load-clients expects integers, got '{c}'"))
+                            })
+                        })
+                        .collect::<Result<Vec<_>, _>>()
+                })
+                .transpose()?;
+            if let Some(clients) = &load_clients {
+                if clients.is_empty() || clients.contains(&0) {
+                    return Err(err("--load-clients needs positive client counts"));
+                }
+            }
+            if !load && (load_clients.is_some() || flags.contains_key("load-requests")) {
+                return Err(err("--load-clients/--load-requests require --load"));
+            }
             Ok(Command::Bench {
                 out: flags.get("out").unwrap_or(&"BENCH_local.json").to_string(),
                 epochs: parse_usize(&flags, "epochs", 4)?,
                 scenes: parse_usize(&flags, "scenes", 6)?,
-                eval_windows: parse_usize(&flags, "eval-windows", 120)?,
+                eval_samples,
                 workers: parse_usize(&flags, "workers", 1)?,
                 batch_size: flags
                     .get("batch-size")
@@ -379,9 +441,76 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     })
                     .transpose()?,
                 seed: parse_seed(&flags)?,
+                load,
+                load_clients,
+                load_requests: flags
+                    .get("load-requests")
+                    .map(|v| {
+                        v.parse().map_err(|_| {
+                            err(format!("--load-requests expects an integer, got '{v}'"))
+                        })
+                    })
+                    .transpose()?,
                 profile_out: flags.get("profile-out").map(|s| s.to_string()),
                 trace_out: flags.get("trace-out").map(|s| s.to_string()),
                 telemetry_addr: flags.get("telemetry-addr").map(|s| s.to_string()),
+            })
+        }
+        "serve" => {
+            let flags = parse_flags(
+                rest,
+                &[
+                    "addr",
+                    "workers",
+                    "accept-threads",
+                    "batch-window-us",
+                    "queue-cap",
+                    "deadline-ms",
+                    "checkpoint",
+                    "backbone",
+                    "method",
+                    "sources",
+                ],
+            )?;
+            let backbone = parse_backbone(flags.get("backbone").unwrap_or(&"pecnet"))?;
+            let method = parse_method(flags.get("method").unwrap_or(&"vanilla"))?;
+            let sources = flags
+                .get("sources")
+                .unwrap_or(&"eth_ucy,l_cas")
+                .split(',')
+                .map(parse_domain)
+                .collect::<Result<Vec<_>, _>>()?;
+            if sources.is_empty() {
+                return Err(err("--sources must name at least one domain"));
+            }
+            let batch_window_us: u64 = flags
+                .get("batch-window-us")
+                .map(|v| {
+                    v.parse().map_err(|_| {
+                        err(format!("--batch-window-us expects an integer, got '{v}'"))
+                    })
+                })
+                .transpose()?
+                .unwrap_or(2000);
+            let deadline_ms: u64 = flags
+                .get("deadline-ms")
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| err(format!("--deadline-ms expects an integer, got '{v}'")))
+                })
+                .transpose()?
+                .unwrap_or(2000);
+            Ok(Command::Serve {
+                addr: flags.get("addr").unwrap_or(&"127.0.0.1:8080").to_string(),
+                workers: parse_usize(&flags, "workers", 2)?,
+                accept_threads: parse_usize(&flags, "accept-threads", 2)?,
+                batch_window_us,
+                queue_cap: parse_usize(&flags, "queue-cap", 256)?,
+                deadline_ms,
+                checkpoint: flags.get("checkpoint").map(|s| s.to_string()),
+                backbone,
+                method,
+                sources,
             })
         }
         "visualize" => {
@@ -468,10 +597,15 @@ USAGE:
                [--health-out FILE.jsonl]
                [--health-policy <warn|skip-window|halt-and-dump>]
                [--health-dump DIR]
-  adaptraj bench [--out FILE.json] [--epochs N] [--scenes N] [--eval-windows N]
+  adaptraj bench [--out FILE.json] [--epochs N] [--scenes N] [--eval-samples N]
                  [--workers N] [--batch-size N] [--seed S]
+                 [--load] [--load-clients a,b,c] [--load-requests N]
                  [--profile-out FILE.json] [--trace-out FILE.json]
                  [--telemetry-addr HOST:PORT]
+  adaptraj serve --checkpoint FILE.atps [--addr HOST:PORT] [--workers N]
+                 [--accept-threads N] [--batch-window-us N] [--queue-cap N]
+                 [--deadline-ms N] [--backbone B] [--method M]
+                 [--sources d1,d2,...]
   adaptraj visualize --target <d> [--out DIR] [--count N]
   adaptraj check [--golden-dir DIR] [--out-dir DIR] [--metric-tol-pct N]
                  [--update-golden]
@@ -523,6 +657,27 @@ BENCH:
   PECNet-AdapTraj) under the profiler and writes an adaptraj-bench/v1 JSON
   with throughput, backward ns/node, latency percentiles, and op/phase
   breakdowns; gate two runs with scripts/bench.sh (bench_gate).
+  --eval-samples N    timed single-sample inference passes per workload
+                      (default 480; p999 is reported only when the sample
+                      count supports it; --eval-windows is the legacy
+                      spelling of the same knob)
+  --load              also run the closed-loop serving workload: an
+                      in-process adaptraj-serve instance swept over
+                      --load-clients concurrent clients (default 1,2,4,8)
+                      sending --load-requests requests each (default 64),
+                      recording per-level qps + latency percentiles and
+                      the saturation qps into the bench document
+
+SERVE:
+  serves POST /v1/predict (scene JSON in, best-of-k trajectories out),
+  GET /healthz, GET /metrics (Prometheus), POST /reload (hot checkpoint
+  swap), POST /shutdown. Requests are micro-batched: the batcher waits up
+  to --batch-window-us for concurrent requests and coalesces them into
+  one WindowBatch pass per <= 8 windows on --workers threads. Responses
+  are bit-identical to offline predict_k for the same scene + checkpoint
+  + seed. A full admission queue (--queue-cap) answers 503; requests
+  older than --deadline-ms answer 504. --backbone/--method/--sources
+  must match the spec the checkpoint was trained with.
 
 CHECK:
   re-runs the five fixed-seed golden micro-runs (adaptraj-golden/v1) and
@@ -616,10 +771,13 @@ mod tests {
                 out: "BENCH_local.json".into(),
                 epochs: 4,
                 scenes: 6,
-                eval_windows: 120,
+                eval_samples: 480,
                 workers: 1,
                 batch_size: None,
                 seed: None,
+                load: false,
+                load_clients: None,
+                load_requests: None,
                 profile_out: None,
                 trace_out: None,
                 telemetry_addr: None,
@@ -627,8 +785,9 @@ mod tests {
         );
         assert_eq!(
             parse(&args(
-                "bench --out BENCH_1.json --epochs 2 --scenes 3 --eval-windows 50 \
-                 --workers 4 --batch-size 16 --seed 9 --profile-out prof.json \
+                "bench --out BENCH_1.json --epochs 2 --scenes 3 --eval-samples 50 \
+                 --workers 4 --batch-size 16 --seed 9 --load --load-clients 1,4 \
+                 --load-requests 32 --profile-out prof.json \
                  --trace-out t.json --telemetry-addr 0.0.0.0:0"
             ))
             .unwrap(),
@@ -636,10 +795,13 @@ mod tests {
                 out: "BENCH_1.json".into(),
                 epochs: 2,
                 scenes: 3,
-                eval_windows: 50,
+                eval_samples: 50,
                 workers: 4,
                 batch_size: Some(16),
                 seed: Some(9),
+                load: true,
+                load_clients: Some(vec![1, 4]),
+                load_requests: Some(32),
                 profile_out: Some("prof.json".into()),
                 trace_out: Some("t.json".into()),
                 telemetry_addr: Some("0.0.0.0:0".into()),
@@ -648,11 +810,78 @@ mod tests {
     }
 
     #[test]
+    fn bench_eval_windows_is_a_legacy_alias() {
+        // Old invocations (e.g. pre-existing CI scripts) keep working.
+        let cmd = parse(&args("bench --eval-windows 20")).unwrap();
+        let Command::Bench { eval_samples, .. } = cmd else {
+            panic!("expected Bench, got {cmd:?}");
+        };
+        assert_eq!(eval_samples, 20);
+        // But both spellings at once is a contradiction.
+        let e = parse(&args("bench --eval-windows 20 --eval-samples 30")).unwrap_err();
+        assert!(e.0.contains("same knob"), "{e}");
+    }
+
+    #[test]
     fn bench_rejects_unknown_flags_and_bad_values() {
         let e = parse(&args("bench --target sdd")).unwrap_err();
         assert!(e.0.contains("unknown flag"), "{e}");
-        let e = parse(&args("bench --eval-windows few")).unwrap_err();
+        let e = parse(&args("bench --eval-samples few")).unwrap_err();
         assert!(e.0.contains("integer"), "{e}");
+        let e = parse(&args("bench --load-clients 1,2")).unwrap_err();
+        assert!(e.0.contains("require --load"), "{e}");
+        let e = parse(&args("bench --load --load-clients 1,0")).unwrap_err();
+        assert!(e.0.contains("positive"), "{e}");
+    }
+
+    #[test]
+    fn serve_defaults_and_full_invocation() {
+        assert_eq!(
+            parse(&args("serve")).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:8080".into(),
+                workers: 2,
+                accept_threads: 2,
+                batch_window_us: 2000,
+                queue_cap: 256,
+                deadline_ms: 2000,
+                checkpoint: None,
+                backbone: BackboneKind::PecNet,
+                method: MethodKind::Vanilla,
+                sources: vec![DomainId::EthUcy, DomainId::LCas],
+            }
+        );
+        assert_eq!(
+            parse(&args(
+                "serve --addr 0.0.0.0:9000 --workers 8 --accept-threads 4 \
+                 --batch-window-us 500 --queue-cap 32 --deadline-ms 250 \
+                 --checkpoint m.atps --backbone lbebm --method adaptraj \
+                 --sources eth_ucy,l_cas,syi"
+            ))
+            .unwrap(),
+            Command::Serve {
+                addr: "0.0.0.0:9000".into(),
+                workers: 8,
+                accept_threads: 4,
+                batch_window_us: 500,
+                queue_cap: 32,
+                deadline_ms: 250,
+                checkpoint: Some("m.atps".into()),
+                backbone: BackboneKind::Lbebm,
+                method: MethodKind::AdapTraj,
+                sources: vec![DomainId::EthUcy, DomainId::LCas, DomainId::Syi],
+            }
+        );
+    }
+
+    #[test]
+    fn serve_rejects_bad_values() {
+        let e = parse(&args("serve --batch-window-us soon")).unwrap_err();
+        assert!(e.0.contains("integer"), "{e}");
+        let e = parse(&args("serve --backbone resnet")).unwrap_err();
+        assert!(e.0.contains("unknown backbone"), "{e}");
+        let e = parse(&args("serve --epochs 3")).unwrap_err();
+        assert!(e.0.contains("unknown flag"), "{e}");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! * [`bench`] — perf workloads, bench-document comparison, table binaries
 //! * [`exec`] — the data-parallel worker-pool executor behind `--workers N`
 //! * [`check`] — gradient verification, property harness, golden regression
+//! * [`serve`] — HTTP/JSON inference service with micro-batched execution
 
 pub mod cli;
 pub mod doctor;
@@ -26,5 +27,6 @@ pub use adaptraj_eval as eval;
 pub use adaptraj_exec as exec;
 pub use adaptraj_models as models;
 pub use adaptraj_obs as obs;
+pub use adaptraj_serve as serve;
 pub use adaptraj_sim as sim;
 pub use adaptraj_tensor as tensor;

@@ -1,0 +1,394 @@
+//! Integration suite for the serving contract (`adaptraj-serve`): a
+//! served prediction for a given scene + checkpoint + seed is
+//! bit-identical to the offline eval path no matter how many other
+//! requests were coalesced into the same micro-batch; coalescing
+//! respects `MAX_WINDOWS_PER_JOB`; admission control answers a
+//! structured 503; and a checkpoint hot-reload never serves a torn
+//! model.
+//!
+//! Every test starts its own server on an ephemeral port, so tests are
+//! independent (the metrics registry is process-global but only ever
+//! incremented, which no assertion here depends on).
+
+use adaptraj::data::batch::MAX_WINDOWS_PER_JOB;
+use adaptraj::data::dataset::{synthesize_domain, SynthesisConfig};
+use adaptraj::data::domain::DomainId;
+use adaptraj::data::trajectory::{Point, TrajWindow};
+use adaptraj::eval::{build_predictor, BackboneKind, CellSpec, MethodKind, RunnerConfig};
+use adaptraj::models::Predictor;
+use adaptraj::obs::json::Value;
+use adaptraj::serve::codec;
+use adaptraj::serve::{PredictServer, ServeConfig};
+use adaptraj::tensor::serialize::{load_params_from_file, save_params_to_file};
+use adaptraj::tensor::Rng;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+
+fn spec() -> CellSpec {
+    CellSpec {
+        backbone: BackboneKind::PecNet,
+        method: MethodKind::Vanilla,
+        sources: vec![DomainId::EthUcy, DomainId::LCas],
+        target: DomainId::Sdd,
+    }
+}
+
+/// Deterministic predictor for a given init seed. No training: the
+/// seeded init is deterministic, which is all bit-identity needs, and
+/// it keeps the suite fast.
+fn predictor_with_seed(seed: u64) -> Box<dyn Predictor> {
+    let mut cfg = RunnerConfig::smoke();
+    cfg.trainer.seed = seed;
+    build_predictor(&spec(), &cfg)
+}
+
+/// Mixed-domain probe scenes pulled from two synthesized test splits.
+fn mixed_scenes() -> Vec<TrajWindow> {
+    let synth = SynthesisConfig {
+        scenes: 3,
+        ..SynthesisConfig::smoke()
+    };
+    let mut scenes: Vec<TrajWindow> = Vec::new();
+    for d in [DomainId::EthUcy, DomainId::Sdd] {
+        scenes.extend(synthesize_domain(d, &synth).test.into_iter().take(6));
+    }
+    assert!(scenes.len() >= 8, "need at least 8 probe scenes");
+    scenes
+}
+
+fn http_post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect serve endpoint");
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read response");
+    let status: u16 = out
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {out:.120}"));
+    let body = out.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    (status, body)
+}
+
+/// Exact f32 bit patterns of a mode set — the comparison currency for
+/// the whole suite. Two prediction sets are "identical" only here.
+fn bits(modes: &[Vec<Point>]) -> Vec<u32> {
+    modes
+        .iter()
+        .flat_map(|m| m.iter().flat_map(|p| [p[0].to_bits(), p[1].to_bits()]))
+        .collect()
+}
+
+/// The serving contract: responses under concurrent mixed-domain load
+/// are bit-identical to the offline `predict_k` path, per request,
+/// regardless of micro-batch composition.
+#[test]
+fn served_predictions_are_bit_identical_under_concurrent_load() {
+    let scenes = Arc::new(mixed_scenes());
+    let server = PredictServer::start(
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            batch_window_us: 2000,
+            queue_cap: 128,
+            ..ServeConfig::default()
+        },
+        predictor_with_seed(41),
+        None,
+        None,
+    )
+    .expect("server start");
+    let addr = server.local_addr();
+
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 6;
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            let scenes = Arc::clone(&scenes);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut got = Vec::new();
+                for i in 0..PER_CLIENT {
+                    let scene_idx = (t * PER_CLIENT + i) % scenes.len();
+                    let seed = 1000 + (t * 100 + i) as u64;
+                    let k = 1 + i % 3;
+                    let body = codec::encode_request(&scenes[scene_idx], seed, k);
+                    let (status, resp) = http_post(addr, "/v1/predict", &body);
+                    assert_eq!(status, 200, "client {t} req {i}: {resp:.200}");
+                    let modes = codec::decode_response_modes(&resp).expect("response modes");
+                    assert_eq!(modes.len(), k, "client {t} req {i} mode count");
+                    got.push((scene_idx, seed, k, bits(&modes)));
+                }
+                got
+            })
+        })
+        .collect();
+    let responses: Vec<_> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    server.stop();
+
+    // Offline reference: an identically-constructed predictor, one
+    // fresh rng stream per request — the single-window eval path.
+    let reference = predictor_with_seed(41);
+    for (scene_idx, seed, k, served) in responses {
+        let mut rng = Rng::seed_from(seed);
+        let expected = reference.predict_k(&scenes[scene_idx], k, &mut rng);
+        assert_eq!(
+            served,
+            bits(&expected),
+            "scene {scene_idx} seed {seed} k {k}: served bits != offline bits"
+        );
+    }
+}
+
+fn batch_windows_of(resp: &str) -> u64 {
+    Value::parse(resp)
+        .expect("response json")
+        .get("batch_windows")
+        .and_then(|v| v.as_u64())
+        .expect("batch_windows field")
+}
+
+/// Coalescing behavior: an isolated request executes alone (B = 1); a
+/// synchronized burst coalesces, and no job ever exceeds
+/// `MAX_WINDOWS_PER_JOB`.
+#[test]
+fn lone_requests_run_alone_and_bursts_coalesce_within_the_job_cap() {
+    let scenes = Arc::new(mixed_scenes());
+    let server = PredictServer::start(
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            // Generous window so a whole burst lands inside it even on a
+            // loaded CI box.
+            batch_window_us: 50_000,
+            queue_cap: 64,
+            ..ServeConfig::default()
+        },
+        predictor_with_seed(42),
+        None,
+        None,
+    )
+    .expect("server start");
+    let addr = server.local_addr();
+
+    let body = codec::encode_request(&scenes[0], 7, 1);
+    let (status, resp) = http_post(addr, "/v1/predict", &body);
+    assert_eq!(status, 200, "{resp:.200}");
+    assert_eq!(batch_windows_of(&resp), 1, "lone request was batched");
+
+    const BURST: usize = 8;
+    let barrier = Arc::new(Barrier::new(BURST));
+    let handles: Vec<_> = (0..BURST)
+        .map(|t| {
+            let scenes = Arc::clone(&scenes);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let body = codec::encode_request(&scenes[t % scenes.len()], 100 + t as u64, 1);
+                barrier.wait();
+                let (status, resp) = http_post(addr, "/v1/predict", &body);
+                assert_eq!(status, 200, "{resp:.200}");
+                batch_windows_of(&resp)
+            })
+        })
+        .collect();
+    let sizes: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    server.stop();
+
+    assert!(
+        sizes
+            .iter()
+            .all(|&b| b >= 1 && b <= MAX_WINDOWS_PER_JOB as u64),
+        "job size out of bounds: {sizes:?}"
+    );
+    assert!(
+        sizes.iter().any(|&b| b > 1),
+        "a synchronized burst of {BURST} never coalesced: {sizes:?}"
+    );
+}
+
+/// Admission control: once the bounded queue is full, further requests
+/// get an immediate structured 503 while the admitted ones complete.
+#[test]
+fn queue_saturation_returns_a_structured_503() {
+    let scenes = Arc::new(mixed_scenes());
+    let server = PredictServer::start(
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            // Long coalescing window: admitted requests sit in the queue
+            // for 200 ms, guaranteeing later arrivals see it full.
+            batch_window_us: 200_000,
+            queue_cap: 2,
+            deadline_ms: 5000,
+            ..ServeConfig::default()
+        },
+        predictor_with_seed(43),
+        None,
+        None,
+    )
+    .expect("server start");
+    let addr = server.local_addr();
+
+    const CLIENTS: usize = 10;
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            let scenes = Arc::clone(&scenes);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let body = codec::encode_request(&scenes[t % scenes.len()], t as u64, 1);
+                barrier.wait();
+                http_post(addr, "/v1/predict", &body)
+            })
+        })
+        .collect();
+    let responses: Vec<(u16, String)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    server.stop();
+
+    let ok = responses.iter().filter(|(s, _)| *s == 200).count();
+    let rejected: Vec<&String> = responses
+        .iter()
+        .filter(|(s, _)| *s == 503)
+        .map(|(_, b)| b)
+        .collect();
+    assert!(ok >= 1, "no request was admitted");
+    assert!(
+        !rejected.is_empty(),
+        "queue_cap=2 with {CLIENTS} concurrent clients produced no 503"
+    );
+    assert_eq!(ok + rejected.len(), CLIENTS, "unexpected status mix");
+    for body in rejected {
+        let v = Value::parse(body).expect("503 body is JSON");
+        let code = v
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(|c| c.as_str())
+            .map(str::to_string);
+        assert_eq!(code.as_deref(), Some("overloaded"), "{body}");
+    }
+}
+
+/// Hot reload: while clients hammer the same scene + seed and the main
+/// thread flips between two checkpoints, every single response matches
+/// one checkpoint's predictions exactly — never a blend of both.
+#[test]
+fn hot_reload_never_serves_a_torn_model() {
+    let dir = std::env::temp_dir();
+    let ckpt_a = dir.join(format!("adaptraj_serve_a_{}.atps", std::process::id()));
+    let ckpt_b = dir.join(format!("adaptraj_serve_b_{}.atps", std::process::id()));
+    save_params_to_file(predictor_with_seed(7).store(), &ckpt_a).expect("write ckpt A");
+    save_params_to_file(predictor_with_seed(8).store(), &ckpt_b).expect("write ckpt B");
+
+    let scene = Arc::new(mixed_scenes().remove(0));
+    const SEED: u64 = 555;
+    const K: usize = 2;
+
+    // Offline expectations for both checkpoints, via the eval path.
+    let expected = |path: &std::path::Path| -> Vec<u32> {
+        let mut p = predictor_with_seed(999); // seed irrelevant: overwritten by load
+        load_params_from_file(p.store_mut(), path).expect("load ckpt");
+        bits(&p.predict_k(&scene, K, &mut Rng::seed_from(SEED)))
+    };
+    let bits_a = expected(&ckpt_a);
+    let bits_b = expected(&ckpt_b);
+    assert_ne!(bits_a, bits_b, "checkpoints are indistinguishable");
+
+    let mut initial = predictor_with_seed(999);
+    load_params_from_file(initial.store_mut(), &ckpt_a).expect("load initial");
+    let loader: adaptraj::serve::Loader = Box::new(move |path: &str| {
+        let mut p = predictor_with_seed(999);
+        load_params_from_file(p.store_mut(), path).map_err(|e| format!("{e:?}"))?;
+        Ok(p)
+    });
+    let server = PredictServer::start(
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            batch_window_us: 1000,
+            queue_cap: 64,
+            ..ServeConfig::default()
+        },
+        initial,
+        Some(ckpt_a.to_string_lossy().into_owned()),
+        Some(loader),
+    )
+    .expect("server start");
+    let addr = server.local_addr();
+
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 20;
+    let stop_flag = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let scene = Arc::clone(&scene);
+            std::thread::spawn(move || {
+                let body = codec::encode_request(&scene, SEED, K);
+                let mut got = Vec::new();
+                for _ in 0..PER_CLIENT {
+                    let (status, resp) = http_post(addr, "/v1/predict", &body);
+                    assert_eq!(status, 200, "{resp:.200}");
+                    got.push(bits(
+                        &codec::decode_response_modes(&resp).expect("response modes"),
+                    ));
+                }
+                got
+            })
+        })
+        .collect();
+
+    // Flip checkpoints while the clients run.
+    let reloader = {
+        let stop_flag = Arc::clone(&stop_flag);
+        let (a, b) = (
+            ckpt_a.to_string_lossy().into_owned(),
+            ckpt_b.to_string_lossy().into_owned(),
+        );
+        std::thread::spawn(move || {
+            let mut flips = 0u64;
+            while !stop_flag.load(std::sync::atomic::Ordering::Relaxed) {
+                let target = if flips.is_multiple_of(2) { &b } else { &a };
+                let (status, resp) =
+                    http_post(addr, "/reload", &format!("{{\"checkpoint\":\"{target}\"}}"));
+                assert_eq!(status, 200, "reload failed: {resp:.200}");
+                flips += 1;
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            flips
+        })
+    };
+
+    let responses: Vec<Vec<u32>> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    stop_flag.store(true, std::sync::atomic::Ordering::Relaxed);
+    let flips = reloader.join().expect("reloader thread");
+    let final_version = server.model_version();
+    server.stop();
+    std::fs::remove_file(&ckpt_a).ok();
+    std::fs::remove_file(&ckpt_b).ok();
+
+    assert!(flips >= 2, "reloader never exercised a flip");
+    assert_eq!(final_version, 1 + flips, "each reload bumps the version");
+    for (i, got) in responses.iter().enumerate() {
+        assert!(
+            *got == bits_a || *got == bits_b,
+            "response {i} matches neither checkpoint — torn model \
+             ({} responses total, {} flips)",
+            responses.len(),
+            flips
+        );
+    }
+}
