@@ -18,18 +18,25 @@
 //! where either document lacks the counter are skipped; timing noise
 //! cannot rescue a graph that did not actually shrink.
 //!
+//! `--load-only` restricts the diff to the serving load section
+//! (`saturation_qps` and the load latency quantiles), ignoring the
+//! training workloads entirely — the mode for gating a serving-perf
+//! document against a baseline whose training config is not comparable.
+//!
 //! `--check` validates and reports but never fails on threshold misses
 //! (schema/parse errors still fail) — the CI smoke mode, where absolute
 //! timings on shared runners are too noisy to gate on.
 
-use adaptraj_bench::compare::{compare, improvement, parse_doc, tape_nodes_ratio};
+use adaptraj_bench::compare::{
+    compare, compare_load_only, improvement, parse_doc, tape_nodes_ratio,
+};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_gate --baseline FILE --candidate FILE \
          [--max-regress-pct N | --min-improve-pct N] \
-         [--max-tape-nodes-ratio R] [--check]"
+         [--max-tape-nodes-ratio R] [--load-only] [--check]"
     );
     std::process::exit(2);
 }
@@ -46,6 +53,7 @@ fn main() -> ExitCode {
     let mut max_regress_pct = 25.0f64;
     let mut min_improve_pct: Option<f64> = None;
     let mut max_tape_nodes_ratio: Option<f64> = None;
+    let mut load_only = false;
     let mut check_only = false;
     let mut i = 0;
     while i < args.len() {
@@ -79,6 +87,10 @@ fn main() -> ExitCode {
                 max_tape_nodes_ratio = Some(v);
                 i += 2;
             }
+            "--load-only" => {
+                load_only = true;
+                i += 1;
+            }
             "--check" => {
                 check_only = true;
                 i += 1;
@@ -93,6 +105,10 @@ fn main() -> ExitCode {
     let (Some(baseline), Some(candidate)) = (baseline, candidate) else {
         usage();
     };
+    if load_only && min_improve_pct.is_some() {
+        eprintln!("--load-only is a regression gate; it cannot combine with --min-improve-pct");
+        usage();
+    }
 
     let base = match load(&baseline) {
         Ok(d) => d,
@@ -157,7 +173,11 @@ fn main() -> ExitCode {
         };
     }
 
-    let cmp = compare(&base, &cand, max_regress_pct);
+    let cmp = if load_only {
+        compare_load_only(&base, &cand, max_regress_pct)
+    } else {
+        compare(&base, &cand, max_regress_pct)
+    };
     print!("{}", cmp.render_text());
     if cmp.ok() && !tape_fail {
         println!("bench_gate: OK (threshold {max_regress_pct}%)");

@@ -307,6 +307,54 @@ pub fn compare(baseline: &BenchDoc, candidate: &BenchDoc, max_regress_pct: f64) 
     }
 }
 
+/// Gates **only** the serving `load` section, ignoring the training
+/// workloads entirely. The use case (PR 10): pin `saturation_qps` and the
+/// load latency percentiles against a serving baseline (BENCH_4) whose
+/// *training* config differs from the training gate's baseline (BENCH_3
+/// ran workers 1; the load baseline ran workers 2), so a whole-document
+/// compare would mix incomparable numbers. A baseline without a `load`
+/// section is reported as missing — this gate exists to compare serving
+/// documents, so silently passing on one would be a misconfiguration.
+pub fn compare_load_only(
+    baseline: &BenchDoc,
+    candidate: &BenchDoc,
+    max_regress_pct: f64,
+) -> Comparison {
+    let mut diffs = Vec::new();
+    let mut missing = Vec::new();
+    match (&baseline.load, &candidate.load) {
+        (None, _) => missing.push("serve (baseline has no load section)".into()),
+        (Some(_), None) => missing.push("serve (load section)".into()),
+        (Some(base_l), Some(cand_l)) => {
+            for (metric, lower_is_better) in LOAD_METRICS {
+                let b = load_metric_value(base_l, metric);
+                let c = load_metric_value(cand_l, metric);
+                if !(b.is_finite() && c.is_finite()) || b <= 0.0 || c <= 0.0 {
+                    continue;
+                }
+                let regress_pct = if lower_is_better {
+                    (c - b) / b * 100.0
+                } else {
+                    (b - c) / b * 100.0
+                };
+                diffs.push(MetricDiff {
+                    workload: "serve".into(),
+                    metric,
+                    baseline: b,
+                    candidate: c,
+                    regress_pct,
+                    regressed: regress_pct > max_regress_pct,
+                });
+            }
+        }
+    }
+    Comparison {
+        diffs,
+        missing,
+        max_regress_pct,
+    }
+}
+
 /// Latency tolerance for the improvement gate: `infer_p50_ms` may drift
 /// up to this much before the workload counts as "worse". The guard
 /// uses the median, not p99: p99 on a 120-window run is a single order
@@ -859,5 +907,26 @@ mod tests {
         let cmp = compare(&base, &dropped, 10.0);
         assert!(!cmp.ok());
         assert_eq!(cmp.missing, vec!["serve (load section)".to_string()]);
+    }
+
+    #[test]
+    fn load_only_compare_ignores_training_workloads() {
+        // Training throughput cratered, but the load-only gate must not
+        // care — it exists precisely because the training configs of the
+        // two documents are not comparable.
+        let base = load_doc(800.0, 2.0);
+        let mut cand = load_doc(810.0, 2.1);
+        cand.workloads[0].windows_per_sec = 1.0;
+        let cmp = compare_load_only(&base, &cand, 10.0);
+        assert!(cmp.ok(), "{:?}", cmp.regressions());
+        assert!(cmp.diffs.iter().all(|d| d.workload == "serve"));
+        // Serving regressions still fail.
+        assert!(!compare_load_only(&base, &load_doc(400.0, 2.0), 10.0).ok());
+        // A candidate that dropped the section fails; so does gating
+        // against a baseline that never had one.
+        let mut dropped = cand.clone();
+        dropped.load = None;
+        assert!(!compare_load_only(&base, &dropped, 10.0).ok());
+        assert!(!compare_load_only(&dropped, &base, 10.0).ok());
     }
 }

@@ -1,0 +1,153 @@
+//! Finite-difference evidence for the opt-in FMA kernel
+//! (`ADAPTRAJ_KERNEL=fma`).
+//!
+//! The FMA variant fuses each mul+add into one correctly-rounded
+//! `vfmadd`, so its results differ from the scalar/SIMD contract at ulp
+//! level — it is excluded from the golden gate and must instead ship with
+//! gradient-check evidence: the analytic gradients computed *under FMA
+//! kernels* must match central finite differences computed *under FMA
+//! kernels*, i.e. the fused rounding is a consistent arithmetic, not a
+//! correctness bug.
+//!
+//! This file force-sets the process-wide kernel dispatch, which would race
+//! with bit-identity assertions elsewhere — so it lives in its own
+//! integration-test binary (one process per test file) and every test
+//! here tolerates FMA rounding. `set_active_kernel` falls back to scalar
+//! on non-FMA hosts, where these checks still pass (they then just
+//! duplicate the scalar evidence).
+
+use adaptraj_check::gradcheck::{grad_check, GradCheckConfig};
+use adaptraj_data::domain::DomainId;
+use adaptraj_data::trajectory::{Point, TrajWindow, T_OBS, T_TOTAL};
+use adaptraj_data::WindowBatch;
+use adaptraj_models::{Backbone, BackboneConfig, ForwardCtx, PecNet};
+use adaptraj_tensor::kernels::{self, Kernel};
+use adaptraj_tensor::nn::{Activation, Mlp};
+use adaptraj_tensor::{GroupId, ParamId, ParamStore, Rng, Tape, Tensor};
+
+fn force_fma() {
+    kernels::set_active_kernel(Kernel::Fma);
+    if kernels::active_kernel() != Kernel::Fma {
+        eprintln!("FMA unavailable on this host; checking the fallback kernel instead");
+    }
+}
+
+fn model_cfg() -> GradCheckConfig {
+    GradCheckConfig {
+        eps: 2e-3,
+        tol: 2e-2,
+        max_per_param: 4,
+    }
+}
+
+fn jitter(store: &mut ParamStore, seed: u64) {
+    let mut rng = Rng::seed_from(seed);
+    let ids: Vec<ParamId> = store.ids().collect();
+    for id in ids {
+        for v in store.value_mut(id).data_mut() {
+            *v += rng.uniform(-0.08, 0.08);
+        }
+    }
+}
+
+#[test]
+fn mlp_loss_gradients_match_fd_under_fma() {
+    force_fma();
+    let mut store = ParamStore::new();
+    let mut rng = Rng::seed_from(21);
+    let mlp = Mlp::new(
+        &mut store,
+        &mut rng,
+        "fma_probe",
+        &[6, 24, 24, 2],
+        Activation::Tanh,
+        GroupId::DEFAULT,
+    );
+    jitter(&mut store, 22);
+    let x = Tensor::randn(5, 6, 0.0, 1.0, &mut rng);
+    let y = Tensor::randn(5, 2, 0.0, 0.5, &mut rng);
+    grad_check(
+        &mut store,
+        |s| {
+            let mut tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let pred = mlp.forward(s, &mut tape, xv);
+            let loss = tape.mse_to(pred, &y);
+            let v = tape.value(loss).item() as f64;
+            let g = tape.backward(loss);
+            (v, tape.param_grads(&g))
+        },
+        &model_cfg(),
+    )
+    .assert_ok("mlp loss under fma kernels");
+}
+
+#[test]
+fn pecnet_training_loss_gradients_match_fd_under_fma() {
+    force_fma();
+    // The same end-to-end check `model_grads.rs` runs for the default
+    // kernels: PECNet's train path is detach-clean, so every parameter
+    // must pass with the fused-rounding GEMMs underneath the whole
+    // forward/backward (LSTM gates, heads, pooling).
+    let mut store = ParamStore::new();
+    let mut rng = Rng::seed_from(11);
+    let model = PecNet::new(
+        &mut store,
+        &mut rng,
+        BackboneConfig {
+            embed_dim: 4,
+            hidden_dim: 6,
+            inter_dim: 6,
+            dec_hidden: 6,
+            z_dim: 3,
+            ..BackboneConfig::default()
+        },
+    );
+    jitter(&mut store, 91);
+    let focal: Vec<Point> = (0..T_TOTAL)
+        .map(|t| [0.3 * t as f32, 0.1 * (t as f32).sin()])
+        .collect();
+    let nb: Vec<Point> = (0..T_OBS)
+        .map(|t| [1.0 + 0.24 * t as f32, 0.5 - 0.05 * t as f32])
+        .collect();
+    let w = TrajWindow::from_world(&focal, &[nb], DomainId::EthUcy);
+    grad_check(
+        &mut store,
+        |s| {
+            let mut tape = Tape::new();
+            let mut wrng = Rng::seed_from(501);
+            let batch = WindowBatch::single(&w, 0);
+            let mut ctx = ForwardCtx::train(s, &mut tape, std::slice::from_mut(&mut wrng));
+            let (_, loss) = model.train_forward(&mut ctx, &batch, None);
+            let v = tape.value(loss).item() as f64;
+            let g = tape.backward(loss);
+            (v, tape.param_grads(&g))
+        },
+        &model_cfg(),
+    )
+    .assert_ok("pecnet training loss under fma kernels");
+}
+
+#[test]
+fn fma_forward_stays_within_rounding_of_scalar() {
+    if !kernels::fma_available() {
+        eprintln!("skipping: FMA unavailable on this host");
+        return;
+    }
+    // Not bit-identical (that's the point of the opt-in), but the drift
+    // must be rounding-scale, not structural.
+    let mut rng = Rng::seed_from(33);
+    let a = Tensor::randn(16, 80, 0.0, 1.0, &mut rng);
+    let b = Tensor::randn(80, 128, 0.0, 1.0, &mut rng);
+    let scalar = a.matmul_with(&b, Kernel::Scalar);
+    let fma = a.matmul_with(&b, Kernel::Fma);
+    let mut max_rel = 0.0f32;
+    for (s, f) in scalar.data().iter().zip(fma.data()) {
+        max_rel = max_rel.max((s - f).abs() / s.abs().max(1.0));
+    }
+    assert!(max_rel < 1e-5, "fma drift beyond rounding scale: {max_rel}");
+    assert!(
+        scalar.data() != fma.data() || max_rel == 0.0,
+        "sanity: fused rounding usually differs somewhere on an 80-term dot"
+    );
+}

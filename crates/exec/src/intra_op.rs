@@ -1,0 +1,179 @@
+//! Intra-op parallelism: row-splitting large GEMMs across scoped threads.
+//!
+//! The tensor crate exposes a hook ([`adaptraj_tensor::kernels::set_parallel_rows`])
+//! that its GEMM entry points call for sufficiently large products. This
+//! module provides the one implementation the workspace uses: partition
+//! the output rows into contiguous chunks and run them on freshly spawned
+//! `std::thread::scope` helpers, with the calling thread taking the first
+//! chunk.
+//!
+//! # Why scoped threads and not the [`crate::WorkerPool`]
+//!
+//! Intra-op splits happen *inside* window jobs that are themselves running
+//! on pool workers. Routing the sub-work through the pool's shared job
+//! queue would let a worker block waiting on sub-jobs that are queued
+//! behind other window jobs — a classic nested-dependency deadlock once
+//! every worker is blocked the same way. Fresh scoped threads have no
+//! shared queue and no slot limit, so a window job → intra-op split nest
+//! is deadlock-free *by construction* (pinned by
+//! `nested_pool_and_intra_op_split_does_not_deadlock` in
+//! `tests/determinism.rs`). The spawn cost (tens of µs per helper) is why
+//! the tensor-side flop threshold
+//! ([`adaptraj_tensor::kernels::split_min_flops`]) exists: the hook only
+//! fires where the kernel runs long enough to amortize it.
+//!
+//! # Determinism
+//!
+//! Row partitioning never changes what a thread computes, only *who*
+//! computes it: each output element is still produced start-to-finish by
+//! exactly one thread with the exact accumulation order of the unsplit
+//! kernel. Results are therefore bit-identical for every thread count,
+//! and the goldens/determinism suites run with splitting force-enabled to
+//! pin that.
+
+use adaptraj_tensor::kernels;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+static INSTALLED_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Installs the scoped-thread row splitter with `threads` total lanes
+/// (including the calling thread). `threads <= 1` removes the hook and
+/// restores single-threaded kernels. Returns the previous lane count.
+///
+/// Process-global, like the kernel dispatch itself: call it once at
+/// startup (the CLI does, via [`install_from_env`]).
+pub fn install(threads: usize) -> usize {
+    let prev = INSTALLED_THREADS.swap(threads.max(1), Ordering::Relaxed);
+    if threads <= 1 {
+        kernels::set_parallel_rows(None);
+        return prev;
+    }
+    kernels::set_parallel_rows(Some(Arc::new(
+        move |rows: usize, body: &(dyn Fn(usize, usize) + Sync)| {
+            split_rows(threads, rows, body);
+        },
+    )));
+    prev
+}
+
+/// Runs `body` over `[0, rows)` in up to `threads` contiguous chunks:
+/// helpers take chunks 1.., the caller runs chunk 0 while they work.
+fn split_rows(threads: usize, rows: usize, body: &(dyn Fn(usize, usize) + Sync)) {
+    let lanes = threads.min(rows);
+    if lanes <= 1 {
+        body(0, rows);
+        return;
+    }
+    let chunk = rows.div_ceil(lanes);
+    std::thread::scope(|s| {
+        for lane in 1..lanes {
+            let start = lane * chunk;
+            let end = ((lane + 1) * chunk).min(rows);
+            if start < end {
+                s.spawn(move || body(start, end));
+            }
+        }
+        body(0, chunk.min(rows));
+    });
+}
+
+/// Reads `ADAPTRAJ_INTRA_OP_THREADS` (default: 1 = off) and installs the
+/// splitter accordingly. Returns the lane count now in effect.
+///
+/// Default-off is deliberate on two grounds: the outer per-window pool is
+/// the primary parallelism axis (oversubscribing it with intra-op helpers
+/// degrades both), and single-threaded kernels keep the `--workers 1`
+/// baseline structurally sequential. Turn it on for few-window/large-GEMM
+/// regimes (big serving batches, attention backbones).
+pub fn install_from_env() -> usize {
+    let threads = std::env::var("ADAPTRAJ_INTRA_OP_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(1);
+    install(threads);
+    threads.max(1)
+}
+
+/// The lane count most recently installed (1 when the hook is off) —
+/// recorded in the bench JSON config.
+pub fn installed_threads() -> usize {
+    INSTALLED_THREADS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The hook is process-global; tests that install/remove it serialize.
+    static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn split_rows_covers_exactly_once_in_any_partition() {
+        for (threads, rows) in [(2, 10), (3, 7), (4, 4), (8, 3), (5, 1), (2, 0), (3, 100)] {
+            let hits: Vec<AtomicUsize> = (0..rows).map(|_| AtomicUsize::new(0)).collect();
+            split_rows(threads, rows, &|start, end| {
+                for h in &hits[start..end] {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(
+                    h.load(Ordering::Relaxed),
+                    1,
+                    "row {i} (threads={threads}, rows={rows})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn install_and_remove_round_trip() {
+        let _guard = HOOK_LOCK.lock().unwrap();
+        install(3);
+        assert_eq!(installed_threads(), 3);
+        assert!(kernels::parallel_rows_installed());
+        install(1);
+        assert_eq!(installed_threads(), 1);
+        assert!(!kernels::parallel_rows_installed());
+    }
+
+    #[test]
+    fn split_matmul_is_bitwise_identical_for_any_lane_count() {
+        let _guard = HOOK_LOCK.lock().unwrap();
+        use adaptraj_tensor::{rng::Rng, Tensor};
+        let mut rng = Rng::seed_from(42);
+        let a = Tensor::randn(33, 64, 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(64, 96, 0.0, 1.0, &mut rng);
+        let reference = a.matmul(&b);
+        let prev_min = kernels::split_min_flops();
+        kernels::set_split_min_flops(0);
+        for lanes in [2, 3, 8] {
+            install(lanes);
+            let split = a.matmul(&b);
+            assert_eq!(
+                reference
+                    .data()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                split.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "lanes={lanes}"
+            );
+        }
+        install(1);
+        kernels::set_split_min_flops(prev_min);
+    }
+
+    #[test]
+    fn env_install_defaults_to_off() {
+        let _guard = HOOK_LOCK.lock().unwrap();
+        // The test runner environment does not set the variable; the
+        // default must leave kernels single-threaded.
+        if std::env::var("ADAPTRAJ_INTRA_OP_THREADS").is_err() {
+            assert_eq!(install_from_env(), 1);
+            assert!(!kernels::parallel_rows_installed());
+        }
+    }
+}

@@ -52,6 +52,7 @@
 //! }
 //! ```
 
+pub mod kernels;
 pub mod nn;
 pub mod optim;
 pub mod param;
@@ -61,6 +62,7 @@ pub mod serialize;
 pub mod tape;
 pub mod tensor;
 
+pub use kernels::Kernel;
 pub use param::{GradBuffer, GroupId, ParamId, ParamStore};
 pub use pool::{BufferPool, PoolStats};
 pub use rng::Rng;

@@ -841,31 +841,41 @@ impl Tape {
         let xh = Tensor::concat_cols(&[xv, hv]);
         let mut gates = xh.matmul(wv);
         xh.recycle();
+        // Cell candidate gate is tanh; i/f/o are sigmoid. Per-element math
+        // and element order match the obvious single branchy loop exactly —
+        // the segments exist so the hot loops carry no per-element branch
+        // or bounds arithmetic (the transcendental calls themselves are the
+        // scalar libm ones the goldens pin).
         let bias = bv.data();
         for row in gates.data_mut().chunks_exact_mut(4 * hid) {
-            for (j, (o, &bj)) in row.iter_mut().zip(bias).enumerate() {
-                let v = *o + bj;
-                // Cell candidate gate is tanh; i/f/o are sigmoid.
-                *o = if (2 * hid..3 * hid).contains(&j) {
-                    v.tanh()
-                } else {
-                    1.0 / (1.0 + (-v).exp())
-                };
+            for (o, &bj) in row[..2 * hid].iter_mut().zip(&bias[..2 * hid]) {
+                *o = 1.0 / (1.0 + (-(*o + bj)).exp());
+            }
+            for (o, &bj) in row[2 * hid..3 * hid]
+                .iter_mut()
+                .zip(&bias[2 * hid..3 * hid])
+            {
+                *o = (*o + bj).tanh();
+            }
+            for (o, &bj) in row[3 * hid..].iter_mut().zip(&bias[3 * hid..]) {
+                *o = 1.0 / (1.0 + (-(*o + bj)).exp());
             }
         }
 
         let mut c_act = Tensor::zeros(n, hid);
         let mut value = Tensor::zeros(n, 2 * hid);
         for r in 0..n {
-            let grow = gates.row_slice(r);
+            let (gi, rest) = gates.row_slice(r).split_at(hid);
+            let (gf, rest) = rest.split_at(hid);
+            let (gg, go) = rest.split_at(hid);
             let cprev = cv.row_slice(r);
             let carow = c_act.row_slice_mut(r);
+            let (vh, vc) = value.row_slice_mut(r).split_at_mut(hid);
             for j in 0..hid {
-                let cn = grow[hid + j] * cprev[j] + grow[j] * grow[2 * hid + j];
+                let cn = gf[j] * cprev[j] + gi[j] * gg[j];
                 carow[j] = cn.tanh();
-                let vrow = &mut value.row_slice_mut(r)[..];
-                vrow[j] = grow[3 * hid + j] * carow[j];
-                vrow[hid + j] = cn;
+                vh[j] = go[j] * carow[j];
+                vc[j] = cn;
             }
         }
 
@@ -1140,29 +1150,33 @@ impl Tape {
                 let mut dpre = Tensor::zeros(n, 4 * hid);
                 let mut dc_prev = Tensor::zeros(n, hid);
                 for r in 0..n {
-                    let grow = gates.row_slice(r);
+                    let (gi, rest) = gates.row_slice(r).split_at(hid);
+                    let (gf, rest) = rest.split_at(hid);
+                    let (gg, go) = rest.split_at(hid);
                     let carow = c_act.row_slice(r);
                     let cprev = cv.row_slice(r);
-                    let gr = g.row_slice(r);
-                    let dprow = dpre.row_slice_mut(r);
+                    let (grh, grc) = g.row_slice(r).split_at(hid);
+                    let (dpi, rest) = dpre.row_slice_mut(r).split_at_mut(hid);
+                    let (dpf, rest) = rest.split_at_mut(hid);
+                    let (dpg, dpo) = rest.split_at_mut(hid);
+                    let dcp = dc_prev.row_slice_mut(r);
                     for j in 0..hid {
-                        let (i_, f_, g_, o_) =
-                            (grow[j], grow[hid + j], grow[2 * hid + j], grow[3 * hid + j]);
+                        let (i_, f_, g_, o_) = (gi[j], gf[j], gg[j], go[j]);
                         let ca = carow[j];
-                        let (dh, dc_in) = (gr[j], gr[hid + j]);
+                        let (dh, dc_in) = (grh[j], grc[j]);
                         let do_ = dh * ca;
                         let dca = dh * o_;
                         // dc' = downstream dc + tanh backward, in the same
                         // accumulation order as the unfused graph.
                         let dc = dc_in + dca * (1.0 - ca * ca);
-                        dc_prev.row_slice_mut(r)[j] = dc * f_;
+                        dcp[j] = dc * f_;
                         let df = dc * cprev[j];
                         let di = dc * g_;
                         let dg = dc * i_;
-                        dprow[j] = di * (i_ * (1.0 - i_));
-                        dprow[hid + j] = df * (f_ * (1.0 - f_));
-                        dprow[2 * hid + j] = dg * (1.0 - g_ * g_);
-                        dprow[3 * hid + j] = do_ * (o_ * (1.0 - o_));
+                        dpi[j] = di * (i_ * (1.0 - i_));
+                        dpf[j] = df * (f_ * (1.0 - f_));
+                        dpg[j] = dg * (1.0 - g_ * g_);
+                        dpo[j] = do_ * (o_ * (1.0 - o_));
                     }
                 }
                 self.add_grad(grads, *b, dpre.sum_rows());

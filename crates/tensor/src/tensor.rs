@@ -18,6 +18,7 @@
 //! copies first — which preserves the old snapshot-at-`param()` semantics
 //! exactly: nodes already on a tape never observe later optimizer updates.
 
+use crate::kernels::{self, Kernel};
 use crate::pool;
 use crate::rng::Rng;
 use std::fmt;
@@ -303,35 +304,37 @@ impl Tensor {
 
     /// Matrix product `self[n,k] * other[k,m] -> [n,m]`.
     ///
-    /// Classic ikj loop order so the inner loop streams both the output row
-    /// and the `other` row sequentially. Each output element accumulates
-    /// its k-terms in ascending order, skipping terms whose `self` factor
-    /// is exactly zero — the accumulation-order contract shared with
-    /// [`Tensor::matmul_nt`] / [`Tensor::matmul_tn`] and pinned by the
-    /// golden-regression gate.
+    /// Dispatches to the active GEMM microkernel (see [`crate::kernels`]):
+    /// explicit AVX2 when available, the classic autovectorized ikj loop
+    /// otherwise. Every kernel honors the same contract: each output
+    /// element accumulates its k-terms in ascending order, skipping terms
+    /// whose `self` factor is exactly zero, with separate mul and add
+    /// roundings — shared with [`Tensor::matmul_nt`] /
+    /// [`Tensor::matmul_tn`] and pinned by the golden-regression gate.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        self.matmul_with(other, kernels::active_kernel())
+    }
+
+    /// As [`Tensor::matmul`] but forcing a specific kernel family,
+    /// bypassing the process-wide dispatch (kernel-equivalence tests and
+    /// the micro-bench).
+    pub fn matmul_with(&self, other: &Tensor, kernel: Kernel) -> Tensor {
         assert_eq!(
             self.cols, other.rows,
             "matmul: inner dims {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
-        let a_data = self.data.as_slice();
-        let b_data = other.data.as_slice();
         let mut out = pool::alloc_zeroed(n * m);
-        for i in 0..n {
-            let a_row = &a_data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * m..(i + 1) * m];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &b_data[p * m..(p + 1) * m];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        kernels::gemm_nn(
+            kernel,
+            self.data.as_slice(),
+            other.data.as_slice(),
+            &mut out,
+            n,
+            k,
+            m,
+        );
         Tensor::from_vec(n, m, out)
     }
 
@@ -341,17 +344,25 @@ impl Tensor {
     /// the tape or allocating a transposed tensor.
     ///
     /// The kernel packs `other`ᵀ into a pooled scratch buffer and then
-    /// runs the same streaming ikj axpy loop as [`Tensor::matmul`]. The
-    /// dot-product formulation (row of `self` · row of `other`) avoids
-    /// the pack but serializes the f32 reduction — the accumulation-order
-    /// contract forbids reassociating it, so it cannot vectorize and runs
-    /// ~4x slower on the gate-projection shapes. Packing costs O(k·m)
+    /// runs the same NN microkernel as [`Tensor::matmul`]. The dot-product
+    /// formulation (row of `self` · row of `other`) avoids the pack but
+    /// serializes the f32 reduction — the accumulation-order contract
+    /// forbids reassociating it, so it cannot vectorize; re-measured on
+    /// the PR-8 batched shapes it runs ~4-6x slower than the pack+NN
+    /// path on the gate-projection shapes at batch 8, ~7-10x at batch
+    /// 64, and ~1.2x on the skinny rollout shape where packing buys
+    /// little (`results/KERNELS_1.txt`, `nt_dot` rows). Packing costs O(k·m)
     /// against the O(n·k·m) product and the scratch comes from (and
     /// returns to) the thread pool, so the hot path stays allocation-free.
     /// Per output element the k-terms accumulate ascending with the same
     /// zero-skip on the `self` factor as [`Tensor::matmul`], matching the
     /// naive composition flop for flop.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        self.matmul_nt_with(other, kernels::active_kernel())
+    }
+
+    /// As [`Tensor::matmul_nt`] but forcing a specific kernel family.
+    pub fn matmul_nt_with(&self, other: &Tensor, kernel: Kernel) -> Tensor {
         assert_eq!(
             self.cols, other.cols,
             "matmul_nt: inner dims {}x{} * ({}x{})ᵀ",
@@ -362,25 +373,15 @@ impl Tensor {
         let b_data = other.data.as_slice();
         let mut out = pool::alloc_zeroed(n * m);
         if k > 0 && m > 0 {
+            // Pack on the calling thread: the scratch must be fully
+            // written before the (possibly row-split) kernel reads it.
             let mut bt = pool::alloc_zeroed(k * m);
             for (j, b_row) in b_data.chunks_exact(k).enumerate() {
                 for (p, &v) in b_row.iter().enumerate() {
                     bt[p * m + j] = v;
                 }
             }
-            for i in 0..n {
-                let a_row = &a_data[i * k..(i + 1) * k];
-                let out_row = &mut out[i * m..(i + 1) * m];
-                for (p, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let bt_row = &bt[p * m..(p + 1) * m];
-                    for (o, &b) in out_row.iter_mut().zip(bt_row) {
-                        *o += a * b;
-                    }
-                }
-            }
+            kernels::gemm_nn(kernel, a_data, &bt, &mut out, n, k, m);
             pool::recycle_vec(bt);
         }
         Tensor::from_vec(n, m, out)
@@ -391,34 +392,34 @@ impl Tensor {
     /// `self.transpose().matmul(other)` without materializing the
     /// transpose.
     ///
-    /// Streams the shared dimension in the outer loop: row `p` of `self`
-    /// and row `p` of `other` are both read contiguously, and each output
-    /// row accumulates an axpy of `other`'s row. The per-element k-order
-    /// is ascending with the zero-skip on the `self` factor — identical to
-    /// the naive composition, term for term.
+    /// The scalar kernel streams the shared dimension in the outer loop
+    /// (row `p` of `self` and `other` both read contiguously, each output
+    /// row accumulating an axpy); the SIMD kernel register-blocks output
+    /// rows and reads `self` down its columns. Either way the per-element
+    /// k-order is ascending with the zero-skip on the `self` factor —
+    /// identical to the naive composition, term for term.
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        self.matmul_tn_with(other, kernels::active_kernel())
+    }
+
+    /// As [`Tensor::matmul_tn`] but forcing a specific kernel family.
+    pub fn matmul_tn_with(&self, other: &Tensor, kernel: Kernel) -> Tensor {
         assert_eq!(
             self.rows, other.rows,
             "matmul_tn: inner dims ({}x{})ᵀ * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
         let (k, n, m) = (self.rows, self.cols, other.cols);
-        let a_data = self.data.as_slice();
-        let b_data = other.data.as_slice();
         let mut out = pool::alloc_zeroed(n * m);
-        for p in 0..k {
-            let a_row = &a_data[p * n..(p + 1) * n];
-            let b_row = &b_data[p * m..(p + 1) * m];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[i * m..(i + 1) * m];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        kernels::gemm_tn(
+            kernel,
+            self.data.as_slice(),
+            other.data.as_slice(),
+            &mut out,
+            k,
+            n,
+            m,
+        );
         Tensor::from_vec(n, m, out)
     }
 

@@ -48,6 +48,24 @@ step "gradient verification + property harness (adaptraj-check)"
 # algebraic identities through the offline shrinking generator.
 cargo test -q --offline -p adaptraj-check || fail=1
 
+step "kernel equivalence suite (scalar vs SIMD bit-identity, FMA FD evidence)"
+# Property-tests that the default AVX2 microkernels produce bitwise
+# identical results to the scalar fallback on random shapes (including
+# k=0, m=0, single-row, and zero-dense operands), that equivalence holds
+# under forced intra-op row splitting, and that the opt-in FMA variant
+# still passes finite-difference gradient checks on full training losses.
+cargo test -q --offline -p adaptraj-check --test kernel_equivalence || fail=1
+cargo test -q --offline -p adaptraj-check --test kernel_fma || fail=1
+
+step "forced-scalar pass (ADAPTRAJ_FORCE_SCALAR=1 tier-1 + golden gate)"
+# The scalar fallback is a first-class dispatch path, not dead code: the
+# tier-1 suite and the golden micro-runs must pass with SIMD disabled,
+# proving the committed goldens do not depend on the host's ISA.
+ADAPTRAJ_FORCE_SCALAR=1 cargo test -q --offline || fail=1
+mkdir -p target/golden-scalar-ci
+ADAPTRAJ_FORCE_SCALAR=1 cargo run --release --offline --bin adaptraj -- \
+    check --golden-dir results --out-dir target/golden-scalar-ci || fail=1
+
 step "golden regression gate (fixed-seed micro-runs)"
 # Re-runs the five pinned micro-runs and compares against the committed
 # results/GOLDEN_*.json: losses bit-for-bit, ADE/FDE within 0.1%. Any
@@ -139,6 +157,14 @@ cargo run --release --offline --bin adaptraj -- \
 cargo run --release --offline -p adaptraj-bench --bin bench_gate -- \
     --baseline results/BENCH_4.json --candidate target/BENCH_load_ci.json \
     --check || fail=1
+# Load-only gate: the tiny sweep's saturation qps must stay within a
+# generous factor of the committed full-sweep baseline. The threshold is
+# deliberately loose (the CI sweep stops at 2 clients, well short of
+# saturation, and shared runners are noisy) — it exists to catch a
+# serving collapse, not a few percent of drift.
+cargo run --release --offline -p adaptraj-bench --bin bench_gate -- \
+    --baseline results/BENCH_4.json --candidate target/BENCH_load_ci.json \
+    --load-only --max-regress-pct 90 || fail=1
 
 step "flight-recorder smoke (run --trace-out + Chrome trace validation)"
 # Tiny training run with the execution timeline enabled, then validate
